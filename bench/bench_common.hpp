@@ -1,0 +1,40 @@
+// Shared scaffolding for the figure benches: a cached full-study runner and
+// header printing. Every bench prints the same rows/series the paper's
+// table or figure reports, plus an ASCII sketch of the plot.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/figures.hpp"
+#include "core/render.hpp"
+#include "core/study.hpp"
+#include "util/strings.hpp"
+
+namespace streamlab::bench {
+
+inline constexpr std::uint64_t kStudySeed = 20020501;
+
+/// Runs the requested data sets once (full catalog by default).
+inline StudyResults run_study(std::vector<int> sets = {1, 2, 3, 4, 5, 6}) {
+  StudyConfig config;
+  config.seed = kStudySeed;
+  return run_study_subset(config, sets);
+}
+
+inline void print_header(const std::string& id, const std::string& title,
+                         const std::string& paper_note) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("paper: %s\n", paper_note.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+inline const ClipRunResult& find_run(const StudyResults& study, const std::string& id) {
+  for (const auto* c : study.clips())
+    if (c->clip.id() == id) return *c;
+  static const ClipRunResult empty{};
+  return empty;
+}
+
+}  // namespace streamlab::bench

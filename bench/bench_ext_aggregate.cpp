@@ -1,0 +1,52 @@
+// Extension (Section VI): boundary traffic — several concurrent player
+// sessions share one path; the client access link acts as the egress
+// monitor the paper proposes.
+#include "bench_common.hpp"
+
+#include "core/aggregate.hpp"
+
+using namespace streamlab;
+using namespace streamlab::bench;
+
+int main() {
+  print_header("Extension: boundary aggregate",
+               "Four concurrent sessions through one egress link",
+               "Section VI: traces at an Internet boundary, several players");
+
+  AggregateConfig config;
+  config.clip_ids = {"set1/R-h", "set1/M-h", "set5/R-l", "set5/M-l"};
+  config.path = path_for_data_set(3, 77);
+  config.path.bottleneck_bandwidth = BitRate::mbps(4);
+  config.seed = 9;
+
+  const AggregateResult result = run_aggregate_experiment(config);
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& s : result.sessions) {
+    rows.push_back({s.clip.id(), fmt_double(s.clip.encoded_rate.to_kbps(), 1),
+                    std::to_string(s.packets), fmt_double(s.mean_rate_kbps, 1),
+                    fmt_double(100.0 * s.fragment_fraction, 1),
+                    fmt_double(s.frame_rate, 1), fmt_double(s.reception_quality, 1)});
+  }
+  std::printf("%s\n",
+              render::table({"Session", "Enc Kbps", "Packets", "Rate Kbps", "Frag %",
+                             "fps", "Quality %"},
+                            rows)
+                  .c_str());
+
+  std::printf("boundary totals: %zu packets, mean %.1f Kbps, peak %.1f Kbps, "
+              "aggregate interarrival cv %.2f\n\n",
+              result.total_packets, result.aggregate_mean_kbps,
+              result.aggregate_peak_kbps, result.interarrival_cv);
+
+  std::printf("aggregate bandwidth timeline (Kbps per %0.fs window):\n",
+              config.bandwidth_window.to_seconds());
+  for (std::size_t i = 0; i < result.total_bandwidth_timeline.size(); i += 5) {
+    const auto& [t, kbps] = result.total_bandwidth_timeline[i];
+    std::printf("  %-6.0f %-8.1f %s\n", t, kbps, ascii_bar(kbps / 1200.0, 40).c_str());
+  }
+  std::printf("\nshape to check: the early windows carry the RealPlayer startup\n"
+              "bursts stacked on the MediaPlayer CBR floor; after ~40 s the\n"
+              "aggregate settles near the sum of the encoding rates.\n");
+  return 0;
+}

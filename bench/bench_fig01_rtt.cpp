@@ -1,0 +1,28 @@
+// Figure 1: CDF of round-trip time across the experiment connections.
+// Paper shape: median ~40 ms, maximum ~160 ms.
+#include "bench_common.hpp"
+
+#include "analysis/stats.hpp"
+
+using namespace streamlab;
+using namespace streamlab::bench;
+
+int main() {
+  print_header("Figure 1", "CDF of RTT",
+               "median RTT ~40 ms, max ~160 ms across six server paths");
+
+  const StudyResults study = run_study();
+  const auto rtts = figures::rtt_samples_ms(study);
+
+  std::printf("%s\n", render::cdf_listing(rtts, "RTT (ms)", 11).c_str());
+
+  const auto s = SummaryStats::from(rtts);
+  std::printf("samples=%zu  median=%.1f ms  mean=%.1f ms  max=%.1f ms\n", s.n, s.median,
+              s.mean, s.max);
+  std::printf("paper:   median~40 ms                 max~160 ms\n\n");
+
+  render::Series series{"RTT CDF", '*', {}};
+  for (const auto& p : empirical_cdf(rtts)) series.points.emplace_back(p.x, p.p);
+  std::printf("%s", render::xy_plot({series}, 72, 16).c_str());
+  return 0;
+}

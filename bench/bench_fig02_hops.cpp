@@ -1,0 +1,31 @@
+// Figure 2: CDF of hop counts to the servers.
+// Paper shape: most servers 15-20 hops away, full range 10-25.
+#include "bench_common.hpp"
+
+#include "analysis/stats.hpp"
+
+using namespace streamlab;
+using namespace streamlab::bench;
+
+int main() {
+  print_header("Figure 2", "CDF of Number of Hops",
+               "most servers between 15 and 20 hops away (range 10-25)");
+
+  const StudyResults study = run_study();
+  const auto hops = figures::hop_counts(study);
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < study.runs.size(); ++i) {
+    const auto& run = study.runs[i];
+    rows.push_back({run.real.clip.id() + "+" + run.media.clip.id(),
+                    std::to_string(run.route.hop_count()),
+                    fmt_double(run.ping.avg_rtt().to_millis(), 1)});
+  }
+  std::printf("%s\n", render::table({"Run", "Hops", "Avg RTT (ms)"}, rows).c_str());
+
+  std::printf("%s\n", render::cdf_listing(hops, "hops", 6).c_str());
+  const auto s = SummaryStats::from(hops);
+  std::printf("min=%.0f  median=%.0f  max=%.0f  (paper: 10..25, mostly 15-20)\n", s.min,
+              s.median, s.max);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 3: average playback data rate vs encoding data rate, with
+// second-order polynomial trends per player.
+// Paper shape: MediaPlayer tracks y=x; RealPlayer sits above y=x.
+#include "bench_common.hpp"
+
+using namespace streamlab;
+using namespace streamlab::bench;
+
+int main() {
+  print_header("Figure 3", "Average Playback Data Rate vs Encoding Data Rate",
+               "MediaPlayer plays at its encoding rate; RealPlayer above it");
+
+  const StudyResults study = run_study();
+  const auto points = figures::playback_vs_encoding(study);
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& p : points) {
+    rows.push_back({p.player == PlayerKind::kRealPlayer ? "Real" : "Media",
+                    fmt_double(p.encoding_kbps, 1), fmt_double(p.playback_kbps, 1),
+                    fmt_double(p.playback_kbps / p.encoding_kbps, 3)});
+  }
+  std::printf("%s\n",
+              render::table({"Player", "Encoding Kbps", "Playback Kbps", "ratio"}, rows)
+                  .c_str());
+
+  for (const PlayerKind player : {PlayerKind::kRealPlayer, PlayerKind::kMediaPlayer}) {
+    const auto fit = figures::playback_trend(study, player);
+    std::printf("%s 2nd-order trend: y = %.3g + %.4g x + %.3g x^2   (R^2=%.4f)\n",
+                to_string(player).c_str(), fit.coefficients[0], fit.coefficients[1],
+                fit.coefficients[2], fit.r_squared);
+    std::printf("  trend at 100/300/600 Kbps: %.1f / %.1f / %.1f  (y=x would be "
+                "100/300/600)\n",
+                fit.eval(100), fit.eval(300), fit.eval(600));
+  }
+
+  render::Series real{"RealPlayer", 'R', {}}, media{"MediaPlayer", 'M', {}};
+  for (const auto& p : points)
+    (p.player == PlayerKind::kRealPlayer ? real : media)
+        .points.emplace_back(p.encoding_kbps, p.playback_kbps);
+  std::printf("\n%s", render::xy_plot({real, media}, 72, 18).c_str());
+  return 0;
+}

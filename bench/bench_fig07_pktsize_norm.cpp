@@ -1,0 +1,29 @@
+// Figure 7: PDF of normalised packet size pooled over all data sets
+// (each clip's sizes divided by that clip's mean).
+// Paper shape: MediaPlayer concentrated at 1.0; RealPlayer spread 0.6-1.8.
+#include "bench_common.hpp"
+
+#include "analysis/stats.hpp"
+
+using namespace streamlab;
+using namespace streamlab::bench;
+
+int main() {
+  print_header("Figure 7", "PDF of Normalized Packet Size (All Data Sets)",
+               "MediaPlayer concentrated at 1.0; RealPlayer spread 0.6-1.8");
+
+  const StudyResults study = run_study();
+
+  for (const PlayerKind player : {PlayerKind::kRealPlayer, PlayerKind::kMediaPlayer}) {
+    const auto sizes = figures::normalized_packet_sizes(study, player);
+    Histogram h(0.1);
+    h.add_all(sizes);
+    std::printf("--- %s (%zu packets) ---\n", to_string(player).c_str(), sizes.size());
+    std::printf("%s\n", render::pdf_listing(h, "size/mean").c_str());
+    std::printf("p01=%.2f  p50=%.2f  p99=%.2f  mass in [0.9,1.1)=%.1f%%\n\n",
+                quantile(sizes, 0.01), quantile(sizes, 0.5), quantile(sizes, 0.99),
+                100.0 * h.mass_in(0.9, 1.1));
+  }
+  std::printf("paper: MediaPlayer piles at 1.0; RealPlayer covers ~0.6 to ~1.8\n");
+  return 0;
+}

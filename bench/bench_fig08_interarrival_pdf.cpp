@@ -1,0 +1,37 @@
+// Figure 8: PDF of packet interarrival times for the data set 1 low pair.
+// Paper shape: MediaPlayer has a near-constant interval (density spike);
+// RealPlayer interarrivals spread over a much wider range.
+#include "bench_common.hpp"
+
+#include "analysis/stats.hpp"
+
+using namespace streamlab;
+using namespace streamlab::bench;
+
+int main() {
+  print_header("Figure 8", "PDF of Packet Interarrival Times (Data Set 1, Low)",
+               "MediaPlayer: constant interval spike; RealPlayer: wide spread");
+
+  const StudyResults study = run_study({1});
+  const auto& real = find_run(study, "set1/R-l");
+  const auto& media = find_run(study, "set1/M-l");
+
+  const auto real_gaps = figures::clip_interarrivals(real);
+  const auto media_gaps = figures::clip_interarrivals(media);
+
+  const auto print_player = [](const char* name, const std::vector<double>& gaps) {
+    Histogram h(0.01);  // 10 ms bins, matching the figure's axis
+    h.add_all(gaps);
+    std::printf("--- %s (%zu interarrivals) ---\n", name, gaps.size());
+    std::printf("%s", render::pdf_listing(h, "gap (s)").c_str());
+    std::printf("p05=%.3fs  p50=%.3fs  p95=%.3fs  peak-bin mass=%.1f%%\n\n",
+                quantile(gaps, 0.05), quantile(gaps, 0.5), quantile(gaps, 0.95),
+                100.0 * h.mode().probability);
+  };
+  print_player("RealPlayer (36 Kbps)", real_gaps);
+  print_player("MediaPlayer (49.8 Kbps)", media_gaps);
+
+  std::printf("paper: MediaPlayer interval ~constant (~0.14 s for this clip);\n");
+  std::printf("       RealPlayer gaps spread across 0..0.2 s\n");
+  return 0;
+}

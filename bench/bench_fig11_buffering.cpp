@@ -1,0 +1,36 @@
+// Figure 11: buffering rate / playing rate vs encoding rate for all
+// RealPlayer clips.
+// Paper shape: ratio ~3 for clips under 56 Kbps, decaying to ~1 at the
+// 637 Kbps clip; MediaPlayer's ratio is 1 by construction.
+#include "bench_common.hpp"
+
+using namespace streamlab;
+using namespace streamlab::bench;
+
+int main() {
+  print_header("Figure 11", "Buffering Rate / Playing Rate vs Encoding Rate (RealPlayer)",
+               "~3x at low rates decreasing to ~1 at 637 Kbps");
+
+  const StudyResults study = run_study();
+  const auto points = figures::buffering_ratio_vs_rate(study);
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& p : points) {
+    rows.push_back({fmt_double(p.encoding_kbps, 1), fmt_double(p.ratio, 2),
+                    ascii_bar(p.ratio / 3.5, 30)});
+  }
+  std::printf("%s\n",
+              render::table({"Encoding Kbps", "Buffer/Play ratio", ""}, rows).c_str());
+
+  render::Series series{"RealPlayer ratio", 'R', {}};
+  for (const auto& p : points) series.points.emplace_back(p.encoding_kbps, p.ratio);
+  std::printf("%s", render::xy_plot({series}, 72, 14).c_str());
+
+  // MediaPlayer for contrast.
+  double media_max = 1.0;
+  for (const auto* c : study.clips_for(PlayerKind::kMediaPlayer))
+    media_max = std::max(media_max, c->buffering.ratio());
+  std::printf("\nMediaPlayer max ratio across all clips: %.2f (paper: exactly 1)\n",
+              media_max);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 13: frame rate vs time for a single clip set (data set 5).
+// Paper shape: both high-rate clips reach 25 fps; the low MediaPlayer clip
+// plays at ~13 fps; the low RealPlayer clip is significantly higher.
+#include "bench_common.hpp"
+
+using namespace streamlab;
+using namespace streamlab::bench;
+
+int main() {
+  print_header("Figure 13", "Frame Rate vs Time for Single Clip Set (Data Set 5)",
+               "high clips ~25 fps; M-39K ~13 fps; R-22K clearly above M");
+
+  const StudyResults study = run_study({5});
+
+  const std::vector<std::pair<std::string, char>> clips = {
+      {"set5/R-h", 'A'}, {"set5/R-l", 'B'}, {"set5/M-h", 'C'}, {"set5/M-l", 'D'}};
+
+  std::vector<render::Series> series;
+  for (const auto& [id, glyph] : clips) {
+    const auto& run = find_run(study, id);
+    const auto timeline = figures::framerate_timeline(run);
+    std::printf("--- %s (%s) ---\n", id.c_str(),
+                to_string(run.clip.encoded_rate).c_str());
+    std::printf("  t(s)  fps\n");
+    for (std::size_t i = 0; i < timeline.size(); i += 10)
+      std::printf("  %-5.0f %-6.1f %s\n", timeline[i].first, timeline[i].second,
+                  ascii_bar(timeline[i].second / 30.0, 30).c_str());
+    std::printf("  average playing-phase frame rate: %.1f fps\n\n",
+                run.tracker.average_frame_rate);
+
+    render::Series s{id, glyph, {}};
+    for (const auto& [t, fps] : timeline) s.points.emplace_back(t, fps);
+    series.push_back(std::move(s));
+  }
+
+  std::printf("%s", render::xy_plot(series, 76, 18).c_str());
+  std::printf("\npaper: R-217K and M-250K both ~25 fps; M-39K lowest at 13 fps;\n"
+              "       R-22K significantly higher than M-39K\n");
+  return 0;
+}

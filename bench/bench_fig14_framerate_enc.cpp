@@ -1,0 +1,39 @@
+// Figure 14: average frame rate vs average encoding rate over all data
+// sets, with per-tier means and standard-error bars.
+// Paper shape: at low rates MediaPlayer's frame rate is clearly below
+// RealPlayer's; at high and very-high rates the two players converge.
+#include "bench_common.hpp"
+
+using namespace streamlab;
+using namespace streamlab::bench;
+
+int main() {
+  print_header("Figure 14", "Frame Rate vs Average Encoding Rate (All Data Sets)",
+               "Real > Media at low rates; similar at high/very-high");
+
+  const StudyResults study = run_study();
+  const auto points = figures::framerate_vs_encoding(study);
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& p : points) {
+    rows.push_back({p.player == PlayerKind::kRealPlayer ? "Real" : "Media",
+                    to_string(p.tier), fmt_double(p.x, 1), fmt_double(p.fps, 1)});
+  }
+  std::printf("%s\n",
+              render::table({"Player", "Tier", "Encoding Kbps", "fps"}, rows).c_str());
+
+  for (const PlayerKind player : {PlayerKind::kRealPlayer, PlayerKind::kMediaPlayer}) {
+    std::printf("%s per-tier summary (mean ± stderr):\n", to_string(player).c_str());
+    for (const auto& t : figures::summarize_by_tier(points, player)) {
+      std::printf("  %-10s n=%zu  x=%.1f Kbps  fps=%.1f ± %.2f\n",
+                  to_string(t.tier).c_str(), t.count, t.mean_x, t.mean_fps,
+                  t.stderr_fps);
+    }
+  }
+
+  render::Series rs{"RealPlayer", 'R', {}}, ms{"MediaPlayer", 'M', {}};
+  for (const auto& p : points)
+    (p.player == PlayerKind::kRealPlayer ? rs : ms).points.emplace_back(p.x, p.fps);
+  std::printf("\n%s", render::xy_plot({rs, ms}, 72, 16).c_str());
+  return 0;
+}

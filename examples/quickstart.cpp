@@ -1,0 +1,63 @@
+// quickstart: stream one clip from the Table 1 catalog through the
+// simulated network and print the application- and network-layer statistics
+// the study's trackers record.
+//
+// Usage: quickstart [clip-id]      (default: set1/M-l)
+// Clip ids follow Table 1: set<1-6>/<R|M>-<l|h|v>, e.g. set6/R-v.
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/study.hpp"
+#include "util/strings.hpp"
+
+using namespace streamlab;
+
+int main(int argc, char** argv) {
+  const std::string clip_id = argc > 1 ? argv[1] : "set1/M-l";
+  const auto clip = find_clip(clip_id);
+  if (!clip) {
+    std::fprintf(stderr, "unknown clip id '%s' (try e.g. set1/M-l, set6/R-v)\n",
+                 clip_id.c_str());
+    return 1;
+  }
+
+  std::printf("streamlab quickstart\n");
+  std::printf("clip: %s  (%s, %s, %s)\n", clip_id.c_str(),
+              to_string(clip->content).c_str(), to_string(clip->player).c_str(),
+              to_string(clip->encoded_rate).c_str());
+  std::printf("length: %s, advertised %s\n\n", to_string(clip->length).c_str(),
+              to_string(clip->advertised_rate).c_str());
+
+  ExperimentConfig config;
+  config.path = path_for_data_set(clip->data_set, /*seed=*/2002);
+  config.seed = 7;
+  const ClipRunResult run = run_single_clip(*clip, config);
+
+  std::printf("--- application layer (tracker) ---\n");
+  std::printf("encoded rate:        %s\n", to_string(run.tracker.encoded_rate).c_str());
+  std::printf("playback bandwidth:  %s\n",
+              to_string(run.tracker.average_playback_bandwidth).c_str());
+  std::printf("average frame rate:  %s fps\n",
+              fmt_double(run.tracker.average_frame_rate, 1).c_str());
+  std::printf("frames rendered:     %u (dropped %u, quality %s%%)\n",
+              run.tracker.frames_rendered, run.tracker.frames_dropped,
+              fmt_double(run.tracker.reception_quality(), 1).c_str());
+  std::printf("packets received:    %llu (lost %llu)\n",
+              static_cast<unsigned long long>(run.tracker.total_packets),
+              static_cast<unsigned long long>(run.tracker.total_lost));
+  std::printf("startup delay:       %s\n", to_string(run.tracker.startup_delay).c_str());
+  std::printf("streaming duration:  %s\n\n",
+              to_string(run.tracker.streaming_duration).c_str());
+
+  std::printf("--- network layer (sniffer) ---\n");
+  std::printf("packets on wire:     %zu\n", run.flow.size());
+  std::printf("IP fragments:        %zu (%s%%)\n", run.flow.fragment_count(),
+              fmt_double(100.0 * run.flow.fragment_fraction(), 1).c_str());
+  std::printf("mean wire rate:      %s Kbps\n",
+              fmt_double(run.flow.mean_rate_kbps(), 1).c_str());
+  std::printf("buffering ratio:     %s%s\n",
+              fmt_double(run.buffering.ratio(), 2).c_str(),
+              run.buffering.has_buffering_phase ? " (startup burst detected)" : "");
+  return 0;
+}

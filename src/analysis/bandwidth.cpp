@@ -1,0 +1,42 @@
+#include "analysis/bandwidth.hpp"
+
+#include <algorithm>
+
+namespace streamlab {
+
+BufferingAnalysis analyze_buffering(const std::vector<std::pair<double, double>>& timeline,
+                                    Duration window, double threshold, int min_windows) {
+  BufferingAnalysis out;
+  if (timeline.size() < static_cast<std::size_t>(min_windows) * 2) return out;
+
+  // Steady rate: median of the second half, excluding the final window
+  // (usually partial).
+  std::vector<double> tail;
+  for (std::size_t i = timeline.size() / 2; i + 1 < timeline.size(); ++i)
+    tail.push_back(timeline[i].second);
+  if (tail.empty()) return out;
+  std::sort(tail.begin(), tail.end());
+  out.steady_rate_kbps = tail[tail.size() / 2];
+  if (out.steady_rate_kbps <= 0.0) return out;
+
+  // Initial run above threshold.
+  std::size_t burst_end = 0;
+  while (burst_end < timeline.size() &&
+         timeline[burst_end].second > threshold * out.steady_rate_kbps) {
+    ++burst_end;
+  }
+  if (burst_end < static_cast<std::size_t>(min_windows)) {
+    // No burst: report steady only.
+    return out;
+  }
+
+  double sum = 0.0;
+  for (std::size_t i = 0; i < burst_end; ++i) sum += timeline[i].second;
+  out.has_buffering_phase = true;
+  out.buffering_rate_kbps = sum / static_cast<double>(burst_end);
+  out.buffering_duration = Duration::from_seconds(
+      static_cast<double>(burst_end) * window.to_seconds());
+  return out;
+}
+
+}  // namespace streamlab

@@ -1,0 +1,38 @@
+// Buffering-phase detection on a bandwidth timeline.
+//
+// Section 3.F / Figure 11: RealPlayer opens with a sustained burst above the
+// steady playout rate. The detector finds that initial high-rate phase and
+// reports the buffering-rate : playout-rate ratio the paper plots.
+#pragma once
+
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace streamlab {
+
+struct BufferingAnalysis {
+  bool has_buffering_phase = false;
+  Duration buffering_duration;   ///< length of the initial burst
+  double buffering_rate_kbps = 0.0;  ///< mean rate during the burst
+  double steady_rate_kbps = 0.0;     ///< mean rate after the burst
+
+  /// Buffering rate over playout rate; 1.0 when no burst was detected
+  /// (MediaPlayer's profile, where buffering happens at the playout rate).
+  double ratio() const {
+    if (!has_buffering_phase || steady_rate_kbps <= 0.0) return 1.0;
+    return buffering_rate_kbps / steady_rate_kbps;
+  }
+};
+
+/// Detects the startup burst in a (window start seconds, Kbps) timeline.
+///
+/// Method: the steady rate is the median of the second half of the timeline
+/// (clear of any startup effects); the buffering phase is the maximal
+/// initial run of windows above `threshold` x steady. Runs shorter than
+/// `min_windows` do not count (guards against a single noisy first window).
+BufferingAnalysis analyze_buffering(const std::vector<std::pair<double, double>>& timeline,
+                                    Duration window, double threshold = 1.25,
+                                    int min_windows = 3);
+
+}  // namespace streamlab

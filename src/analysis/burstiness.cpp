@@ -1,0 +1,76 @@
+#include "analysis/burstiness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamlab {
+
+std::vector<double> windowed_counts(const FlowTrace& flow, Duration window) {
+  std::vector<double> counts;
+  if (flow.empty() || window <= Duration::zero()) return counts;
+  const SimTime start = flow.packets().front().time;
+  std::size_t i = 0;
+  for (SimTime w = start; i < flow.packets().size(); w += window) {
+    const SimTime end = w + window;
+    double n = 0;
+    while (i < flow.packets().size() && flow.packets()[i].time < end) {
+      ++n;
+      ++i;
+    }
+    counts.push_back(n);
+  }
+  return counts;
+}
+
+double index_of_dispersion(const std::vector<double>& counts) {
+  if (counts.empty()) return 0.0;
+  double mean = 0.0;
+  for (const double c : counts) mean += c;
+  mean /= static_cast<double>(counts.size());
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (const double c : counts) var += (c - mean) * (c - mean);
+  var /= static_cast<double>(counts.size());
+  return var / mean;
+}
+
+double autocorrelation(const std::vector<double>& series, std::size_t lag) {
+  if (series.size() <= lag + 1) return 0.0;
+  double mean = 0.0;
+  for (const double v : series) mean += v;
+  mean /= static_cast<double>(series.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    den += (series[i] - mean) * (series[i] - mean);
+    if (i + lag < series.size())
+      num += (series[i] - mean) * (series[i + lag] - mean);
+  }
+  return den <= 0.0 ? 0.0 : num / den;
+}
+
+BurstinessSummary summarize_burstiness(const FlowTrace& flow, Duration window,
+                                       std::size_t skip_windows) {
+  BurstinessSummary out;
+  auto counts = windowed_counts(flow, window);
+  if (counts.size() > skip_windows)
+    counts.erase(counts.begin(),
+                 counts.begin() + static_cast<std::ptrdiff_t>(skip_windows));
+  // Drop the final (usually partial) window to avoid an artificial dip.
+  if (counts.size() > 1) counts.pop_back();
+  out.windows = counts.size();
+  if (counts.empty()) return out;
+
+  out.idc = index_of_dispersion(counts);
+  out.rate_autocorrelation = autocorrelation(counts, 1);
+
+  double mean = 0.0, peak = 0.0;
+  for (const double c : counts) {
+    mean += c;
+    peak = std::max(peak, c);
+  }
+  mean /= static_cast<double>(counts.size());
+  out.peak_to_mean = mean <= 0.0 ? 0.0 : peak / mean;
+  return out;
+}
+
+}  // namespace streamlab

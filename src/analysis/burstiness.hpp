@@ -1,0 +1,44 @@
+// Burstiness ("turbulence") metrics.
+//
+// The paper coins *turbulence* for "the size and distribution of packets
+// over time". Beyond the marginal distributions (Figures 6-9) the standard
+// quantifications of that shape are the index of dispersion for counts
+// (IDC: Var/Mean of per-window packet counts — 1 for Poisson, ~0 for CBR,
+// large for bursty flows) and the lag autocorrelation of the windowed rate
+// series. These summarise in two numbers what the paper shows across four
+// figures: MediaPlayer is far smoother than RealPlayer.
+#pragma once
+
+#include <vector>
+
+#include "analysis/flow.hpp"
+
+namespace streamlab {
+
+struct BurstinessSummary {
+  /// Index of dispersion for counts over the window series.
+  double idc = 0.0;
+  /// Lag-1 autocorrelation of the per-window byte rate.
+  double rate_autocorrelation = 0.0;
+  /// Peak-to-mean ratio of the windowed rate.
+  double peak_to_mean = 0.0;
+  std::size_t windows = 0;
+};
+
+/// Per-window packet counts for a flow.
+std::vector<double> windowed_counts(const FlowTrace& flow, Duration window);
+
+/// Index of dispersion for counts of a count series (Var/Mean); 0 when the
+/// series is empty or has zero mean.
+double index_of_dispersion(const std::vector<double>& counts);
+
+/// Autocorrelation of a series at the given lag; 0 for degenerate input.
+double autocorrelation(const std::vector<double>& series, std::size_t lag);
+
+/// Full burstiness summary over a flow. The steady phase only can be
+/// selected by passing `skip` to drop the startup-burst windows.
+BurstinessSummary summarize_burstiness(const FlowTrace& flow,
+                                       Duration window = Duration::seconds(1),
+                                       std::size_t skip_windows = 0);
+
+}  // namespace streamlab

@@ -1,0 +1,59 @@
+// Histograms (PDF estimates) and empirical CDFs — the plot primitives of
+// every distribution figure in the paper (Figures 1, 2, 6, 7, 8, 9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace streamlab {
+
+/// Fixed-width binned histogram. Density is normalised so the bin
+/// *probabilities* sum to 1 (matching the paper's "Probability Density"
+/// axes, which plot per-bin probability rather than true density).
+class Histogram {
+ public:
+  Histogram(double bin_width, double origin = 0.0);
+
+  void add(double value);
+  void add_all(const std::vector<double>& values);
+
+  struct Bin {
+    double lower = 0.0;
+    double center = 0.0;
+    std::uint64_t count = 0;
+    double probability = 0.0;  ///< count / total
+  };
+
+  /// Non-empty bins in ascending order (empty bins between them included so
+  /// plots show gaps correctly).
+  std::vector<Bin> bins() const;
+  std::uint64_t total() const { return total_; }
+  double bin_width() const { return width_; }
+
+  /// The bin with the highest probability; zeroed Bin when empty.
+  Bin mode() const;
+  /// Probability mass within [lo, hi).
+  double mass_in(double lo, double hi) const;
+
+ private:
+  std::int64_t index_of(double value) const;
+
+  double width_;
+  double origin_;
+  std::uint64_t total_ = 0;
+  // Sparse storage keyed by bin index.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> counts_;  // kept sorted
+};
+
+struct CdfPoint {
+  double x = 0.0;
+  double p = 0.0;
+};
+
+/// Empirical CDF as step points (x ascending, p in (0, 1]).
+std::vector<CdfPoint> empirical_cdf(std::vector<double> values);
+
+/// Samples a CDF at evenly spaced probability levels (for compact printing).
+std::vector<CdfPoint> cdf_at_quantiles(const std::vector<double>& values, int points);
+
+}  // namespace streamlab

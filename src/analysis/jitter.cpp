@@ -1,0 +1,49 @@
+#include "analysis/jitter.hpp"
+
+#include <cmath>
+
+#include "analysis/stats.hpp"
+
+namespace streamlab {
+
+void Rfc3550Jitter::on_arrival(SimTime when) {
+  if (!have_prev_) {
+    have_prev_ = true;
+    prev_ = when;
+    return;
+  }
+  const double gap = (when - prev_).to_seconds();
+  prev_ = when;
+  ++samples_;
+
+  double nominal = nominal_.to_seconds();
+  if (nominal <= 0.0) {
+    // Estimate the sender spacing as the running mean interarrival.
+    mean_gap_s_ += (gap - mean_gap_s_) / static_cast<double>(samples_);
+    nominal = mean_gap_s_;
+  }
+  const double d = std::abs(gap - nominal);
+  jitter_s_ += (d - jitter_s_) / 16.0;
+}
+
+JitterSummary summarize_jitter(const FlowTrace& flow, bool groups_only) {
+  JitterSummary out;
+  Rfc3550Jitter running;
+  for (const auto& p : flow.packets()) {
+    if (groups_only && !p.first_of_group) continue;
+    running.on_arrival(p.time);
+  }
+  out.rfc3550 = running.jitter();
+
+  const auto gaps = flow.interarrivals(groups_only);
+  if (gaps.empty()) return out;
+  const auto stats = SummaryStats::from(gaps);
+  double mad = 0.0;
+  for (const double g : gaps) mad += std::abs(g - stats.mean);
+  mad /= static_cast<double>(gaps.size());
+  out.mean_abs_dev = Duration::from_seconds(mad);
+  out.cv = stats.mean > 0.0 ? stats.stddev / stats.mean : 0.0;
+  return out;
+}
+
+}  // namespace streamlab

@@ -1,0 +1,56 @@
+// Interarrival jitter estimation.
+//
+// The paper motivates its interarrival analysis with perceptual quality:
+// "The difference in packet interarrival times, also known as jitter, can
+// cause degradations to video perceptual quality that are as serious as
+// packet loss [CT99]." This module provides the RFC 3550 (RTP) running
+// jitter estimator — the standard smoothed metric streaming systems report —
+// plus a simple batch variant over a flow trace.
+#pragma once
+
+#include <vector>
+
+#include "analysis/flow.hpp"
+#include "util/time.hpp"
+
+namespace streamlab {
+
+/// RFC 3550 §6.4.1 running estimator: J += (|D| - J) / 16, where D is the
+/// difference between consecutive transit-time deltas. With a CBR sender
+/// (known constant spacing) the interarrival deviation from the nominal
+/// spacing is the transit-time delta.
+class Rfc3550Jitter {
+ public:
+  /// `nominal_spacing` is the sender's packet interval; pass zero when
+  /// unknown to estimate it from the running mean interarrival.
+  explicit Rfc3550Jitter(Duration nominal_spacing = Duration::zero())
+      : nominal_(nominal_spacing) {}
+
+  /// Feeds the next packet arrival time.
+  void on_arrival(SimTime when);
+
+  /// Current smoothed jitter estimate.
+  Duration jitter() const { return Duration::from_seconds(jitter_s_); }
+  std::size_t samples() const { return samples_; }
+
+ private:
+  Duration nominal_;
+  bool have_prev_ = false;
+  SimTime prev_;
+  double mean_gap_s_ = 0.0;  // running mean, used when nominal is unknown
+  double jitter_s_ = 0.0;
+  std::size_t samples_ = 0;
+};
+
+struct JitterSummary {
+  Duration rfc3550;        ///< final smoothed estimate
+  Duration mean_abs_dev;   ///< mean |gap - mean gap|
+  double cv = 0.0;         ///< interarrival coefficient of variation
+};
+
+/// Batch jitter summary over a captured flow. For MediaPlayer flows pass
+/// `groups_only=true` so fragment spacing does not masquerade as jitter
+/// (the Figure 9 de-noising).
+JitterSummary summarize_jitter(const FlowTrace& flow, bool groups_only = false);
+
+}  // namespace streamlab

@@ -1,0 +1,73 @@
+#include "analysis/polyfit.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+namespace streamlab {
+
+double PolyFit::eval(double x) const {
+  double y = 0.0;
+  double xn = 1.0;
+  for (double c : coefficients) {
+    y += c * xn;
+    xn *= x;
+  }
+  return y;
+}
+
+PolyFit PolyFit::fit(const std::vector<double>& xs, const std::vector<double>& ys,
+                     int degree) {
+  PolyFit out;
+  const std::size_t n = xs.size();
+  const std::size_t m = static_cast<std::size_t>(degree) + 1;
+  if (degree < 0 || n != ys.size() || n < m) return out;
+
+  // Normal equations: (X^T X) c = X^T y, with X the Vandermonde matrix.
+  // Accumulate power sums S_k = sum x^k (k up to 2*degree) and T_k = sum
+  // x^k * y (k up to degree).
+  std::vector<double> s(2 * m - 1, 0.0), t(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double xp = 1.0;
+    for (std::size_t k = 0; k < s.size(); ++k) {
+      s[k] += xp;
+      if (k < m) t[k] += xp * ys[i];
+      xp *= xs[i];
+    }
+  }
+
+  // Dense solve with partial pivoting on the (m x m) system.
+  std::vector<std::vector<double>> a(m, std::vector<double>(m + 1, 0.0));
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) a[r][c] = s[r + c];
+    a[r][m] = t[r];
+  }
+  for (std::size_t col = 0; col < m; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < m; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    if (std::abs(a[pivot][col]) < 1e-12) return out;  // singular
+    std::swap(a[col], a[pivot]);
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c <= m; ++c) a[r][c] -= f * a[col][c];
+    }
+  }
+  out.coefficients.resize(m);
+  for (std::size_t r = 0; r < m; ++r) out.coefficients[r] = a[r][m] / a[r][r];
+
+  // R^2 against the mean model.
+  double mean = 0.0;
+  for (double y : ys) mean += y;
+  mean /= static_cast<double>(n);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = ys[i] - out.eval(xs[i]);
+    ss_res += r * r;
+    ss_tot += (ys[i] - mean) * (ys[i] - mean);
+  }
+  out.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return out;
+}
+
+}  // namespace streamlab

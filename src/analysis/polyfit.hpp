@@ -1,0 +1,22 @@
+// Least-squares polynomial fitting — Figure 3 overlays second-order
+// polynomial trend curves on the playback-vs-encoding scatter.
+#pragma once
+
+#include <vector>
+
+namespace streamlab {
+
+struct PolyFit {
+  std::vector<double> coefficients;  ///< c0 + c1*x + c2*x^2 + ...
+  double r_squared = 0.0;
+
+  double eval(double x) const;
+
+  /// Fits a polynomial of the given degree by normal equations with partial
+  /// pivoting. Requires xs.size() == ys.size() and more points than
+  /// coefficients; returns an empty fit otherwise.
+  static PolyFit fit(const std::vector<double>& xs, const std::vector<double>& ys,
+                     int degree);
+};
+
+}  // namespace streamlab

@@ -1,0 +1,49 @@
+// TCP-friendliness experiments — Section VI: "Studies similar to this one
+// under bandwidth constrained conditions might help explore the feasibility
+// of TCP-Friendliness (or, more likely the lack of TCP-Friendliness) in
+// commercial media players."
+//
+// A UDP media stream (either player model) shares a constrained bottleneck
+// with a responsive TCP bulk transfer. A TCP-friendly flow would converge
+// toward the fair share (capacity / 2); an unresponsive UDP stream keeps
+// sending at its encoding rate and squeezes TCP into the remainder.
+#pragma once
+
+#include "congestion/experiment.hpp"
+#include "tcp/sender.hpp"
+
+namespace streamlab {
+
+struct FriendlinessConfig {
+  BitRate bottleneck = BitRate::kbps(400);
+  std::size_t queue_limit_bytes = 32 * 1024;
+  int hop_count = 8;
+  Duration one_way_propagation = Duration::millis(20);
+  std::uint64_t seed = 1;
+  WmBehavior wm;
+  RmBehavior rm;
+  TcpSenderConfig tcp;
+};
+
+struct FriendlinessResult {
+  ClipInfo clip;
+  BitRate bottleneck;
+
+  double fair_share_kbps = 0.0;   ///< capacity / 2
+  double media_share_kbps = 0.0;  ///< media wire rate over the contention window
+  double tcp_share_kbps = 0.0;    ///< TCP goodput over the same window
+  /// media share / fair share: > 1 means the stream took more than its
+  /// fair share — the unresponsiveness the paper anticipates.
+  double media_fairness_index = 0.0;
+  double media_loss = 0.0;        ///< media datagram loss during contention
+  std::uint64_t tcp_retransmissions = 0;
+  double contention_seconds = 0.0;
+};
+
+/// Runs one media stream and one concurrent long-lived TCP transfer through
+/// a shared bottleneck and reports the bandwidth split while both were
+/// active.
+FriendlinessResult run_friendliness_experiment(const ClipInfo& clip,
+                                               const FriendlinessConfig& config);
+
+}  // namespace streamlab

@@ -1,0 +1,125 @@
+#include "core/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/stats.hpp"
+#include "dissect/dissector.hpp"
+#include "pcap/sniffer.hpp"
+#include "players/server.hpp"
+#include "trackers/tracker.hpp"
+
+namespace streamlab {
+
+AggregateResult run_aggregate_experiment(const AggregateConfig& config) {
+  AggregateResult result;
+
+  Network net(config.path);
+
+  struct Session {
+    ClipInfo clip;
+    Host* server_host = nullptr;
+    std::unique_ptr<StreamServer> server;
+    std::unique_ptr<StreamClient> client;
+    std::unique_ptr<PlayerTracker> tracker;
+  };
+  std::vector<Session> sessions;
+
+  std::uint16_t next_client_port = 20000;
+  Duration longest_clip = Duration::zero();
+  for (const auto& id : config.clip_ids) {
+    const auto clip = find_clip(id);
+    if (!clip) continue;
+    Session s;
+    s.clip = *clip;
+    s.server_host = &net.add_server("server-" + id);
+    const EncodedClip encoded = encode_clip(*clip, config.seed);
+    const bool is_media = clip->player == PlayerKind::kMediaPlayer;
+    const std::uint16_t port = is_media ? kMediaServerPort : kRealServerPort;
+    if (is_media)
+      s.server = std::make_unique<WmServer>(*s.server_host, encoded, config.wm, port);
+    else
+      s.server = std::make_unique<RmServer>(*s.server_host, encoded, config.rm, port,
+                                            config.seed ^ sessions.size());
+
+    StreamClient::Config cc;
+    cc.kind = clip->player;
+    cc.wm = config.wm;
+    cc.rm = config.rm;
+    cc.local_port = next_client_port++;
+    s.client = std::make_unique<StreamClient>(
+        net.client(), s.server->clip(), Endpoint{s.server_host->address(), port}, cc);
+    s.tracker = std::make_unique<PlayerTracker>(*s.client);
+    longest_clip = std::max(longest_clip, clip->length);
+    sessions.push_back(std::move(s));
+  }
+
+  Sniffer::Options sniff_opts;
+  sniff_opts.snaplen = 96;
+  sniff_opts.capture_outbound = false;
+  Sniffer sniffer(net.client(), sniff_opts);
+
+  for (auto& s : sessions) {
+    s.client->start();
+    s.tracker->start();
+  }
+  net.loop().run_until(net.loop().now() + longest_clip + Duration::seconds(90));
+
+  const auto dissected = dissect_trace(sniffer.trace());
+
+  // Per-session summaries via per-server flow extraction.
+  for (auto& s : sessions) {
+    const std::uint16_t client_port =
+        static_cast<std::uint16_t>(20000 + (&s - sessions.data()));
+    const FlowTrace flow =
+        FlowTrace::extract(dissected, s.server_host->address(), client_port);
+    AggregateSessionSummary summary;
+    summary.clip = s.clip;
+    summary.packets = flow.size();
+    summary.mean_rate_kbps = flow.mean_rate_kbps();
+    summary.fragment_fraction = flow.fragment_fraction();
+    const auto report = s.tracker->report();
+    summary.frame_rate = report.average_frame_rate;
+    summary.reception_quality = report.reception_quality();
+    result.sessions.push_back(summary);
+  }
+
+  // Boundary-level aggregate: every inbound packet regardless of flow.
+  result.total_packets = dissected.size();
+  std::vector<double> gaps;
+  std::optional<SimTime> prev;
+  std::optional<SimTime> first, last;
+  std::uint64_t total_bytes = 0;
+  for (const auto& p : dissected) {
+    if (!first) first = p.timestamp;
+    last = p.timestamp;
+    total_bytes += p.frame_length;
+    if (prev) gaps.push_back((p.timestamp - *prev).to_seconds());
+    prev = p.timestamp;
+  }
+  if (first && last && *last > *first) {
+    const double duration = (*last - *first).to_seconds();
+    result.aggregate_mean_kbps = static_cast<double>(total_bytes) * 8.0 / duration / 1000.0;
+
+    // Windowed timeline over the whole boundary trace.
+    const double win = config.bandwidth_window.to_seconds();
+    std::size_t i = 0;
+    for (double w = 0.0; w < duration; w += win) {
+      std::uint64_t bytes = 0;
+      while (i < dissected.size() &&
+             (dissected[i].timestamp - *first).to_seconds() < w + win) {
+        bytes += dissected[i].frame_length;
+        ++i;
+      }
+      const double kbps = static_cast<double>(bytes) * 8.0 / win / 1000.0;
+      result.total_bandwidth_timeline.emplace_back(w, kbps);
+      result.aggregate_peak_kbps = std::max(result.aggregate_peak_kbps, kbps);
+    }
+  }
+  const auto gap_stats = SummaryStats::from(gaps);
+  result.interarrival_cv =
+      gap_stats.mean > 0.0 ? gap_stats.stddev / gap_stats.mean : 0.0;
+  return result;
+}
+
+}  // namespace streamlab

@@ -1,0 +1,53 @@
+// Aggregate (boundary) experiments — Section VI future work: "It would be
+// interesting to examine traces at an Internet boundary, such as the egress
+// to our University, or at least at several players. Such analysis might
+// reveal interactions between the media flows that our single client
+// studies did not illustrate."
+//
+// Several streaming sessions (a mix of RealPlayer and MediaPlayer clips)
+// share one path and one client host; the sniffer at the client access link
+// plays the role of the boundary monitor.
+#pragma once
+
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace streamlab {
+
+struct AggregateConfig {
+  /// Clip ids to stream concurrently (any mix of players/sets/tiers).
+  std::vector<std::string> clip_ids = {"set1/R-h", "set1/M-h", "set5/R-l", "set5/M-l"};
+  PathConfig path;
+  std::uint64_t seed = 1;
+  WmBehavior wm;
+  RmBehavior rm;
+  Duration bandwidth_window = Duration::seconds(2);
+};
+
+struct AggregateSessionSummary {
+  ClipInfo clip;
+  std::uint64_t packets = 0;
+  double mean_rate_kbps = 0.0;
+  double fragment_fraction = 0.0;
+  double frame_rate = 0.0;
+  double reception_quality = 0.0;
+};
+
+struct AggregateResult {
+  std::vector<AggregateSessionSummary> sessions;
+  /// Total inbound bandwidth at the boundary, (window start s, Kbps).
+  std::vector<std::pair<double, double>> total_bandwidth_timeline;
+  double aggregate_mean_kbps = 0.0;
+  double aggregate_peak_kbps = 0.0;
+  std::size_t total_packets = 0;
+  /// Aggregate interarrival coefficient of variation — how the mixed flows
+  /// smooth (or roughen) each other.
+  double interarrival_cv = 0.0;
+};
+
+/// Streams every configured clip concurrently over one path and analyses
+/// the combined boundary trace.
+AggregateResult run_aggregate_experiment(const AggregateConfig& config);
+
+}  // namespace streamlab

@@ -1,0 +1,143 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "dissect/dissector.hpp"
+#include "pcap/sniffer.hpp"
+#include "players/server.hpp"
+#include "trackers/tracker.hpp"
+
+namespace streamlab {
+namespace {
+
+struct SessionHandles {
+  std::unique_ptr<StreamServer> server;
+  std::unique_ptr<StreamClient> client;
+  std::unique_ptr<PlayerTracker> tracker;
+};
+
+SessionHandles make_session(Network& net, Host& server_host, const ClipInfo& clip,
+                            const ExperimentConfig& config) {
+  SessionHandles s;
+  const EncodedClip encoded = encode_clip(clip, config.seed);
+  const bool is_media = clip.player == PlayerKind::kMediaPlayer;
+  const std::uint16_t server_port = is_media ? kMediaServerPort : kRealServerPort;
+
+  if (is_media) {
+    s.server = std::make_unique<WmServer>(server_host, encoded, config.wm, server_port);
+  } else {
+    s.server = std::make_unique<RmServer>(server_host, encoded, config.rm, server_port,
+                                          config.seed ^ 0x524D);
+  }
+
+  StreamClient::Config cc;
+  cc.kind = clip.player;
+  cc.wm = config.wm;
+  cc.rm = config.rm;
+  s.client = std::make_unique<StreamClient>(
+      net.client(), s.server->clip(), Endpoint{server_host.address(), server_port}, cc);
+  s.tracker = std::make_unique<PlayerTracker>(*s.client);
+  return s;
+}
+
+ClipRunResult collect(const ClipInfo& clip, const SessionHandles& session,
+                      const std::vector<DissectedPacket>& dissected,
+                      Ipv4Address server_addr, const ExperimentConfig& config) {
+  ClipRunResult r;
+  r.clip = clip;
+  r.tracker = session.tracker->report();
+  const std::uint16_t client_port = clip.player == PlayerKind::kMediaPlayer
+                                        ? kMediaClientPort
+                                        : kRealClientPort;
+  r.flow = FlowTrace::extract(dissected, server_addr, client_port);
+  r.buffering =
+      analyze_buffering(r.flow.bandwidth_timeline(config.bandwidth_window),
+                        config.bandwidth_window);
+  r.app_packets = session.client->packets();
+  r.server_streaming_duration = session.server->streaming_duration();
+  return r;
+}
+
+void run_to_completion(Network& net, const ClipInfo& clip, const ExperimentConfig& config) {
+  const SimTime deadline =
+      net.loop().now() + clip.length + config.extra_sim_time;
+  net.loop().run_until(deadline);
+}
+
+}  // namespace
+
+ClipRunResult run_single_clip(const ClipInfo& clip, const ExperimentConfig& config) {
+  PathConfig path = config.path;
+  path.seed = config.seed;
+  Network net(path);
+  Host& server_host = net.add_server("server");
+
+  auto session = make_session(net, server_host, clip, config);
+  Sniffer::Options sniff_opts;
+  sniff_opts.snaplen = config.snaplen;
+  sniff_opts.capture_outbound = false;  // the study analyses inbound traffic
+  Sniffer sniffer(net.client(), sniff_opts);
+
+  session.client->start();
+  session.tracker->start();
+  run_to_completion(net, clip, config);
+
+  const auto dissected = dissect_trace(sniffer.trace());
+  ClipRunResult result =
+      collect(clip, session, dissected, server_host.address(), config);
+  if (config.keep_capture) result.capture = sniffer.take_trace();
+  return result;
+}
+
+PairRunResult run_clip_pair(const ClipSet& set, RateTier tier,
+                            const ExperimentConfig& config) {
+  const auto pair = set.pair(tier);
+  if (!pair) {
+    // A tier the set lacks: run whatever exists standalone; callers check
+    // tiers via the catalog first, so this is a programming error guard.
+    PairRunResult empty;
+    return empty;
+  }
+  const auto& [real_clip, media_clip] = *pair;
+
+  PathConfig path = config.path;
+  path.seed = config.seed;
+  Network net(path);
+  Host& real_host = net.add_server("real-server");
+  Host& media_host = net.add_server("media-server");
+
+  // Path characterisation before streaming, as the paper does with
+  // ping/tracert before each run.
+  PairRunResult result;
+  result.ping = run_ping(net, real_host.address(), /*count=*/10);
+  result.route = run_traceroute(net, real_host.address());
+
+  auto real_session = make_session(net, real_host, real_clip, config);
+  auto media_session = make_session(net, media_host, media_clip, config);
+
+  Sniffer::Options sniff_opts;
+  sniff_opts.snaplen = config.snaplen;
+  sniff_opts.capture_outbound = false;
+  Sniffer sniffer(net.client(), sniff_opts);
+
+  // Both players start simultaneously (Section 2.A).
+  real_session.client->start();
+  media_session.client->start();
+  real_session.tracker->start();
+  media_session.tracker->start();
+
+  const Duration longest = std::max(real_clip.length, media_clip.length);
+  net.loop().run_until(net.loop().now() + longest + config.extra_sim_time);
+
+  const auto dissected = dissect_trace(sniffer.trace());
+  result.real = collect(real_clip, real_session, dissected, real_host.address(), config);
+  result.media =
+      collect(media_clip, media_session, dissected, media_host.address(), config);
+  if (config.keep_capture) {
+    // The pair shares one capture; attach it to the Real result arbitrarily.
+    result.real.capture = sniffer.take_trace();
+  }
+  return result;
+}
+
+}  // namespace streamlab

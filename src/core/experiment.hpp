@@ -1,0 +1,62 @@
+// The experiment runner: reproduces the paper's measurement methodology for
+// one clip pair — identical content in RealPlayer and MediaPlayer formats,
+// streamed simultaneously from co-located servers over the same network
+// path to one client, with a sniffer on the client NIC and a tracker on
+// each player engine (Section 2).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/bandwidth.hpp"
+#include "analysis/flow.hpp"
+#include "media/catalog.hpp"
+#include "pcap/capture.hpp"
+#include "players/behavior.hpp"
+#include "players/client.hpp"
+#include "sim/network.hpp"
+#include "sim/tools.hpp"
+#include "trackers/report.hpp"
+
+namespace streamlab {
+
+struct ExperimentConfig {
+  PathConfig path;                       ///< topology of this server's path
+  std::uint64_t seed = 1;
+  WmBehavior wm;
+  RmBehavior rm;
+  Duration bandwidth_window = Duration::seconds(2);  ///< Fig 10/11 timeline bin
+  std::uint32_t snaplen = 96;            ///< headers-only capture (memory)
+  bool keep_capture = false;             ///< retain raw frames for pcap export
+  Duration extra_sim_time = Duration::seconds(90);   ///< run-off after clip length
+};
+
+/// Everything measured for one clip in one run.
+struct ClipRunResult {
+  ClipInfo clip;
+  TrackerReport tracker;                 ///< application-layer statistics
+  FlowTrace flow;                        ///< network-layer packet series
+  BufferingAnalysis buffering;           ///< startup burst analysis
+  std::vector<PacketEvent> app_packets;  ///< per-packet net/app timestamps (Fig 12)
+  Duration server_streaming_duration;
+  std::optional<CaptureTrace> capture;   ///< raw capture when keep_capture
+};
+
+/// A simultaneous R/M pair run plus the path characterisation around it.
+struct PairRunResult {
+  ClipRunResult real;
+  ClipRunResult media;
+  PingResult ping;
+  TracerouteResult route;
+};
+
+/// Streams one clip over a fresh network; the building block of the study.
+ClipRunResult run_single_clip(const ClipInfo& clip, const ExperimentConfig& config);
+
+/// The paper's core procedure: both formats of one clip set at one tier,
+/// streamed concurrently from two servers behind the same path.
+PairRunResult run_clip_pair(const ClipSet& set, RateTier tier,
+                            const ExperimentConfig& config);
+
+}  // namespace streamlab

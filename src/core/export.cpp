@@ -1,0 +1,105 @@
+#include "core/export.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/figures.hpp"
+#include "util/strings.hpp"
+
+namespace streamlab {
+namespace {
+
+std::string player_tag(PlayerKind player) {
+  return player == PlayerKind::kRealPlayer ? "real" : "media";
+}
+
+std::string values_csv(const char* header, const std::vector<double>& values) {
+  std::string out = std::string(header) + "\n";
+  for (const double v : values) out += fmt_double(v, 6) + "\n";
+  return out;
+}
+
+}  // namespace
+
+std::string study_results_csv(const StudyResults& study) {
+  std::string out =
+      "clip_id,player,tier,encoding_kbps,playback_kbps,frame_rate_fps,fragment_pct,"
+      "buffering_ratio,streaming_s,packets,lost,quality_pct\n";
+  for (const auto* c : study.clips()) {
+    out += c->clip.id() + "," + player_tag(c->clip.player) + "," +
+           to_string(c->clip.tier) + "," + fmt_double(c->clip.encoded_rate.to_kbps(), 1) +
+           "," + fmt_double(c->tracker.average_playback_bandwidth.to_kbps(), 1) + "," +
+           fmt_double(c->tracker.average_frame_rate, 2) + "," +
+           fmt_double(100.0 * c->flow.fragment_fraction(), 2) + "," +
+           fmt_double(c->buffering.ratio(), 3) + "," +
+           fmt_double(c->server_streaming_duration.to_seconds(), 1) + "," +
+           std::to_string(c->tracker.total_packets) + "," +
+           std::to_string(c->tracker.total_lost) + "," +
+           fmt_double(c->tracker.reception_quality(), 2) + "\n";
+  }
+  return out;
+}
+
+std::string figure_csv(const StudyResults& study, const std::string& figure) {
+  if (figure == "fig01") return values_csv("rtt_ms", figures::rtt_samples_ms(study));
+  if (figure == "fig02") return values_csv("hops", figures::hop_counts(study));
+  if (figure == "fig03") {
+    std::string out = "player,encoding_kbps,playback_kbps\n";
+    for (const auto& p : figures::playback_vs_encoding(study))
+      out += player_tag(p.player) + "," + fmt_double(p.encoding_kbps, 1) + "," +
+             fmt_double(p.playback_kbps, 1) + "\n";
+    return out;
+  }
+  if (figure == "fig05") {
+    std::string out = "player,encoded_kbps,fragment_pct\n";
+    for (const auto& p : figures::fragmentation_vs_rate(study))
+      out += player_tag(p.player) + "," + fmt_double(p.encoded_kbps, 1) + "," +
+             fmt_double(p.fragment_percent, 2) + "\n";
+    return out;
+  }
+  if (figure == "fig07") {
+    std::string out = "player,normalized_size\n";
+    for (const PlayerKind player : {PlayerKind::kRealPlayer, PlayerKind::kMediaPlayer})
+      for (const double v : figures::normalized_packet_sizes(study, player))
+        out += player_tag(player) + "," + fmt_double(v, 5) + "\n";
+    return out;
+  }
+  if (figure == "fig09") {
+    std::string out = "player,normalized_gap\n";
+    for (const PlayerKind player : {PlayerKind::kRealPlayer, PlayerKind::kMediaPlayer})
+      for (const double v : figures::normalized_interarrivals(study, player))
+        out += player_tag(player) + "," + fmt_double(v, 5) + "\n";
+    return out;
+  }
+  if (figure == "fig11") {
+    std::string out = "encoding_kbps,buffering_ratio\n";
+    for (const auto& p : figures::buffering_ratio_vs_rate(study))
+      out += fmt_double(p.encoding_kbps, 1) + "," + fmt_double(p.ratio, 3) + "\n";
+    return out;
+  }
+  if (figure == "fig14") {
+    std::string out = "player,tier,encoding_kbps,fps\n";
+    for (const auto& p : figures::framerate_vs_encoding(study))
+      out += player_tag(p.player) + "," + to_string(p.tier) + "," +
+             fmt_double(p.x, 1) + "," + fmt_double(p.fps, 2) + "\n";
+    return out;
+  }
+  return {};
+}
+
+int export_study(const StudyResults& study, const std::string& directory) {
+  std::filesystem::create_directories(directory);
+  int written = 0;
+  const auto write = [&](const std::string& name, const std::string& content) {
+    if (content.empty()) return;
+    std::ofstream out(directory + "/" + name);
+    if (out << content) ++written;
+  };
+  write("study_results.csv", study_results_csv(study));
+  for (const char* fig : {"fig01", "fig02", "fig03", "fig05", "fig07", "fig09",
+                          "fig11", "fig14"})
+    write(std::string(fig) + ".csv", figure_csv(study, fig));
+  return written;
+}
+
+}  // namespace streamlab

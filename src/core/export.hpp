@@ -1,0 +1,28 @@
+// CSV export of study results — the hand-off format for external plotting
+// tools (the paper's figures were drawn in a spreadsheet; these files
+// reproduce the series each figure plots, one file per figure).
+#pragma once
+
+#include <string>
+
+#include "core/study.hpp"
+
+namespace streamlab {
+
+/// One row per clip: the master results table.
+/// Columns: clip_id,player,tier,encoding_kbps,playback_kbps,frame_rate_fps,
+/// fragment_pct,buffering_ratio,streaming_s,packets,lost,quality_pct
+std::string study_results_csv(const StudyResults& study);
+
+/// Figure series as CSV. `figure` selects which series:
+///   "fig01" RTT samples; "fig02" hop counts; "fig03" playback-vs-encoding;
+///   "fig05" fragmentation; "fig07" normalised sizes; "fig09" normalised
+///   interarrivals; "fig11" buffering ratios; "fig14" frame rate vs encoding.
+/// Unknown names return an empty string.
+std::string figure_csv(const StudyResults& study, const std::string& figure);
+
+/// Writes every known export into `directory` (created files:
+/// study_results.csv and fig<NN>.csv). Returns the number of files written.
+int export_study(const StudyResults& study, const std::string& directory);
+
+}  // namespace streamlab

@@ -1,0 +1,188 @@
+#include "core/figures.hpp"
+
+#include <algorithm>
+
+namespace streamlab::figures {
+
+std::vector<double> rtt_samples_ms(const StudyResults& study) {
+  std::vector<double> out;
+  for (const auto& run : study.runs)
+    for (const auto rtt : run.ping.rtts) out.push_back(rtt.to_millis());
+  return out;
+}
+
+std::vector<double> hop_counts(const StudyResults& study) {
+  std::vector<double> out;
+  for (const auto& run : study.runs)
+    if (run.route.reached) out.push_back(static_cast<double>(run.route.hop_count()));
+  return out;
+}
+
+std::vector<RatePoint> playback_vs_encoding(const StudyResults& study) {
+  std::vector<RatePoint> out;
+  for (const auto* clip : study.clips()) {
+    RatePoint p;
+    p.encoding_kbps = clip->clip.encoded_rate.to_kbps();
+    p.playback_kbps = clip->tracker.average_playback_bandwidth.to_kbps();
+    p.player = clip->clip.player;
+    out.push_back(p);
+  }
+  return out;
+}
+
+PolyFit playback_trend(const StudyResults& study, PlayerKind player) {
+  std::vector<double> xs, ys;
+  for (const auto& p : playback_vs_encoding(study)) {
+    if (p.player != player) continue;
+    xs.push_back(p.encoding_kbps);
+    ys.push_back(p.playback_kbps);
+  }
+  return PolyFit::fit(xs, ys, 2);
+}
+
+std::vector<std::pair<double, std::uint32_t>> arrival_window(const ClipRunResult& run,
+                                                             Duration start,
+                                                             Duration span) {
+  std::vector<std::pair<double, std::uint32_t>> out;
+  const auto seq = run.flow.arrival_sequence();
+  if (seq.empty()) return out;
+  const double t0 = seq.front().first + start.to_seconds();
+  const double t1 = t0 + span.to_seconds();
+  std::uint32_t idx = 0;
+  for (const auto& [t, _] : seq) {
+    if (t < t0 || t >= t1) continue;
+    out.emplace_back(t - t0, idx++);
+  }
+  return out;
+}
+
+std::vector<FragmentationPoint> fragmentation_vs_rate(const StudyResults& study) {
+  std::vector<FragmentationPoint> out;
+  for (const auto* clip : study.clips()) {
+    FragmentationPoint p;
+    p.encoded_kbps = clip->clip.encoded_rate.to_kbps();
+    p.fragment_percent = 100.0 * clip->flow.fragment_fraction();
+    p.player = clip->clip.player;
+    out.push_back(p);
+  }
+  return out;
+}
+
+Histogram packet_size_pdf(const ClipRunResult& run, double bin_width) {
+  Histogram h(bin_width);
+  h.add_all(run.flow.packet_sizes());
+  return h;
+}
+
+std::vector<double> normalized_packet_sizes(const StudyResults& study, PlayerKind player) {
+  std::vector<double> out;
+  for (const auto* clip : study.clips_for(player)) {
+    const auto normalized = normalize_by_mean(clip->flow.packet_sizes());
+    out.insert(out.end(), normalized.begin(), normalized.end());
+  }
+  return out;
+}
+
+std::vector<double> clip_interarrivals(const ClipRunResult& run) {
+  // The paper's convention: for MediaPlayer flows, only the first packet of
+  // each fragment group counts (Figure 9's de-noising); RealPlayer flows
+  // never fragment, so the flag is immaterial there.
+  const bool groups_only = run.clip.player == PlayerKind::kMediaPlayer;
+  return run.flow.interarrivals(groups_only);
+}
+
+std::vector<double> normalized_interarrivals(const StudyResults& study, PlayerKind player) {
+  std::vector<double> out;
+  for (const auto* clip : study.clips_for(player)) {
+    const auto normalized = normalize_by_mean(clip_interarrivals(*clip));
+    out.insert(out.end(), normalized.begin(), normalized.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> bandwidth_timeline(const ClipRunResult& run,
+                                                          Duration window) {
+  return run.flow.bandwidth_timeline(window);
+}
+
+std::vector<BufferRatioPoint> buffering_ratio_vs_rate(const StudyResults& study) {
+  std::vector<BufferRatioPoint> out;
+  for (const auto* clip : study.clips_for(PlayerKind::kRealPlayer)) {
+    BufferRatioPoint p;
+    p.encoding_kbps = clip->clip.encoded_rate.to_kbps();
+    p.ratio = clip->buffering.ratio();
+    out.push_back(p);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.encoding_kbps < b.encoding_kbps; });
+  return out;
+}
+
+LayerSeries layer_receipt_series(const ClipRunResult& run, Duration start, Duration span) {
+  LayerSeries out;
+  if (run.app_packets.empty()) return out;
+  const double base = run.app_packets.front().network_time.to_seconds();
+  const double t0 = base + start.to_seconds();
+  const double t1 = t0 + span.to_seconds();
+  std::uint32_t net_idx = 0, app_idx = 0;
+  for (const auto& ev : run.app_packets) {
+    const double nt = ev.network_time.to_seconds();
+    const double at = ev.app_time.to_seconds();
+    if (nt >= t0 && nt < t1) out.network.emplace_back(nt - t0, net_idx++);
+    if (at >= t0 && at < t1) out.application.emplace_back(at - t0, app_idx++);
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> framerate_timeline(const ClipRunResult& run) {
+  std::vector<std::pair<double, double>> out;
+  for (const auto& s : run.tracker.samples)
+    out.emplace_back(s.time.to_seconds(), s.frame_rate_fps);
+  return out;
+}
+
+std::vector<FrameRatePoint> framerate_vs_encoding(const StudyResults& study) {
+  std::vector<FrameRatePoint> out;
+  for (const auto* clip : study.clips()) {
+    FrameRatePoint p;
+    p.x = clip->clip.encoded_rate.to_kbps();
+    p.fps = clip->tracker.average_frame_rate;
+    p.player = clip->clip.player;
+    p.tier = clip->clip.tier;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<FrameRatePoint> framerate_vs_bandwidth(const StudyResults& study) {
+  std::vector<FrameRatePoint> out;
+  for (const auto* clip : study.clips()) {
+    FrameRatePoint p;
+    p.x = clip->tracker.average_playback_bandwidth.to_kbps();
+    p.fps = clip->tracker.average_frame_rate;
+    p.player = clip->clip.player;
+    p.tier = clip->clip.tier;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<TierSummary> summarize_by_tier(const std::vector<FrameRatePoint>& points,
+                                           PlayerKind player) {
+  std::vector<TierSummary> out;
+  for (const RateTier tier : {RateTier::kLow, RateTier::kHigh, RateTier::kVeryHigh}) {
+    std::vector<double> xs, fps;
+    for (const auto& p : points) {
+      if (p.player != player || p.tier != tier) continue;
+      xs.push_back(p.x);
+      fps.push_back(p.fps);
+    }
+    if (xs.empty()) continue;
+    const auto sx = SummaryStats::from(xs);
+    const auto sf = SummaryStats::from(fps);
+    out.push_back(TierSummary{tier, sx.mean, sf.mean, sf.standard_error, xs.size()});
+  }
+  return out;
+}
+
+}  // namespace streamlab::figures

@@ -1,0 +1,113 @@
+// Figure builders: each function computes exactly the series one of the
+// paper's figures plots, from StudyResults. Bench binaries print these;
+// integration tests assert the paper's shape claims on them.
+#pragma once
+
+#include <vector>
+
+#include "analysis/histogram.hpp"
+#include "analysis/polyfit.hpp"
+#include "analysis/stats.hpp"
+#include "core/study.hpp"
+
+namespace streamlab::figures {
+
+// ---- Figure 1 / Figure 2: path characterisation -------------------------
+
+/// All ping RTT samples across runs, in milliseconds.
+std::vector<double> rtt_samples_ms(const StudyResults& study);
+/// Hop count per run (tracert result).
+std::vector<double> hop_counts(const StudyResults& study);
+
+// ---- Figure 3: playback rate vs encoding rate ----------------------------
+
+struct RatePoint {
+  double encoding_kbps = 0.0;
+  double playback_kbps = 0.0;
+  PlayerKind player = PlayerKind::kRealPlayer;
+};
+std::vector<RatePoint> playback_vs_encoding(const StudyResults& study);
+/// Second-order polynomial trend for one player, as the figure overlays.
+PolyFit playback_trend(const StudyResults& study, PlayerKind player);
+
+// ---- Figure 4: packet arrival sequence ----------------------------------
+
+/// (seconds since flow start, packet index) within [start, start+span) of
+/// the flow, re-indexed from zero.
+std::vector<std::pair<double, std::uint32_t>> arrival_window(
+    const ClipRunResult& run, Duration start, Duration span);
+
+// ---- Figure 5: MediaPlayer IP fragmentation ------------------------------
+
+struct FragmentationPoint {
+  double encoded_kbps = 0.0;
+  double fragment_percent = 0.0;
+  PlayerKind player = PlayerKind::kRealPlayer;
+};
+std::vector<FragmentationPoint> fragmentation_vs_rate(const StudyResults& study);
+
+// ---- Figures 6-9: packet size / interarrival distributions ---------------
+
+/// Wire packet-size PDF for one clip run (Figure 6 uses set 1 low).
+Histogram packet_size_pdf(const ClipRunResult& run, double bin_width = 50.0);
+/// All packet sizes of one player, normalised per-clip by the clip's mean
+/// (Figure 7).
+std::vector<double> normalized_packet_sizes(const StudyResults& study, PlayerKind player);
+/// Interarrival PDF input for one clip run, seconds (Figure 8). MediaPlayer
+/// flows automatically collapse fragment groups (first packet per group).
+std::vector<double> clip_interarrivals(const ClipRunResult& run);
+/// All interarrivals of one player, normalised per-clip by the mean
+/// (Figure 9).
+std::vector<double> normalized_interarrivals(const StudyResults& study, PlayerKind player);
+
+// ---- Figure 10: bandwidth vs time ----------------------------------------
+
+std::vector<std::pair<double, double>> bandwidth_timeline(const ClipRunResult& run,
+                                                          Duration window);
+
+// ---- Figure 11: buffering ratio vs encoding rate --------------------------
+
+struct BufferRatioPoint {
+  double encoding_kbps = 0.0;
+  double ratio = 0.0;
+};
+/// One point per RealPlayer clip (the paper notes MediaPlayer's ratio is 1).
+std::vector<BufferRatioPoint> buffering_ratio_vs_rate(const StudyResults& study);
+
+// ---- Figure 12: network vs application layer receipt ----------------------
+
+struct LayerSeries {
+  /// (seconds, cumulative packets) at the network layer.
+  std::vector<std::pair<double, std::uint32_t>> network;
+  /// (seconds, cumulative packets) at the application layer.
+  std::vector<std::pair<double, std::uint32_t>> application;
+};
+LayerSeries layer_receipt_series(const ClipRunResult& run, Duration start, Duration span);
+
+// ---- Figures 13-15: frame rate -------------------------------------------
+
+/// (seconds, fps) from the tracker samples of one run (Figure 13).
+std::vector<std::pair<double, double>> framerate_timeline(const ClipRunResult& run);
+
+struct FrameRatePoint {
+  double x = 0.0;  ///< encoding rate (Fig 14) or playout bandwidth (Fig 15), Kbps
+  double fps = 0.0;
+  PlayerKind player = PlayerKind::kRealPlayer;
+  RateTier tier = RateTier::kLow;
+};
+std::vector<FrameRatePoint> framerate_vs_encoding(const StudyResults& study);
+std::vector<FrameRatePoint> framerate_vs_bandwidth(const StudyResults& study);
+
+/// Per-tier aggregation with standard error — the error-bar lines of
+/// Figures 14-15.
+struct TierSummary {
+  RateTier tier = RateTier::kLow;
+  double mean_x = 0.0;
+  double mean_fps = 0.0;
+  double stderr_fps = 0.0;
+  std::size_t count = 0;
+};
+std::vector<TierSummary> summarize_by_tier(const std::vector<FrameRatePoint>& points,
+                                           PlayerKind player);
+
+}  // namespace streamlab::figures

@@ -1,0 +1,102 @@
+#include "core/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace streamlab::render {
+
+std::string table(const std::vector<std::string>& columns,
+                  const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(columns.size(), 0);
+  for (std::size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out += pad_right(c < row.size() ? row[c] : "", widths[c]);
+      out += c + 1 < widths.size() ? "  " : "";
+    }
+    out += '\n';
+  };
+  emit_row(columns);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c], '-');
+    if (c + 1 < widths.size()) rule += "  ";
+  }
+  out += rule + '\n';
+  for (const auto& row : rows) emit_row(row);
+  return out;
+}
+
+std::string xy_plot(const std::vector<Series>& series, int width, int height) {
+  double min_x = 0, max_x = 1, min_y = 0, max_y = 1;
+  bool any = false;
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      if (!any) {
+        min_x = max_x = x;
+        min_y = max_y = y;
+        any = true;
+      }
+      min_x = std::min(min_x, x);
+      max_x = std::max(max_x, x);
+      min_y = std::min(min_y, y);
+      max_y = std::max(max_y, y);
+    }
+  }
+  if (!any) return "(no data)\n";
+  if (max_x == min_x) max_x = min_x + 1;
+  if (max_y == min_y) max_y = min_y + 1;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      const int col = static_cast<int>((x - min_x) / (max_x - min_x) * (width - 1) + 0.5);
+      const int row = static_cast<int>((y - min_y) / (max_y - min_y) * (height - 1) + 0.5);
+      auto& cell = grid[static_cast<std::size_t>(height - 1 - row)]
+                       [static_cast<std::size_t>(col)];
+      cell = cell == ' ' || cell == s.glyph ? s.glyph : '+';  // '+' marks overlap
+    }
+  }
+
+  std::string out;
+  for (const auto& line : grid) out += "|" + line + "\n";
+  out += "+" + std::string(static_cast<std::size_t>(width), '-') + "\n";
+  out += " x: [" + fmt_double(min_x, 2) + ", " + fmt_double(max_x, 2) + "]  y: [" +
+         fmt_double(min_y, 2) + ", " + fmt_double(max_y, 2) + "]\n";
+  for (const auto& s : series)
+    out += " " + std::string(1, s.glyph) + " = " + s.name + "\n";
+  return out;
+}
+
+std::string pdf_listing(const streamlab::Histogram& histogram, const std::string& x_label) {
+  std::string out = pad_right(x_label, 14) + pad_right("prob", 8) + "\n";
+  double max_p = 0.0;
+  for (const auto& b : histogram.bins()) max_p = std::max(max_p, b.probability);
+  if (max_p == 0.0) return out + "(no data)\n";
+  for (const auto& b : histogram.bins()) {
+    if (b.count == 0) continue;
+    out += pad_right(fmt_double(b.center, 1), 14) + pad_right(fmt_double(b.probability, 4), 8) +
+           ascii_bar(b.probability / max_p, 40) + "\n";
+  }
+  return out;
+}
+
+std::string cdf_listing(const std::vector<double>& values, const std::string& x_label,
+                        int points) {
+  std::string out = pad_right(x_label, 14) + pad_right("cdf", 8) + "\n";
+  for (const auto& [x, p] : cdf_at_quantiles(values, points)) {
+    out += pad_right(fmt_double(x, 2), 14) + pad_right(fmt_double(p, 2), 8) +
+           ascii_bar(p, 40) + "\n";
+  }
+  return out;
+}
+
+}  // namespace streamlab::render

@@ -1,0 +1,34 @@
+// ASCII rendering for bench output: tables, XY scatter plots, CDF/PDF
+// listings. The benches print the same rows/series the paper plots plus a
+// terminal-friendly sketch of each figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/histogram.hpp"
+
+namespace streamlab::render {
+
+/// Monospace table with a header row.
+std::string table(const std::vector<std::string>& columns,
+                  const std::vector<std::vector<std::string>>& rows);
+
+/// A named series of (x, y) points for plotting.
+struct Series {
+  std::string name;
+  char glyph = '*';
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Character-grid scatter plot with axes and ranges printed below.
+std::string xy_plot(const std::vector<Series>& series, int width = 72, int height = 20);
+
+/// Histogram bins as "center  probability  bar" lines.
+std::string pdf_listing(const streamlab::Histogram& histogram, const std::string& x_label);
+
+/// CDF as "x  p  bar" lines at fixed quantile steps.
+std::string cdf_listing(const std::vector<double>& values, const std::string& x_label,
+                        int points = 11);
+
+}  // namespace streamlab::render

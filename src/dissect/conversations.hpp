@@ -1,0 +1,72 @@
+// Conversation (flow) accounting — Ethereal's "Conversations" view: groups a
+// dissected capture into transport-level flows and accumulates per-flow
+// statistics. This is the tool the study uses to verify that both players'
+// traffic really came from co-located servers and to separate concurrent
+// sessions in one capture.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "dissect/dissector.hpp"
+
+namespace streamlab {
+
+/// A transport-level conversation key (unidirectional flows are merged:
+/// the smaller endpoint sorts first).
+struct ConversationKey {
+  std::uint32_t addr_a = 0;
+  std::uint32_t addr_b = 0;
+  std::uint16_t port_a = 0;
+  std::uint16_t port_b = 0;
+  std::uint8_t protocol = 0;
+
+  auto operator<=>(const ConversationKey&) const = default;
+};
+
+struct ConversationStats {
+  ConversationKey key;
+  std::uint64_t packets_a_to_b = 0;
+  std::uint64_t packets_b_to_a = 0;
+  std::uint64_t bytes_a_to_b = 0;
+  std::uint64_t bytes_b_to_a = 0;
+  std::uint64_t fragments = 0;  ///< trailing IP fragments attributed here
+  SimTime first_seen;
+  SimTime last_seen;
+
+  std::uint64_t total_packets() const { return packets_a_to_b + packets_b_to_a; }
+  std::uint64_t total_bytes() const { return bytes_a_to_b + bytes_b_to_a; }
+  Duration duration() const { return last_seen - first_seen; }
+  double mean_rate_kbps() const {
+    const double secs = duration().to_seconds();
+    return secs <= 0.0 ? 0.0 : static_cast<double>(total_bytes()) * 8.0 / secs / 1000.0;
+  }
+  /// "10.0.0.2:7000 <-> 192.168.100.10:1755 (udp)"
+  std::string label() const;
+};
+
+/// Builds the conversation table from a dissected capture. Trailing IP
+/// fragments carry no ports; they are attributed to the most recent
+/// conversation with the same address pair and protocol (the datagram they
+/// continue), matching how Ethereal reassembles conversations.
+class ConversationTable {
+ public:
+  void add(const DissectedPacket& packet);
+  void add_all(const std::vector<DissectedPacket>& packets);
+
+  /// Conversations sorted by total bytes, descending.
+  std::vector<ConversationStats> by_bytes() const;
+  std::size_t size() const { return table_.size(); }
+  std::uint64_t unattributed_packets() const { return unattributed_; }
+
+ private:
+  std::map<ConversationKey, ConversationStats> table_;
+  // addr-pair+proto -> last conversation key, for fragment attribution.
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint8_t>, ConversationKey>
+      last_flow_;
+  std::uint64_t unattributed_ = 0;
+};
+
+}  // namespace streamlab

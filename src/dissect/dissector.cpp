@@ -1,0 +1,142 @@
+#include "dissect/dissector.hpp"
+
+#include <algorithm>
+
+#include "net/headers.hpp"
+#include "util/strings.hpp"
+
+namespace streamlab {
+
+std::optional<FieldValue> DissectedPacket::field(const std::string& name) const {
+  auto it = fields_.find(name);
+  if (it == fields_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool DissectedPacket::has_layer(const std::string& proto) const {
+  return std::find(layers_.begin(), layers_.end(), proto) != layers_.end();
+}
+
+std::string DissectedPacket::summary() const {
+  std::string out = fmt_double(timestamp.to_seconds(), 6) + "s";
+  auto src = field("ip.src");
+  auto dst = field("ip.dst");
+  if (src && dst) out += " IP " + src->display + " > " + dst->display;
+  if (has_layer("udp")) {
+    out += " UDP " + field("udp.srcport")->display + "->" + field("udp.dstport")->display;
+  } else if (has_layer("tcp")) {
+    out += " TCP " + field("tcp.srcport")->display + "->" + field("tcp.dstport")->display;
+  } else if (has_layer("icmp")) {
+    out += " ICMP type=" + field("icmp.type")->display;
+  }
+  if (auto off = field("ip.frag_offset"); off && off->number > 0)
+    out += " frag@" + off->display;
+  out += " len=" + std::to_string(frame_length);
+  return out;
+}
+
+DissectedPacket dissect(const CaptureRecord& record) {
+  DissectedPacket pkt;
+  pkt.timestamp = record.timestamp;
+  pkt.frame_length = record.original_length;
+  pkt.set("frame.len", FieldValue::of(static_cast<std::int64_t>(record.original_length)));
+  pkt.set("frame.cap_len", FieldValue::of(static_cast<std::int64_t>(record.data.size())));
+  pkt.set("frame.time_ns", FieldValue::of(record.timestamp.ns()));
+
+  ByteReader r(record.data);
+  auto eth = EthernetHeader::decode(r);
+  if (!eth) {
+    pkt.add_layer("_malformed");
+    return pkt;
+  }
+  pkt.add_layer("eth");
+  pkt.set("eth.src", FieldValue::of(0, eth->src.to_string()));
+  pkt.set("eth.dst", FieldValue::of(0, eth->dst.to_string()));
+  pkt.set("eth.type", FieldValue::of(eth->ethertype));
+  if (eth->ethertype != kEtherTypeIpv4) return pkt;
+
+  auto ip = Ipv4Header::decode(r);
+  if (!ip) {
+    pkt.add_layer("_malformed");
+    return pkt;
+  }
+  pkt.add_layer("ip");
+  pkt.set("ip.len", FieldValue::of(ip->total_length));
+  pkt.set("ip.id", FieldValue::of(ip->identification));
+  pkt.set("ip.flags.df", FieldValue::of(ip->dont_fragment ? 1 : 0));
+  pkt.set("ip.flags.mf", FieldValue::of(ip->more_fragments ? 1 : 0));
+  pkt.set("ip.frag_offset", FieldValue::of(static_cast<std::int64_t>(ip->fragment_offset_bytes())));
+  pkt.set("ip.fragment", FieldValue::of(ip->is_fragment() ? 1 : 0));
+  pkt.set("ip.ttl", FieldValue::of(ip->ttl));
+  pkt.set("ip.proto", FieldValue::of(ip->protocol));
+  pkt.set("ip.src", FieldValue::of(ip->src.value(), ip->src.to_string()));
+  pkt.set("ip.dst", FieldValue::of(ip->dst.value(), ip->dst.to_string()));
+
+  if (ip->is_trailing_fragment()) {
+    // Trailing fragments carry no transport header; data bytes only.
+    pkt.set("ip.payload_len", FieldValue::of(static_cast<std::int64_t>(ip->payload_length())));
+    return pkt;
+  }
+
+  const std::size_t ip_payload = std::min<std::size_t>(ip->payload_length(), r.remaining());
+  ByteReader tr(r.bytes(ip_payload));
+
+  switch (ip->protocol) {
+    case kIpProtoUdp: {
+      auto udp = UdpHeader::decode(tr);
+      if (!udp) {
+        pkt.add_layer("_malformed");
+        return pkt;
+      }
+      pkt.add_layer("udp");
+      pkt.set("udp.srcport", FieldValue::of(udp->src_port));
+      pkt.set("udp.dstport", FieldValue::of(udp->dst_port));
+      pkt.set("udp.length", FieldValue::of(udp->length));
+      pkt.set("udp.checksum", FieldValue::of(udp->checksum));
+      break;
+    }
+    case kIpProtoTcp: {
+      auto tcp = TcpHeader::decode(tr);
+      if (!tcp) {
+        pkt.add_layer("_malformed");
+        return pkt;
+      }
+      pkt.add_layer("tcp");
+      pkt.set("tcp.srcport", FieldValue::of(tcp->src_port));
+      pkt.set("tcp.dstport", FieldValue::of(tcp->dst_port));
+      pkt.set("tcp.seq", FieldValue::of(tcp->seq));
+      pkt.set("tcp.ack", FieldValue::of(tcp->ack));
+      pkt.set("tcp.flags.syn", FieldValue::of(tcp->flag_syn ? 1 : 0));
+      pkt.set("tcp.flags.ack", FieldValue::of(tcp->flag_ack ? 1 : 0));
+      pkt.set("tcp.flags.fin", FieldValue::of(tcp->flag_fin ? 1 : 0));
+      pkt.set("tcp.flags.rst", FieldValue::of(tcp->flag_rst ? 1 : 0));
+      pkt.set("tcp.window", FieldValue::of(tcp->window));
+      break;
+    }
+    case kIpProtoIcmp: {
+      auto icmp = IcmpHeader::decode(tr);
+      if (!icmp) {
+        pkt.add_layer("_malformed");
+        return pkt;
+      }
+      pkt.add_layer("icmp");
+      pkt.set("icmp.type", FieldValue::of(static_cast<std::int64_t>(icmp->type)));
+      pkt.set("icmp.code", FieldValue::of(icmp->code));
+      pkt.set("icmp.ident", FieldValue::of(icmp->identifier));
+      pkt.set("icmp.seq", FieldValue::of(icmp->sequence));
+      break;
+    }
+    default:
+      break;
+  }
+  return pkt;
+}
+
+std::vector<DissectedPacket> dissect_trace(const CaptureTrace& trace) {
+  std::vector<DissectedPacket> out;
+  out.reserve(trace.size());
+  for (const auto& rec : trace.records()) out.push_back(dissect(rec));
+  return out;
+}
+
+}  // namespace streamlab

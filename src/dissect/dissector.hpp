@@ -1,0 +1,60 @@
+// Protocol dissection: turns a captured frame into a flat tree of named
+// fields ("ip.frag_offset", "udp.dstport", ...) in the style of Ethereal /
+// Wireshark, which is what the display-filter language evaluates against.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pcap/capture.hpp"
+
+namespace streamlab {
+
+/// A dissected field value. Every value is stored numerically (addresses as
+/// their 32-bit integer, booleans as 0/1) together with a display string, so
+/// filter comparisons are uniform.
+struct FieldValue {
+  std::int64_t number = 0;
+  std::string display;
+
+  static FieldValue of(std::int64_t n) { return {n, std::to_string(n)}; }
+  static FieldValue of(std::int64_t n, std::string text) { return {n, std::move(text)}; }
+};
+
+/// The result of dissecting one frame.
+class DissectedPacket {
+ public:
+  SimTime timestamp;
+  std::size_t frame_length = 0;
+
+  void set(std::string name, FieldValue value) { fields_[std::move(name)] = std::move(value); }
+  void add_layer(std::string proto) { layers_.push_back(std::move(proto)); }
+
+  /// Field lookup; nullopt when the field is absent from this packet.
+  std::optional<FieldValue> field(const std::string& name) const;
+  /// True when the protocol layer (e.g. "udp") is present.
+  bool has_layer(const std::string& proto) const;
+
+  const std::map<std::string, FieldValue>& fields() const { return fields_; }
+  const std::vector<std::string>& layers() const { return layers_; }
+
+  /// One-line summary ("12.345s IP 10.0.0.2 > 192.168.100.10 UDP 5005->4321 len=980").
+  std::string summary() const;
+
+ private:
+  std::map<std::string, FieldValue> fields_;
+  std::vector<std::string> layers_;
+};
+
+/// Dissects a single captured frame. Malformed frames yield a packet with
+/// whatever layers parsed plus a "_malformed" marker layer, rather than an
+/// error — a sniffer must not lose records to bad checksums.
+DissectedPacket dissect(const CaptureRecord& record);
+
+/// Dissects a whole trace.
+std::vector<DissectedPacket> dissect_trace(const CaptureTrace& trace);
+
+}  // namespace streamlab

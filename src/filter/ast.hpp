@@ -1,0 +1,45 @@
+// AST for display-filter expressions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace streamlab::filter {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicOp { kAnd, kOr };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Operand of a comparison: a field reference or a literal number/address.
+struct Operand {
+  enum class Kind { kField, kLiteral } kind = Kind::kLiteral;
+  std::string field;         // for kField
+  std::int64_t literal = 0;  // for kLiteral
+  std::string spelling;      // original text, for diagnostics / printing
+};
+
+struct Expr {
+  enum class Kind {
+    kPresence,  // bare field/protocol name: true when present
+    kCompare,   // lhs op rhs
+    kLogic,     // lhs && rhs / lhs || rhs
+    kNot,
+  } kind = Kind::kPresence;
+
+  // kPresence
+  std::string field;
+  // kCompare
+  Operand lhs, rhs;
+  CompareOp cmp = CompareOp::kEq;
+  // kLogic / kNot
+  LogicOp logic = LogicOp::kAnd;
+  ExprPtr left, right;  // kNot uses left only
+
+  /// Canonical textual rendering (stable across parse -> print -> parse).
+  std::string to_string() const;
+};
+
+}  // namespace streamlab::filter

@@ -1,0 +1,87 @@
+#include "filter/evaluator.hpp"
+
+#include "filter/parser.hpp"
+
+namespace streamlab::filter {
+namespace {
+
+/// `udp.port` / `tcp.port` match either direction, like Wireshark.
+/// Returns the list of concrete field names an abstract name expands to.
+std::vector<std::string> expand_field(const std::string& name) {
+  if (name == "udp.port") return {"udp.srcport", "udp.dstport"};
+  if (name == "tcp.port") return {"tcp.srcport", "tcp.dstport"};
+  if (name == "ip.addr") return {"ip.src", "ip.dst"};
+  return {name};
+}
+
+bool apply_compare(CompareOp op, std::int64_t a, std::int64_t b) {
+  switch (op) {
+    case CompareOp::kEq: return a == b;
+    case CompareOp::kNe: return a != b;
+    case CompareOp::kLt: return a < b;
+    case CompareOp::kLe: return a <= b;
+    case CompareOp::kGt: return a > b;
+    case CompareOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+/// Resolves an operand against a packet. Field operands may expand to
+/// several candidate values (udp.port); missing fields yield an empty set.
+std::vector<std::int64_t> resolve(const Operand& op, const DissectedPacket& pkt) {
+  if (op.kind == Operand::Kind::kLiteral) return {op.literal};
+  std::vector<std::int64_t> values;
+  for (const auto& name : expand_field(op.field)) {
+    if (auto v = pkt.field(name)) values.push_back(v->number);
+  }
+  return values;
+}
+
+bool eval(const Expr& e, const DissectedPacket& pkt) {
+  switch (e.kind) {
+    case Expr::Kind::kPresence: {
+      if (pkt.has_layer(e.field)) return true;
+      for (const auto& name : expand_field(e.field))
+        if (pkt.field(name)) return true;
+      return false;
+    }
+    case Expr::Kind::kCompare: {
+      // Wireshark semantics: a comparison on a multi-valued field is true
+      // when ANY combination satisfies it; false when a field is absent.
+      const auto lhs = resolve(e.lhs, pkt);
+      const auto rhs = resolve(e.rhs, pkt);
+      for (const auto a : lhs)
+        for (const auto b : rhs)
+          if (apply_compare(e.cmp, a, b)) return true;
+      return false;
+    }
+    case Expr::Kind::kLogic:
+      if (e.logic == LogicOp::kAnd) return eval(*e.left, pkt) && eval(*e.right, pkt);
+      return eval(*e.left, pkt) || eval(*e.right, pkt);
+    case Expr::Kind::kNot:
+      return !eval(*e.left, pkt);
+  }
+  return false;
+}
+
+}  // namespace
+
+Expected<DisplayFilter> DisplayFilter::compile(std::string_view expression) {
+  auto ast = parse(expression);
+  if (!ast) return Unexpected(ast.error());
+  return DisplayFilter(std::string(expression), std::move(*ast));
+}
+
+bool DisplayFilter::matches(const DissectedPacket& packet) const {
+  return root_ && eval(*root_, packet);
+}
+
+std::vector<const DissectedPacket*> DisplayFilter::select(
+    const std::vector<DissectedPacket>& packets) const {
+  std::vector<const DissectedPacket*> out;
+  for (const auto& p : packets)
+    if (matches(p)) out.push_back(&p);
+  return out;
+}
+
+}  // namespace streamlab::filter

@@ -1,0 +1,48 @@
+// Tokenizer for the display-filter language (an Ethereal/Wireshark-style
+// expression grammar):
+//
+//   expr    := or
+//   or      := and (("||" | "or") and)*
+//   and     := not (("&&" | "and") not)*
+//   not     := ("!" | "not") not | primary
+//   primary := "(" expr ")" | field op value | field
+//   op      := == | != | < | <= | > | >=
+//   value   := number | hex number | ipv4 literal | field
+//
+// Examples the study uses: `ip.fragment == 1`, `udp.dstport == 5005 &&
+// frame.len > 1000`, `icmp.type == 11 or icmp.type == 0`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/expected.hpp"
+
+namespace streamlab::filter {
+
+enum class TokenKind {
+  kIdentifier,  // field names: dotted lowercase words
+  kNumber,      // decimal or 0x hex
+  kIpv4,        // a.b.c.d literal
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr, kNot,
+  kLParen, kRParen,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;          // identifier / literal spelling
+  std::int64_t number = 0;   // value for kNumber / kIpv4
+  std::size_t position = 0;  // offset in the source, for error messages
+};
+
+/// Tokenizes the input; returns a descriptive error (with position) for any
+/// character that cannot start a token.
+Expected<std::vector<Token>> tokenize(std::string_view input);
+
+/// Human-readable token kind (for parser error messages).
+std::string to_string(TokenKind kind);
+
+}  // namespace streamlab::filter

@@ -1,0 +1,191 @@
+#include "filter/parser.hpp"
+
+#include <optional>
+
+#include "filter/lexer.hpp"
+
+namespace streamlab::filter {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Expected<ExprPtr> run() {
+    auto expr = parse_or();
+    if (!expr) return expr;
+    if (peek().kind != TokenKind::kEnd)
+      return Unexpected("unexpected " + to_string(peek().kind) + " at offset " +
+                        std::to_string(peek().position));
+    return expr;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  Token advance() { return tokens_[pos_++]; }
+  bool match(TokenKind kind) {
+    if (peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  Expected<ExprPtr> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs) return lhs;
+    while (match(TokenKind::kOr)) {
+      auto rhs = parse_and();
+      if (!rhs) return rhs;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kLogic;
+      node->logic = LogicOp::kOr;
+      node->left = std::move(*lhs);
+      node->right = std::move(*rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Expected<ExprPtr> parse_and() {
+    auto lhs = parse_not();
+    if (!lhs) return lhs;
+    while (match(TokenKind::kAnd)) {
+      auto rhs = parse_not();
+      if (!rhs) return rhs;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kLogic;
+      node->logic = LogicOp::kAnd;
+      node->left = std::move(*lhs);
+      node->right = std::move(*rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Expected<ExprPtr> parse_not() {
+    if (match(TokenKind::kNot)) {
+      auto inner = parse_not();
+      if (!inner) return inner;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kNot;
+      node->left = std::move(*inner);
+      return Expected<ExprPtr>(std::move(node));
+    }
+    return parse_primary();
+  }
+
+  static std::optional<CompareOp> as_compare(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kEq: return CompareOp::kEq;
+      case TokenKind::kNe: return CompareOp::kNe;
+      case TokenKind::kLt: return CompareOp::kLt;
+      case TokenKind::kLe: return CompareOp::kLe;
+      case TokenKind::kGt: return CompareOp::kGt;
+      case TokenKind::kGe: return CompareOp::kGe;
+      default: return std::nullopt;
+    }
+  }
+
+  Expected<Operand> parse_operand() {
+    const Token tok = advance();
+    Operand op;
+    op.spelling = tok.text;
+    switch (tok.kind) {
+      case TokenKind::kIdentifier:
+        op.kind = Operand::Kind::kField;
+        op.field = tok.text;
+        return op;
+      case TokenKind::kNumber:
+      case TokenKind::kIpv4:
+        op.kind = Operand::Kind::kLiteral;
+        op.literal = tok.number;
+        return op;
+      default:
+        return Unexpected("expected field or literal, got " + to_string(tok.kind) +
+                          " at offset " + std::to_string(tok.position));
+    }
+  }
+
+  Expected<ExprPtr> parse_primary() {
+    if (match(TokenKind::kLParen)) {
+      auto inner = parse_or();
+      if (!inner) return inner;
+      if (!match(TokenKind::kRParen))
+        return Unexpected("expected ')' at offset " + std::to_string(peek().position));
+      return inner;
+    }
+
+    if (peek().kind != TokenKind::kIdentifier && peek().kind != TokenKind::kNumber &&
+        peek().kind != TokenKind::kIpv4) {
+      return Unexpected("expected expression, got " + to_string(peek().kind) +
+                        " at offset " + std::to_string(peek().position));
+    }
+
+    auto lhs = parse_operand();
+    if (!lhs) return Unexpected(lhs.error());
+
+    if (auto cmp = as_compare(peek().kind)) {
+      advance();
+      auto rhs = parse_operand();
+      if (!rhs) return Unexpected(rhs.error());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kCompare;
+      node->lhs = std::move(*lhs);
+      node->rhs = std::move(*rhs);
+      node->cmp = *cmp;
+      return Expected<ExprPtr>(std::move(node));
+    }
+
+    if (lhs->kind != Operand::Kind::kField)
+      return Unexpected("literal '" + lhs->spelling + "' cannot stand alone");
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kPresence;
+    node->field = lhs->field;
+    return Expected<ExprPtr>(std::move(node));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+std::string compare_to_string(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "==";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string operand_to_string(const Operand& op) {
+  if (op.kind == Operand::Kind::kField) return op.field;
+  return op.spelling.empty() ? std::to_string(op.literal) : op.spelling;
+}
+
+}  // namespace
+
+Expected<ExprPtr> parse(std::string_view input) {
+  auto tokens = tokenize(input);
+  if (!tokens) return Unexpected(tokens.error());
+  return Parser(std::move(*tokens)).run();
+}
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case Kind::kPresence:
+      return field;
+    case Kind::kCompare:
+      return operand_to_string(lhs) + " " + compare_to_string(cmp) + " " +
+             operand_to_string(rhs);
+    case Kind::kLogic:
+      return "(" + left->to_string() + (logic == LogicOp::kAnd ? " && " : " || ") +
+             right->to_string() + ")";
+    case Kind::kNot:
+      return "!(" + left->to_string() + ")";
+  }
+  return "?";
+}
+
+}  // namespace streamlab::filter

@@ -1,0 +1,12 @@
+// Recursive-descent parser producing a filter AST.
+#pragma once
+
+#include "filter/ast.hpp"
+#include "util/expected.hpp"
+
+namespace streamlab::filter {
+
+/// Parses a display-filter expression. Errors carry the offending position.
+Expected<ExprPtr> parse(std::string_view input);
+
+}  // namespace streamlab::filter

@@ -1,0 +1,101 @@
+#include "media/encoder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace streamlab {
+
+double nominal_frame_rate(PlayerKind player, BitRate rate) {
+  const double r = rate.to_kbps();
+  double fps = 0.0;
+  if (player == PlayerKind::kMediaPlayer) {
+    // 13 fps at 39 Kbps rising to ~25 fps by 250 Kbps (Figures 13-14).
+    fps = 13.0 + 12.0 * std::log10(std::max(r, 1.0) / 39.0);
+  } else {
+    // RealPlayer holds a higher floor at low rates (Figure 13).
+    fps = 19.0 + 6.0 * std::log10(std::max(r, 1.0) / 22.0);
+  }
+  return std::clamp(fps, 5.0, 30.0);
+}
+
+EncodedClip::EncodedClip(ClipInfo info, double fps, std::vector<EncodedFrame> frames)
+    : info_(info), fps_(fps), frames_(std::move(frames)) {
+  std::uint64_t offset = 0;
+  for (auto& f : frames_) {
+    f.byte_offset = offset;
+    offset += f.bytes;
+  }
+  total_bytes_ = offset;
+}
+
+std::size_t EncodedClip::frames_complete_at(std::uint64_t byte_limit) const {
+  // Frames are contiguous and ordered; binary search the first frame whose
+  // end exceeds the limit.
+  std::size_t lo = 0, hi = frames_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    const auto& f = frames_[mid];
+    if (f.byte_offset + f.bytes <= byte_limit)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+EncodedClip encode_clip(const ClipInfo& info, std::uint64_t seed) {
+  Rng rng(seed ^ (static_cast<std::uint64_t>(info.data_set) << 32) ^
+          static_cast<std::uint64_t>(info.encoded_rate.bits_per_second()));
+
+  const double fps = nominal_frame_rate(info.player, info.encoded_rate);
+  const auto frame_count =
+      static_cast<std::size_t>(info.length.to_seconds() * fps);
+  assert(frame_count > 0);
+
+  const double total_budget = static_cast<double>(info.media_bytes());
+  const double mean_frame = total_budget / static_cast<double>(frame_count);
+
+  // Keyframe every ~4 s; keyframes carry ~3x the P-frame payload.
+  const auto gop = std::max<std::size_t>(2, static_cast<std::size_t>(fps * 4.0));
+  const double g = static_cast<double>(gop);
+  const double p_frame_mean = mean_frame * g / (g + 2.0);
+  const double i_frame_mean = 3.0 * p_frame_mean;
+  // MediaPlayer's rate control is tight (near-CBR); RealPlayer's is loose.
+  const double cv = info.player == PlayerKind::kMediaPlayer ? 0.08 : 0.30;
+
+  std::vector<EncodedFrame> frames;
+  frames.reserve(frame_count);
+  double produced = 0.0;
+  for (std::size_t i = 0; i < frame_count; ++i) {
+    EncodedFrame f;
+    f.index = static_cast<std::uint32_t>(i);
+    f.pts = Duration::from_seconds(static_cast<double>(i) / fps);
+    f.keyframe = (i % gop) == 0;
+    const double mean = f.keyframe ? i_frame_mean : p_frame_mean;
+    const double size = std::max(40.0, rng.lognormal_mean_cv(mean, cv));
+    f.bytes = static_cast<std::uint32_t>(size + 0.5);
+    produced += f.bytes;
+    frames.push_back(f);
+  }
+
+  // Normalize so the byte total matches the encoded rate exactly — the
+  // trackers re-measure the encoded rate from this total (Table 1 column).
+  const double scale = total_budget / produced;
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i + 1 == frames.size()) {
+      const auto target = static_cast<std::uint64_t>(total_budget);
+      frames[i].bytes = static_cast<std::uint32_t>(
+          target > running ? target - running : 40);
+    } else {
+      frames[i].bytes = static_cast<std::uint32_t>(
+          std::max(40.0, static_cast<double>(frames[i].bytes) * scale));
+    }
+    running += frames[i].bytes;
+  }
+
+  return EncodedClip(info, fps, std::move(frames));
+}
+
+}  // namespace streamlab

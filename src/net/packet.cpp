@@ -1,0 +1,130 @@
+#include "net/packet.hpp"
+
+namespace streamlab {
+
+Ipv4Packet make_udp_packet(Endpoint src, Endpoint dst, std::span<const std::uint8_t> payload,
+                           std::uint16_t ip_id, std::uint8_t ttl) {
+  Ipv4Packet pkt;
+  pkt.header.protocol = kIpProtoUdp;
+  pkt.header.identification = ip_id;
+  pkt.header.ttl = ttl;
+  pkt.header.src = src.ip;
+  pkt.header.dst = dst.ip;
+
+  UdpHeader udp;
+  udp.src_port = src.port;
+  udp.dst_port = dst.port;
+  udp.length = static_cast<std::uint16_t>(kUdpHeaderSize + payload.size());
+
+  ByteWriter w(kUdpHeaderSize + payload.size());
+  udp.encode(w, src.ip, dst.ip, payload);
+  w.bytes(payload);
+  pkt.payload = w.take();
+  pkt.header.total_length = static_cast<std::uint16_t>(pkt.total_length());
+  return pkt;
+}
+
+Ipv4Packet make_tcp_packet(Endpoint src, Endpoint dst, const TcpHeader& tcp,
+                           std::span<const std::uint8_t> payload, std::uint16_t ip_id,
+                           std::uint8_t ttl) {
+  Ipv4Packet pkt;
+  pkt.header.protocol = kIpProtoTcp;
+  pkt.header.identification = ip_id;
+  pkt.header.ttl = ttl;
+  pkt.header.src = src.ip;
+  pkt.header.dst = dst.ip;
+  pkt.header.dont_fragment = true;  // TCP segments honour path MTU
+
+  TcpHeader seg = tcp;
+  seg.src_port = src.port;
+  seg.dst_port = dst.port;
+
+  ByteWriter w(kTcpHeaderSize + payload.size());
+  seg.encode(w, src.ip, dst.ip, payload);
+  w.bytes(payload);
+  pkt.payload = w.take();
+  pkt.header.total_length = static_cast<std::uint16_t>(pkt.total_length());
+  return pkt;
+}
+
+Ipv4Packet make_icmp_packet(Ipv4Address src, Ipv4Address dst, const IcmpHeader& icmp,
+                            std::span<const std::uint8_t> payload, std::uint16_t ip_id,
+                            std::uint8_t ttl) {
+  Ipv4Packet pkt;
+  pkt.header.protocol = kIpProtoIcmp;
+  pkt.header.identification = ip_id;
+  pkt.header.ttl = ttl;
+  pkt.header.src = src;
+  pkt.header.dst = dst;
+
+  ByteWriter w(kIcmpHeaderSize + payload.size());
+  icmp.encode(w, payload);
+  w.bytes(payload);
+  pkt.payload = w.take();
+  pkt.header.total_length = static_cast<std::uint16_t>(pkt.total_length());
+  return pkt;
+}
+
+Frame frame_ipv4(MacAddress src_mac, MacAddress dst_mac, const Ipv4Packet& packet) {
+  ByteWriter w(kEthernetHeaderSize + packet.total_length());
+  EthernetHeader eth;
+  eth.src = src_mac;
+  eth.dst = dst_mac;
+  eth.encode(w);
+  packet.header.encode(w);
+  w.bytes(packet.payload);
+  return Frame(w.take());
+}
+
+Expected<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  ParsedFrame out;
+
+  auto eth = EthernetHeader::decode(r);
+  if (!eth) return Unexpected(eth.error());
+  out.eth = *eth;
+  if (out.eth.ethertype != kEtherTypeIpv4)
+    return Unexpected(std::string("not an IPv4 frame"));
+
+  auto ip = Ipv4Header::decode(r);
+  if (!ip) return Unexpected(ip.error());
+  out.ip = *ip;
+  if (out.ip.payload_length() > r.remaining())
+    return Unexpected(std::string("IPv4 total length exceeds frame"));
+  auto ip_payload = r.bytes(out.ip.payload_length());
+
+  if (out.ip.is_trailing_fragment()) {
+    // No transport header: this is a middle/last slice of a larger datagram.
+    out.payload.assign(ip_payload.begin(), ip_payload.end());
+    return out;
+  }
+
+  ByteReader tr(ip_payload);
+  switch (out.ip.protocol) {
+    case kIpProtoUdp: {
+      auto udp = UdpHeader::decode(tr);
+      if (!udp) return Unexpected(udp.error());
+      out.udp = *udp;
+      break;
+    }
+    case kIpProtoTcp: {
+      auto tcp = TcpHeader::decode(tr);
+      if (!tcp) return Unexpected(tcp.error());
+      out.tcp = *tcp;
+      break;
+    }
+    case kIpProtoIcmp: {
+      auto icmp = IcmpHeader::decode(tr);
+      if (!icmp) return Unexpected(icmp.error());
+      out.icmp = *icmp;
+      break;
+    }
+    default:
+      break;  // unknown transport: expose raw payload
+  }
+  auto rest = tr.bytes(tr.remaining());
+  out.payload.assign(rest.begin(), rest.end());
+  return out;
+}
+
+}  // namespace streamlab

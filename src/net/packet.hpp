@@ -1,0 +1,77 @@
+// Wire frames and IPv4 datagrams.
+//
+// A `Frame` is the byte-exact Ethernet frame a sniffer would capture — the
+// 1514-byte frames the paper observes are Frames of a full-MTU IPv4 packet.
+// An `Ipv4Datagram` is the network-layer unit before link framing; it is the
+// input/output type of the fragmentation engine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/headers.hpp"
+#include "util/expected.hpp"
+
+namespace streamlab {
+
+/// An Ethernet frame as it appears on the wire.
+class Frame {
+ public:
+  Frame() = default;
+  explicit Frame(std::vector<std::uint8_t> data) : data_(std::move(data)) {}
+
+  std::span<const std::uint8_t> bytes() const { return data_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+/// An IPv4 packet: header plus raw payload bytes. For an unfragmented UDP
+/// datagram the payload is UDP header + application data; for a trailing
+/// fragment it is a slice of the original payload.
+struct Ipv4Packet {
+  Ipv4Header header;
+  std::vector<std::uint8_t> payload;
+
+  std::size_t total_length() const { return kIpv4HeaderSize + payload.size(); }
+};
+
+/// Fully parsed view of a frame. Transport headers are present when the IP
+/// packet is the *first* fragment (offset 0); trailing fragments expose only
+/// raw payload, exactly as a sniffer sees them.
+struct ParsedFrame {
+  EthernetHeader eth;
+  Ipv4Header ip;
+  std::optional<UdpHeader> udp;
+  std::optional<TcpHeader> tcp;
+  std::optional<IcmpHeader> icmp;
+  /// Transport payload (after UDP/TCP/ICMP header) for first fragments, or
+  /// the raw IP payload for trailing fragments.
+  std::vector<std::uint8_t> payload;
+};
+
+/// Builds a UDP/IPv4 datagram (not yet fragmented or framed).
+Ipv4Packet make_udp_packet(Endpoint src, Endpoint dst, std::span<const std::uint8_t> payload,
+                           std::uint16_t ip_id, std::uint8_t ttl = 64);
+
+/// Builds a TCP/IPv4 packet with the given segment fields.
+Ipv4Packet make_tcp_packet(Endpoint src, Endpoint dst, const TcpHeader& tcp,
+                           std::span<const std::uint8_t> payload, std::uint16_t ip_id,
+                           std::uint8_t ttl = 64);
+
+/// Builds an ICMP/IPv4 packet (echo request/reply, time exceeded, ...).
+Ipv4Packet make_icmp_packet(Ipv4Address src, Ipv4Address dst, const IcmpHeader& icmp,
+                            std::span<const std::uint8_t> payload, std::uint16_t ip_id,
+                            std::uint8_t ttl = 64);
+
+/// Wraps an IPv4 packet in an Ethernet frame.
+Frame frame_ipv4(MacAddress src_mac, MacAddress dst_mac, const Ipv4Packet& packet);
+
+/// Parses a captured frame back into headers + payload.
+Expected<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame);
+
+}  // namespace streamlab

@@ -1,0 +1,28 @@
+#include "pcap/capture.hpp"
+
+namespace streamlab {
+
+void CaptureTrace::add_packet(SimTime when, MacAddress src_mac, MacAddress dst_mac,
+                              const Ipv4Packet& packet) {
+  Frame frame = frame_ipv4(src_mac, dst_mac, packet);
+  CaptureRecord rec;
+  rec.timestamp = when;
+  rec.original_length = static_cast<std::uint32_t>(frame.size());
+  auto bytes = frame.bytes();
+  const std::size_t keep = std::min<std::size_t>(bytes.size(), snaplen_);
+  rec.data.assign(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+  records_.push_back(std::move(rec));
+}
+
+std::uint64_t CaptureTrace::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& r : records_) total += r.original_length;
+  return total;
+}
+
+Duration CaptureTrace::duration() const {
+  if (records_.size() < 2) return Duration::zero();
+  return records_.back().timestamp - records_.front().timestamp;
+}
+
+}  // namespace streamlab

@@ -1,0 +1,30 @@
+// libpcap file format reader/writer, implemented from the format
+// specification (no libpcap dependency). Supports the classic microsecond
+// magic (0xa1b2c3d4) and the nanosecond variant (0xa1b23c4d), both byte
+// orders on read, and always writes little-endian nanosecond files so no
+// precision of the simulated clock is lost.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pcap/capture.hpp"
+#include "util/expected.hpp"
+
+namespace streamlab {
+
+inline constexpr std::uint32_t kPcapMagicMicros = 0xA1B2C3D4;
+inline constexpr std::uint32_t kPcapMagicNanos = 0xA1B23C4D;
+inline constexpr std::uint32_t kPcapLinkTypeEthernet = 1;
+
+/// Serializes a trace to a stream / file. Returns false on I/O failure.
+bool write_pcap(std::ostream& out, const CaptureTrace& trace);
+bool write_pcap_file(const std::string& path, const CaptureTrace& trace);
+
+/// Parses a pcap stream / file back into a trace. Timestamps are read
+/// relative to the epoch in the file; since our writer stores simulated
+/// time directly, a written-then-read trace round-trips exactly.
+Expected<CaptureTrace> read_pcap(std::istream& in);
+Expected<CaptureTrace> read_pcap_file(const std::string& path);
+
+}  // namespace streamlab

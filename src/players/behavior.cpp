@@ -1,0 +1,56 @@
+#include "players/behavior.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "players/protocol.hpp"
+
+namespace streamlab {
+
+std::size_t WmBehavior::media_per_datagram(BitRate rate) const {
+  const auto interval_bytes =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, rate.bytes_in(frame_interval)));
+  return std::max(min_media_per_datagram, interval_bytes);
+}
+
+Duration WmBehavior::send_interval(BitRate rate, std::size_t media_len) const {
+  // Pacing covers the full datagram (header included) so the on-wire data
+  // rate equals the encoding rate exactly.
+  return rate.transmission_time(media_len);
+}
+
+double RmBehavior::buffering_ratio(BitRate rate) const {
+  const double r = std::max(rate.to_kbps(), 1.0);
+  const double ratio = ratio_at_low * std::pow(56.0 / r, ratio_exponent);
+  return std::clamp(ratio, ratio_floor, ratio_at_low);
+}
+
+Duration RmBehavior::burst_duration(BitRate rate) const {
+  // Interpolate in log-rate between the 56 Kbps and 300 Kbps tiers.
+  const double r = std::clamp(rate.to_kbps(), 56.0, 300.0);
+  const double t = std::log(r / 56.0) / std::log(300.0 / 56.0);
+  const double secs = burst_at_low.to_seconds() +
+                      t * (burst_at_high.to_seconds() - burst_at_low.to_seconds());
+  return Duration::from_seconds(secs);
+}
+
+Duration RmBehavior::burst_duration_for_clip(BitRate rate, Duration clip_length) const {
+  const Duration nominal = burst_duration(rate);
+  const Duration cap = clip_length.scaled(burst_max_fraction_of_clip);
+  return std::min(nominal, cap);
+}
+
+std::size_t RmBehavior::mean_media_per_datagram(BitRate rate) const {
+  // RealServer keeps packets well below the MTU and scales them with the
+  // encoding rate; ~100 ms of media per packet with a floor, and a ceiling
+  // chosen so mean * size_spread_max stays under max_media_per_datagram —
+  // the spread survives clamping even for high-rate clips. At 36 Kbps the
+  // mean is ~450 bytes, the middle of Figure 6's RealPlayer spread.
+  const auto interval_bytes = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, rate.bytes_in(Duration::millis(100))));
+  const auto mean_cap = static_cast<std::size_t>(
+      static_cast<double>(max_media_per_datagram) / size_spread_max);
+  return std::clamp(interval_bytes, min_media_per_datagram, mean_cap);
+}
+
+}  // namespace streamlab

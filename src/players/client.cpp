@@ -1,0 +1,222 @@
+#include "players/client.hpp"
+#include <algorithm>
+
+
+namespace streamlab {
+
+StreamClient::StreamClient(Host& host, const EncodedClip& clip, Endpoint server,
+                           Config config)
+    : host_(host), clip_(clip), server_(server), config_(config) {
+  port_ = config_.local_port != 0 ? config_.local_port
+          : config_.kind == PlayerKind::kRealPlayer ? kRealClientPort
+                                                    : kMediaClientPort;
+  host_.udp_bind(port_, [this](std::span<const std::uint8_t> payload, Endpoint from,
+                               SimTime now) { handle_datagram(payload, from, now); });
+}
+
+StreamClient::~StreamClient() { host_.udp_unbind(port_); }
+
+void StreamClient::start() {
+  ControlMessage play{ControlType::kPlayRequest, clip_.info().id()};
+  const auto bytes = play.encode();
+  host_.udp_send(port_, server_, bytes);
+}
+
+void StreamClient::handle_datagram(std::span<const std::uint8_t> payload, Endpoint from,
+                                   SimTime now) {
+  if (from.ip != server_.ip) return;
+  if (auto ctrl = ControlMessage::decode(payload)) {
+    if (ctrl->type == ControlType::kPlayOk) play_ok_received_ = true;
+    return;
+  }
+  std::size_t media_len = 0;
+  if (auto header = DataHeader::decode(payload, media_len)) {
+    on_data(*header, media_len, now);
+  }
+}
+
+void StreamClient::on_data(const DataHeader& header, std::size_t media_len, SimTime now) {
+  if (!first_data_) {
+    first_data_ = now;
+    if (config_.scaling.enabled && !report_timer_armed_) {
+      report_timer_armed_ = true;
+      report_window_max_seq_ = header.seq;
+      host_.loop().schedule_in(config_.scaling.report_interval,
+                               [this] { send_receiver_report(); });
+    }
+  }
+  last_data_ = now;
+  wire_media_bytes_ += kDataHeaderSize + media_len;
+
+  if (!any_seq_seen_ || header.seq > max_seq_seen_) {
+    max_seq_seen_ = header.seq;
+    any_seq_seen_ = true;
+  }
+  if (header.flags & kFlagEndOfStream) eos_received_ = true;
+
+  coverage_.insert(header.media_offset, header.media_offset + media_len);
+
+  PacketEvent ev;
+  ev.network_time = now;
+  ev.seq = header.seq;
+  ev.media_offset = header.media_offset;
+  ev.media_len = media_len;
+  ev.flags = header.flags;
+
+  if (config_.kind == PlayerKind::kMediaPlayer) {
+    // Interleaving: the engine releases packets to the application in
+    // batches once per app_batch_interval (Figure 12).
+    pending_app_.push_back(ev);
+    if (!batch_timer_armed_) {
+      batch_timer_armed_ = true;
+      host_.loop().schedule_in(config_.wm.app_batch_interval,
+                               [this] { release_app_batch(); });
+    }
+  } else {
+    ev.app_time = now;
+    packets_.push_back(ev);
+    app_coverage_.insert(ev.media_offset, ev.media_offset + ev.media_len);
+  }
+
+  if (!playout_start_) {
+    const Duration preroll = config_.kind == PlayerKind::kMediaPlayer
+                                 ? config_.wm.preroll
+                                 : config_.rm.preroll;
+    begin_playout(*first_data_ + preroll);
+  }
+}
+
+void StreamClient::send_receiver_report() {
+  // Loss over the report window, from the sequence-number advance vs the
+  // datagrams actually received.
+  const std::uint64_t expected =
+      max_seq_seen_ > report_window_max_seq_ ? max_seq_seen_ - report_window_max_seq_ : 0;
+  const std::uint64_t received_total = packets_.size() + pending_app_.size();
+  const std::uint64_t received_window =
+      received_total > report_window_received_ ? received_total - report_window_received_
+                                               : 0;
+  double loss = 0.0;
+  if (expected > 0 && received_window < expected)
+    loss = 1.0 - static_cast<double>(received_window) / static_cast<double>(expected);
+  report_window_max_seq_ = max_seq_seen_;
+  report_window_received_ = received_total;
+
+  ControlMessage report{ControlType::kReceiverReport, clip_.info().id()};
+  report.value = static_cast<std::uint16_t>(std::min(1000.0, loss * 1000.0 + 0.5));
+  const auto bytes = report.encode();
+  host_.udp_send(port_, server_, bytes);
+  ++reports_sent_;
+
+  if (!eos_received_) {
+    host_.loop().schedule_in(config_.scaling.report_interval,
+                             [this] { send_receiver_report(); });
+  }
+}
+
+void StreamClient::release_app_batch() {
+  const SimTime now = host_.loop().now();
+  while (!pending_app_.empty()) {
+    PacketEvent ev = pending_app_.front();
+    pending_app_.pop_front();
+    ev.app_time = now;
+    app_coverage_.insert(ev.media_offset, ev.media_offset + ev.media_len);
+    packets_.push_back(ev);
+  }
+  if (eos_received_) {
+    batch_timer_armed_ = false;
+    return;
+  }
+  host_.loop().schedule_in(config_.wm.app_batch_interval, [this] { release_app_batch(); });
+}
+
+void StreamClient::begin_playout(SimTime when) {
+  playout_start_ = when;
+  if (config_.rebuffering) {
+    // Stall-capable playout walks frames one at a time so stalls can shift
+    // every later deadline.
+    schedule_frame(0);
+    return;
+  }
+  // Drop-late playout: schedule every frame's decode deadline up front; the
+  // event loop keeps them ordered and the per-frame closure checks data
+  // availability.
+  for (std::size_t i = 0; i < clip_.frames().size(); ++i) {
+    const SimTime deadline = when + clip_.frames()[i].pts;
+    host_.loop().schedule_at(deadline, [this, i] { decode_frame(i); });
+  }
+}
+
+void StreamClient::schedule_frame(std::size_t index) {
+  if (index >= clip_.frames().size()) {
+    playback_finished_ = true;
+    playback_end_ = host_.loop().now();
+    return;
+  }
+  const SimTime deadline = *playout_start_ + playout_shift_ + clip_.frames()[index].pts;
+  current_stall_ = Duration::zero();
+  host_.loop().schedule_at(deadline, [this, index] { decode_frame_rebuffering(index); });
+}
+
+void StreamClient::decode_frame_rebuffering(std::size_t index) {
+  const EncodedFrame& frame = clip_.frames()[index];
+  const bool ready =
+      app_coverage_.covers(frame.byte_offset, frame.byte_offset + frame.bytes);
+
+  if (!ready && current_stall_ < config_.max_stall) {
+    // Stall: the picture freezes while the buffer refills.
+    if (current_stall_ == Duration::zero()) ++rebuffer_events_;
+    const Duration poll = Duration::millis(100);
+    current_stall_ += poll;
+    playout_shift_ += poll;
+    total_stall_time_ += poll;
+    host_.loop().schedule_in(poll, [this, index] { decode_frame_rebuffering(index); });
+    return;
+  }
+
+  FrameEvent ev;
+  ev.time = host_.loop().now();
+  ev.frame_index = frame.index;
+  ev.rendered = ready;
+  if (ready)
+    ++frames_rendered_;
+  else
+    ++frames_dropped_;  // abandoned after max_stall
+  frame_events_.push_back(ev);
+  schedule_frame(index + 1);
+}
+
+void StreamClient::decode_frame(std::size_t index) {
+  const EncodedFrame& frame = clip_.frames()[index];
+  FrameEvent ev;
+  ev.time = host_.loop().now();
+  ev.frame_index = frame.index;
+  ev.rendered = app_coverage_.covers(frame.byte_offset,
+                                     frame.byte_offset + frame.bytes);
+  if (ev.rendered)
+    ++frames_rendered_;
+  else
+    ++frames_dropped_;
+  frame_events_.push_back(ev);
+
+  if (index + 1 == clip_.frames().size()) {
+    playback_finished_ = true;
+    playback_end_ = host_.loop().now();
+  }
+}
+
+std::uint64_t StreamClient::packets_lost() const {
+  if (!any_seq_seen_) return 0;
+  const std::uint64_t expected = max_seq_seen_ + 1;
+  return expected > packets_.size() + pending_app_.size()
+             ? expected - (packets_.size() + pending_app_.size())
+             : 0;
+}
+
+BitRate StreamClient::average_playback_rate() const {
+  if (!first_data_ || !last_data_ || *last_data_ <= *first_data_) return BitRate::zero();
+  const double secs = (*last_data_ - *first_data_).to_seconds();
+  const double bits = static_cast<double>(wire_media_bytes_) * 8.0;
+  return BitRate(static_cast<std::int64_t>(bits / secs + 0.5));
+}
+
+}  // namespace streamlab

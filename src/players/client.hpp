@@ -1,0 +1,156 @@
+// Streaming client models: the player engines MediaTracker and RealTracker
+// wrap. The client requests a clip, receives the datagram stream, tracks
+// media byte coverage, runs the playout engine (preroll, per-frame decode
+// deadlines) and — for the MediaPlayer model — batches application-layer
+// packet delivery (the interleaving of Figure 12).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "media/encoder.hpp"
+#include "players/behavior.hpp"
+#include "players/protocol.hpp"
+#include "players/scaling.hpp"
+#include "sim/host.hpp"
+#include "util/interval_set.hpp"
+
+namespace streamlab {
+
+/// One received data packet, with both timestamp layers the paper compares
+/// in Figure 12: when the OS delivered it and when the application saw it.
+struct PacketEvent {
+  SimTime network_time;      ///< UDP delivery to the player engine
+  SimTime app_time;          ///< release to the application layer
+  std::uint32_t seq = 0;
+  std::uint64_t media_offset = 0;
+  std::size_t media_len = 0;
+  std::uint8_t flags = 0;
+};
+
+/// A frame playout decision made by the decode loop.
+struct FrameEvent {
+  SimTime time;
+  std::uint32_t frame_index = 0;
+  bool rendered = false;  ///< false = data missed its decode deadline
+};
+
+class StreamClient {
+ public:
+  struct Config {
+    PlayerKind kind = PlayerKind::kMediaPlayer;
+    WmBehavior wm;
+    RmBehavior rm;
+    std::uint16_t local_port = 0;  ///< 0 = player default port
+    /// When enabled, the client sends periodic receiver reports (loss
+    /// feedback) so a scaling-enabled server can adapt (Section VI).
+    MediaScalingPolicy scaling;
+    /// Playout policy for late data. false (the study's analysis model):
+    /// a frame that misses its deadline is dropped and playout continues.
+    /// true (the products' actual behaviour): playout stalls until the
+    /// frame's data arrives, shifting all later deadlines — the rebuffering
+    /// the delay buffer exists to avoid (Section 3.F).
+    bool rebuffering = false;
+    /// Longest single stall before the frame is abandoned as dropped.
+    Duration max_stall = Duration::seconds(10);
+  };
+
+  /// The client needs the clip's frame table (in the real products this
+  /// metadata arrives in the stream header exchange).
+  StreamClient(Host& host, const EncodedClip& clip, Endpoint server, Config config);
+  ~StreamClient();
+  StreamClient(const StreamClient&) = delete;
+  StreamClient& operator=(const StreamClient&) = delete;
+
+  /// Sends the PLAY request now.
+  void start();
+
+  // --- Results (valid once the event loop has drained) ---
+  const std::vector<PacketEvent>& packets() const { return packets_; }
+  const std::vector<FrameEvent>& frame_events() const { return frame_events_; }
+  std::uint32_t frames_rendered() const { return frames_rendered_; }
+  std::uint32_t frames_dropped() const { return frames_dropped_; }
+  std::uint64_t media_bytes_received() const { return coverage_.total_covered(); }
+  /// Datagrams lost end-to-end, inferred from sequence-number gaps.
+  std::uint64_t packets_lost() const;
+  std::uint64_t packets_received() const { return packets_.size(); }
+  /// Application payload bytes received so far (stream headers included).
+  std::uint64_t wire_bytes_received() const { return wire_media_bytes_; }
+
+  bool play_ok_received() const { return play_ok_received_; }
+  bool end_of_stream() const { return eos_received_; }
+  bool playback_started() const { return playout_start_.has_value(); }
+  bool playback_finished() const { return playback_finished_; }
+
+  std::optional<SimTime> first_data_time() const { return first_data_; }
+  std::optional<SimTime> last_data_time() const { return last_data_; }
+  std::optional<SimTime> playout_start_time() const { return playout_start_; }
+  std::optional<SimTime> playback_end_time() const { return playback_end_; }
+  /// Rebuffering statistics (always zero when Config::rebuffering is off).
+  std::uint32_t rebuffer_events() const { return rebuffer_events_; }
+  Duration total_stall_time() const { return total_stall_time_; }
+
+  const EncodedClip& clip() const { return clip_; }
+  PlayerKind kind() const { return config_.kind; }
+  Host& host() const { return host_; }
+
+  /// Average received data rate over the reception interval — the
+  /// "Average Playback Data Rate" of Figure 3.
+  BitRate average_playback_rate() const;
+
+ private:
+  void handle_datagram(std::span<const std::uint8_t> payload, Endpoint from, SimTime now);
+  void on_data(const DataHeader& header, std::size_t media_len, SimTime now);
+  void send_receiver_report();
+  void release_app_batch();
+  void begin_playout(SimTime when);
+  void decode_frame(std::size_t index);
+  void schedule_frame(std::size_t index);
+  void decode_frame_rebuffering(std::size_t index);
+
+  Host& host_;
+  const EncodedClip& clip_;
+  Endpoint server_;
+  Config config_;
+  std::uint16_t port_;
+
+  std::vector<PacketEvent> packets_;
+  std::deque<PacketEvent> pending_app_;  ///< awaiting batched release (WM)
+  bool batch_timer_armed_ = false;
+
+  IntervalSet coverage_;      ///< network-layer byte coverage
+  IntervalSet app_coverage_;  ///< application-layer coverage (after release)
+
+  std::optional<SimTime> first_data_;
+  std::optional<SimTime> last_data_;
+  std::optional<SimTime> playout_start_;
+  std::optional<SimTime> playback_end_;
+  bool play_ok_received_ = false;
+  bool eos_received_ = false;
+  bool playback_finished_ = false;
+
+  std::vector<FrameEvent> frame_events_;
+  std::uint32_t frames_rendered_ = 0;
+  std::uint32_t frames_dropped_ = 0;
+  Duration playout_shift_;          ///< accumulated rebuffering stalls
+  Duration current_stall_;          ///< stall time of the frame being waited on
+  std::uint32_t rebuffer_events_ = 0;
+  Duration total_stall_time_;
+
+  std::uint64_t max_seq_seen_ = 0;
+  bool any_seq_seen_ = false;
+  std::uint64_t wire_media_bytes_ = 0;  ///< media+header bytes received
+
+  // Receiver-report window state (media scaling feedback).
+  bool report_timer_armed_ = false;
+  std::uint64_t report_window_max_seq_ = 0;
+  std::uint64_t report_window_received_ = 0;
+  std::uint64_t reports_sent_ = 0;
+
+ public:
+  std::uint64_t receiver_reports_sent() const { return reports_sent_; }
+};
+
+}  // namespace streamlab

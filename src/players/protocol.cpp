@@ -1,0 +1,60 @@
+#include "players/protocol.hpp"
+
+namespace streamlab {
+
+std::vector<std::uint8_t> ControlMessage::encode() const {
+  ByteWriter w(6 + clip_id.size());
+  w.u16be(kControlMagic);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16be(value);
+  w.u8(static_cast<std::uint8_t>(clip_id.size()));
+  for (char c : clip_id) w.u8(static_cast<std::uint8_t>(c));
+  return w.take();
+}
+
+std::optional<ControlMessage> ControlMessage::decode(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  if (r.u16be() != kControlMagic) return std::nullopt;
+  ControlMessage msg;
+  msg.type = static_cast<ControlType>(r.u8());
+  msg.value = r.u16be();
+  const std::size_t len = r.u8();
+  auto id = r.bytes(len);
+  if (!r.ok()) return std::nullopt;
+  msg.clip_id.assign(id.begin(), id.end());
+  return msg;
+}
+
+std::vector<std::uint8_t> DataHeader::make_packet(const DataHeader& header,
+                                                  std::size_t media_len) {
+  ByteWriter w(kDataHeaderSize + media_len);
+  w.u16be(kDataMagic);
+  w.u8(header.flags);
+  w.u8(0);  // reserved
+  w.u32be(header.seq);
+  w.u32be(static_cast<std::uint32_t>(header.media_offset >> 32));
+  w.u32be(static_cast<std::uint32_t>(header.media_offset));
+  // Synthetic media payload: deterministic pattern, compressible but nonzero
+  // so captures are visually distinguishable from padding.
+  for (std::size_t i = 0; i < media_len; ++i)
+    w.u8(static_cast<std::uint8_t>((header.media_offset + i) & 0xFF));
+  return w.take();
+}
+
+std::optional<DataHeader> DataHeader::decode(std::span<const std::uint8_t> payload,
+                                             std::size_t& media_len) {
+  ByteReader r(payload);
+  if (r.u16be() != kDataMagic) return std::nullopt;
+  DataHeader h;
+  h.flags = r.u8();
+  r.u8();  // reserved
+  h.seq = r.u32be();
+  const std::uint64_t hi = r.u32be();
+  const std::uint64_t lo = r.u32be();
+  if (!r.ok()) return std::nullopt;
+  h.media_offset = (hi << 32) | lo;
+  media_len = r.remaining();
+  return h;
+}
+
+}  // namespace streamlab

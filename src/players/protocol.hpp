@@ -1,0 +1,64 @@
+// The streaming wire protocol between the simulated servers and clients — a
+// stand-in for the proprietary MMS (MediaPlayer) and RDT (RealPlayer)
+// protocols of 2002, carrying exactly the information the study needs:
+// sequence numbers for loss/reorder detection and media byte positions for
+// buffer accounting. Control (PLAY/TEARDOWN) and data share a compact
+// binary framing distinguished by a magic prefix.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace streamlab {
+
+/// Well-known ports, mirroring the real products' registered ports.
+inline constexpr std::uint16_t kRealServerPort = 7070;   // RealServer
+inline constexpr std::uint16_t kMediaServerPort = 1755;  // MMS
+inline constexpr std::uint16_t kRealClientPort = 6970;
+inline constexpr std::uint16_t kMediaClientPort = 7000;
+
+inline constexpr std::uint16_t kDataMagic = 0x4454;     // "DT"
+inline constexpr std::uint16_t kControlMagic = 0x4354;  // "CT"
+inline constexpr std::size_t kDataHeaderSize = 16;
+
+enum class ControlType : std::uint8_t {
+  kPlayRequest = 1,
+  kPlayOk = 2,
+  kTeardown = 3,
+  /// Client-to-server loss feedback driving media scaling (value =
+  /// loss fraction in per-mille over the last report interval).
+  kReceiverReport = 4,
+};
+
+struct ControlMessage {
+  ControlType type = ControlType::kPlayRequest;
+  std::string clip_id;
+  std::uint16_t value = 0;  ///< type-specific payload (receiver reports)
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<ControlMessage> decode(std::span<const std::uint8_t> payload);
+};
+
+/// Flag bits carried in data packets.
+inline constexpr std::uint8_t kFlagBufferingPhase = 0x01;  ///< server in startup burst
+inline constexpr std::uint8_t kFlagEndOfStream = 0x02;     ///< no media after this packet
+
+struct DataHeader {
+  std::uint32_t seq = 0;
+  std::uint64_t media_offset = 0;
+  std::uint8_t flags = 0;
+
+  /// Serializes header followed by `media_len` synthetic payload bytes.
+  static std::vector<std::uint8_t> make_packet(const DataHeader& header,
+                                               std::size_t media_len);
+  /// Parses the header; returns the media byte count via `media_len`.
+  static std::optional<DataHeader> decode(std::span<const std::uint8_t> payload,
+                                          std::size_t& media_len);
+};
+
+}  // namespace streamlab

@@ -1,0 +1,73 @@
+#include "players/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamlab {
+
+bool keep_frame(const EncodedFrame& frame, double keep_fraction) {
+  if (frame.keyframe) return true;
+  if (keep_fraction >= 1.0) return true;
+  if (keep_fraction <= 0.0) return false;
+  // Evenly spread selection: frame i survives when floor(i*f) advances.
+  const double a = std::floor(static_cast<double>(frame.index) * keep_fraction);
+  const double b = std::floor(static_cast<double>(frame.index + 1) * keep_fraction);
+  return b > a;
+}
+
+ThinnedMediaCursor::Range ThinnedMediaCursor::next(std::size_t max_len,
+                                                   double keep_fraction) {
+  const auto& frames = clip_.frames();
+  // Skip over thinned frames to the next kept byte.
+  while (frame_index_ < frames.size()) {
+    const EncodedFrame& f = frames[frame_index_];
+    if (offset_in_frame_ == 0 && !keep_frame(f, keep_fraction)) {
+      position_ += f.bytes;
+      ++frame_index_;
+      ++frames_skipped_;
+      continue;
+    }
+    break;
+  }
+  if (frame_index_ >= frames.size()) return Range{position_, 0, true};
+
+  const EncodedFrame& f = frames[frame_index_];
+  const std::size_t available = f.bytes - offset_in_frame_;
+  const std::size_t take = std::min(max_len, available);
+
+  Range r;
+  r.offset = f.byte_offset + offset_in_frame_;
+  r.length = take;
+  offset_in_frame_ += take;
+  position_ = r.offset + take;
+  kept_bytes_ += take;
+  if (offset_in_frame_ >= f.bytes) {
+    offset_in_frame_ = 0;
+    ++frame_index_;
+  }
+  r.end_of_stream = frame_index_ >= frames.size();
+  return r;
+}
+
+void ScalingController::on_report(double loss_fraction, SimTime now) {
+  if (!policy_.enabled || policy_.levels.empty()) return;
+  const Duration since_change = now - last_change_;
+
+  if (loss_fraction > policy_.loss_down_threshold && level_ + 1 < policy_.levels.size()) {
+    if (ever_changed_ && since_change < policy_.hold_time) return;
+    ++level_;
+    last_change_ = now;
+    ever_changed_ = true;
+    ++level_changes_;
+  } else if (loss_fraction < policy_.loss_up_threshold && level_ > 0) {
+    if (ever_changed_ &&
+        since_change < policy_.hold_time.scaled(policy_.up_hold_multiplier))
+      return;
+    --level_;
+    last_change_ = now;
+    ever_changed_ = true;
+    ++level_changes_;
+  }
+}
+
+}  // namespace streamlab

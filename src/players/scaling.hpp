@@ -1,0 +1,102 @@
+// Media scaling (frame thinning) — the adaptation mechanism Section VI of
+// the paper says both commercial players possess: "capabilities that employ
+// media scaling to reduce application level data rates in the presence of
+// reduced bandwidth".
+//
+// Model: the client reports its recent loss fraction to the server at a
+// fixed cadence; the server moves through discrete scaling levels, each a
+// fraction of frames kept (keyframes always survive thinning). At level L
+// the server transmits only the bytes of kept frames, paced at L x the
+// encoding rate, so the flow fits inside a constrained bottleneck at the
+// cost of frame rate instead of unbounded loss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "media/encoder.hpp"
+#include "util/time.hpp"
+
+namespace streamlab {
+
+struct MediaScalingPolicy {
+  bool enabled = false;
+  /// Scale down when the reported loss fraction exceeds this.
+  double loss_down_threshold = 0.05;
+  /// Scale back up when reported loss stays below this.
+  double loss_up_threshold = 0.005;
+  /// Client report cadence.
+  Duration report_interval = Duration::seconds(2);
+  /// Minimum dwell between level changes (guards against oscillation).
+  Duration hold_time = Duration::seconds(6);
+  /// Scaling back up is riskier than scaling down (it re-triggers the loss
+  /// it just escaped), so up-moves wait this multiple of hold_time.
+  double up_hold_multiplier = 4.0;
+  /// Fraction of frames kept per level, best first. Level 0 = full stream.
+  std::vector<double> levels = {1.0, 0.75, 0.5, 0.25};
+};
+
+/// Deterministic frame-thinning rule: keyframes always survive; P-frames
+/// survive when their index crosses an integer boundary under the keep
+/// fraction (an evenly spread selection).
+bool keep_frame(const EncodedFrame& frame, double keep_fraction);
+
+/// Walks the kept-frame byte ranges of a clip at a (dynamically changing)
+/// scaling level. Ranges are reported in original byte-stream coordinates,
+/// so client coverage still maps onto the frame table directly.
+class ThinnedMediaCursor {
+ public:
+  explicit ThinnedMediaCursor(const EncodedClip& clip) : clip_(clip) {}
+
+  struct Range {
+    std::uint64_t offset = 0;
+    std::size_t length = 0;  ///< 0 = stream exhausted
+    bool end_of_stream = false;
+  };
+
+  /// Next contiguous run of kept bytes, at most `max_len` long, never
+  /// spanning a thinning gap. `keep_fraction` may change between calls
+  /// (level switches take effect at the next frame boundary).
+  Range next(std::size_t max_len, double keep_fraction);
+
+  /// Bytes of media already walked past (kept + skipped).
+  std::uint64_t position() const { return position_; }
+  bool exhausted() const { return frame_index_ >= clip_.frames().size(); }
+  /// Total kept bytes emitted so far.
+  std::uint64_t kept_bytes() const { return kept_bytes_; }
+  /// Frames skipped by thinning so far.
+  std::uint32_t frames_skipped() const { return frames_skipped_; }
+
+ private:
+  const EncodedClip& clip_;
+  std::size_t frame_index_ = 0;
+  std::size_t offset_in_frame_ = 0;
+  std::uint64_t position_ = 0;
+  std::uint64_t kept_bytes_ = 0;
+  std::uint32_t frames_skipped_ = 0;
+};
+
+/// Server-side scaling controller: consumes loss reports, yields the level.
+class ScalingController {
+ public:
+  explicit ScalingController(MediaScalingPolicy policy) : policy_(std::move(policy)) {}
+
+  /// Feeds a receiver report; may change the level (respecting hold_time).
+  void on_report(double loss_fraction, SimTime now);
+
+  double keep_fraction() const {
+    return policy_.levels.empty() ? 1.0 : policy_.levels[level_];
+  }
+  std::size_t level() const { return level_; }
+  std::size_t level_changes() const { return level_changes_; }
+  const MediaScalingPolicy& policy() const { return policy_; }
+
+ private:
+  MediaScalingPolicy policy_;
+  std::size_t level_ = 0;
+  SimTime last_change_;
+  bool ever_changed_ = false;
+  std::size_t level_changes_ = 0;
+};
+
+}  // namespace streamlab

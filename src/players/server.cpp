@@ -1,0 +1,186 @@
+#include "players/server.hpp"
+
+#include <algorithm>
+
+namespace streamlab {
+
+StreamServer::StreamServer(Host& host, EncodedClip clip, std::uint16_t port)
+    : host_(host), clip_(std::move(clip)), port_(port) {
+  host_.udp_bind(port_, [this](std::span<const std::uint8_t> payload, Endpoint from,
+                               SimTime) { handle_control(payload, from); });
+}
+
+StreamServer::~StreamServer() { host_.udp_unbind(port_); }
+
+void StreamServer::enable_scaling(MediaScalingPolicy policy) {
+  policy.enabled = true;
+  scaling_ = std::make_unique<ScalingState>(
+      ScalingState{ScalingController(std::move(policy)), ThinnedMediaCursor(clip_)});
+}
+
+double StreamServer::scaling_keep_fraction() const {
+  return scaling_ ? scaling_->controller.keep_fraction() : 1.0;
+}
+
+std::size_t StreamServer::scaling_level_changes() const {
+  return scaling_ ? scaling_->controller.level_changes() : 0;
+}
+
+std::uint32_t StreamServer::frames_thinned() const {
+  return scaling_ ? scaling_->cursor.frames_skipped() : 0;
+}
+
+void StreamServer::handle_control(std::span<const std::uint8_t> payload, Endpoint from) {
+  auto msg = ControlMessage::decode(payload);
+  if (!msg) return;
+  switch (msg->type) {
+    case ControlType::kPlayRequest: {
+      if (started_) return;  // single-session server
+      if (!msg->clip_id.empty() && msg->clip_id != clip_.info().id()) return;
+      started_ = true;
+      client_ = from;
+      ControlMessage ok{ControlType::kPlayOk, clip_.info().id()};
+      const auto ok_bytes = ok.encode();
+      host_.udp_send(port_, client_, ok_bytes);
+      on_play();
+      break;
+    }
+    case ControlType::kReceiverReport:
+      if (scaling_ && started_ && from == client_) {
+        scaling_->controller.on_report(static_cast<double>(msg->value) / 1000.0,
+                                       host_.loop().now());
+      }
+      break;
+    case ControlType::kTeardown:
+      finished_ = true;
+      break;
+    default:
+      break;
+  }
+}
+
+void StreamServer::emit(std::uint64_t offset, std::size_t media_len, std::uint8_t flags,
+                        bool buffering_phase) {
+  DataHeader header;
+  header.seq = next_seq_++;
+  header.media_offset = offset;
+  header.flags = flags | (buffering_phase ? kFlagBufferingPhase : 0);
+  const auto packet = DataHeader::make_packet(header, media_len);
+  host_.udp_send(port_, client_, packet);
+  send_log_.push_back(
+      SendEvent{host_.loop().now(), header.seq, offset, media_len, buffering_phase});
+}
+
+std::size_t StreamServer::send_plain(std::size_t media_len, bool buffering_phase) {
+  media_len =
+      static_cast<std::size_t>(std::min<std::uint64_t>(media_len, remaining_bytes()));
+  if (media_len == 0) {
+    finished_ = true;
+    return 0;
+  }
+  const std::uint64_t offset = next_offset_;
+  next_offset_ += media_len;
+  std::uint8_t flags = 0;
+  if (next_offset_ >= clip_.total_bytes()) {
+    flags |= kFlagEndOfStream;
+    finished_ = true;
+  }
+  emit(offset, media_len, flags, buffering_phase);
+  return media_len;
+}
+
+std::size_t StreamServer::send_thinned(std::size_t media_len, bool buffering_phase) {
+  auto& cursor = scaling_->cursor;
+  const auto range = cursor.next(media_len, scaling_->controller.keep_fraction());
+  if (range.length == 0) {
+    // Stream exhausted: announce end-of-stream explicitly (the last data
+    // packet may have been sent before the final thinning decision).
+    if (!finished_) {
+      emit(cursor.position(), 0, kFlagEndOfStream, buffering_phase);
+      finished_ = true;
+    }
+    return 0;
+  }
+  std::uint8_t flags = 0;
+  if (range.end_of_stream) {
+    flags |= kFlagEndOfStream;
+    finished_ = true;
+  }
+  emit(range.offset, range.length, flags, buffering_phase);
+  return range.length;
+}
+
+std::size_t StreamServer::send_media(std::size_t media_len, bool buffering_phase) {
+  if (finished_) return 0;
+  return scaling_ ? send_thinned(media_len, buffering_phase)
+                  : send_plain(media_len, buffering_phase);
+}
+
+Duration StreamServer::streaming_duration() const {
+  if (send_log_.size() < 2) return Duration::zero();
+  return send_log_.back().time - send_log_.front().time;
+}
+
+WmServer::WmServer(Host& host, EncodedClip clip, WmBehavior behavior, std::uint16_t port)
+    : StreamServer(host, std::move(clip), port), behavior_(behavior) {}
+
+void WmServer::on_play() {
+  const BitRate rate = clip_.info().encoded_rate;
+  datagram_media_ = behavior_.media_per_datagram(rate);
+  interval_ = behavior_.send_interval(rate, datagram_media_);
+  send_next();
+}
+
+void WmServer::send_next() {
+  const std::size_t sent = send_media(datagram_media_, /*buffering_phase=*/false);
+  if (sent == 0 || finished_) return;
+  // Under media scaling the pace follows the thinned rate: this datagram's
+  // bytes at keep_fraction x the encoding rate.
+  Duration next = interval_;
+  if (scaling_enabled()) {
+    const BitRate scaled_rate =
+        clip_.info().encoded_rate.scaled(scaling_keep_fraction());
+    next = behavior_.send_interval(scaled_rate, sent);
+  }
+  host_.loop().schedule_in(next, [this] { send_next(); });
+}
+
+RmServer::RmServer(Host& host, EncodedClip clip, RmBehavior behavior, std::uint16_t port,
+                   std::uint64_t seed)
+    : StreamServer(host, std::move(clip), port), behavior_(behavior), rng_(seed) {}
+
+void RmServer::on_play() {
+  const BitRate rate = clip_.info().encoded_rate;
+  burst_end_ = host_.loop().now() +
+               behavior_.burst_duration_for_clip(rate, clip_.info().length);
+  mean_media_ = behavior_.mean_media_per_datagram(rate);
+  send_next();
+}
+
+void RmServer::send_next() {
+  const bool buffering = host_.loop().now() < burst_end_;
+  const BitRate base_rate =
+      clip_.info().encoded_rate.scaled(scaling_keep_fraction());
+  const BitRate send_rate =
+      buffering ? base_rate.scaled(behavior_.buffering_ratio(base_rate)) : base_rate;
+
+  // Draw this packet's size: right-skewed around the rate-dependent mean
+  // (mean-1 multiplier keeps the long-run rate on target).
+  const double frac =
+      std::clamp(rng_.lognormal_mean_cv(1.0, behavior_.size_cv),
+                 behavior_.size_spread_min, behavior_.size_spread_max);
+  const auto media_len = std::clamp(
+      static_cast<std::size_t>(static_cast<double>(mean_media_) * frac + 0.5),
+      behavior_.min_media_per_datagram, behavior_.max_media_per_datagram);
+
+  const std::size_t sent = send_media(media_len, buffering);
+  if (sent == 0 || finished_) return;
+
+  // Pacing preserves the phase's target rate on average; the lognormal
+  // multiplier (mean 1) produces the wide interarrival spread of Figure 8.
+  const Duration base = send_rate.transmission_time(sent);
+  const double jitter = rng_.lognormal_mean_cv(1.0, behavior_.interarrival_cv);
+  host_.loop().schedule_in(base.scaled(jitter), [this] { send_next(); });
+}
+
+}  // namespace streamlab

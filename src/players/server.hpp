@@ -1,0 +1,138 @@
+// Streaming server models.
+//
+// WmServer reproduces the wire behaviour the paper attributes to Windows
+// Media servers: one large application frame per fixed interval, paced at
+// exactly the encoding rate from the first packet to the last (buffering at
+// playout rate, Section 3.F), with datagrams at high rates exceeding the
+// MTU so the host IP layer fragments them (Sections 3.C-3.D).
+//
+// RmServer reproduces RealServer behaviour: sub-MTU packets of varied size,
+// varied interarrival, and a startup burst at buffering_ratio x the playout
+// rate for burst_duration seconds (Sections 3.D-3.F).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <memory>
+
+#include "media/encoder.hpp"
+#include "players/behavior.hpp"
+#include "players/protocol.hpp"
+#include "players/scaling.hpp"
+#include "sim/host.hpp"
+#include "util/rng.hpp"
+
+namespace streamlab {
+
+class StreamServer {
+ public:
+  struct SendEvent {
+    SimTime time;
+    std::uint32_t seq = 0;
+    std::uint64_t media_offset = 0;
+    std::size_t media_len = 0;
+    bool buffering_phase = false;
+  };
+
+  /// Binds the control/data port on `host` and waits for a PLAY request.
+  StreamServer(Host& host, EncodedClip clip, std::uint16_t port);
+  virtual ~StreamServer();
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  const EncodedClip& clip() const { return clip_; }
+  std::uint16_t port() const { return port_; }
+  bool started() const { return started_; }
+  bool finished() const { return finished_; }
+  const std::vector<SendEvent>& send_log() const { return send_log_; }
+  /// Wall-clock streaming duration (first send to last send).
+  Duration streaming_duration() const;
+
+  /// Enables media scaling (Section VI): the server thins frames when the
+  /// client's receiver reports show loss. Call before the PLAY arrives.
+  void enable_scaling(MediaScalingPolicy policy);
+  bool scaling_enabled() const { return scaling_ != nullptr; }
+  /// Current keep fraction (1.0 when scaling is off or at full quality).
+  double scaling_keep_fraction() const;
+  std::size_t scaling_level_changes() const;
+  std::uint32_t frames_thinned() const;
+
+ protected:
+  /// Invoked when a PLAY request arrives; implementations start their send
+  /// schedule here.
+  virtual void on_play() = 0;
+
+  /// Sends the next `media_len` bytes of the clip (clamped to what remains),
+  /// tagging the packet with seq/offset/flags. Returns the bytes actually
+  /// sent; 0 means the clip is exhausted (and marks the stream finished).
+  /// When scaling is enabled, bytes come from the thinned-frame cursor and
+  /// datagrams never span a thinning gap.
+  std::size_t send_media(std::size_t media_len, bool buffering_phase);
+
+  std::uint64_t remaining_bytes() const {
+    return clip_.total_bytes() - next_offset_;
+  }
+
+  Host& host_;
+  EncodedClip clip_;
+  std::uint16_t port_;
+  Endpoint client_;
+  bool started_ = false;
+  bool finished_ = false;
+
+ private:
+  void handle_control(std::span<const std::uint8_t> payload, Endpoint from);
+
+  std::size_t send_plain(std::size_t media_len, bool buffering_phase);
+  std::size_t send_thinned(std::size_t media_len, bool buffering_phase);
+  void emit(std::uint64_t offset, std::size_t media_len, std::uint8_t flags,
+            bool buffering_phase);
+
+  std::uint32_t next_seq_ = 0;
+  std::uint64_t next_offset_ = 0;
+  std::vector<SendEvent> send_log_;
+
+  struct ScalingState {
+    ScalingController controller;
+    ThinnedMediaCursor cursor;
+  };
+  std::unique_ptr<ScalingState> scaling_;
+};
+
+/// MediaPlayer server model (CBR, large frames, fragmentation at high rates).
+class WmServer : public StreamServer {
+ public:
+  WmServer(Host& host, EncodedClip clip, WmBehavior behavior = {},
+           std::uint16_t port = kMediaServerPort);
+
+ protected:
+  void on_play() override;
+
+ private:
+  void send_next();
+
+  WmBehavior behavior_;
+  std::size_t datagram_media_ = 0;
+  Duration interval_;
+};
+
+/// RealPlayer server model (varied packets, startup burst, no fragmentation).
+class RmServer : public StreamServer {
+ public:
+  RmServer(Host& host, EncodedClip clip, RmBehavior behavior = {},
+           std::uint16_t port = kRealServerPort, std::uint64_t seed = 0x524D);
+
+ protected:
+  void on_play() override;
+
+ private:
+  void send_next();
+
+  RmBehavior behavior_;
+  Rng rng_;
+  SimTime burst_end_;
+  std::size_t mean_media_ = 0;
+};
+
+}  // namespace streamlab

@@ -1,0 +1,50 @@
+#include "sim/event_loop.hpp"
+
+#include <utility>
+
+namespace streamlab {
+
+EventHandle EventLoop::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{when, next_seq_++, std::move(fn), alive});
+  return EventHandle(std::move(alive));
+}
+
+EventHandle EventLoop::schedule_in(Duration delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventLoop::fire_next(SimTime deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > deadline) return false;
+    if (!*top.alive) {
+      queue_.pop();
+      continue;
+    }
+    // Copy out before popping: fn may schedule new events and reallocate.
+    Event ev{top.when, top.seq, std::move(const_cast<Event&>(top).fn), top.alive};
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+    ++executed_;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t EventLoop::run(std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && fire_next(SimTime::max())) ++n;
+  return n;
+}
+
+std::uint64_t EventLoop::run_until(SimTime deadline) {
+  std::uint64_t n = 0;
+  while (fire_next(deadline)) ++n;
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace streamlab

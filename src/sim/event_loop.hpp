@@ -1,0 +1,85 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event loop with a deterministic total order: events fire
+// in (time, insertion-sequence) order, so two events scheduled for the same
+// instant run in the order they were scheduled. All of streamlab's network
+// behaviour — link serialization, propagation, player send timers, client
+// playout — is expressed as events on one loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace streamlab {
+
+/// Handle for cancelling a scheduled event. Default-constructed handles are
+/// inert. Cancellation is O(1): the event stays queued but is skipped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+  bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class EventLoop;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when` (clamped to now if in the past).
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+  /// Schedules `fn` after a relative delay.
+  EventHandle schedule_in(Duration delay, std::function<void()> fn);
+
+  /// Runs until the queue is empty or `limit` events have fired.
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+  /// Runs events with time <= deadline; the clock finishes at exactly
+  /// `deadline` even if the queue empties earlier.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// True when no events remain queued (cancelled events may still be
+  /// counted until the loop skips past them).
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool fire_next(SimTime deadline);
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace streamlab

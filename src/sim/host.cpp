@@ -1,0 +1,119 @@
+#include "sim/host.hpp"
+
+#include <vector>
+
+namespace streamlab {
+namespace {
+std::uint32_t nic_counter = 0;
+}
+
+Host::Host(EventLoop& loop, std::string name, Ipv4Address address, std::size_t mtu)
+    : Node(std::move(name)),
+      loop_(loop),
+      address_(address),
+      mac_(MacAddress::for_nic(++nic_counter)),
+      mtu_(mtu) {}
+
+void Host::udp_bind(std::uint16_t port, UdpHandler handler) {
+  udp_ports_[port] = std::move(handler);
+}
+
+void Host::udp_unbind(std::uint16_t port) { udp_ports_.erase(port); }
+
+void Host::udp_send(std::uint16_t src_port, Endpoint dst,
+                    std::span<const std::uint8_t> payload, std::uint8_t ttl) {
+  const Ipv4Packet datagram =
+      make_udp_packet(Endpoint{address_, src_port}, dst, payload, next_ip_id_++, ttl);
+  ++stats_.udp_datagrams_sent;
+  for (const auto& fragment : fragment_packet(datagram, mtu_)) transmit(fragment);
+}
+
+void Host::send_icmp_echo(Ipv4Address dst, std::uint16_t identifier, std::uint16_t sequence,
+                          std::size_t payload_bytes, std::uint8_t ttl) {
+  IcmpHeader icmp;
+  icmp.type = IcmpType::kEchoRequest;
+  icmp.identifier = identifier;
+  icmp.sequence = sequence;
+  const std::vector<std::uint8_t> padding(payload_bytes, 0xA5);
+  Ipv4Packet pkt = make_icmp_packet(address_, dst, icmp, padding, next_ip_id_++, ttl);
+  transmit(pkt);
+}
+
+void Host::transmit(const Ipv4Packet& packet) {
+  ++stats_.ip_packets_sent;
+  if (tap_) tap_(packet, TapDirection::kOutbound, loop_.now());
+  if (send_) send_(packet);
+}
+
+void Host::handle_packet(const Ipv4Packet& packet, int /*ingress_iface*/) {
+  if (packet.header.dst != address_) return;  // not promiscuous for foreign traffic
+  if (tap_) tap_(packet, TapDirection::kInbound, loop_.now());
+
+  auto whole = reassembler_.offer(packet, loop_.now());
+  reassembler_.expire(loop_.now());
+  if (!whole) return;
+  deliver_datagram(*whole);
+}
+
+void Host::tcp_send(const TcpHeader& segment, Ipv4Address dst,
+                    std::span<const std::uint8_t> payload, std::uint8_t ttl) {
+  const Ipv4Packet pkt = make_tcp_packet(Endpoint{address_, segment.src_port},
+                                         Endpoint{dst, segment.dst_port}, segment,
+                                         payload, next_ip_id_++, ttl);
+  transmit(pkt);
+}
+
+void Host::deliver_datagram(const Ipv4Packet& whole) {
+  switch (whole.header.protocol) {
+    case kIpProtoUdp: {
+      ByteReader r(whole.payload);
+      auto udp = UdpHeader::decode(r);
+      if (!udp) return;
+      const std::size_t data_len = udp->length - kUdpHeaderSize;
+      auto data = r.bytes(std::min<std::size_t>(data_len, r.remaining()));
+      auto it = udp_ports_.find(udp->dst_port);
+      if (it == udp_ports_.end()) {
+        ++stats_.udp_no_listener;
+        return;
+      }
+      ++stats_.udp_datagrams_received;
+      it->second(data, Endpoint{whole.header.src, udp->src_port}, loop_.now());
+      break;
+    }
+    case kIpProtoTcp: {
+      if (!tcp_handler_) return;
+      ByteReader r(whole.payload);
+      auto tcp = TcpHeader::decode(r);
+      if (!tcp) return;
+      auto data = r.bytes(r.remaining());
+      tcp_handler_(*tcp, whole.header.src, data, loop_.now());
+      break;
+    }
+    case kIpProtoIcmp: {
+      ByteReader r(whole.payload);
+      auto icmp = IcmpHeader::decode(r);
+      if (!icmp) return;
+      ++stats_.icmp_received;
+      if (icmp->type == IcmpType::kEchoRequest) {
+        IcmpHeader reply;
+        reply.type = IcmpType::kEchoReply;
+        reply.identifier = icmp->identifier;
+        reply.sequence = icmp->sequence;
+        auto echo_payload = r.bytes(r.remaining());
+        Ipv4Packet out =
+            make_icmp_packet(address_, whole.header.src, reply, echo_payload, next_ip_id_++);
+        transmit(out);
+        return;
+      }
+      if (icmp_handler_) {
+        auto rest = r.bytes(r.remaining());
+        icmp_handler_(*icmp, whole.header, rest, loop_.now());
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace streamlab

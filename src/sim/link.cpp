@@ -1,0 +1,71 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+
+namespace streamlab {
+
+Link::Link(EventLoop& loop, Rng rng, LinkConfig config, Node& a, int a_iface, Node& b,
+           int b_iface)
+    : loop_(loop), rng_(std::move(rng)), config_(config) {
+  peer_[0] = &b;
+  peer_iface_[0] = b_iface;
+  peer_[1] = &a;
+  peer_iface_[1] = a_iface;
+}
+
+void Link::send(int dir, const Ipv4Packet& packet) {
+  Direction& d = dir_[dir];
+  ++d.stats.packets_sent;
+  const std::size_t size = wire_size(packet);
+  if (d.queued_bytes + size > config_.queue_limit_bytes) {
+    ++d.stats.packets_dropped_queue;
+    return;
+  }
+  d.queue.push_back(packet);
+  d.queued_bytes += size;
+  if (!d.transmitting) start_transmission(dir);
+}
+
+void Link::start_transmission(int dir) {
+  Direction& d = dir_[dir];
+  if (d.queue.empty()) {
+    d.transmitting = false;
+    return;
+  }
+  d.transmitting = true;
+  const Duration tx = config_.bandwidth.transmission_time(wire_size(d.queue.front()));
+  loop_.schedule_in(tx, [this, dir] { finish_transmission(dir); });
+}
+
+void Link::finish_transmission(int dir) {
+  Direction& d = dir_[dir];
+  Ipv4Packet packet = std::move(d.queue.front());
+  d.queue.pop_front();
+  d.queued_bytes -= wire_size(packet);
+
+  if (config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability)) {
+    ++d.stats.packets_dropped_loss;
+  } else {
+    Duration delay = config_.propagation;
+    if (config_.jitter_stddev > Duration::zero()) {
+      const double noise = rng_.normal(0.0, config_.jitter_stddev.to_seconds());
+      delay += Duration::from_seconds(std::max(0.0, noise));
+    }
+    // A physical pipe cannot reorder: clamp delivery to after the previous
+    // packet in this direction.
+    SimTime deliver_at = loop_.now() + delay;
+    if (deliver_at < d.last_delivery) deliver_at = d.last_delivery;
+    d.last_delivery = deliver_at;
+    loop_.schedule_at(deliver_at, [this, dir, p = std::move(packet)] { deliver(dir, p); });
+  }
+  start_transmission(dir);
+}
+
+void Link::deliver(int dir, Ipv4Packet packet) {
+  Direction& d = dir_[dir];
+  ++d.stats.packets_delivered;
+  d.stats.bytes_delivered += wire_size(packet);
+  peer_[dir]->handle_packet(packet, peer_iface_[dir]);
+}
+
+}  // namespace streamlab

@@ -1,0 +1,79 @@
+// Point-to-point link model.
+//
+// A Link is a full-duplex pipe between two (node, interface) attachments.
+// Each direction has an independent drop-tail byte queue, a serialization
+// stage governed by the link bandwidth, and a propagation stage with
+// optional jitter and random loss. Wire size accounting includes the
+// 14-byte Ethernet framing so a full-MTU IP packet occupies 1514 bytes of
+// link time, matching the frame sizes the paper's sniffer records.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/node.hpp"
+#include "util/rate.hpp"
+#include "util/rng.hpp"
+
+namespace streamlab {
+
+struct LinkConfig {
+  BitRate bandwidth = BitRate::mbps(10);        ///< serialization rate
+  Duration propagation = Duration::millis(1);   ///< one-way propagation delay
+  Duration jitter_stddev = Duration::zero();    ///< per-packet delay noise (>= 0 enforced)
+  double loss_probability = 0.0;                ///< independent random loss
+  std::size_t queue_limit_bytes = 256 * 1024;   ///< drop-tail threshold per direction
+};
+
+class Link {
+ public:
+  struct DirectionStats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t packets_dropped_queue = 0;
+    std::uint64_t packets_dropped_loss = 0;
+    std::uint64_t bytes_delivered = 0;
+  };
+
+  /// Attaches the two ends. `a_iface` is the interface index the packet is
+  /// reported on when delivered *to* node a (and symmetrically for b).
+  Link(EventLoop& loop, Rng rng, LinkConfig config, Node& a, int a_iface, Node& b,
+       int b_iface);
+
+  /// Sends from node a toward node b (direction 0) or b toward a (1).
+  void send_from_a(const Ipv4Packet& packet) { send(0, packet); }
+  void send_from_b(const Ipv4Packet& packet) { send(1, packet); }
+
+  const DirectionStats& stats_a_to_b() const { return dir_[0].stats; }
+  const DirectionStats& stats_b_to_a() const { return dir_[1].stats; }
+  const LinkConfig& config() const { return config_; }
+
+ private:
+  struct Direction {
+    std::deque<Ipv4Packet> queue;
+    std::size_t queued_bytes = 0;
+    bool transmitting = false;
+    SimTime last_delivery;  // FIFO guard: jitter never reorders a direction
+    DirectionStats stats;
+  };
+
+  static std::size_t wire_size(const Ipv4Packet& p) {
+    return kEthernetHeaderSize + p.total_length();
+  }
+
+  void send(int dir, const Ipv4Packet& packet);
+  void start_transmission(int dir);
+  void finish_transmission(int dir);
+  void deliver(int dir, Ipv4Packet packet);
+
+  EventLoop& loop_;
+  Rng rng_;
+  LinkConfig config_;
+  Node* peer_[2];      // peer_[0] = b (receiver for dir 0), peer_[1] = a
+  int peer_iface_[2];
+  Direction dir_[2];
+};
+
+}  // namespace streamlab

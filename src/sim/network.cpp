@@ -1,0 +1,118 @@
+#include "sim/network.hpp"
+
+#include <cassert>
+
+namespace streamlab {
+namespace {
+
+// Address plan: client LAN 10.0.0.0/24, router i loopback 10.1.<i>.1,
+// server subnet 192.168.100.0/24.
+constexpr Ipv4Address kClientAddr{10, 0, 0, 2};
+constexpr Ipv4Address kClientLanPrefix{10, 0, 0, 0};
+constexpr Ipv4Address kServerSubnetPrefix{192, 168, 100, 0};
+
+}  // namespace
+
+Network::Network(const PathConfig& config) : config_(config), rng_(config.seed) {
+  assert(config.hop_count >= 1);
+  client_ = std::make_unique<Host>(loop_, "client", kClientAddr);
+
+  for (int i = 0; i < config.hop_count; ++i) {
+    routers_.push_back(std::make_unique<Router>("r" + std::to_string(i), router_address(i)));
+  }
+
+  // Per-link propagation: spread the one-way total across hop_count+1 links
+  // (client->r0, r0->r1, ..., r_{n-1} has the server links added later; the
+  // final server link reuses the same per-link share).
+  const int link_count = config.hop_count + 1;
+  const Duration per_link = Duration(config.one_way_propagation.ns() / link_count);
+  const int bottleneck_index = link_count / 2;
+
+  auto link_config = [&](int index) {
+    LinkConfig lc;
+    lc.propagation = per_link;
+    lc.queue_limit_bytes = config.queue_limit_bytes;
+    if (index == 0) {
+      lc.bandwidth = config.access_bandwidth;
+    } else if (index == bottleneck_index) {
+      lc.bandwidth = config.bottleneck_bandwidth;
+      lc.jitter_stddev = config.jitter_stddev;
+      lc.loss_probability = config.loss_probability;
+    } else {
+      lc.bandwidth = config.backbone_bandwidth;
+      // A little per-hop noise so interarrival distributions are not
+      // perfectly clean even on an idle path.
+      lc.jitter_stddev = Duration(config.jitter_stddev.ns() / 4);
+    }
+    return lc;
+  };
+
+  // client <-> r0
+  {
+    auto link = std::make_unique<Link>(loop_, rng_.fork(), link_config(0), *client_, 0,
+                                       *routers_[0], 0);
+    Link* l = link.get();
+    client_->attach_interface([l](const Ipv4Packet& p) { l->send_from_a(p); });
+    routers_[0]->attach_interface(0, [l](const Ipv4Packet& p) { l->send_from_b(p); });
+    links_.push_back(std::move(link));
+  }
+
+  // r_{i-1} <-> r_i
+  for (int i = 1; i < config.hop_count; ++i) {
+    auto link = std::make_unique<Link>(loop_, rng_.fork(), link_config(i),
+                                       *routers_[i - 1], 1, *routers_[i], 0);
+    Link* l = link.get();
+    routers_[i - 1]->attach_interface(1, [l](const Ipv4Packet& p) { l->send_from_a(p); });
+    routers_[i]->attach_interface(0, [l](const Ipv4Packet& p) { l->send_from_b(p); });
+    links_.push_back(std::move(link));
+  }
+
+  // Routing: toward the client everything in 10.0.0.0/16 plus each upstream
+  // router address leaves via iface 0; everything else via iface 1.
+  for (int i = 0; i < config.hop_count; ++i) {
+    routers_[i]->add_route(kClientLanPrefix, 16, 0);
+    // Upstream router loopbacks (traceroute replies traverse back through
+    // them only as sources, but ping targets them as destinations).
+    for (int j = 0; j < i; ++j) routers_[i]->add_route(router_address(j), 32, 0);
+    for (int j = i + 1; j < config.hop_count; ++j) routers_[i]->add_route(router_address(j), 32, 1);
+    if (i + 1 < config.hop_count) {
+      routers_[i]->add_route(kServerSubnetPrefix, 24, 1);
+    }
+    // The last router's server routes are added per-server in add_server().
+  }
+}
+
+Ipv4Address Network::router_address(int i) const {
+  return Ipv4Address(10, 1, static_cast<std::uint8_t>(i), 1);
+}
+
+Host& Network::add_server(const std::string& name) {
+  const Ipv4Address addr(192, 168, 100, next_server_host_octet_++);
+  auto server = std::make_unique<Host>(loop_, name, addr);
+  Router& edge = *routers_.back();
+  const int iface = next_server_iface_++;
+
+  LinkConfig lc;
+  lc.bandwidth = config_.backbone_bandwidth;
+  lc.propagation = Duration(config_.one_way_propagation.ns() / (config_.hop_count + 1));
+  lc.queue_limit_bytes = config_.queue_limit_bytes;
+
+  auto link = std::make_unique<Link>(loop_, rng_.fork(), lc, edge, iface, *server, 0);
+  Link* l = link.get();
+  edge.attach_interface(iface, [l](const Ipv4Packet& p) { l->send_from_a(p); });
+  server->attach_interface([l](const Ipv4Packet& p) { l->send_from_b(p); });
+  edge.add_route(addr, 32, iface);
+  links_.push_back(std::move(link));
+
+  servers_.push_back(std::move(server));
+  return *servers_.back();
+}
+
+std::vector<const Router*> Network::routers() const {
+  std::vector<const Router*> out;
+  out.reserve(routers_.size());
+  for (const auto& r : routers_) out.push_back(r.get());
+  return out;
+}
+
+}  // namespace streamlab

@@ -1,0 +1,62 @@
+// Topology builder: a client behind an access link, a chain of routers, and
+// one or more co-located servers on the far subnet — the measurement setup
+// of the paper (client on the WPI campus network, servers 15-25 hops away,
+// MediaPlayer and RealPlayer servers on the same remote subnet).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_loop.hpp"
+#include "sim/host.hpp"
+#include "sim/link.hpp"
+#include "sim/router.hpp"
+
+namespace streamlab {
+
+struct PathConfig {
+  int hop_count = 17;                  ///< routers between client and servers
+  BitRate access_bandwidth = BitRate::mbps(10);   ///< client NIC ("PCI 10M base")
+  BitRate backbone_bandwidth = BitRate::mbps(100);
+  BitRate bottleneck_bandwidth = BitRate::mbps(10);
+  Duration one_way_propagation = Duration::millis(20);  ///< summed across links
+  Duration jitter_stddev = Duration::micros(300);       ///< bottleneck link noise
+  double loss_probability = 0.0;       ///< bottleneck link random loss
+  std::size_t queue_limit_bytes = 256 * 1024;
+  std::uint64_t seed = 42;
+};
+
+/// Owns the event loop and every node/link of one experiment topology.
+class Network {
+ public:
+  explicit Network(const PathConfig& config);
+
+  EventLoop& loop() { return loop_; }
+  Host& client() { return *client_; }
+  const PathConfig& config() const { return config_; }
+  int hop_count() const { return static_cast<int>(routers_.size()); }
+
+  /// Adds a server host on the far subnet (reachable from the client through
+  /// every router). Servers added to one network share the same path, which
+  /// is the paper's "same subnet, same network path" clip-selection rule.
+  Host& add_server(const std::string& name);
+
+  /// Address of router at position i (0 = nearest the client).
+  Ipv4Address router_address(int i) const;
+
+  std::vector<const Router*> routers() const;
+
+ private:
+  PathConfig config_;
+  EventLoop loop_;
+  Rng rng_;
+  std::unique_ptr<Host> client_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Host>> servers_;
+  std::vector<std::unique_ptr<Link>> links_;
+  int next_server_iface_ = 1;  // iface 0 of the last router faces the client
+  std::uint8_t next_server_host_octet_ = 10;
+};
+
+}  // namespace streamlab

@@ -1,0 +1,29 @@
+// Base interface for anything attached to a link: hosts and routers.
+#pragma once
+
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/event_loop.hpp"
+
+namespace streamlab {
+
+/// A network node receives IPv4 packets from its interfaces. Interface
+/// indices are node-local (a host has one, a router has several).
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Called by the attached link when a packet finishes propagation.
+  virtual void handle_packet(const Ipv4Packet& packet, int ingress_iface) = 0;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace streamlab

@@ -1,0 +1,91 @@
+#include "sim/router.hpp"
+
+#include <algorithm>
+
+namespace streamlab {
+
+void Router::attach_interface(int iface, SendFn send) {
+  if (static_cast<std::size_t>(iface) >= interfaces_.size())
+    interfaces_.resize(static_cast<std::size_t>(iface) + 1);
+  interfaces_[static_cast<std::size_t>(iface)] = std::move(send);
+}
+
+void Router::add_route(Ipv4Address prefix, int prefix_len, int iface) {
+  const std::uint32_t mask =
+      prefix_len == 0 ? 0u : ~0u << (32 - prefix_len);
+  routes_.push_back(Route{prefix.value() & mask, mask, prefix_len, iface});
+  // Keep sorted longest-prefix-first so lookup is a linear scan to first hit.
+  std::stable_sort(routes_.begin(), routes_.end(),
+                   [](const Route& a, const Route& b) { return a.prefix_len > b.prefix_len; });
+}
+
+int Router::lookup(Ipv4Address dst) const {
+  for (const auto& r : routes_) {
+    if ((dst.value() & r.mask) == r.prefix) return r.iface;
+  }
+  return -1;
+}
+
+void Router::handle_packet(const Ipv4Packet& packet, int /*ingress_iface*/) {
+  // Addressed to the router itself: answer pings.
+  if (packet.header.dst == address_) {
+    ++stats_.packets_delivered_local;
+    if (packet.header.protocol == kIpProtoIcmp) {
+      ByteReader r(packet.payload);
+      auto icmp = IcmpHeader::decode(r);
+      if (icmp && icmp->type == IcmpType::kEchoRequest) {
+        IcmpHeader reply;
+        reply.type = IcmpType::kEchoReply;
+        reply.identifier = icmp->identifier;
+        reply.sequence = icmp->sequence;
+        const auto echo_payload = r.bytes(r.remaining());
+        Ipv4Packet out = make_icmp_packet(address_, packet.header.src, reply,
+                                          echo_payload, next_ip_id_++);
+        const int iface = lookup(packet.header.src);
+        if (iface >= 0 && interfaces_[static_cast<std::size_t>(iface)])
+          interfaces_[static_cast<std::size_t>(iface)](out);
+      }
+    }
+    return;
+  }
+
+  if (packet.header.ttl <= 1) {
+    ++stats_.packets_ttl_expired;
+    send_icmp_error(packet, IcmpType::kTimeExceeded, 0);
+    return;
+  }
+
+  const int iface = lookup(packet.header.dst);
+  if (iface < 0 || static_cast<std::size_t>(iface) >= interfaces_.size() ||
+      !interfaces_[static_cast<std::size_t>(iface)]) {
+    ++stats_.packets_no_route;
+    send_icmp_error(packet, IcmpType::kDestinationUnreachable, 0);
+    return;
+  }
+
+  Ipv4Packet forwarded = packet;
+  forwarded.header.ttl = static_cast<std::uint8_t>(packet.header.ttl - 1);
+  ++stats_.packets_forwarded;
+  interfaces_[static_cast<std::size_t>(iface)](forwarded);
+}
+
+void Router::send_icmp_error(const Ipv4Packet& offending, IcmpType type, std::uint8_t code) {
+  // RFC 792: the error carries the offending IP header + first 8 payload
+  // bytes so the sender can match it to the originating probe.
+  ByteWriter quoted(kIpv4HeaderSize + 8);
+  offending.header.encode(quoted);
+  const std::size_t quote = std::min<std::size_t>(8, offending.payload.size());
+  quoted.bytes(std::span(offending.payload).subspan(0, quote));
+
+  IcmpHeader icmp;
+  icmp.type = type;
+  icmp.code = code;
+  Ipv4Packet out =
+      make_icmp_packet(address_, offending.header.src, icmp, quoted.view(), next_ip_id_++);
+  const int iface = lookup(offending.header.src);
+  if (iface >= 0 && static_cast<std::size_t>(iface) < interfaces_.size() &&
+      interfaces_[static_cast<std::size_t>(iface)])
+    interfaces_[static_cast<std::size_t>(iface)](out);
+}
+
+}  // namespace streamlab

@@ -1,0 +1,64 @@
+// IPv4 router node: longest-prefix-match forwarding, TTL decrement, and
+// ICMP Time Exceeded generation — the mechanism tracert relies on to
+// enumerate the hops the paper plots in Figure 2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/node.hpp"
+
+namespace streamlab {
+
+class Router : public Node {
+ public:
+  using SendFn = std::function<void(const Ipv4Packet&)>;
+
+  struct Stats {
+    std::uint64_t packets_forwarded = 0;
+    std::uint64_t packets_ttl_expired = 0;
+    std::uint64_t packets_no_route = 0;
+    std::uint64_t packets_delivered_local = 0;
+  };
+
+  /// `address` is the router's own address, used as the source of ICMP
+  /// errors and as a ping target.
+  Router(std::string name, Ipv4Address address) : Node(std::move(name)), address_(address) {}
+
+  Ipv4Address address() const { return address_; }
+
+  /// Registers interface `iface`'s transmit function (called by topology
+  /// builders when wiring links).
+  void attach_interface(int iface, SendFn send);
+
+  /// Adds a route: destinations matching prefix/len leave via `iface`.
+  /// Longer prefixes win; insertion order breaks ties.
+  void add_route(Ipv4Address prefix, int prefix_len, int iface);
+  /// Default route (prefix length 0).
+  void add_default_route(int iface) { add_route(Ipv4Address(0), 0, iface); }
+
+  void handle_packet(const Ipv4Packet& packet, int ingress_iface) override;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Route {
+    std::uint32_t prefix;
+    std::uint32_t mask;
+    int prefix_len;
+    int iface;
+  };
+
+  int lookup(Ipv4Address dst) const;
+  void send_icmp_error(const Ipv4Packet& offending, IcmpType type, std::uint8_t code);
+
+  Ipv4Address address_;
+  std::vector<SendFn> interfaces_;
+  std::vector<Route> routes_;
+  Stats stats_;
+  std::uint16_t next_ip_id_ = 1;
+};
+
+}  // namespace streamlab

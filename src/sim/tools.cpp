@@ -1,0 +1,107 @@
+#include "sim/tools.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace streamlab {
+
+Duration PingResult::min_rtt() const {
+  if (rtts.empty()) return Duration::zero();
+  return *std::min_element(rtts.begin(), rtts.end());
+}
+
+Duration PingResult::max_rtt() const {
+  if (rtts.empty()) return Duration::zero();
+  return *std::max_element(rtts.begin(), rtts.end());
+}
+
+Duration PingResult::avg_rtt() const {
+  if (rtts.empty()) return Duration::zero();
+  std::int64_t total = 0;
+  for (auto r : rtts) total += r.ns();
+  return Duration(total / static_cast<std::int64_t>(rtts.size()));
+}
+
+PingResult run_ping(Network& net, Ipv4Address target, int count, Duration interval,
+                    Duration timeout) {
+  Host& client = net.client();
+  EventLoop& loop = net.loop();
+  PingResult result;
+  // Echo id distinguishes this ping run from any concurrent ICMP activity.
+  const std::uint16_t id = 0x7069;  // "pi"
+  std::map<std::uint16_t, SimTime> sent_at;
+
+  client.set_icmp_handler([&](const IcmpHeader& icmp, const Ipv4Header& ip,
+                              std::span<const std::uint8_t>, SimTime when) {
+    if (icmp.type != IcmpType::kEchoReply || icmp.identifier != id) return;
+    if (ip.src != target) return;
+    auto it = sent_at.find(icmp.sequence);
+    if (it == sent_at.end()) return;
+    result.rtts.push_back(when - it->second);
+    ++result.received;
+    sent_at.erase(it);
+  });
+
+  for (int seq = 0; seq < count; ++seq) {
+    loop.schedule_in(interval * seq, [&, seq] {
+      sent_at[static_cast<std::uint16_t>(seq)] = loop.now();
+      client.send_icmp_echo(target, id, static_cast<std::uint16_t>(seq));
+      ++result.sent;
+    });
+  }
+  loop.run_until(loop.now() + interval * count + timeout);
+  client.set_icmp_handler({});
+  return result;
+}
+
+TracerouteResult run_traceroute(Network& net, Ipv4Address target, int max_ttl,
+                                Duration probe_timeout) {
+  Host& client = net.client();
+  EventLoop& loop = net.loop();
+  TracerouteResult result;
+  const std::uint16_t id = 0x7472;  // "tr"
+
+  for (int ttl = 1; ttl <= max_ttl && !result.reached; ++ttl) {
+    TracerouteHop hop;
+    hop.ttl = ttl;
+    bool answered = false;
+    const SimTime sent = loop.now();
+
+    client.set_icmp_handler([&](const IcmpHeader& icmp, const Ipv4Header& ip,
+                                std::span<const std::uint8_t> payload, SimTime when) {
+      if (answered) return;
+      if (icmp.type == IcmpType::kEchoReply) {
+        if (icmp.identifier != id || ip.src != target) return;
+        hop.address = ip.src;
+        hop.rtt = when - sent;
+        answered = true;
+        result.reached = true;
+        return;
+      }
+      if (icmp.type == IcmpType::kTimeExceeded ||
+          icmp.type == IcmpType::kDestinationUnreachable) {
+        // The quoted original header lets us confirm the probe was ours.
+        ByteReader r(payload);
+        auto quoted_ip = Ipv4Header::decode(r);
+        if (quoted_ip && quoted_ip->dst != target) return;
+        hop.address = ip.src;
+        hop.rtt = when - sent;
+        answered = true;
+      }
+    });
+
+    client.send_icmp_echo(target, id, static_cast<std::uint16_t>(ttl), 32,
+                          static_cast<std::uint8_t>(ttl));
+    // Drain events until the probe answers or times out. Event-driven exit:
+    // run in small slices so `answered` is observed promptly.
+    const SimTime deadline = loop.now() + probe_timeout;
+    while (!answered && loop.now() < deadline) {
+      loop.run_until(loop.now() + Duration::millis(1));
+    }
+    client.set_icmp_handler({});
+    result.hops.push_back(hop);
+  }
+  return result;
+}
+
+}  // namespace streamlab

@@ -1,0 +1,53 @@
+// ping and tracert equivalents.
+//
+// The paper runs ping and tracert before and after each experiment to
+// characterise the path (Figures 1 and 2) and verify route stability. These
+// helpers drive the same ICMP machinery inside the simulator and consume
+// simulated time on the network's event loop.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace streamlab {
+
+struct PingResult {
+  int sent = 0;
+  int received = 0;
+  std::vector<Duration> rtts;  ///< one per received reply, in send order
+
+  double loss_fraction() const {
+    return sent == 0 ? 0.0 : 1.0 - static_cast<double>(received) / sent;
+  }
+  Duration min_rtt() const;
+  Duration max_rtt() const;
+  Duration avg_rtt() const;
+};
+
+/// Sends `count` ICMP echo requests from the network's client to `target`,
+/// one per `interval`, and waits up to `timeout` for each reply.
+PingResult run_ping(Network& net, Ipv4Address target, int count = 10,
+                    Duration interval = Duration::millis(1000),
+                    Duration timeout = Duration::millis(2000));
+
+struct TracerouteHop {
+  int ttl = 0;
+  std::optional<Ipv4Address> address;  ///< nullopt = probe timed out ("*")
+  Duration rtt = Duration::zero();
+};
+
+struct TracerouteResult {
+  std::vector<TracerouteHop> hops;
+  bool reached = false;
+  /// Number of hops to the destination (routers + final host), as tracert
+  /// reports it; 0 when the destination was never reached.
+  int hop_count() const { return reached ? static_cast<int>(hops.size()) : 0; }
+};
+
+/// TTL-stepped echo probing from the network's client to `target`.
+TracerouteResult run_traceroute(Network& net, Ipv4Address target, int max_ttl = 40,
+                                Duration probe_timeout = Duration::millis(2000));
+
+}  // namespace streamlab

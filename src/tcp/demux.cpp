@@ -1,0 +1,26 @@
+#include "tcp/demux.hpp"
+
+namespace streamlab {
+
+TcpDemux::TcpDemux(Host& host) : host_(host) {
+  host_.set_tcp_handler([this](const TcpHeader& tcp, Ipv4Address src,
+                               std::span<const std::uint8_t> payload, SimTime now) {
+    auto it = ports_.find(tcp.dst_port);
+    if (it == ports_.end()) {
+      ++unclaimed_;
+      return;
+    }
+    ++demuxed_;
+    it->second(tcp, src, payload, now);
+  });
+}
+
+TcpDemux::~TcpDemux() { host_.set_tcp_handler({}); }
+
+void TcpDemux::bind(std::uint16_t local_port, SegmentHandler handler) {
+  ports_[local_port] = std::move(handler);
+}
+
+void TcpDemux::unbind(std::uint16_t local_port) { ports_.erase(local_port); }
+
+}  // namespace streamlab

@@ -1,0 +1,43 @@
+// Per-host TCP segment demultiplexer. The simulator's Host delivers every
+// TCP segment to a single handler; the demux fans segments out to the
+// connection objects by local port.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+
+#include "net/headers.hpp"
+#include "sim/host.hpp"
+
+namespace streamlab {
+
+class TcpDemux {
+ public:
+  using SegmentHandler = std::function<void(const TcpHeader&, Ipv4Address,
+                                            std::span<const std::uint8_t>, SimTime)>;
+
+  /// Installs itself as the host's TCP handler. One demux per host.
+  explicit TcpDemux(Host& host);
+  ~TcpDemux();
+  TcpDemux(const TcpDemux&) = delete;
+  TcpDemux& operator=(const TcpDemux&) = delete;
+
+  /// Routes segments whose destination port matches. Replaces any previous
+  /// binding on the port.
+  void bind(std::uint16_t local_port, SegmentHandler handler);
+  void unbind(std::uint16_t local_port);
+
+  Host& host() { return host_; }
+  std::uint64_t segments_demuxed() const { return demuxed_; }
+  std::uint64_t segments_unclaimed() const { return unclaimed_; }
+
+ private:
+  Host& host_;
+  std::map<std::uint16_t, SegmentHandler> ports_;
+  std::uint64_t demuxed_ = 0;
+  std::uint64_t unclaimed_ = 0;
+};
+
+}  // namespace streamlab

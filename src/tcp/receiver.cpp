@@ -1,0 +1,65 @@
+#include "tcp/receiver.hpp"
+
+namespace streamlab {
+
+TcpBulkReceiver::TcpBulkReceiver(TcpDemux& demux, std::uint16_t port)
+    : demux_(demux), port_(port) {
+  demux_.bind(port_, [this](const TcpHeader& tcp, Ipv4Address src,
+                            std::span<const std::uint8_t> payload, SimTime now) {
+    on_segment(tcp, src, payload, now);
+  });
+}
+
+TcpBulkReceiver::~TcpBulkReceiver() { demux_.unbind(port_); }
+
+void TcpBulkReceiver::on_segment(const TcpHeader& tcp, Ipv4Address src,
+                                 std::span<const std::uint8_t> payload, SimTime) {
+  ++stats_.segments_received;
+
+  if (tcp.flag_syn && !peer_) {
+    peer_ = Endpoint{src, tcp.src_port};
+    irs_ = tcp.seq;
+    TcpHeader synack;
+    synack.src_port = port_;
+    synack.dst_port = tcp.src_port;
+    synack.flag_syn = true;
+    synack.flag_ack = true;
+    synack.seq = iss_;
+    synack.ack = irs_ + 1;  // SYN consumes one sequence number
+    synack.window = advertised_window();
+    demux_.host().tcp_send(synack, src, {});
+    ++stats_.acks_sent;
+    return;
+  }
+  if (!peer_ || src != peer_->ip || tcp.src_port != peer_->port) return;
+
+  if (!payload.empty()) {
+    // Stream offset of this payload relative to the first data byte.
+    const std::uint64_t offset = tcp.seq - (irs_ + 1);
+    const std::uint64_t before = received_.total_covered();
+    received_.insert(offset, offset + payload.size());
+    if (received_.total_covered() == before) ++stats_.duplicate_segments;
+    stats_.bytes_received = received_.contiguous_prefix();
+  }
+  if (tcp.flag_fin) fin_received_ = true;
+  send_ack();
+}
+
+void TcpBulkReceiver::send_ack() {
+  TcpHeader ack;
+  ack.src_port = port_;
+  ack.dst_port = peer_->port;
+  ack.flag_ack = true;
+  ack.seq = iss_ + 1;
+  // Cumulative: next expected stream byte (+1 for the peer's SYN, +1 more
+  // once the FIN arrived and all data is in).
+  std::uint32_t ack_no =
+      irs_ + 1 + static_cast<std::uint32_t>(received_.contiguous_prefix());
+  if (fin_received_) ack_no += 1;
+  ack.ack = ack_no;
+  ack.window = advertised_window();
+  demux_.host().tcp_send(ack, peer_->ip, {});
+  ++stats_.acks_sent;
+}
+
+}  // namespace streamlab

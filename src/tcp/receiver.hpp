@@ -1,0 +1,48 @@
+// TCP bulk receiver: accepts one connection, acknowledges cumulatively
+// (emitting duplicate ACKs on gaps, which drive the sender's fast
+// retransmit), buffers out-of-order data, and completes on FIN.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "tcp/demux.hpp"
+#include "util/interval_set.hpp"
+
+namespace streamlab {
+
+class TcpBulkReceiver {
+ public:
+  struct Stats {
+    std::uint64_t segments_received = 0;
+    std::uint64_t bytes_received = 0;     ///< in-order payload bytes delivered
+    std::uint64_t duplicate_segments = 0; ///< fully redundant payloads
+    std::uint64_t acks_sent = 0;
+  };
+
+  /// Listens on `port`; the first SYN establishes the connection.
+  TcpBulkReceiver(TcpDemux& demux, std::uint16_t port);
+  ~TcpBulkReceiver();
+
+  bool connected() const { return peer_.has_value(); }
+  bool finished() const { return fin_received_; }
+  std::uint64_t bytes_received() const { return stats_.bytes_received; }
+  const Stats& stats() const { return stats_; }
+  std::uint16_t advertised_window() const { return 65535; }
+
+ private:
+  void on_segment(const TcpHeader& tcp, Ipv4Address src,
+                  std::span<const std::uint8_t> payload, SimTime now);
+  void send_ack();
+
+  TcpDemux& demux_;
+  std::uint16_t port_;
+  std::optional<Endpoint> peer_;
+  std::uint32_t irs_ = 0;        ///< initial receive sequence (peer's ISN)
+  std::uint32_t iss_ = 0x1000;   ///< our ISN for the SYN|ACK
+  IntervalSet received_;         ///< stream offsets (relative to irs_+1)
+  bool fin_received_ = false;
+  Stats stats_;
+};
+
+}  // namespace streamlab

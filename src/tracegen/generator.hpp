@@ -1,0 +1,58 @@
+// Synthetic streaming-flow generation (Section IV).
+//
+// Given a fitted FlowModel, generates a packet-level trace for a simulated
+// RealPlayer or MediaPlayer session without running the full network
+// simulation — the lightweight generator the paper proposes for ns-style
+// simulators.
+#pragma once
+
+#include <vector>
+
+#include "media/catalog.hpp"
+#include "tracegen/model.hpp"
+
+namespace streamlab {
+
+struct SyntheticPacket {
+  double time_s = 0.0;
+  std::uint32_t bytes = 0;
+  bool fragment = false;  ///< trailing IP fragment (MediaPlayer high rates)
+};
+
+struct SyntheticFlow {
+  ClipInfo clip;
+  double rtt_ms = 0.0;  ///< path RTT drawn from the Figure 1 distribution
+  std::vector<SyntheticPacket> packets;
+
+  std::uint64_t total_bytes() const;
+  double duration_s() const;
+  double mean_rate_kbps() const;
+  double fragment_fraction() const;
+  std::vector<double> sizes() const;
+  std::vector<double> interarrivals() const;  ///< group-leading packets only
+};
+
+class SyntheticFlowGenerator {
+ public:
+  SyntheticFlowGenerator(const FlowModel& model, std::uint64_t seed);
+
+  /// Generates one flow for the given catalog clip.
+  SyntheticFlow generate(const ClipInfo& clip);
+
+ private:
+  const FlowModel& model_;
+  Rng rng_;
+};
+
+/// Validation of a synthetic flow against the measured distributions it was
+/// fitted from: Kolmogorov-Smirnov distances on the normalised size and
+/// interarrival distributions (smaller is better; < ~0.15 is a close match).
+struct SyntheticValidation {
+  double size_ks = 1.0;
+  double interval_ks = 1.0;
+  double rate_relative_error = 1.0;  ///< |mean rate - encoding rate| / encoding rate
+};
+SyntheticValidation validate_against_model(const SyntheticFlow& flow,
+                                           const FlowModel& model);
+
+}  // namespace streamlab

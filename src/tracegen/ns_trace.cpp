@@ -1,0 +1,44 @@
+#include "tracegen/ns_trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace streamlab {
+
+bool write_ns_trace(std::ostream& out, const SyntheticFlow& flow, int flow_id) {
+  for (const auto& p : flow.packets) {
+    // r <time> <from> <to> <type> <size> --- <fid> <src> <dst> <seq> <uid>
+    out << "r " << fmt_double(p.time_s, 6) << " 1 0 " << (p.fragment ? "frag" : "udp")
+        << " " << p.bytes << " --- " << flow_id << " 1.0 0.0 0 0\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_ns_trace_file(const std::string& path, const SyntheticFlow& flow, int flow_id) {
+  std::ofstream out(path);
+  return out && write_ns_trace(out, flow, flow_id);
+}
+
+Expected<std::vector<SyntheticPacket>> read_ns_trace(std::istream& in) {
+  std::vector<SyntheticPacket> packets;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string event, type;
+    double time = 0.0;
+    int from = 0, to = 0;
+    std::uint32_t size = 0;
+    if (!(ls >> event >> time >> from >> to >> type >> size))
+      return Unexpected("malformed ns trace line " + std::to_string(line_no));
+    if (event != "r") continue;  // only receive events carry packets here
+    packets.push_back({time, size, type == "frag"});
+  }
+  return packets;
+}
+
+}  // namespace streamlab

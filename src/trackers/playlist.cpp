@@ -1,0 +1,23 @@
+#include "trackers/playlist.hpp"
+
+namespace streamlab {
+
+Playlist Playlist::for_player(PlayerKind player) {
+  Playlist list;
+  for (const auto& clip : clips_for(player)) list.add(clip.id());
+  return list;
+}
+
+std::optional<ClipInfo> Playlist::next() {
+  while (true) {
+    if (cursor_ >= clip_ids_.size()) {
+      if (!repeat_ || clip_ids_.empty()) return std::nullopt;
+      cursor_ = 0;
+    }
+    const std::string& id = clip_ids_[cursor_++];
+    if (auto clip = find_clip(id)) return clip;
+    // Unknown id: skip and continue.
+  }
+}
+
+}  // namespace streamlab

@@ -1,0 +1,44 @@
+// Playlists: both trackers in the paper "support a customized play list to
+// automatic playback of multiple video clips". A Playlist is an ordered
+// queue of clip ids with cursor and repeat semantics; the experiment
+// harness advances it between runs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "media/catalog.hpp"
+
+namespace streamlab {
+
+class Playlist {
+ public:
+  Playlist() = default;
+  explicit Playlist(std::vector<std::string> clip_ids, bool repeat = false)
+      : clip_ids_(std::move(clip_ids)), repeat_(repeat) {}
+
+  /// Builds a playlist of every catalog clip for one player, ordered by
+  /// data set then tier (the order the study plays them).
+  static Playlist for_player(PlayerKind player);
+
+  void add(std::string clip_id) { clip_ids_.push_back(std::move(clip_id)); }
+
+  /// Next clip id, advancing the cursor; nullopt when exhausted (and not
+  /// repeating). Unknown ids are skipped.
+  std::optional<ClipInfo> next();
+
+  std::size_t size() const { return clip_ids_.size(); }
+  std::size_t position() const { return cursor_; }
+  bool exhausted() const { return !repeat_ && cursor_ >= clip_ids_.size(); }
+  void reset() { cursor_ = 0; }
+
+  const std::vector<std::string>& clip_ids() const { return clip_ids_; }
+
+ private:
+  std::vector<std::string> clip_ids_;
+  bool repeat_ = false;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace streamlab

@@ -1,0 +1,19 @@
+#include "trackers/report.hpp"
+
+#include "util/strings.hpp"
+
+namespace streamlab {
+
+std::string TrackerReport::to_csv() const {
+  std::string out =
+      "time_s,frame_rate_fps,playback_kbps,packets_received,packets_lost,buffering\n";
+  for (const auto& s : samples) {
+    out += fmt_double(s.time.to_seconds(), 3) + "," + fmt_double(s.frame_rate_fps, 2) +
+           "," + fmt_double(s.playback_bandwidth.to_kbps(), 1) + "," +
+           std::to_string(s.packets_received) + "," + std::to_string(s.packets_lost) +
+           "," + (s.buffering ? "1" : "0") + "\n";
+  }
+  return out;
+}
+
+}  // namespace streamlab

@@ -1,0 +1,54 @@
+// Tracker data model: the application-layer statistics MediaTracker and
+// RealTracker record while a clip plays (Section 2.B of the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "media/clip.hpp"
+#include "util/rate.hpp"
+#include "util/time.hpp"
+
+namespace streamlab {
+
+/// One polling-interval sample of the player engine's statistics.
+struct TrackerSample {
+  SimTime time;
+  double frame_rate_fps = 0.0;       ///< frames rendered over the last interval
+  BitRate playback_bandwidth;        ///< bits received over the last interval
+  std::uint64_t packets_received = 0;  ///< cumulative
+  std::uint64_t packets_lost = 0;      ///< cumulative
+  bool buffering = false;              ///< playout has not begun yet
+};
+
+/// A full tracker session for one clip.
+struct TrackerReport {
+  std::string clip_id;
+  PlayerKind player = PlayerKind::kMediaPlayer;
+  std::string transport = "UDP";     ///< the study forces UDP
+  BitRate encoded_rate;              ///< as reported by the player engine
+  Duration clip_length;
+  std::vector<TrackerSample> samples;
+
+  // Session summary, valid after the clip finishes.
+  BitRate average_playback_bandwidth;  ///< over the whole reception
+  double average_frame_rate = 0.0;     ///< over the playing phase
+  std::uint64_t total_packets = 0;
+  std::uint64_t total_lost = 0;
+  std::uint32_t frames_rendered = 0;
+  std::uint32_t frames_dropped = 0;
+  Duration startup_delay;              ///< PLAY to first rendered frame
+  Duration streaming_duration;         ///< first to last data packet
+
+  /// Reception quality as the products reported it: percentage of frames
+  /// delivered on time.
+  double reception_quality() const {
+    const double total = static_cast<double>(frames_rendered) + frames_dropped;
+    return total == 0.0 ? 0.0 : 100.0 * static_cast<double>(frames_rendered) / total;
+  }
+
+  /// Serializes samples as CSV (one row per poll), with a header line.
+  std::string to_csv() const;
+};
+
+}  // namespace streamlab

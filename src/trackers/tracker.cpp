@@ -1,0 +1,71 @@
+#include "trackers/tracker.hpp"
+
+namespace streamlab {
+
+PlayerTracker::PlayerTracker(StreamClient& client, Duration poll_interval)
+    : client_(client), interval_(poll_interval) {}
+
+void PlayerTracker::start(Duration max_duration) {
+  started_at_ = client_.host().loop().now();
+  deadline_ = started_at_ + max_duration;
+  client_.host().loop().schedule_in(interval_, [this] { poll(); });
+}
+
+void PlayerTracker::poll() {
+  EventLoop& loop = client_.host().loop();
+  TrackerSample s;
+  s.time = loop.now();
+  const std::uint32_t rendered = client_.frames_rendered();
+  s.frame_rate_fps =
+      static_cast<double>(rendered - last_frames_rendered_) / interval_.to_seconds();
+  last_frames_rendered_ = rendered;
+
+  const std::uint64_t wire = client_.wire_bytes_received();
+  s.playback_bandwidth = BitRate(static_cast<std::int64_t>(
+      static_cast<double>(wire - last_wire_bytes_) * 8.0 / interval_.to_seconds()));
+  last_wire_bytes_ = wire;
+
+  s.packets_received = client_.packets_received();
+  s.packets_lost = client_.packets_lost();
+  s.buffering = !client_.playback_started() ||
+                loop.now() < client_.playout_start_time().value_or(SimTime::max());
+  samples_.push_back(s);
+
+  if (client_.playback_finished() || loop.now() >= deadline_) return;
+  loop.schedule_in(interval_, [this] { poll(); });
+}
+
+TrackerReport PlayerTracker::report() const {
+  TrackerReport r;
+  const EncodedClip& clip = client_.clip();
+  r.clip_id = clip.info().id();
+  r.player = client_.kind();
+  r.encoded_rate = clip.info().encoded_rate;
+  r.clip_length = clip.info().length;
+  r.samples = samples_;
+
+  r.average_playback_bandwidth = client_.average_playback_rate();
+  r.total_packets = client_.packets_received();
+  r.total_lost = client_.packets_lost();
+  r.frames_rendered = client_.frames_rendered();
+  r.frames_dropped = client_.frames_dropped();
+
+  // Average frame rate over the playing phase only (buffering samples have
+  // no frames by construction and would bias the mean).
+  double fps_sum = 0.0;
+  std::size_t fps_n = 0;
+  for (const auto& s : samples_) {
+    if (s.buffering) continue;
+    fps_sum += s.frame_rate_fps;
+    ++fps_n;
+  }
+  r.average_frame_rate = fps_n == 0 ? 0.0 : fps_sum / static_cast<double>(fps_n);
+
+  if (client_.playout_start_time() && client_.first_data_time())
+    r.startup_delay = *client_.playout_start_time() - started_at_;
+  if (client_.first_data_time() && client_.last_data_time())
+    r.streaming_duration = *client_.last_data_time() - *client_.first_data_time();
+  return r;
+}
+
+}  // namespace streamlab

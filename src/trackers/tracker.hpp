@@ -1,0 +1,40 @@
+// PlayerTracker: the MediaTracker / RealTracker equivalent.
+//
+// Attaches to a streaming client and polls the engine's counters once per
+// interval (the SDK-callback cadence of the real tools), accumulating a
+// TrackerReport. One class serves both players; the report records which
+// engine it instrumented.
+#pragma once
+
+#include "players/client.hpp"
+#include "trackers/report.hpp"
+
+namespace streamlab {
+
+class PlayerTracker {
+ public:
+  explicit PlayerTracker(StreamClient& client,
+                         Duration poll_interval = Duration::seconds(1));
+
+  /// Begins polling; keeps polling until the client reports playback
+  /// finished (or `max_duration` elapses, as a safety stop).
+  void start(Duration max_duration = Duration::seconds(3600));
+
+  /// Builds the final report; call after the event loop has drained.
+  TrackerReport report() const;
+
+  const std::vector<TrackerSample>& samples() const { return samples_; }
+
+ private:
+  void poll();
+
+  StreamClient& client_;
+  Duration interval_;
+  SimTime started_at_;
+  SimTime deadline_;
+  std::vector<TrackerSample> samples_;
+  std::uint32_t last_frames_rendered_ = 0;
+  std::uint64_t last_wire_bytes_ = 0;
+};
+
+}  // namespace streamlab

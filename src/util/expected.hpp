@@ -1,0 +1,76 @@
+// Minimal expected<T, E> for C++20 (std::expected is C++23).
+//
+// streamlab reports recoverable failures (malformed headers, truncated pcap
+// files, filter syntax errors) through Expected rather than exceptions, per
+// the project error-handling policy: exceptions are reserved for programming
+// errors and resource exhaustion.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace streamlab {
+
+/// Tag wrapper so Expected<T, E> can be constructed unambiguously from an
+/// error value even when T and E are convertible.
+template <typename E>
+class Unexpected {
+ public:
+  explicit Unexpected(E e) : error_(std::move(e)) {}
+  const E& error() const& { return error_; }
+  E&& error() && { return std::move(error_); }
+
+ private:
+  E error_;
+};
+
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+
+template <typename T, typename E = std::string>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> u) : storage_(std::in_place_index<1>, std::move(u).error()) {}
+
+  bool has_value() const { return storage_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  const T& value() const& {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  T& value() & {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(storage_));
+  }
+  const E& error() const& {
+    assert(!has_value());
+    return std::get<1>(storage_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const& { return has_value() ? value() : std::move(fallback); }
+
+  /// Applies f to the contained value; propagates the error otherwise.
+  template <typename F>
+  auto map(F&& f) const -> Expected<decltype(f(std::declval<const T&>())), E> {
+    if (has_value()) return f(value());
+    return Unexpected<E>(error());
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+}  // namespace streamlab

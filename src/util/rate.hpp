@@ -1,0 +1,67 @@
+// Bandwidth / bit-rate strong type.
+//
+// The paper reports every rate in kilobits per second; internally we keep
+// bits per second as a 64-bit integer which is exact for every rate that
+// appears in the study.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace streamlab {
+
+class BitRate {
+ public:
+  constexpr BitRate() = default;
+  constexpr explicit BitRate(std::int64_t bps) : bps_(bps) {}
+
+  static constexpr BitRate bps(std::int64_t v) { return BitRate(v); }
+  static constexpr BitRate kbps(double v) {
+    return BitRate(static_cast<std::int64_t>(v * 1'000 + 0.5));
+  }
+  static constexpr BitRate mbps(double v) {
+    return BitRate(static_cast<std::int64_t>(v * 1'000'000 + 0.5));
+  }
+  static constexpr BitRate zero() { return BitRate(0); }
+
+  constexpr std::int64_t bits_per_second() const { return bps_; }
+  constexpr double to_kbps() const { return static_cast<double>(bps_) / 1'000.0; }
+  constexpr double to_mbps() const { return static_cast<double>(bps_) / 1'000'000.0; }
+
+  constexpr auto operator<=>(const BitRate&) const = default;
+
+  constexpr BitRate operator+(BitRate o) const { return BitRate(bps_ + o.bps_); }
+  constexpr BitRate operator-(BitRate o) const { return BitRate(bps_ - o.bps_); }
+  constexpr double operator/(BitRate o) const {
+    return static_cast<double>(bps_) / static_cast<double>(o.bps_);
+  }
+  constexpr BitRate scaled(double f) const {
+    return BitRate(static_cast<std::int64_t>(static_cast<double>(bps_) * f + 0.5));
+  }
+
+  /// Time to serialize `bytes` onto a link of this rate.
+  constexpr Duration transmission_time(std::size_t bytes) const {
+    if (bps_ <= 0) return Duration::max();
+    // bytes * 8 * 1e9 / bps, computed to avoid overflow for realistic sizes.
+    const double secs =
+        static_cast<double>(bytes) * 8.0 / static_cast<double>(bps_);
+    return Duration::from_seconds(secs);
+  }
+
+  /// Number of whole bytes transferable in `d` at this rate.
+  constexpr std::int64_t bytes_in(Duration d) const {
+    const double bits = static_cast<double>(bps_) * d.to_seconds();
+    return static_cast<std::int64_t>(bits / 8.0);
+  }
+
+ private:
+  std::int64_t bps_ = 0;
+};
+
+/// Renders a rate as "283.0 Kbps" / "1.50 Mbps".
+std::string to_string(BitRate r);
+
+}  // namespace streamlab

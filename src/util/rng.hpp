@@ -1,0 +1,86 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of streamlab (link jitter, RealPlayer packet-size
+// variation, encoder frame sizes, ...) draws from an explicitly seeded
+// xoshiro256++ generator so experiments replay bit-for-bit. std::mt19937_64
+// is avoided because its distributions are not guaranteed identical across
+// standard library implementations; all distribution shaping here is our own.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace streamlab {
+
+/// xoshiro256++ by Blackman & Vigna (public domain reference algorithm),
+/// seeded through splitmix64 so that small consecutive seeds give unrelated
+/// streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second draw).
+  double normal();
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Exponential with the given mean (mean = 1/lambda). Requires mean > 0.
+  double exponential(double mean);
+  /// Lognormal parameterised by the *target* mean and coefficient of
+  /// variation of the resulting distribution (not of the underlying normal).
+  double lognormal_mean_cv(double mean, double cv);
+  /// Pareto with shape `alpha` and scale `xm` (minimum value).
+  double pareto(double alpha, double xm);
+  /// True with probability p.
+  bool chance(double p);
+
+  /// Derives an unrelated child generator; used to give each subsystem its
+  /// own stream so adding draws in one place does not perturb another.
+  Rng fork();
+
+  /// Fisher-Yates shuffle of a span.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Samples from an empirical distribution by linear interpolation of the
+/// inverse CDF — the mechanism Section IV of the paper proposes for
+/// generating simulated flows from the measured distributions.
+class EmpiricalSampler {
+ public:
+  /// Builds from raw observations (copied and sorted internally).
+  /// An empty sample set yields a sampler that always returns 0.
+  explicit EmpiricalSampler(std::vector<double> observations);
+
+  double sample(Rng& rng) const;
+  /// Inverse CDF at quantile q in [0, 1].
+  double quantile(double q) const;
+  bool empty() const { return sorted_.empty(); }
+  std::size_t size() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace streamlab

@@ -1,0 +1,99 @@
+// Simulation time primitives.
+//
+// All of streamlab runs on a single discrete simulated clock measured in
+// integer nanoseconds since the start of an experiment. Using a strong type
+// (rather than a bare uint64_t) keeps timestamps, durations and rates from
+// being mixed up at call sites.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace streamlab {
+
+/// A duration on the simulated clock, in nanoseconds. May be negative when
+/// expressing differences.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr Duration nanos(std::int64_t v) { return Duration(v); }
+  static constexpr Duration micros(std::int64_t v) { return Duration(v * 1'000); }
+  static constexpr Duration millis(std::int64_t v) { return Duration(v * 1'000'000); }
+  static constexpr Duration seconds(std::int64_t v) { return Duration(v * 1'000'000'000); }
+  /// Builds a duration from a floating point number of seconds, rounding to
+  /// the nearest nanosecond.
+  static constexpr Duration from_seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+  /// Scales by a floating factor, rounding to nearest nanosecond.
+  constexpr Duration scaled(double f) const {
+    return Duration::from_seconds(to_seconds() * f);
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute instant on the simulated clock (nanoseconds since experiment
+/// start). Instants and durations obey the usual affine algebra: instant -
+/// instant = duration, instant + duration = instant.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime(Duration::from_seconds(s).ns());
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(Duration d) const { return SimTime(ns_ + d.ns()); }
+  constexpr SimTime operator-(Duration d) const { return SimTime(ns_ - d.ns()); }
+  constexpr Duration operator-(SimTime o) const { return Duration(ns_ - o.ns_); }
+  constexpr SimTime& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Renders a duration as a short human-readable string ("12.5ms", "3.2s").
+std::string to_string(Duration d);
+/// Renders an instant as seconds with millisecond precision ("t=12.345s").
+std::string to_string(SimTime t);
+
+}  // namespace streamlab

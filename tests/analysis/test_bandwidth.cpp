@@ -1,0 +1,83 @@
+#include "analysis/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamlab {
+namespace {
+
+/// Synthesizes a (t, kbps) timeline: `burst_windows` windows at burst_rate,
+/// then `steady_windows` at steady_rate.
+std::vector<std::pair<double, double>> timeline(int burst_windows, double burst_rate,
+                                                int steady_windows, double steady_rate,
+                                                double window_s = 2.0) {
+  std::vector<std::pair<double, double>> out;
+  double t = 0.0;
+  for (int i = 0; i < burst_windows; ++i, t += window_s) out.emplace_back(t, burst_rate);
+  for (int i = 0; i < steady_windows; ++i, t += window_s) out.emplace_back(t, steady_rate);
+  return out;
+}
+
+TEST(BufferingAnalysis, DetectsClearBurst) {
+  // The RealPlayer profile: 10 windows at 3x, then 50 at steady.
+  const auto a = analyze_buffering(timeline(10, 108.0, 50, 36.0), Duration::seconds(2));
+  ASSERT_TRUE(a.has_buffering_phase);
+  EXPECT_NEAR(a.ratio(), 3.0, 0.01);
+  EXPECT_NEAR(a.buffering_rate_kbps, 108.0, 0.1);
+  EXPECT_NEAR(a.steady_rate_kbps, 36.0, 0.1);
+  EXPECT_NEAR(a.buffering_duration.to_seconds(), 20.0, 0.1);
+}
+
+TEST(BufferingAnalysis, FlatTimelineHasRatioOne) {
+  // The MediaPlayer profile: constant rate throughout.
+  const auto a = analyze_buffering(timeline(0, 0.0, 60, 100.0), Duration::seconds(2));
+  EXPECT_FALSE(a.has_buffering_phase);
+  EXPECT_DOUBLE_EQ(a.ratio(), 1.0);
+  EXPECT_NEAR(a.steady_rate_kbps, 100.0, 0.1);
+}
+
+TEST(BufferingAnalysis, SingleNoisyWindowNotABurst) {
+  auto tl = timeline(0, 0.0, 60, 100.0);
+  tl[0].second = 200.0;  // one spiky window
+  const auto a = analyze_buffering(tl, Duration::seconds(2), 1.25, /*min_windows=*/3);
+  EXPECT_FALSE(a.has_buffering_phase);
+}
+
+TEST(BufferingAnalysis, ModestBurstBelowThresholdIgnored) {
+  // 1.1x burst under the 1.25 threshold: treated as steady.
+  const auto a = analyze_buffering(timeline(10, 110.0, 50, 100.0), Duration::seconds(2));
+  EXPECT_FALSE(a.has_buffering_phase);
+}
+
+TEST(BufferingAnalysis, RatioNearFloorDetectedWhenAboveThreshold) {
+  const auto a = analyze_buffering(timeline(10, 140.0, 50, 100.0), Duration::seconds(2));
+  ASSERT_TRUE(a.has_buffering_phase);
+  EXPECT_NEAR(a.ratio(), 1.4, 0.01);
+}
+
+TEST(BufferingAnalysis, TooShortTimelineSafe) {
+  const auto a = analyze_buffering(timeline(1, 100.0, 2, 50.0), Duration::seconds(2));
+  EXPECT_FALSE(a.has_buffering_phase);
+  EXPECT_DOUBLE_EQ(a.ratio(), 1.0);
+}
+
+TEST(BufferingAnalysis, EmptyTimelineSafe) {
+  const auto a = analyze_buffering({}, Duration::seconds(2));
+  EXPECT_FALSE(a.has_buffering_phase);
+  EXPECT_DOUBLE_EQ(a.ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(a.steady_rate_kbps, 0.0);
+}
+
+TEST(BufferingAnalysis, ZeroSteadyRateSafe) {
+  const auto a = analyze_buffering(timeline(5, 100.0, 20, 0.0), Duration::seconds(2));
+  EXPECT_DOUBLE_EQ(a.ratio(), 1.0);
+}
+
+TEST(BufferingAnalysis, BurstDurationScalesWithWindow) {
+  const auto a =
+      analyze_buffering(timeline(8, 300.0, 40, 100.0), Duration::seconds(1));
+  ASSERT_TRUE(a.has_buffering_phase);
+  EXPECT_NEAR(a.buffering_duration.to_seconds(), 8.0, 0.1);
+}
+
+}  // namespace
+}  // namespace streamlab

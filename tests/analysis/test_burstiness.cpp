@@ -1,0 +1,107 @@
+#include "analysis/burstiness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcap/capture.hpp"
+#include "util/rng.hpp"
+
+namespace streamlab {
+namespace {
+
+const Endpoint kServer{Ipv4Address(192, 168, 100, 10), 1755};
+const Endpoint kClient{Ipv4Address(10, 0, 0, 2), 7000};
+
+FlowTrace flow_at_times(const std::vector<double>& times) {
+  CaptureTrace trace;
+  std::uint16_t id = 0;
+  for (const double t : times)
+    trace.add_packet(SimTime::from_seconds(t), MacAddress::for_nic(1),
+                     MacAddress::for_nic(2),
+                     make_udp_packet(kServer, kClient,
+                                     std::vector<std::uint8_t>(100, 1), id++));
+  return FlowTrace::extract(dissect_trace(trace), kServer.ip, kClient.port);
+}
+
+TEST(Burstiness, WindowedCountsPartitionFlow) {
+  std::vector<double> times;
+  for (int i = 0; i < 100; ++i) times.push_back(1.0 + i * 0.1);  // 10 pkts/s x 10 s
+  const auto counts = windowed_counts(flow_at_times(times), Duration::seconds(1));
+  ASSERT_GE(counts.size(), 10u);
+  double total = 0;
+  for (const double c : counts) total += c;
+  EXPECT_EQ(total, 100.0);
+  EXPECT_EQ(counts[0], 10.0);
+}
+
+TEST(Burstiness, CbrIdcNearZero) {
+  std::vector<double> times;
+  for (int i = 0; i < 600; ++i) times.push_back(1.0 + i * 0.1);
+  const auto s = summarize_burstiness(flow_at_times(times));
+  EXPECT_LT(s.idc, 0.05);
+  EXPECT_NEAR(s.peak_to_mean, 1.0, 0.05);
+}
+
+TEST(Burstiness, PoissonIdcNearOne) {
+  Rng rng(42);
+  std::vector<double> times;
+  double t = 1.0;
+  for (int i = 0; i < 5000; ++i) {
+    t += rng.exponential(0.1);  // Poisson arrivals at 10/s
+    times.push_back(t);
+  }
+  const auto counts = windowed_counts(flow_at_times(times), Duration::seconds(1));
+  EXPECT_NEAR(index_of_dispersion(counts), 1.0, 0.3);
+}
+
+TEST(Burstiness, OnOffFlowHighlyDispersed) {
+  // 1 s bursts of 50 packets alternating with 4 s silences.
+  std::vector<double> times;
+  for (int burst = 0; burst < 20; ++burst) {
+    const double base = burst * 5.0;
+    for (int i = 0; i < 50; ++i) times.push_back(base + i * 0.02);
+  }
+  const auto s = summarize_burstiness(flow_at_times(times));
+  EXPECT_GT(s.idc, 5.0);
+  EXPECT_GT(s.peak_to_mean, 3.0);
+}
+
+TEST(Burstiness, AutocorrelationOfAlternatingSeries) {
+  // Perfect alternation has lag-1 autocorrelation ~ -1.
+  std::vector<double> series;
+  for (int i = 0; i < 100; ++i) series.push_back(i % 2 == 0 ? 10.0 : 0.0);
+  EXPECT_LT(autocorrelation(series, 1), -0.9);
+  // A constant series is degenerate -> 0.
+  EXPECT_DOUBLE_EQ(autocorrelation(std::vector<double>(50, 5.0), 1), 0.0);
+}
+
+TEST(Burstiness, SkipWindowsDropsStartupBurst) {
+  // 3x rate for the first 10 s, then steady: skipping 10 windows removes
+  // the burst and the steady remainder is near-CBR.
+  std::vector<double> times;
+  double t = 0.0;
+  while (t < 10.0) {
+    times.push_back(t);
+    t += 1.0 / 30.0;
+  }
+  while (t < 60.0) {
+    times.push_back(t);
+    t += 0.1;
+  }
+  const auto with_burst = summarize_burstiness(flow_at_times(times));
+  const auto steady_only =
+      summarize_burstiness(flow_at_times(times), Duration::seconds(1), 10);
+  EXPECT_GT(with_burst.idc, 5.0 * (steady_only.idc + 0.01));
+  EXPECT_LT(steady_only.peak_to_mean, 1.2);
+}
+
+TEST(Burstiness, EmptyFlowSafe) {
+  const FlowTrace empty = FlowTrace::extract({}, kServer.ip, kClient.port);
+  const auto s = summarize_burstiness(empty);
+  EXPECT_EQ(s.windows, 0u);
+  EXPECT_DOUBLE_EQ(s.idc, 0.0);
+  EXPECT_TRUE(windowed_counts(empty, Duration::seconds(1)).empty());
+  EXPECT_DOUBLE_EQ(index_of_dispersion({}), 0.0);
+}
+
+}  // namespace
+}  // namespace streamlab

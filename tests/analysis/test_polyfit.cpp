@@ -1,0 +1,86 @@
+#include "analysis/polyfit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace streamlab {
+namespace {
+
+TEST(PolyFit, ExactLineRecovered) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.0 * i);
+  }
+  const auto fit = PolyFit::fit(xs, ys, 1);
+  ASSERT_EQ(fit.coefficients.size(), 2u);
+  EXPECT_NEAR(fit.coefficients[0], 3.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(PolyFit, ExactQuadraticRecovered) {
+  std::vector<double> xs, ys;
+  for (int i = -5; i <= 5; ++i) {
+    xs.push_back(i);
+    ys.push_back(1.0 - 0.5 * i + 0.25 * i * i);
+  }
+  const auto fit = PolyFit::fit(xs, ys, 2);
+  ASSERT_EQ(fit.coefficients.size(), 3u);
+  EXPECT_NEAR(fit.coefficients[0], 1.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], -0.5, 1e-9);
+  EXPECT_NEAR(fit.coefficients[2], 0.25, 1e-9);
+}
+
+TEST(PolyFit, EvalMatchesPolynomial) {
+  PolyFit fit;
+  fit.coefficients = {1.0, 2.0, 3.0};  // 1 + 2x + 3x^2
+  EXPECT_DOUBLE_EQ(fit.eval(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fit.eval(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(fit.eval(2.0), 17.0);
+  EXPECT_DOUBLE_EQ(fit.eval(-1.0), 2.0);
+}
+
+TEST(PolyFit, NoisyDataReasonableFit) {
+  Rng rng(6);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0, 700);  // the figure's Kbps range
+    xs.push_back(x);
+    ys.push_back(1.05 * x + 10.0 + rng.normal(0, 5.0));
+  }
+  const auto fit = PolyFit::fit(xs, ys, 2);
+  EXPECT_GT(fit.r_squared, 0.99);
+  // Trend close to the generating line across the range.
+  for (const double x : {50.0, 300.0, 650.0})
+    EXPECT_NEAR(fit.eval(x), 1.05 * x + 10.0, 8.0);
+}
+
+TEST(PolyFit, DegreeZeroIsMean) {
+  const auto fit = PolyFit::fit({1, 2, 3}, {4.0, 6.0, 8.0}, 0);
+  ASSERT_EQ(fit.coefficients.size(), 1u);
+  EXPECT_NEAR(fit.coefficients[0], 6.0, 1e-9);
+}
+
+TEST(PolyFit, RejectsUnderdeterminedSystems) {
+  EXPECT_TRUE(PolyFit::fit({1.0, 2.0}, {1.0, 2.0}, 2).coefficients.empty());
+  EXPECT_TRUE(PolyFit::fit({}, {}, 1).coefficients.empty());
+  EXPECT_TRUE(PolyFit::fit({1.0}, {1.0, 2.0}, 0).coefficients.empty());  // size mismatch
+  EXPECT_TRUE(PolyFit::fit({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}, -1).coefficients.empty());
+}
+
+TEST(PolyFit, SingularSystemRejected) {
+  // All x identical: Vandermonde is singular for degree >= 1.
+  const auto fit = PolyFit::fit({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0}, 1);
+  EXPECT_TRUE(fit.coefficients.empty());
+}
+
+TEST(PolyFit, ConstantDataPerfectR2) {
+  const auto fit = PolyFit::fit({1.0, 2.0, 3.0}, {5.0, 5.0, 5.0}, 1);
+  ASSERT_FALSE(fit.coefficients.empty());
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace streamlab

@@ -1,0 +1,112 @@
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace streamlab {
+namespace {
+
+TEST(SummaryStats, EmptyIsZeroed) {
+  const auto s = SummaryStats::from({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(SummaryStats, SingleValue) {
+  const auto s = SummaryStats::from({7.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.standard_error, 0.0);
+}
+
+TEST(SummaryStats, KnownSample) {
+  const auto s = SummaryStats::from({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  // Sample stddev with n-1: sqrt(32/7).
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_NEAR(s.standard_error, s.stddev / std::sqrt(8.0), 1e-12);
+}
+
+TEST(SummaryStats, OddCountMedian) {
+  const auto s = SummaryStats::from({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.125), 15.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(v, -1.0), 10.0);  // clamped
+  EXPECT_DOUBLE_EQ(quantile(v, 2.0), 50.0);
+}
+
+TEST(NormalizeByMean, UnitMeanResult) {
+  const auto out = normalize_by_mean({2.0, 4.0, 6.0});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 0.5);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 1.5);
+  double sum = 0;
+  for (double v : out) sum += v;
+  EXPECT_DOUBLE_EQ(sum / 3.0, 1.0);
+}
+
+TEST(NormalizeByMean, DegenerateInputs) {
+  EXPECT_TRUE(normalize_by_mean({}).empty());
+  EXPECT_TRUE(normalize_by_mean({0.0, 0.0}).empty());  // zero mean
+}
+
+TEST(KsDistance, IdenticalSamplesNearZero) {
+  Rng rng(1);
+  std::vector<double> a(2000);
+  for (auto& v : a) v = rng.normal();
+  EXPECT_LT(ks_distance(a, a), 1e-9);
+}
+
+TEST(KsDistance, SameDistributionSmall) {
+  Rng rng(2);
+  std::vector<double> a(3000), b(3000);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  EXPECT_LT(ks_distance(a, b), 0.06);
+}
+
+TEST(KsDistance, DisjointDistributionsNearOne) {
+  std::vector<double> a(100, 0.0), b(100, 10.0);
+  for (std::size_t i = 0; i < 100; ++i) {
+    a[i] = static_cast<double>(i) * 0.01;        // [0, 1)
+    b[i] = 10.0 + static_cast<double>(i) * 0.01; // [10, 11)
+  }
+  EXPECT_GT(ks_distance(a, b), 0.99);
+}
+
+TEST(KsDistance, ShiftedDistributionsDetected) {
+  Rng rng(3);
+  std::vector<double> a(3000), b(3000);
+  for (auto& v : a) v = rng.normal(0.0, 1.0);
+  for (auto& v : b) v = rng.normal(1.0, 1.0);
+  const double d = ks_distance(a, b);
+  EXPECT_GT(d, 0.3);  // theoretical ~0.38
+  EXPECT_LT(d, 0.5);
+}
+
+TEST(KsDistance, EmptyInputIsMaximal) {
+  EXPECT_DOUBLE_EQ(ks_distance({}, {1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(ks_distance({1.0}, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace streamlab

@@ -1,0 +1,74 @@
+// Tests of the TCP-friendliness extension.
+#include "congestion/friendliness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamlab {
+namespace {
+
+ClipInfo media_clip(PlayerKind player, double kbps, int seconds = 60) {
+  ClipInfo c;
+  c.data_set = 1;
+  c.content = ContentClass::kSports;
+  c.player = player;
+  c.tier = kbps < 150 ? RateTier::kLow : RateTier::kHigh;
+  c.encoded_rate = BitRate::kbps(kbps);
+  c.advertised_rate = BitRate::kbps(kbps < 150 ? 56 : 300);
+  c.length = Duration::seconds(seconds);
+  return c;
+}
+
+FriendlinessConfig config_400k() {
+  FriendlinessConfig config;
+  config.bottleneck = BitRate::kbps(400);
+  config.seed = 5;
+  return config;
+}
+
+TEST(Friendliness, BothFlowsCoexistBelowFairShare) {
+  // Media at 100 Kbps over a 400 Kbps link: no contention, TCP takes the rest.
+  const auto r = run_friendliness_experiment(
+      media_clip(PlayerKind::kMediaPlayer, 100), config_400k());
+  EXPECT_GT(r.contention_seconds, 30.0);
+  EXPECT_NEAR(r.media_share_kbps, 105.0, 15.0);  // wire overhead included
+  EXPECT_LT(r.media_fairness_index, 0.7);
+  EXPECT_GT(r.tcp_share_kbps, 200.0);  // TCP soaks up the leftover
+}
+
+TEST(Friendliness, MediaStreamIsUnresponsive) {
+  // Media at 300 Kbps of a 400 Kbps link (fair share 200): the UDP stream
+  // keeps its full rate — fairness index well above 1 — and TCP is squeezed
+  // below its fair share. The paper's expected "lack of TCP-Friendliness".
+  const auto r = run_friendliness_experiment(
+      media_clip(PlayerKind::kMediaPlayer, 300), config_400k());
+  EXPECT_GT(r.media_fairness_index, 1.3);
+  EXPECT_LT(r.tcp_share_kbps, r.fair_share_kbps);
+  EXPECT_GT(r.tcp_retransmissions, 0u);  // TCP is the one backing off
+}
+
+TEST(Friendliness, RealPlayerEquallyUnresponsive) {
+  const auto r = run_friendliness_experiment(
+      media_clip(PlayerKind::kRealPlayer, 300), config_400k());
+  EXPECT_GT(r.media_fairness_index, 1.2);
+  EXPECT_LT(r.tcp_share_kbps, r.fair_share_kbps);
+}
+
+TEST(Friendliness, SharesRoughlyPartitionTheLink) {
+  const auto r = run_friendliness_experiment(
+      media_clip(PlayerKind::kMediaPlayer, 200), config_400k());
+  const double total = r.media_share_kbps + r.tcp_share_kbps;
+  // Together the two flows use most of the bottleneck but cannot exceed it.
+  EXPECT_GT(total, 0.7 * r.bottleneck.to_kbps());
+  EXPECT_LT(total, 1.1 * r.bottleneck.to_kbps());
+}
+
+TEST(Friendliness, FairnessGrowsWithMediaRate) {
+  const auto low = run_friendliness_experiment(
+      media_clip(PlayerKind::kMediaPlayer, 100), config_400k());
+  const auto high = run_friendliness_experiment(
+      media_clip(PlayerKind::kMediaPlayer, 300), config_400k());
+  EXPECT_GT(high.media_fairness_index, low.media_fairness_index + 0.5);
+}
+
+}  // namespace
+}  // namespace streamlab

@@ -1,0 +1,95 @@
+#include "core/aggregate.hpp"
+
+#include "core/study.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamlab {
+namespace {
+
+AggregateConfig small_config() {
+  AggregateConfig config;
+  // Short clips keep the test fast; one of each player.
+  config.clip_ids = {"set2/R-l", "set2/M-l"};
+  config.path = path_for_data_set(2, 5);
+  config.seed = 5;
+  return config;
+}
+
+TEST(Aggregate, RunsEverySession) {
+  const AggregateResult r = run_aggregate_experiment(small_config());
+  ASSERT_EQ(r.sessions.size(), 2u);
+  for (const auto& s : r.sessions) {
+    EXPECT_GT(s.packets, 50u) << s.clip.id();
+    EXPECT_GT(s.frame_rate, 5.0) << s.clip.id();
+    EXPECT_GT(s.reception_quality, 90.0) << s.clip.id();
+  }
+}
+
+TEST(Aggregate, SkipsUnknownClipIds) {
+  AggregateConfig config = small_config();
+  config.clip_ids = {"set2/R-l", "no/such-clip"};
+  const AggregateResult r = run_aggregate_experiment(config);
+  EXPECT_EQ(r.sessions.size(), 1u);
+}
+
+TEST(Aggregate, BoundaryTotalsConsistent) {
+  const AggregateResult r = run_aggregate_experiment(small_config());
+  // The boundary sees at least the sum of the per-session packets (plus
+  // control traffic).
+  std::uint64_t session_packets = 0;
+  for (const auto& s : r.sessions) session_packets += s.packets;
+  EXPECT_GE(r.total_packets, session_packets);
+  EXPECT_GT(r.aggregate_mean_kbps, 0.0);
+  EXPECT_GE(r.aggregate_peak_kbps, r.aggregate_mean_kbps);
+}
+
+TEST(Aggregate, MeanNearSumOfSessionRates) {
+  const AggregateResult r = run_aggregate_experiment(small_config());
+  double session_sum = 0.0;
+  for (const auto& s : r.sessions) session_sum += s.mean_rate_kbps;
+  // Per-session rates are over each flow's own duration; the aggregate mean
+  // is over the union — same order of magnitude, not exceeding the sum.
+  EXPECT_GT(r.aggregate_mean_kbps, 0.4 * session_sum);
+  EXPECT_LT(r.aggregate_mean_kbps, 1.2 * session_sum);
+}
+
+TEST(Aggregate, TimelineCoversWholeTrace) {
+  const AggregateResult r = run_aggregate_experiment(small_config());
+  ASSERT_GT(r.total_bandwidth_timeline.size(), 5u);
+  for (std::size_t i = 1; i < r.total_bandwidth_timeline.size(); ++i) {
+    EXPECT_NEAR(r.total_bandwidth_timeline[i].first -
+                    r.total_bandwidth_timeline[i - 1].first,
+                2.0, 1e-9);
+  }
+}
+
+TEST(Aggregate, MediaSessionFragmentsOnlyAtHighRates) {
+  AggregateConfig config = small_config();
+  config.clip_ids = {"set2/R-h", "set2/M-h"};
+  const AggregateResult r = run_aggregate_experiment(config);
+  ASSERT_EQ(r.sessions.size(), 2u);
+  for (const auto& s : r.sessions) {
+    if (s.clip.player == PlayerKind::kMediaPlayer)
+      EXPECT_GT(s.fragment_fraction, 0.5) << s.clip.id();
+    else
+      EXPECT_DOUBLE_EQ(s.fragment_fraction, 0.0) << s.clip.id();
+  }
+}
+
+TEST(Aggregate, FlowsDoNotCrossTalk) {
+  // Concurrent sessions on one client must keep distinct per-flow counters.
+  const AggregateResult r = run_aggregate_experiment(small_config());
+  ASSERT_EQ(r.sessions.size(), 2u);
+  const auto& real = r.sessions[0];
+  const auto& media = r.sessions[1];
+  EXPECT_EQ(real.clip.player, PlayerKind::kRealPlayer);
+  EXPECT_EQ(media.clip.player, PlayerKind::kMediaPlayer);
+  EXPECT_NE(real.packets, 0u);
+  EXPECT_NE(media.packets, 0u);
+  // Session rates differ (84 vs 102.3 Kbps encodings, different behaviour).
+  EXPECT_NE(real.mean_rate_kbps, media.mean_rate_kbps);
+}
+
+}  // namespace
+}  // namespace streamlab

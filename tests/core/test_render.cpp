@@ -1,0 +1,101 @@
+#include "core/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace streamlab::render {
+namespace {
+
+TEST(RenderTable, AlignsColumnsToWidestCell) {
+  const std::string out = table({"Name", "Value"}, {{"short", "1"}, {"a-much-longer-name", "22"}});
+  // Each line has the same length (trailing content aligned).
+  const auto lines = streamlab::split(out, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("Name"), std::string::npos);
+  EXPECT_NE(lines[1].find("---"), std::string::npos);
+  EXPECT_NE(lines[2].find("short"), std::string::npos);
+  // Header "Value" starts at the same column as "1" and "22".
+  EXPECT_EQ(lines[0].find("Value"), lines[2].find("1"));
+}
+
+TEST(RenderTable, HandlesRaggedRows) {
+  const std::string out = table({"A", "B", "C"}, {{"1"}, {"1", "2", "3", "4-ignored"}});
+  EXPECT_NE(out.find("1"), std::string::npos);
+  // No crash, header intact.
+  EXPECT_EQ(out.find("A"), 0u);
+}
+
+TEST(RenderTable, EmptyRows) {
+  const std::string out = table({"A"}, {});
+  const auto lines = streamlab::split(out, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0].substr(0, 1), "A");
+}
+
+TEST(XyPlot, EmptySeriesSafe) {
+  EXPECT_EQ(xy_plot({}), "(no data)\n");
+  EXPECT_EQ(xy_plot({Series{"empty", '*', {}}}), "(no data)\n");
+}
+
+TEST(XyPlot, SinglePointPlots) {
+  Series s{"solo", 'x', {{1.0, 2.0}}};
+  const std::string out = xy_plot({s}, 20, 5);
+  EXPECT_NE(out.find('x'), std::string::npos);
+  EXPECT_NE(out.find("solo"), std::string::npos);
+}
+
+TEST(XyPlot, RangesPrinted) {
+  Series s{"line", '*', {{0.0, 0.0}, {10.0, 100.0}}};
+  const std::string out = xy_plot({s}, 40, 10);
+  EXPECT_NE(out.find("x: [0.00, 10.00]"), std::string::npos);
+  EXPECT_NE(out.find("y: [0.00, 100.00]"), std::string::npos);
+}
+
+TEST(XyPlot, OverlapMarkedWithPlus) {
+  Series a{"a", 'A', {{5.0, 5.0}}};
+  Series b{"b", 'B', {{5.0, 5.0}, {0.0, 0.0}, {10.0, 10.0}}};
+  const std::string out = xy_plot({a, b}, 20, 10);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(XyPlot, ExtremesLandOnOppositeCorners) {
+  Series s{"diag", '*', {{0.0, 0.0}, {1.0, 1.0}}};
+  const std::string out = xy_plot({s}, 10, 5);
+  const auto lines = streamlab::split(out, '\n');
+  // First grid row (max y) holds the (1,1) point at the right edge; the
+  // last grid row (min y) holds (0,0) at the left edge.
+  EXPECT_EQ(lines[0].back(), '*');
+  EXPECT_EQ(lines[4][1], '*');  // col 0 after the '|' border
+}
+
+TEST(PdfListing, ShowsOccupiedBinsOnly) {
+  streamlab::Histogram h(10.0);
+  h.add(5.0);
+  h.add(95.0);
+  const std::string out = pdf_listing(h, "size");
+  EXPECT_NE(out.find("5.0"), std::string::npos);   // bin centers
+  EXPECT_NE(out.find("95.0"), std::string::npos);
+  // Gap bins (count 0) are skipped in the listing.
+  EXPECT_EQ(out.find("45.0"), std::string::npos);
+}
+
+TEST(PdfListing, EmptyHistogram) {
+  streamlab::Histogram h(10.0);
+  const std::string out = pdf_listing(h, "size");
+  EXPECT_NE(out.find("(no data)"), std::string::npos);
+}
+
+TEST(CdfListing, QuantileRows) {
+  std::vector<double> values;
+  for (int i = 0; i <= 100; ++i) values.push_back(i);
+  const std::string out = cdf_listing(values, "v", 5);
+  const auto lines = streamlab::split(out, '\n');
+  // Header + 5 quantile rows (+ trailing empty from final newline).
+  ASSERT_GE(lines.size(), 6u);
+  EXPECT_NE(lines[1].find("0.00"), std::string::npos);
+  EXPECT_NE(lines[5].find("1.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamlab::render

@@ -1,0 +1,112 @@
+#include "filter/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamlab::filter {
+namespace {
+
+std::string parse_to_string(std::string_view input) {
+  auto e = parse(input);
+  if (!e) return "ERROR: " + e.error();
+  return (*e)->to_string();
+}
+
+TEST(Parser, BarePresence) {
+  const auto e = parse("udp");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ((*e)->kind, Expr::Kind::kPresence);
+  EXPECT_EQ((*e)->field, "udp");
+}
+
+TEST(Parser, SimpleComparison) {
+  const auto e = parse("ip.frag_offset > 0");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ((*e)->kind, Expr::Kind::kCompare);
+  EXPECT_EQ((*e)->lhs.field, "ip.frag_offset");
+  EXPECT_EQ((*e)->cmp, CompareOp::kGt);
+  EXPECT_EQ((*e)->rhs.literal, 0);
+}
+
+TEST(Parser, Ipv4LiteralComparison) {
+  const auto e = parse("ip.src == 192.168.100.10");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ((*e)->rhs.literal, 0xC0A8640A);
+}
+
+TEST(Parser, FieldToFieldComparison) {
+  const auto e = parse("udp.srcport == udp.dstport");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ((*e)->lhs.kind, Operand::Kind::kField);
+  EXPECT_EQ((*e)->rhs.kind, Operand::Kind::kField);
+}
+
+TEST(Parser, PrecedenceAndBindsTighterThanOr) {
+  // a || b && c  parses as  a || (b && c)
+  EXPECT_EQ(parse_to_string("a || b && c"), "(a || (b && c))");
+  EXPECT_EQ(parse_to_string("a && b || c"), "((a && b) || c)");
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  EXPECT_EQ(parse_to_string("(a || b) && c"), "((a || b) && c)");
+}
+
+TEST(Parser, NotBindsTightest) {
+  EXPECT_EQ(parse_to_string("!a && b"), "(!(a) && b)");
+  EXPECT_EQ(parse_to_string("!(a && b)"), "!((a && b))");
+  EXPECT_EQ(parse_to_string("!!a"), "!(!(a))");
+}
+
+TEST(Parser, LeftAssociativeChains) {
+  EXPECT_EQ(parse_to_string("a && b && c"), "((a && b) && c)");
+  EXPECT_EQ(parse_to_string("a || b || c"), "((a || b) || c)");
+}
+
+TEST(Parser, ComplexRealisticFilter) {
+  const auto e = parse(
+      "ip.src == 192.168.100.10 && (udp.dstport == 7000 || ip.frag_offset > 0) "
+      "&& frame.len >= 1000");
+  ASSERT_TRUE(e.has_value()) << e.error();
+}
+
+TEST(Parser, CanonicalFormReparses) {
+  // Property: parse -> print -> parse yields the same printed form.
+  const std::vector<std::string> inputs = {
+      "udp", "a == 1", "a && b || !c", "(x <= 2) && (y != 0x10)",
+      "ip.addr == 10.0.0.2 or icmp"};
+  for (const auto& in : inputs) {
+    const std::string once = parse_to_string(in);
+    ASSERT_EQ(once.find("ERROR"), std::string::npos) << in;
+    EXPECT_EQ(parse_to_string(once), once) << in;
+  }
+}
+
+TEST(Parser, ErrorOnDanglingOperator) {
+  EXPECT_FALSE(parse("a &&").has_value());
+  EXPECT_FALSE(parse("&& a").has_value());
+  EXPECT_FALSE(parse("a ==").has_value());
+}
+
+TEST(Parser, ErrorOnUnbalancedParens) {
+  EXPECT_FALSE(parse("(a && b").has_value());
+  EXPECT_FALSE(parse("a && b)").has_value());
+  EXPECT_FALSE(parse("()").has_value());
+}
+
+TEST(Parser, ErrorOnLoneLiteral) {
+  const auto e = parse("42");
+  ASSERT_FALSE(e.has_value());
+  EXPECT_NE(e.error().find("cannot stand alone"), std::string::npos);
+}
+
+TEST(Parser, ErrorOnTrailingGarbage) {
+  const auto e = parse("a == 1 b");
+  ASSERT_FALSE(e.has_value());
+  EXPECT_NE(e.error().find("unexpected"), std::string::npos);
+}
+
+TEST(Parser, ErrorPropagatesFromLexer) {
+  EXPECT_FALSE(parse("a == $").has_value());
+}
+
+}  // namespace
+}  // namespace streamlab::filter

@@ -1,0 +1,64 @@
+// The paper's title concept, quantified: "turbulence" = the size and
+// distribution of packets over time. These tests pin the two players'
+// relative turbulence with the burstiness and jitter summaries.
+#include <gtest/gtest.h>
+
+#include "analysis/burstiness.hpp"
+#include "analysis/jitter.hpp"
+#include "study_fixture.hpp"
+
+namespace streamlab {
+namespace {
+
+using testutil::clip_result;
+
+TEST(Turbulence, MediaSteadyFlowIsNearCbr) {
+  // Steady-phase index of dispersion: MediaPlayer's CBR profile shows
+  // almost no count variance window to window.
+  const auto& m_h = clip_result("set1/M-h");
+  const auto s = summarize_burstiness(m_h.flow, Duration::seconds(1));
+  EXPECT_LT(s.idc, 0.6);
+  EXPECT_LT(s.peak_to_mean, 1.3);
+}
+
+TEST(Turbulence, RealFlowMoreDispersedThanMedia) {
+  // Compare past the RealPlayer startup burst (skip 45 windows) so the
+  // steady phases are compared like for like.
+  const auto& real = clip_result("set1/R-h");
+  const auto& media = clip_result("set1/M-h");
+  const auto r = summarize_burstiness(real.flow, Duration::seconds(1), 45);
+  const auto m = summarize_burstiness(media.flow, Duration::seconds(1), 45);
+  EXPECT_GT(r.idc, 2.0 * (m.idc + 0.01));
+}
+
+TEST(Turbulence, StartupBurstRaisesRealDispersion) {
+  const auto& real = clip_result("set1/R-l");
+  const auto whole = summarize_burstiness(real.flow, Duration::seconds(2));
+  const auto steady = summarize_burstiness(real.flow, Duration::seconds(2), 15);
+  // Including the 3x startup burst inflates the dispersion markedly.
+  EXPECT_GT(whole.idc, 1.5 * (steady.idc + 0.01));
+  EXPECT_GT(whole.peak_to_mean, steady.peak_to_mean);
+}
+
+TEST(Turbulence, JitterOrderingMatchesFigure8) {
+  // RFC 3550 jitter: the RealPlayer flow's smoothed jitter dwarfs the
+  // MediaPlayer flow's (group-leading packets only, the Fig 9 de-noising).
+  const auto& real = clip_result("set1/R-l");
+  const auto& media = clip_result("set1/M-l");
+  const auto rj = summarize_jitter(real.flow, /*groups_only=*/false);
+  const auto mj = summarize_jitter(media.flow, /*groups_only=*/true);
+  EXPECT_GT(rj.rfc3550.to_millis(), 5.0 * (mj.rfc3550.to_millis() + 0.1));
+  EXPECT_GT(rj.cv, 5.0 * (mj.cv + 0.001));
+}
+
+TEST(Turbulence, NetworkJitterFloorVisible) {
+  // Even the CBR flow shows nonzero jitter: the path's queueing/jitter
+  // noise. It stays well under a millisecond on the uncongested paths.
+  const auto& media = clip_result("set1/M-h");
+  const auto j = summarize_jitter(media.flow, /*groups_only=*/true);
+  EXPECT_GT(j.rfc3550.ns(), 0);
+  EXPECT_LT(j.rfc3550.to_millis(), 2.0);
+}
+
+}  // namespace
+}  // namespace streamlab

@@ -1,0 +1,175 @@
+#include "media/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "media/catalog.hpp"
+
+namespace streamlab {
+namespace {
+
+TEST(FrameRateModel, PaperAnchors) {
+  // Figure 13: the 39 Kbps MediaPlayer clip plays at 13 fps.
+  EXPECT_NEAR(nominal_frame_rate(PlayerKind::kMediaPlayer, BitRate::kbps(39)), 13.0, 0.5);
+  // Both players reach ~25 fps at high rates.
+  EXPECT_NEAR(nominal_frame_rate(PlayerKind::kMediaPlayer, BitRate::kbps(250)), 25.0, 2.5);
+  EXPECT_NEAR(nominal_frame_rate(PlayerKind::kRealPlayer, BitRate::kbps(217)), 25.0, 1.5);
+}
+
+TEST(FrameRateModel, RealBeatsMediaAtLowRates) {
+  // Figures 13-14: RealPlayer frame rate significantly higher at low rates.
+  for (const double kbps : {22.0, 26.0, 36.0, 39.0, 50.0}) {
+    const double rm = nominal_frame_rate(PlayerKind::kRealPlayer, BitRate::kbps(kbps));
+    const double wm = nominal_frame_rate(PlayerKind::kMediaPlayer, BitRate::kbps(kbps));
+    EXPECT_GT(rm, wm + 2.0) << kbps << " Kbps";
+  }
+}
+
+TEST(FrameRateModel, MonotoneAndClamped) {
+  for (const PlayerKind player : {PlayerKind::kRealPlayer, PlayerKind::kMediaPlayer}) {
+    double prev = 0.0;
+    for (double kbps = 10; kbps <= 1000; kbps += 10) {
+      const double fps = nominal_frame_rate(player, BitRate::kbps(kbps));
+      EXPECT_GE(fps, prev) << kbps;
+      EXPECT_GE(fps, 5.0);
+      EXPECT_LE(fps, 30.0);
+      prev = fps;
+    }
+  }
+}
+
+TEST(Encoder, TotalBytesMatchEncodingExactly) {
+  for (const auto& clip : all_clips()) {
+    const EncodedClip encoded = encode_clip(clip, 1);
+    EXPECT_EQ(encoded.total_bytes(), static_cast<std::uint64_t>(clip.media_bytes()))
+        << clip.id();
+  }
+}
+
+TEST(Encoder, Deterministic) {
+  const auto clip = *find_clip("set5/R-h");
+  const EncodedClip a = encode_clip(clip, 42);
+  const EncodedClip b = encode_clip(clip, 42);
+  ASSERT_EQ(a.frames().size(), b.frames().size());
+  for (std::size_t i = 0; i < a.frames().size(); ++i)
+    EXPECT_EQ(a.frames()[i].bytes, b.frames()[i].bytes);
+}
+
+TEST(Encoder, DifferentSeedsDifferentSizes) {
+  const auto clip = *find_clip("set5/R-h");
+  const EncodedClip a = encode_clip(clip, 1);
+  const EncodedClip b = encode_clip(clip, 2);
+  int diffs = 0;
+  for (std::size_t i = 0; i < std::min(a.frames().size(), b.frames().size()); ++i)
+    diffs += a.frames()[i].bytes != b.frames()[i].bytes;
+  EXPECT_GT(diffs, 100);
+}
+
+TEST(Encoder, FramesContiguousAndOrdered) {
+  const EncodedClip encoded = encode_clip(*find_clip("set2/M-h"), 3);
+  std::uint64_t offset = 0;
+  Duration prev_pts = Duration::millis(-1);
+  for (const auto& f : encoded.frames()) {
+    EXPECT_EQ(f.byte_offset, offset);
+    EXPECT_GT(f.pts, prev_pts);
+    EXPECT_GE(f.bytes, 40u);
+    offset += f.bytes;
+    prev_pts = f.pts;
+  }
+  EXPECT_EQ(offset, encoded.total_bytes());
+}
+
+TEST(Encoder, FrameCountMatchesRateTimesLength) {
+  const auto clip = *find_clip("set3/R-l");  // 36.5 Kbps, 60 s
+  const EncodedClip encoded = encode_clip(clip, 7);
+  const double expected = encoded.frame_rate() * clip.length.to_seconds();
+  EXPECT_NEAR(static_cast<double>(encoded.frames().size()), expected, 1.0);
+}
+
+TEST(Encoder, KeyframeCadence) {
+  const EncodedClip encoded = encode_clip(*find_clip("set1/R-h"), 5);
+  // First frame is a keyframe; keyframes roughly every 4 seconds.
+  ASSERT_FALSE(encoded.frames().empty());
+  EXPECT_TRUE(encoded.frames()[0].keyframe);
+  int keyframes = 0;
+  for (const auto& f : encoded.frames()) keyframes += f.keyframe;
+  const double expected = encoded.info().length.to_seconds() / 4.0;
+  EXPECT_NEAR(keyframes, expected, expected * 0.2 + 2);
+}
+
+TEST(Encoder, KeyframesLargerThanPframes) {
+  const EncodedClip encoded = encode_clip(*find_clip("set4/M-h"), 5);
+  double key_sum = 0, key_n = 0, p_sum = 0, p_n = 0;
+  for (const auto& f : encoded.frames()) {
+    if (f.keyframe) {
+      key_sum += f.bytes;
+      ++key_n;
+    } else {
+      p_sum += f.bytes;
+      ++p_n;
+    }
+  }
+  EXPECT_GT(key_sum / key_n, 2.0 * p_sum / p_n);
+}
+
+TEST(Encoder, MediaPlayerTighterVarianceThanReal) {
+  // The CBR vs VBR rate-control difference, visible per-frame.
+  const auto set = table1_catalog()[0];
+  const auto pair = set.pair(RateTier::kHigh);
+  ASSERT_TRUE(pair.has_value());
+  const EncodedClip real = encode_clip(pair->first, 11);
+  const EncodedClip media = encode_clip(pair->second, 11);
+
+  const auto cv_of = [](const EncodedClip& clip) {
+    double sum = 0, n = 0;
+    for (const auto& f : clip.frames())
+      if (!f.keyframe) {
+        sum += f.bytes;
+        ++n;
+      }
+    const double mean = sum / n;
+    double ss = 0;
+    for (const auto& f : clip.frames())
+      if (!f.keyframe) ss += (f.bytes - mean) * (f.bytes - mean);
+    return std::sqrt(ss / n) / mean;
+  };
+  EXPECT_GT(cv_of(real), 2.0 * cv_of(media));
+}
+
+TEST(EncodedClip, FramesCompleteAtBoundaries) {
+  const EncodedClip encoded = encode_clip(*find_clip("set2/R-l"), 9);
+  const auto& frames = encoded.frames();
+  EXPECT_EQ(encoded.frames_complete_at(0), 0u);
+  EXPECT_EQ(encoded.frames_complete_at(frames[0].bytes - 1), 0u);
+  EXPECT_EQ(encoded.frames_complete_at(frames[0].bytes), 1u);
+  EXPECT_EQ(encoded.frames_complete_at(frames[1].byte_offset + frames[1].bytes), 2u);
+  EXPECT_EQ(encoded.frames_complete_at(encoded.total_bytes()), frames.size());
+  EXPECT_EQ(encoded.frames_complete_at(encoded.total_bytes() + 999), frames.size());
+}
+
+// Property sweep: the encoder invariants hold for every catalog clip.
+class EncoderInvariants : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EncoderInvariants, Hold) {
+  const auto clip = find_clip(GetParam());
+  ASSERT_TRUE(clip.has_value());
+  const EncodedClip encoded = encode_clip(*clip, 123);
+
+  EXPECT_EQ(encoded.total_bytes(), static_cast<std::uint64_t>(clip->media_bytes()));
+  EXPECT_GT(encoded.frames().size(), 0u);
+  // Mean frame rate implied by pts spacing equals the nominal rate.
+  const double duration = encoded.frames().back().pts.to_seconds();
+  const double fps =
+      static_cast<double>(encoded.frames().size() - 1) / std::max(duration, 1e-9);
+  EXPECT_NEAR(fps, encoded.frame_rate(), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClips, EncoderInvariants,
+                         ::testing::Values("set1/R-l", "set1/R-h", "set1/M-l", "set1/M-h",
+                                           "set2/R-l", "set2/M-h", "set3/R-h", "set3/M-l",
+                                           "set4/R-l", "set4/M-h", "set5/R-h", "set5/M-l",
+                                           "set6/R-v", "set6/M-v", "set6/R-l", "set6/M-h"));
+
+}  // namespace
+}  // namespace streamlab

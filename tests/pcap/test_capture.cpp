@@ -1,0 +1,54 @@
+#include "pcap/capture.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamlab {
+namespace {
+
+Ipv4Packet sample_packet(std::size_t payload = 100) {
+  return make_udp_packet(Endpoint{Ipv4Address(1, 1, 1, 1), 10},
+                         Endpoint{Ipv4Address(2, 2, 2, 2), 20},
+                         std::vector<std::uint8_t>(payload, 0x42), 7);
+}
+
+TEST(CaptureTrace, EmptyDefaults) {
+  CaptureTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total_bytes(), 0u);
+  EXPECT_EQ(trace.duration(), Duration::zero());
+  EXPECT_EQ(trace.snaplen(), 65535u);
+}
+
+TEST(CaptureTrace, AddPacketFramesAndTimestamps) {
+  CaptureTrace trace;
+  const auto pkt = sample_packet();
+  trace.add_packet(SimTime::from_seconds(1.5), MacAddress::for_nic(1),
+                   MacAddress::for_nic(2), pkt);
+  ASSERT_EQ(trace.size(), 1u);
+  const auto& rec = trace.records()[0];
+  EXPECT_EQ(rec.timestamp, SimTime::from_seconds(1.5));
+  EXPECT_EQ(rec.original_length, kEthernetHeaderSize + pkt.total_length());
+  EXPECT_EQ(rec.data.size(), rec.original_length);
+}
+
+TEST(CaptureTrace, SnaplenTruncatesStoredBytesNotLength) {
+  CaptureTrace trace(64);
+  trace.add_packet(SimTime::zero(), MacAddress::for_nic(1), MacAddress::for_nic(2),
+                   sample_packet(1000));
+  const auto& rec = trace.records()[0];
+  EXPECT_EQ(rec.data.size(), 64u);
+  EXPECT_EQ(rec.original_length, kEthernetHeaderSize + kIpv4HeaderSize + kUdpHeaderSize + 1000);
+}
+
+TEST(CaptureTrace, TotalBytesUsesOriginalLength) {
+  CaptureTrace trace(64);
+  for (int i = 0; i < 3; ++i)
+    trace.add_packet(SimTime::from_seconds(i), MacAddress::for_nic(1),
+                     MacAddress::for_nic(2), sample_packet(1000));
+  EXPECT_EQ(trace.total_bytes(), 3u * (kEthernetHeaderSize + 28 + 1000));
+  EXPECT_EQ(trace.duration(), Duration::seconds(2));
+}
+
+}  // namespace
+}  // namespace streamlab

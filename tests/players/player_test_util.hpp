@@ -1,0 +1,65 @@
+// Shared fixtures for player tests: a short custom clip and a small network
+// so individual tests run in milliseconds while exercising the full stack.
+#pragma once
+
+#include "media/encoder.hpp"
+#include "players/client.hpp"
+#include "players/server.hpp"
+#include "sim/network.hpp"
+
+namespace streamlab::testutil {
+
+/// A synthetic short clip (not from the catalog) for fast tests.
+inline ClipInfo short_clip(PlayerKind player, double kbps, int seconds = 10) {
+  ClipInfo c;
+  c.data_set = 1;
+  c.content = ContentClass::kNews;
+  c.player = player;
+  c.tier = kbps < 150 ? RateTier::kLow : RateTier::kHigh;
+  c.encoded_rate = BitRate::kbps(kbps);
+  c.advertised_rate = BitRate::kbps(kbps < 150 ? 56 : 300);
+  c.length = Duration::seconds(seconds);
+  return c;
+}
+
+inline PathConfig fast_path() {
+  PathConfig cfg;
+  cfg.hop_count = 4;
+  cfg.one_way_propagation = Duration::millis(10);
+  cfg.jitter_stddev = Duration::micros(100);
+  cfg.loss_probability = 0.0;
+  return cfg;
+}
+
+/// One complete single-clip session over a fresh network.
+struct Session {
+  Network net;
+  Host& server_host;
+  EncodedClip encoded;
+  std::unique_ptr<StreamServer> server;
+  std::unique_ptr<StreamClient> client;
+
+  explicit Session(const ClipInfo& clip, PathConfig path = fast_path(),
+                   std::uint64_t seed = 7)
+      : net(path), server_host(net.add_server("srv")), encoded(encode_clip(clip, seed)) {
+    const bool is_media = clip.player == PlayerKind::kMediaPlayer;
+    const std::uint16_t port = is_media ? kMediaServerPort : kRealServerPort;
+    if (is_media)
+      server = std::make_unique<WmServer>(server_host, encoded, WmBehavior{}, port);
+    else
+      server = std::make_unique<RmServer>(server_host, encoded, RmBehavior{}, port, seed);
+
+    StreamClient::Config cc;
+    cc.kind = clip.player;
+    client = std::make_unique<StreamClient>(net.client(), server->clip(),
+                                            Endpoint{server_host.address(), port}, cc);
+  }
+
+  /// Starts and runs to quiescence (clip length + slack).
+  void run(Duration slack = Duration::seconds(30)) {
+    client->start();
+    net.loop().run_until(net.loop().now() + encoded.info().length + slack);
+  }
+};
+
+}  // namespace streamlab::testutil

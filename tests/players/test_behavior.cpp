@@ -1,0 +1,149 @@
+#include "players/behavior.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/headers.hpp"
+#include "players/protocol.hpp"
+
+namespace streamlab {
+namespace {
+
+TEST(WmBehavior, LowRateDatagramsStayUnderMtu) {
+  // Figure 6: at ~50 Kbps, MediaPlayer packets land around 800-1000 bytes —
+  // well under the MTU, so no fragmentation (Figure 5).
+  const WmBehavior wm;
+  const auto media = wm.media_per_datagram(BitRate::kbps(49.8));
+  EXPECT_GE(media, 800u);
+  EXPECT_LE(media + kDataHeaderSize + kUdpHeaderSize + kIpv4HeaderSize, kDefaultMtu);
+}
+
+TEST(WmBehavior, HighRateDatagramsExceedMtu) {
+  // At ~300 Kbps one 100 ms application frame exceeds the MTU, producing
+  // the fragmentation of Figures 4-5.
+  const WmBehavior wm;
+  for (const double kbps : {250.4, 307.2, 323.1, 347.2, 731.3}) {
+    const auto media = wm.media_per_datagram(BitRate::kbps(kbps));
+    EXPECT_GT(media + kDataHeaderSize + kUdpHeaderSize + kIpv4HeaderSize, kDefaultMtu)
+        << kbps;
+  }
+}
+
+TEST(WmBehavior, FragmentFractionAnchors) {
+  // Derived wire groups: (n-1)/n trailing fragments for n IP packets per
+  // application frame. ~300 Kbps -> 3 packets -> 66%; 731 Kbps -> 7 -> 86%.
+  const WmBehavior wm;
+  const auto packets_per_group = [&wm](double kbps) {
+    const std::size_t ip_payload =
+        wm.media_per_datagram(BitRate::kbps(kbps)) + kDataHeaderSize + kUdpHeaderSize;
+    return (ip_payload + 1479) / 1480;  // 1480-byte fragment payloads
+  };
+  EXPECT_EQ(packets_per_group(307.2), 3u);
+  EXPECT_EQ(packets_per_group(323.1), 3u);
+  EXPECT_EQ(packets_per_group(49.8), 1u);
+  EXPECT_EQ(packets_per_group(102.3), 1u);
+  EXPECT_EQ(packets_per_group(731.3), 7u);
+}
+
+TEST(WmBehavior, SendIntervalPreservesRate) {
+  const WmBehavior wm;
+  for (const double kbps : {39.0, 49.8, 102.3, 250.4, 323.1, 731.3}) {
+    const BitRate rate = BitRate::kbps(kbps);
+    const auto media = wm.media_per_datagram(rate);
+    const Duration interval = wm.send_interval(rate, media);
+    // media bytes per interval at the encoding rate, within rounding.
+    const double implied_kbps =
+        static_cast<double>(media) * 8.0 / interval.to_seconds() / 1000.0;
+    EXPECT_NEAR(implied_kbps, kbps, 0.5) << kbps;
+  }
+}
+
+TEST(WmBehavior, HighRateIntervalIsFrameInterval) {
+  // At rates where the datagram is rate x 100 ms, the interval is 100 ms —
+  // the packet-group cadence of Figure 12.
+  const WmBehavior wm;
+  const BitRate rate = BitRate::kbps(250.4);
+  const auto media = wm.media_per_datagram(rate);
+  EXPECT_NEAR(wm.send_interval(rate, media).to_seconds(), 0.1, 0.001);
+}
+
+TEST(WmBehavior, LowRateIntervalStretches) {
+  // Figure 8: the 49.8 Kbps clip shows ~0.14 s interarrivals.
+  const WmBehavior wm;
+  const BitRate rate = BitRate::kbps(49.8);
+  const auto media = wm.media_per_datagram(rate);
+  EXPECT_NEAR(wm.send_interval(rate, media).to_seconds(), 0.137, 0.01);
+}
+
+TEST(RmBehavior, BufferingRatioAnchors) {
+  // Figure 11: ratio ~3 at/below 56 Kbps, decaying toward ~1 at 637 Kbps.
+  const RmBehavior rm;
+  EXPECT_NEAR(rm.buffering_ratio(BitRate::kbps(22)), 3.0, 0.01);
+  EXPECT_NEAR(rm.buffering_ratio(BitRate::kbps(56)), 3.0, 0.01);
+  EXPECT_LT(rm.buffering_ratio(BitRate::kbps(284)), 2.0);
+  EXPECT_GT(rm.buffering_ratio(BitRate::kbps(284)), 1.2);
+  EXPECT_NEAR(rm.buffering_ratio(BitRate::kbps(636.9)), rm.ratio_floor, 0.15);
+}
+
+TEST(RmBehavior, BufferingRatioMonotoneDecreasing) {
+  const RmBehavior rm;
+  double prev = 100.0;
+  for (double kbps = 20; kbps <= 800; kbps += 20) {
+    const double r = rm.buffering_ratio(BitRate::kbps(kbps));
+    EXPECT_LE(r, prev) << kbps;
+    EXPECT_GE(r, rm.ratio_floor);
+    EXPECT_LE(r, rm.ratio_at_low);
+    prev = r;
+  }
+}
+
+TEST(RmBehavior, BurstDurationAnchors) {
+  // Section IV: ~20 s for low-rate clips, ~40 s for high-rate clips.
+  const RmBehavior rm;
+  EXPECT_NEAR(rm.burst_duration(BitRate::kbps(36)).to_seconds(), 20.0, 0.5);
+  EXPECT_NEAR(rm.burst_duration(BitRate::kbps(300)).to_seconds(), 40.0, 0.5);
+  EXPECT_NEAR(rm.burst_duration(BitRate::kbps(636.9)).to_seconds(), 40.0, 0.5);  // clamped
+  const double mid = rm.burst_duration(BitRate::kbps(130)).to_seconds();
+  EXPECT_GT(mid, 25.0);
+  EXPECT_LT(mid, 35.0);
+}
+
+TEST(RmBehavior, BurstCappedForShortClips) {
+  // A 39-second clip cannot burst for the nominal 20-40 s; the cap keeps a
+  // distinct steady phase so Figure 11's ratio is measurable on every clip.
+  const RmBehavior rm;
+  EXPECT_NEAR(rm.burst_duration_for_clip(BitRate::kbps(84), Duration::seconds(39))
+                  .to_seconds(),
+              39.0 * rm.burst_max_fraction_of_clip, 0.01);
+  // Long clips keep the nominal burst.
+  EXPECT_EQ(rm.burst_duration_for_clip(BitRate::kbps(36), Duration::seconds(230)),
+            rm.burst_duration(BitRate::kbps(36)));
+}
+
+TEST(RmBehavior, PacketSizesNeverFragment) {
+  // max payload + headers must stay under the MTU for every draw.
+  const RmBehavior rm;
+  const std::size_t worst = rm.max_media_per_datagram + kDataHeaderSize +
+                            kUdpHeaderSize + kIpv4HeaderSize;
+  EXPECT_LE(worst, kDefaultMtu);
+}
+
+TEST(RmBehavior, MeanSizeLeavesRoomForSpread) {
+  const RmBehavior rm;
+  for (const double kbps : {22.0, 36.0, 84.0, 180.9, 284.0, 636.9}) {
+    const auto mean = rm.mean_media_per_datagram(BitRate::kbps(kbps));
+    EXPECT_GE(mean, rm.min_media_per_datagram);
+    // Even the largest spread draw fits the cap.
+    EXPECT_LE(static_cast<double>(mean) * rm.size_spread_max,
+              static_cast<double>(rm.max_media_per_datagram) + 1.0)
+        << kbps;
+  }
+}
+
+TEST(RmBehavior, MeanSizeScalesWithRateAtLowEnd) {
+  const RmBehavior rm;
+  EXPECT_LT(rm.mean_media_per_datagram(BitRate::kbps(22)),
+            rm.mean_media_per_datagram(BitRate::kbps(84)));
+}
+
+}  // namespace
+}  // namespace streamlab

@@ -1,0 +1,93 @@
+#include "players/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamlab {
+namespace {
+
+TEST(ControlMessage, RoundTrip) {
+  ControlMessage msg{ControlType::kPlayRequest, "set1/M-h"};
+  const auto bytes = msg.encode();
+  const auto decoded = ControlMessage::decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, ControlType::kPlayRequest);
+  EXPECT_EQ(decoded->clip_id, "set1/M-h");
+}
+
+TEST(ControlMessage, EmptyClipId) {
+  ControlMessage msg{ControlType::kTeardown, ""};
+  const auto decoded = ControlMessage::decode(msg.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, ControlType::kTeardown);
+  EXPECT_TRUE(decoded->clip_id.empty());
+}
+
+TEST(ControlMessage, RejectsWrongMagic) {
+  auto bytes = ControlMessage{ControlType::kPlayOk, "x"}.encode();
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(ControlMessage::decode(bytes).has_value());
+}
+
+TEST(ControlMessage, RejectsTruncated) {
+  const auto bytes = ControlMessage{ControlType::kPlayOk, "set1/R-l"}.encode();
+  const std::span<const std::uint8_t> cut(bytes.data(), bytes.size() - 3);
+  EXPECT_FALSE(ControlMessage::decode(cut).has_value());
+}
+
+TEST(DataHeader, RoundTripWithPayloadLength) {
+  DataHeader h;
+  h.seq = 123456;
+  h.media_offset = 0x123456789AULL;  // needs > 32 bits
+  h.flags = kFlagBufferingPhase;
+
+  const auto packet = DataHeader::make_packet(h, 500);
+  EXPECT_EQ(packet.size(), kDataHeaderSize + 500);
+
+  std::size_t media_len = 0;
+  const auto decoded = DataHeader::decode(packet, media_len);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seq, 123456u);
+  EXPECT_EQ(decoded->media_offset, 0x123456789AULL);
+  EXPECT_EQ(decoded->flags, kFlagBufferingPhase);
+  EXPECT_EQ(media_len, 500u);
+}
+
+TEST(DataHeader, ZeroLengthPayload) {
+  DataHeader h;
+  h.flags = kFlagEndOfStream;
+  const auto packet = DataHeader::make_packet(h, 0);
+  std::size_t media_len = 99;
+  const auto decoded = DataHeader::decode(packet, media_len);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(media_len, 0u);
+  EXPECT_TRUE(decoded->flags & kFlagEndOfStream);
+}
+
+TEST(DataHeader, ControlAndDataMagicsDistinct) {
+  // A data packet must not decode as control, and vice versa.
+  const auto data = DataHeader::make_packet(DataHeader{}, 10);
+  EXPECT_FALSE(ControlMessage::decode(data).has_value());
+  const auto ctrl = ControlMessage{ControlType::kPlayRequest, "id"}.encode();
+  std::size_t media_len = 0;
+  EXPECT_FALSE(DataHeader::decode(ctrl, media_len).has_value());
+}
+
+TEST(DataHeader, PayloadPatternDeterministicByOffset) {
+  DataHeader h;
+  h.media_offset = 256;
+  const auto a = DataHeader::make_packet(h, 16);
+  const auto b = DataHeader::make_packet(h, 16);
+  EXPECT_EQ(a, b);
+  // Pattern continues across offsets: byte at offset k is (offset+k) & 0xFF.
+  EXPECT_EQ(a[kDataHeaderSize], 0);  // (256 + 0) & 0xFF
+  EXPECT_EQ(a[kDataHeaderSize + 5], 5);
+}
+
+TEST(Ports, WellKnownValues) {
+  EXPECT_EQ(kRealServerPort, 7070);
+  EXPECT_EQ(kMediaServerPort, 1755);
+  EXPECT_NE(kRealClientPort, kMediaClientPort);  // concurrent sessions need both
+}
+
+}  // namespace
+}  // namespace streamlab

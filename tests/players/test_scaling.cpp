@@ -1,0 +1,193 @@
+#include "players/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "media/catalog.hpp"
+
+namespace streamlab {
+namespace {
+
+TEST(KeepFrame, KeyframesAlwaysSurvive) {
+  EncodedFrame key;
+  key.keyframe = true;
+  for (const double level : {1.0, 0.75, 0.5, 0.25, 0.0}) {
+    for (std::uint32_t i = 0; i < 20; ++i) {
+      key.index = i;
+      EXPECT_TRUE(keep_frame(key, level)) << level << " " << i;
+    }
+  }
+}
+
+TEST(KeepFrame, FullLevelKeepsEverything) {
+  EncodedFrame f;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    f.index = i;
+    EXPECT_TRUE(keep_frame(f, 1.0));
+  }
+}
+
+TEST(KeepFrame, FractionKeptMatchesLevel) {
+  for (const double level : {0.75, 0.5, 0.25}) {
+    EncodedFrame f;
+    int kept = 0;
+    const int n = 1000;
+    for (int i = 0; i < n; ++i) {
+      f.index = static_cast<std::uint32_t>(i);
+      kept += keep_frame(f, level);
+    }
+    EXPECT_NEAR(static_cast<double>(kept) / n, level, 0.01) << level;
+  }
+}
+
+TEST(KeepFrame, HalfLevelIsEveryOther) {
+  EncodedFrame f;
+  f.index = 0;
+  EXPECT_FALSE(keep_frame(f, 0.5));
+  f.index = 1;
+  EXPECT_TRUE(keep_frame(f, 0.5));
+  f.index = 2;
+  EXPECT_FALSE(keep_frame(f, 0.5));
+  f.index = 3;
+  EXPECT_TRUE(keep_frame(f, 0.5));
+}
+
+TEST(ThinnedMediaCursor, FullLevelWalksWholeClip) {
+  const EncodedClip clip = encode_clip(*find_clip("set2/R-l"), 1);
+  ThinnedMediaCursor cursor(clip);
+  std::uint64_t total = 0;
+  while (true) {
+    const auto r = cursor.next(1400, 1.0);
+    if (r.length == 0) break;
+    total += r.length;
+  }
+  EXPECT_EQ(total, clip.total_bytes());
+  EXPECT_EQ(cursor.frames_skipped(), 0u);
+  EXPECT_TRUE(cursor.exhausted());
+}
+
+TEST(ThinnedMediaCursor, RangesAreContiguousWithinFrames) {
+  const EncodedClip clip = encode_clip(*find_clip("set2/M-l"), 2);
+  ThinnedMediaCursor cursor(clip);
+  std::uint64_t last_end = 0;
+  bool first = true;
+  while (true) {
+    const auto r = cursor.next(500, 1.0);
+    if (r.length == 0) break;
+    if (!first) {
+      EXPECT_EQ(r.offset, last_end);  // full level: no gaps
+    }
+    last_end = r.offset + r.length;
+    first = false;
+  }
+}
+
+TEST(ThinnedMediaCursor, HalfLevelSkipsFramesAndBytes) {
+  const EncodedClip clip = encode_clip(*find_clip("set2/R-l"), 3);
+  ThinnedMediaCursor cursor(clip);
+  std::uint64_t kept = 0;
+  while (true) {
+    const auto r = cursor.next(1400, 0.5);
+    if (r.length == 0) break;
+    kept += r.length;
+  }
+  EXPECT_GT(cursor.frames_skipped(), clip.frames().size() / 4);
+  EXPECT_LT(kept, clip.total_bytes());
+  // Keyframes (3x P size, ~1/gop of frames) always kept: kept fraction is
+  // above the raw 0.5 frame level.
+  const double kept_fraction =
+      static_cast<double>(kept) / static_cast<double>(clip.total_bytes());
+  EXPECT_GT(kept_fraction, 0.5);
+  EXPECT_LT(kept_fraction, 0.85);
+}
+
+TEST(ThinnedMediaCursor, RangesNeverSpanThinningGaps) {
+  const EncodedClip clip = encode_clip(*find_clip("set2/R-l"), 4);
+  ThinnedMediaCursor cursor(clip);
+  while (true) {
+    const auto r = cursor.next(100000, 0.5);  // huge max: frame bound caps it
+    if (r.length == 0) break;
+    // Each range lies inside exactly one frame.
+    const std::size_t idx = clip.frames_complete_at(r.offset);
+    const auto& frame = clip.frames()[idx];
+    EXPECT_GE(r.offset, frame.byte_offset);
+    EXPECT_LE(r.offset + r.length, frame.byte_offset + frame.bytes);
+  }
+}
+
+TEST(ScalingController, StartsAtFullQuality) {
+  MediaScalingPolicy policy;
+  policy.enabled = true;
+  ScalingController c(policy);
+  EXPECT_DOUBLE_EQ(c.keep_fraction(), 1.0);
+  EXPECT_EQ(c.level(), 0u);
+}
+
+TEST(ScalingController, ScalesDownOnLoss) {
+  MediaScalingPolicy policy;
+  policy.enabled = true;
+  ScalingController c(policy);
+  c.on_report(0.10, SimTime::from_seconds(2));
+  EXPECT_EQ(c.level(), 1u);
+  EXPECT_DOUBLE_EQ(c.keep_fraction(), 0.75);
+}
+
+TEST(ScalingController, HoldTimePreventsOscillation) {
+  MediaScalingPolicy policy;
+  policy.enabled = true;
+  policy.hold_time = Duration::seconds(6);
+  ScalingController c(policy);
+  c.on_report(0.10, SimTime::from_seconds(2));
+  EXPECT_EQ(c.level(), 1u);
+  c.on_report(0.10, SimTime::from_seconds(4));  // within hold: ignored
+  EXPECT_EQ(c.level(), 1u);
+  c.on_report(0.10, SimTime::from_seconds(9));  // past hold: acts
+  EXPECT_EQ(c.level(), 2u);
+}
+
+TEST(ScalingController, ScalesBackUpWhenClean) {
+  MediaScalingPolicy policy;
+  policy.enabled = true;
+  ScalingController c(policy);
+  c.on_report(0.10, SimTime::from_seconds(2));
+  c.on_report(0.10, SimTime::from_seconds(10));
+  EXPECT_EQ(c.level(), 2u);
+  // Up-moves wait hold_time x up_hold_multiplier (6 s x 4 = 24 s).
+  c.on_report(0.0, SimTime::from_seconds(20));
+  EXPECT_EQ(c.level(), 2u);  // too soon after the last change
+  c.on_report(0.0, SimTime::from_seconds(40));
+  EXPECT_EQ(c.level(), 1u);
+  c.on_report(0.0, SimTime::from_seconds(70));
+  EXPECT_EQ(c.level(), 0u);
+  // Never scales above full quality.
+  c.on_report(0.0, SimTime::from_seconds(100));
+  EXPECT_EQ(c.level(), 0u);
+}
+
+TEST(ScalingController, ClampsAtWorstLevel) {
+  MediaScalingPolicy policy;
+  policy.enabled = true;
+  ScalingController c(policy);
+  for (int i = 0; i < 10; ++i)
+    c.on_report(0.5, SimTime::from_seconds(10.0 * (i + 1)));
+  EXPECT_EQ(c.level(), policy.levels.size() - 1);
+  EXPECT_DOUBLE_EQ(c.keep_fraction(), 0.25);
+}
+
+TEST(ScalingController, DisabledPolicyNeverMoves) {
+  MediaScalingPolicy policy;  // enabled = false
+  ScalingController c(policy);
+  c.on_report(0.5, SimTime::from_seconds(10));
+  EXPECT_EQ(c.level(), 0u);
+}
+
+TEST(ScalingController, ModerateLossHolds) {
+  MediaScalingPolicy policy;
+  policy.enabled = true;
+  ScalingController c(policy);
+  // Loss between the thresholds: stay put.
+  c.on_report(0.02, SimTime::from_seconds(5));
+  EXPECT_EQ(c.level(), 0u);
+}
+
+}  // namespace
+}  // namespace streamlab

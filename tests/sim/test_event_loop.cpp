@@ -1,0 +1,151 @@
+#include "sim/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace streamlab {
+namespace {
+
+TEST(EventLoop, StartsAtZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.now(), SimTime::zero());
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop, FiresInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(SimTime::from_seconds(3.0), [&] { order.push_back(3); });
+  loop.schedule_at(SimTime::from_seconds(1.0), [&] { order.push_back(1); });
+  loop.schedule_at(SimTime::from_seconds(2.0), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), SimTime::from_seconds(3.0));
+}
+
+TEST(EventLoop, SameInstantFiresInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  const SimTime t = SimTime::from_seconds(1.0);
+  for (int i = 0; i < 10; ++i) loop.schedule_at(t, [&, i] { order.push_back(i); });
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventLoop, ClockAdvancesToEventTime) {
+  EventLoop loop;
+  SimTime seen;
+  loop.schedule_in(Duration::millis(250), [&] { seen = loop.now(); });
+  loop.run();
+  EXPECT_EQ(seen, SimTime::from_seconds(0.25));
+}
+
+TEST(EventLoop, EventsCanScheduleMoreEvents) {
+  EventLoop loop;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) loop.schedule_in(Duration::millis(10), chain);
+  };
+  loop.schedule_in(Duration::millis(10), chain);
+  loop.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(loop.now(), SimTime::from_seconds(0.05));
+}
+
+TEST(EventLoop, PastSchedulingClampsToNow) {
+  EventLoop loop;
+  loop.schedule_at(SimTime::from_seconds(1.0), [] {});
+  loop.run();
+  bool fired = false;
+  loop.schedule_at(SimTime::from_seconds(0.5), [&] { fired = true; });  // in the past
+  loop.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(loop.now(), SimTime::from_seconds(1.0));  // time never goes back
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(SimTime::from_seconds(1.0), [&] { order.push_back(1); });
+  loop.schedule_at(SimTime::from_seconds(3.0), [&] { order.push_back(3); });
+  const auto n = loop.run_until(SimTime::from_seconds(2.0));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(order, std::vector<int>{1});
+  EXPECT_EQ(loop.now(), SimTime::from_seconds(2.0));  // advances to deadline
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventLoop, RunUntilIncludesDeadlineInstant) {
+  EventLoop loop;
+  bool fired = false;
+  loop.schedule_at(SimTime::from_seconds(2.0), [&] { fired = true; });
+  loop.run_until(SimTime::from_seconds(2.0));
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoop, RunLimitCapsExecution) {
+  EventLoop loop;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i)
+    loop.schedule_in(Duration::millis(i), [&] { ++fired; });
+  EXPECT_EQ(loop.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  loop.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool fired = false;
+  auto handle = loop.schedule_in(Duration::millis(5), [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, CancelFromInsideEarlierEvent) {
+  EventLoop loop;
+  bool fired = false;
+  auto victim = loop.schedule_in(Duration::millis(10), [&] { fired = true; });
+  loop.schedule_in(Duration::millis(5), [&] { victim.cancel(); });
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no crash
+}
+
+TEST(EventLoop, ExecutedEventsCounter) {
+  EventLoop loop;
+  for (int i = 0; i < 7; ++i) loop.schedule_in(Duration::millis(i), [] {});
+  loop.run();
+  EXPECT_EQ(loop.executed_events(), 7u);
+}
+
+TEST(EventLoop, StressManyEventsStayOrdered) {
+  EventLoop loop;
+  SimTime last;
+  int count = 0;
+  for (int i = 0; i < 10000; ++i) {
+    // Pseudo-random but deterministic times.
+    const auto ms = (i * 7919) % 10000;
+    loop.schedule_at(SimTime(static_cast<std::int64_t>(ms) * 1'000'000), [&] {
+      EXPECT_GE(loop.now(), last);
+      last = loop.now();
+      ++count;
+    });
+  }
+  loop.run();
+  EXPECT_EQ(count, 10000);
+}
+
+}  // namespace
+}  // namespace streamlab

@@ -1,0 +1,136 @@
+#include "sim/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/fragmentation.hpp"
+
+namespace streamlab {
+namespace {
+
+const Ipv4Address kClient(10, 0, 0, 2);
+const Ipv4Address kServer(192, 168, 100, 10);
+
+Ipv4Packet udp_packet(Ipv4Address src, Ipv4Address dst, std::uint8_t ttl = 64) {
+  std::vector<std::uint8_t> data(50, 0x11);
+  return make_udp_packet(Endpoint{src, 1000}, Endpoint{dst, 2000}, data, 1, ttl);
+}
+
+/// Captures packets the router emits on each interface.
+struct RouterHarness {
+  Router router{"r0", Ipv4Address(10, 1, 0, 1)};
+  std::vector<Ipv4Packet> out0, out1;
+
+  RouterHarness() {
+    router.attach_interface(0, [this](const Ipv4Packet& p) { out0.push_back(p); });
+    router.attach_interface(1, [this](const Ipv4Packet& p) { out1.push_back(p); });
+    router.add_route(Ipv4Address(10, 0, 0, 0), 16, 0);
+    router.add_default_route(1);
+  }
+};
+
+TEST(Router, ForwardsByLongestPrefix) {
+  RouterHarness h;
+  h.router.handle_packet(udp_packet(kServer, kClient), 1);
+  ASSERT_EQ(h.out0.size(), 1u);
+  EXPECT_TRUE(h.out1.empty());
+
+  h.router.handle_packet(udp_packet(kClient, kServer), 0);
+  ASSERT_EQ(h.out1.size(), 1u);
+}
+
+TEST(Router, MoreSpecificRouteWins) {
+  RouterHarness h;
+  // /32 for one client host overrides the /16.
+  h.router.add_route(Ipv4Address(10, 0, 0, 99), 32, 1);
+  h.router.handle_packet(udp_packet(kServer, Ipv4Address(10, 0, 0, 99)), 1);
+  EXPECT_TRUE(h.out0.empty());
+  ASSERT_EQ(h.out1.size(), 1u);
+}
+
+TEST(Router, DecrementsTtl) {
+  RouterHarness h;
+  h.router.handle_packet(udp_packet(kServer, kClient, 10), 1);
+  ASSERT_EQ(h.out0.size(), 1u);
+  EXPECT_EQ(h.out0[0].header.ttl, 9);
+  EXPECT_EQ(h.router.stats().packets_forwarded, 1u);
+}
+
+TEST(Router, TtlExpiryGeneratesTimeExceeded) {
+  RouterHarness h;
+  h.router.handle_packet(udp_packet(kClient, kServer, 1), 0);
+  // Nothing forwarded; an ICMP error goes back toward the client (iface 0).
+  EXPECT_TRUE(h.out1.empty());
+  ASSERT_EQ(h.out0.size(), 1u);
+  EXPECT_EQ(h.router.stats().packets_ttl_expired, 1u);
+
+  const Ipv4Packet& icmp_pkt = h.out0[0];
+  EXPECT_EQ(icmp_pkt.header.protocol, kIpProtoIcmp);
+  EXPECT_EQ(icmp_pkt.header.src, h.router.address());
+  EXPECT_EQ(icmp_pkt.header.dst, kClient);
+
+  ByteReader r(icmp_pkt.payload);
+  const auto icmp = IcmpHeader::decode(r);
+  ASSERT_TRUE(icmp.has_value());
+  EXPECT_EQ(icmp->type, IcmpType::kTimeExceeded);
+
+  // RFC 792: quoted original header identifies the offending packet.
+  const auto quoted = Ipv4Header::decode(r);
+  ASSERT_TRUE(quoted.has_value());
+  EXPECT_EQ(quoted->dst, kServer);
+  EXPECT_EQ(quoted->src, kClient);
+}
+
+TEST(Router, NoRouteGeneratesUnreachable) {
+  Router router("r", Ipv4Address(10, 1, 0, 1));
+  std::vector<Ipv4Packet> out0;
+  router.attach_interface(0, [&](const Ipv4Packet& p) { out0.push_back(p); });
+  router.add_route(Ipv4Address(10, 0, 0, 0), 16, 0);
+  // No default route: 192.168/16 is unroutable.
+  router.handle_packet(udp_packet(kClient, kServer), 0);
+  EXPECT_EQ(router.stats().packets_no_route, 1u);
+  ASSERT_EQ(out0.size(), 1u);
+  ByteReader r(out0[0].payload);
+  const auto icmp = IcmpHeader::decode(r);
+  ASSERT_TRUE(icmp.has_value());
+  EXPECT_EQ(icmp->type, IcmpType::kDestinationUnreachable);
+}
+
+TEST(Router, AnswersPingToOwnAddress) {
+  RouterHarness h;
+  IcmpHeader echo;
+  echo.type = IcmpType::kEchoRequest;
+  echo.identifier = 77;
+  echo.sequence = 3;
+  const std::vector<std::uint8_t> pad(16, 0xA5);
+  const Ipv4Packet request =
+      make_icmp_packet(kClient, h.router.address(), echo, pad, 5);
+
+  h.router.handle_packet(request, 0);
+  EXPECT_EQ(h.router.stats().packets_delivered_local, 1u);
+  ASSERT_EQ(h.out0.size(), 1u);
+
+  ByteReader r(h.out0[0].payload);
+  const auto reply = IcmpHeader::decode(r);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, IcmpType::kEchoReply);
+  EXPECT_EQ(reply->identifier, 77);
+  EXPECT_EQ(reply->sequence, 3);
+  // Echo payload is reflected.
+  EXPECT_EQ(r.remaining(), pad.size());
+}
+
+TEST(Router, FragmentsForwardIndependently) {
+  RouterHarness h;
+  std::vector<std::uint8_t> big(4000, 0x22);
+  const Ipv4Packet datagram =
+      make_udp_packet(Endpoint{kServer, 1}, Endpoint{kClient, 2}, big, 33);
+  for (const auto& frag : fragment_packet(datagram, kDefaultMtu))
+    h.router.handle_packet(frag, 1);
+  EXPECT_EQ(h.out0.size(), 3u);
+  for (const auto& p : h.out0) EXPECT_EQ(p.header.identification, 33);
+}
+
+}  // namespace
+}  // namespace streamlab

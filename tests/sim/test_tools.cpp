@@ -1,0 +1,109 @@
+#include "sim/tools.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamlab {
+namespace {
+
+PathConfig quiet_path(int hops, int one_way_ms) {
+  PathConfig cfg;
+  cfg.hop_count = hops;
+  cfg.one_way_propagation = Duration::millis(one_way_ms);
+  cfg.jitter_stddev = Duration::zero();
+  cfg.loss_probability = 0.0;
+  return cfg;
+}
+
+TEST(Ping, AllRepliesOnCleanPath) {
+  Network net(quiet_path(8, 20));
+  Host& server = net.add_server("srv");
+  const PingResult r = run_ping(net, server.address(), 10);
+  EXPECT_EQ(r.sent, 10);
+  EXPECT_EQ(r.received, 10);
+  EXPECT_DOUBLE_EQ(r.loss_fraction(), 0.0);
+  ASSERT_EQ(r.rtts.size(), 10u);
+  // RTT ~ 2x one-way (plus the server link share and serialization).
+  EXPECT_GT(r.avg_rtt().to_millis(), 40.0);
+  EXPECT_LT(r.avg_rtt().to_millis(), 50.0);
+  EXPECT_LE(r.min_rtt(), r.avg_rtt());
+  EXPECT_LE(r.avg_rtt(), r.max_rtt());
+}
+
+TEST(Ping, RttScalesWithPropagation) {
+  Network near(quiet_path(8, 10));
+  Network far(quiet_path(8, 60));
+  Host& s1 = near.add_server("srv");
+  Host& s2 = far.add_server("srv");
+  const auto r1 = run_ping(near, s1.address(), 3);
+  const auto r2 = run_ping(far, s2.address(), 3);
+  EXPECT_GT(r2.avg_rtt().to_millis(), r1.avg_rtt().to_millis() * 3);
+}
+
+TEST(Ping, CanTargetIntermediateRouter) {
+  Network net(quiet_path(10, 20));
+  net.add_server("srv");
+  const PingResult r = run_ping(net, net.router_address(2), 3);
+  EXPECT_EQ(r.received, 3);
+  // Router 2 is much closer than the far end.
+  EXPECT_LT(r.avg_rtt().to_millis(), 20.0);
+}
+
+TEST(Ping, LossyPathLosesSomeProbes) {
+  PathConfig cfg = quiet_path(8, 20);
+  cfg.loss_probability = 0.25;  // heavy loss on the bottleneck
+  cfg.seed = 5;
+  Network net(cfg);
+  Host& server = net.add_server("srv");
+  const PingResult r = run_ping(net, server.address(), 40);
+  EXPECT_EQ(r.sent, 40);
+  EXPECT_LT(r.received, 40);
+  EXPECT_GT(r.received, 0);
+}
+
+TEST(Ping, EmptyResultStatsAreSafe) {
+  PingResult r;
+  EXPECT_EQ(r.min_rtt(), Duration::zero());
+  EXPECT_EQ(r.max_rtt(), Duration::zero());
+  EXPECT_EQ(r.avg_rtt(), Duration::zero());
+  EXPECT_DOUBLE_EQ(r.loss_fraction(), 0.0);
+}
+
+TEST(Traceroute, DiscoversEveryHop) {
+  const int hops = 7;
+  Network net(quiet_path(hops, 15));
+  Host& server = net.add_server("srv");
+  const TracerouteResult r = run_traceroute(net, server.address());
+
+  ASSERT_TRUE(r.reached);
+  // hop_count = routers + destination host, matching tracert output.
+  EXPECT_EQ(r.hop_count(), hops + 1);
+  ASSERT_EQ(r.hops.size(), static_cast<std::size_t>(hops + 1));
+
+  for (int i = 0; i < hops; ++i) {
+    ASSERT_TRUE(r.hops[static_cast<std::size_t>(i)].address.has_value());
+    EXPECT_EQ(*r.hops[static_cast<std::size_t>(i)].address, net.router_address(i))
+        << "hop " << i;
+  }
+  EXPECT_EQ(*r.hops.back().address, server.address());
+}
+
+TEST(Traceroute, RttIncreasesWithTtl) {
+  Network net(quiet_path(9, 30));
+  Host& server = net.add_server("srv");
+  const TracerouteResult r = run_traceroute(net, server.address());
+  ASSERT_TRUE(r.reached);
+  EXPECT_LT(r.hops.front().rtt, r.hops.back().rtt);
+}
+
+TEST(Traceroute, HopCountMatchesPathConfig) {
+  for (const int hops : {5, 12, 20}) {
+    Network net(quiet_path(hops, 10));
+    Host& server = net.add_server("srv");
+    const auto r = run_traceroute(net, server.address());
+    EXPECT_TRUE(r.reached);
+    EXPECT_EQ(r.hop_count(), hops + 1) << hops << " hops";
+  }
+}
+
+}  // namespace
+}  // namespace streamlab

@@ -1,0 +1,2 @@
+#include <gtest/gtest.h>
+TEST(Placeholder_tracegen, Builds) { SUCCEED(); }

@@ -1,0 +1,139 @@
+#include "tracegen/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/headers.hpp"
+
+namespace streamlab {
+namespace {
+
+const StudyResults& small_study() {
+  static const StudyResults study = [] {
+    StudyConfig config;
+    config.seed = 424242;
+    return run_study_subset(config, {1});
+  }();
+  return study;
+}
+
+const FlowModel& model() {
+  static const FlowModel m = FlowModel::fit(small_study());
+  return m;
+}
+
+TEST(SyntheticFlowGenerator, GeneratesNonEmptyFlow) {
+  SyntheticFlowGenerator gen(model(), 1);
+  const auto clip = *find_clip("set1/R-l");
+  const SyntheticFlow flow = gen.generate(clip);
+  EXPECT_GT(flow.packets.size(), 100u);
+  EXPECT_GT(flow.rtt_ms, 0.0);
+  EXPECT_GT(flow.duration_s(), 10.0);
+}
+
+TEST(SyntheticFlowGenerator, TimesMonotone) {
+  SyntheticFlowGenerator gen(model(), 2);
+  const SyntheticFlow flow = gen.generate(*find_clip("set1/M-h"));
+  for (std::size_t i = 1; i < flow.packets.size(); ++i)
+    EXPECT_GE(flow.packets[i].time_s, flow.packets[i - 1].time_s);
+}
+
+TEST(SyntheticFlowGenerator, TotalBytesApproximateMediaBudget) {
+  SyntheticFlowGenerator gen(model(), 3);
+  for (const auto& id : {"set1/R-l", "set1/R-h", "set1/M-l", "set1/M-h"}) {
+    const auto clip = *find_clip(id);
+    const SyntheticFlow flow = gen.generate(clip);
+    const double budget = static_cast<double>(clip.encoded_rate.bytes_in(clip.length));
+    EXPECT_NEAR(static_cast<double>(flow.total_bytes()), budget, budget * 0.1) << id;
+  }
+}
+
+TEST(SyntheticFlowGenerator, RealFlowsNeverFragment) {
+  SyntheticFlowGenerator gen(model(), 4);
+  for (const auto& id : {"set1/R-l", "set1/R-h"}) {
+    const SyntheticFlow flow = gen.generate(*find_clip(id));
+    EXPECT_DOUBLE_EQ(flow.fragment_fraction(), 0.0) << id;
+  }
+}
+
+TEST(SyntheticFlowGenerator, MediaHighRateFragmentsLikeFigure5) {
+  SyntheticFlowGenerator gen(model(), 5);
+  const SyntheticFlow low = gen.generate(*find_clip("set1/M-l"));
+  const SyntheticFlow high = gen.generate(*find_clip("set1/M-h"));
+  EXPECT_LT(low.fragment_fraction(), 0.05);
+  EXPECT_NEAR(high.fragment_fraction(), 0.66, 0.06);
+  // Fragment groups show the Figure 4 wire pattern: full-MTU then tail.
+  bool saw_group = false;
+  for (std::size_t i = 0; i + 2 < high.packets.size(); ++i) {
+    if (!high.packets[i].fragment && high.packets[i + 1].fragment) {
+      saw_group = true;
+      EXPECT_EQ(high.packets[i].bytes, kDefaultMtu + kEthernetHeaderSize);
+    }
+  }
+  EXPECT_TRUE(saw_group);
+}
+
+TEST(SyntheticFlowGenerator, RealStartupBurstPresent) {
+  SyntheticFlowGenerator gen(model(), 6);
+  const SyntheticFlow flow = gen.generate(*find_clip("set1/R-l"));
+  // Rate in the first 15 s vs a mid-stream window (25-40 s).
+  double early = 0, late = 0;
+  for (const auto& p : flow.packets) {
+    if (p.time_s < 15.0) early += p.bytes;
+    if (p.time_s >= 25.0 && p.time_s < 40.0) late += p.bytes;
+  }
+  const double early_rate = early / 15.0;
+  const double late_rate = late / 15.0;
+  ASSERT_GT(late_rate, 0.0);
+  EXPECT_GT(early_rate / late_rate, 1.4);
+}
+
+TEST(SyntheticFlowGenerator, MediaNoStartupBurst) {
+  SyntheticFlowGenerator gen(model(), 7);
+  const SyntheticFlow flow = gen.generate(*find_clip("set1/M-l"));
+  double early = 0, late = 0;
+  for (const auto& p : flow.packets) {
+    if (p.time_s < 10.0) early += p.bytes;
+    if (p.time_s >= 15.0 && p.time_s < 25.0) late += p.bytes;
+  }
+  const double ratio = (early / 10.0) / (late / 10.0);
+  EXPECT_NEAR(ratio, 1.0, 0.2);
+}
+
+TEST(SyntheticFlowGenerator, Deterministic) {
+  SyntheticFlowGenerator a(model(), 42), b(model(), 42);
+  const auto clip = *find_clip("set1/R-h");
+  const auto fa = a.generate(clip);
+  const auto fb = b.generate(clip);
+  ASSERT_EQ(fa.packets.size(), fb.packets.size());
+  for (std::size_t i = 0; i < fa.packets.size(); ++i) {
+    EXPECT_EQ(fa.packets[i].bytes, fb.packets[i].bytes);
+    EXPECT_DOUBLE_EQ(fa.packets[i].time_s, fb.packets[i].time_s);
+  }
+}
+
+TEST(SyntheticValidation, SyntheticMatchesFittedDistributions) {
+  SyntheticFlowGenerator gen(model(), 8);
+  const SyntheticFlow real_flow = gen.generate(*find_clip("set1/R-h"));
+  const auto v = validate_against_model(real_flow, model());
+  // RealPlayer flows re-use sizes directly: distributions should agree.
+  EXPECT_LT(v.size_ks, 0.15);
+  EXPECT_LT(v.interval_ks, 0.20);
+  // Mean wire rate sits above the encoding rate: the startup burst
+  // compresses the stream (Figure 3 / Section 3.F) and wire sizes carry
+  // per-packet header overhead.
+  EXPECT_LT(v.rate_relative_error, 0.30);
+}
+
+TEST(SyntheticFlow, DerivedSeriesConsistent) {
+  SyntheticFlowGenerator gen(model(), 9);
+  const SyntheticFlow flow = gen.generate(*find_clip("set1/M-h"));
+  EXPECT_EQ(flow.sizes().size(), flow.packets.size());
+  // Interarrivals only count group-leading packets.
+  std::size_t leaders = 0;
+  for (const auto& p : flow.packets) leaders += !p.fragment;
+  EXPECT_EQ(flow.interarrivals().size(), leaders - 1);
+  EXPECT_GT(flow.mean_rate_kbps(), 0.0);
+}
+
+}  // namespace
+}  // namespace streamlab

@@ -1,0 +1,76 @@
+#include "trackers/playlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamlab {
+namespace {
+
+TEST(Playlist, IteratesInOrder) {
+  Playlist list({"set1/R-l", "set1/R-h", "set2/R-l"});
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.next()->id(), "set1/R-l");
+  EXPECT_EQ(list.next()->id(), "set1/R-h");
+  EXPECT_EQ(list.next()->id(), "set2/R-l");
+  EXPECT_FALSE(list.next().has_value());
+  EXPECT_TRUE(list.exhausted());
+}
+
+TEST(Playlist, SkipsUnknownIds) {
+  Playlist list({"set1/R-l", "not/a-clip", "set2/R-l"});
+  EXPECT_EQ(list.next()->id(), "set1/R-l");
+  EXPECT_EQ(list.next()->id(), "set2/R-l");
+  EXPECT_FALSE(list.next().has_value());
+}
+
+TEST(Playlist, RepeatWrapsAround) {
+  Playlist list({"set1/R-l", "set1/R-h"}, /*repeat=*/true);
+  for (int lap = 0; lap < 3; ++lap) {
+    EXPECT_EQ(list.next()->id(), "set1/R-l") << lap;
+    EXPECT_EQ(list.next()->id(), "set1/R-h") << lap;
+  }
+  EXPECT_FALSE(list.exhausted());
+}
+
+TEST(Playlist, EmptyRepeatTerminates) {
+  Playlist list({}, /*repeat=*/true);
+  EXPECT_FALSE(list.next().has_value());
+}
+
+TEST(Playlist, ResetRestartsCursor) {
+  Playlist list({"set1/R-l", "set1/R-h"});
+  list.next();
+  list.next();
+  EXPECT_TRUE(list.exhausted());
+  list.reset();
+  EXPECT_FALSE(list.exhausted());
+  EXPECT_EQ(list.next()->id(), "set1/R-l");
+}
+
+TEST(Playlist, ForPlayerCoversCatalogInOrder) {
+  const Playlist real = Playlist::for_player(PlayerKind::kRealPlayer);
+  EXPECT_EQ(real.size(), 13u);
+  const Playlist media = Playlist::for_player(PlayerKind::kMediaPlayer);
+  EXPECT_EQ(media.size(), 13u);
+  // Every id resolves and belongs to the right player.
+  Playlist copy = media;
+  while (auto clip = copy.next())
+    EXPECT_EQ(clip->player, PlayerKind::kMediaPlayer);
+}
+
+TEST(Playlist, AddAppends) {
+  Playlist list;
+  list.add("set3/M-l");
+  list.add("set3/M-h");
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.next()->id(), "set3/M-l");
+}
+
+TEST(Playlist, PositionTracksCursor) {
+  Playlist list({"set1/R-l", "set1/R-h"});
+  EXPECT_EQ(list.position(), 0u);
+  list.next();
+  EXPECT_EQ(list.position(), 1u);
+}
+
+}  // namespace
+}  // namespace streamlab

@@ -1,0 +1,67 @@
+#include "util/expected.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamlab {
+namespace {
+
+Expected<int> parse_positive(int v) {
+  if (v > 0) return v;
+  return Unexpected(std::string("not positive"));
+}
+
+TEST(Expected, HoldsValue) {
+  const auto r = parse_positive(5);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(Expected, HoldsError) {
+  const auto r = parse_positive(-1);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), "not positive");
+}
+
+TEST(Expected, ValueOr) {
+  EXPECT_EQ(parse_positive(3).value_or(99), 3);
+  EXPECT_EQ(parse_positive(-3).value_or(99), 99);
+}
+
+TEST(Expected, MapTransformsValue) {
+  const auto r = parse_positive(4).map([](int v) { return v * 2; });
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 8);
+}
+
+TEST(Expected, MapPropagatesError) {
+  const auto r = parse_positive(-4).map([](int v) { return v * 2; });
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), "not positive");
+}
+
+TEST(Expected, WorksWhenValueTypeConvertibleFromErrorType) {
+  // T = std::string, E = std::string: the Unexpected tag disambiguates.
+  Expected<std::string> ok(std::string("value"));
+  Expected<std::string> err{Unexpected(std::string("error"))};
+  EXPECT_TRUE(ok.has_value());
+  EXPECT_FALSE(err.has_value());
+  EXPECT_EQ(*ok, "value");
+  EXPECT_EQ(err.error(), "error");
+}
+
+TEST(Expected, MoveOnlyValue) {
+  Expected<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.has_value());
+  auto owned = std::move(r).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace streamlab

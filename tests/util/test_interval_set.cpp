@@ -1,0 +1,136 @@
+#include "util/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace streamlab {
+namespace {
+
+TEST(IntervalSet, EmptyBehaviour) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.total_covered(), 0u);
+  EXPECT_EQ(s.contiguous_prefix(), 0u);
+  EXPECT_FALSE(s.covers(0, 1));
+  EXPECT_TRUE(s.covers(5, 5));  // empty range vacuously covered
+}
+
+TEST(IntervalSet, SingleInsert) {
+  IntervalSet s;
+  s.insert(10, 20);
+  EXPECT_EQ(s.total_covered(), 10u);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.covers(10, 20));
+  EXPECT_TRUE(s.covers(12, 15));
+  EXPECT_FALSE(s.covers(9, 11));
+  EXPECT_FALSE(s.covers(19, 21));
+  EXPECT_EQ(s.contiguous_prefix(), 0u);  // does not start at 0
+}
+
+TEST(IntervalSet, AdjacentIntervalsMerge) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(10, 20);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.contiguous_prefix(), 20u);
+}
+
+TEST(IntervalSet, OverlappingIntervalsMerge) {
+  IntervalSet s;
+  s.insert(0, 15);
+  s.insert(10, 30);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.covers(0, 30));
+  EXPECT_EQ(s.total_covered(), 30u);
+}
+
+TEST(IntervalSet, ContainedInsertIsNoop) {
+  IntervalSet s;
+  s.insert(0, 100);
+  s.insert(20, 30);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.total_covered(), 100u);
+}
+
+TEST(IntervalSet, GapThenFill) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(20, 30);
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_EQ(s.contiguous_prefix(), 10u);
+  EXPECT_FALSE(s.covers(5, 25));
+  s.insert(10, 20);  // fill the gap
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.contiguous_prefix(), 30u);
+  EXPECT_TRUE(s.covers(5, 25));
+}
+
+TEST(IntervalSet, InsertSpanningManyIntervals) {
+  IntervalSet s;
+  for (std::uint64_t i = 0; i < 10; ++i) s.insert(i * 10, i * 10 + 5);
+  EXPECT_EQ(s.interval_count(), 10u);
+  s.insert(2, 97);
+  // Merges with [0,5) at the front and swallows every later island.
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.covers(0, 97));
+  EXPECT_EQ(s.total_covered(), 97u);
+}
+
+TEST(IntervalSet, InvertedAndEmptyRangesIgnored) {
+  IntervalSet s;
+  s.insert(10, 10);
+  s.insert(20, 5);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, OutOfOrderInsertionOrderIndependent) {
+  // Property: any insertion order of the same ranges yields the same set.
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges = {
+      {0, 7}, {14, 21}, {7, 14}, {30, 35}, {21, 30}};
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto shuffled = ranges;
+    rng.shuffle(std::span(shuffled));
+    IntervalSet s;
+    for (const auto& [a, b] : shuffled) s.insert(a, b);
+    EXPECT_EQ(s.interval_count(), 1u);
+    EXPECT_EQ(s.contiguous_prefix(), 35u);
+    EXPECT_EQ(s.total_covered(), 35u);
+  }
+}
+
+TEST(IntervalSetProperty, RandomizedAgainstBitmapOracle) {
+  Rng rng(12345);
+  for (int trial = 0; trial < 50; ++trial) {
+    IntervalSet s;
+    std::vector<bool> oracle(200, false);
+    for (int op = 0; op < 40; ++op) {
+      const auto a = static_cast<std::uint64_t>(rng.uniform_int(0, 199));
+      const auto b = static_cast<std::uint64_t>(rng.uniform_int(0, 199));
+      const auto lo = std::min(a, b), hi = std::max(a, b);
+      s.insert(lo, hi);
+      for (std::uint64_t i = lo; i < hi; ++i) oracle[i] = true;
+    }
+    // total_covered matches the oracle.
+    std::uint64_t expected = 0;
+    for (bool bit : oracle) expected += bit;
+    EXPECT_EQ(s.total_covered(), expected);
+    // covers() matches for random probes.
+    for (int probe = 0; probe < 30; ++probe) {
+      const auto a = static_cast<std::uint64_t>(rng.uniform_int(0, 199));
+      const auto b = static_cast<std::uint64_t>(rng.uniform_int(0, 199));
+      const auto lo = std::min(a, b), hi = std::max(a, b);
+      bool oracle_covers = true;
+      for (std::uint64_t i = lo; i < hi; ++i) oracle_covers &= oracle[i];
+      EXPECT_EQ(s.covers(lo, hi), oracle_covers) << "range [" << lo << "," << hi << ")";
+    }
+    // contiguous_prefix matches.
+    std::uint64_t prefix = 0;
+    while (prefix < oracle.size() && oracle[prefix]) ++prefix;
+    EXPECT_EQ(s.contiguous_prefix(), prefix);
+  }
+}
+
+}  // namespace
+}  // namespace streamlab

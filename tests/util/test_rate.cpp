@@ -1,0 +1,56 @@
+#include "util/rate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace streamlab {
+namespace {
+
+TEST(BitRate, FactoriesAndAccessors) {
+  EXPECT_EQ(BitRate::kbps(300).bits_per_second(), 300'000);
+  EXPECT_EQ(BitRate::mbps(10).bits_per_second(), 10'000'000);
+  EXPECT_DOUBLE_EQ(BitRate::kbps(284).to_kbps(), 284.0);
+  EXPECT_DOUBLE_EQ(BitRate::mbps(1.5).to_mbps(), 1.5);
+}
+
+TEST(BitRate, FractionalKbpsRoundTrips) {
+  // Table 1 rates like 49.8 and 323.1 Kbps must be exact.
+  EXPECT_EQ(BitRate::kbps(49.8).bits_per_second(), 49'800);
+  EXPECT_EQ(BitRate::kbps(323.1).bits_per_second(), 323'100);
+  EXPECT_EQ(BitRate::kbps(636.9).bits_per_second(), 636'900);
+}
+
+TEST(BitRate, TransmissionTime) {
+  // 1500 bytes at 12 Mbps = 1 ms.
+  EXPECT_EQ(BitRate::mbps(12).transmission_time(1500), Duration::millis(1));
+  // 1 byte at 8 bps = 1 s.
+  EXPECT_EQ(BitRate::bps(8).transmission_time(1), Duration::seconds(1));
+  EXPECT_EQ(BitRate::zero().transmission_time(100), Duration::max());
+}
+
+TEST(BitRate, BytesIn) {
+  EXPECT_EQ(BitRate::kbps(8).bytes_in(Duration::seconds(1)), 1000);
+  EXPECT_EQ(BitRate::kbps(49.8).bytes_in(Duration::millis(100)), 622);
+  EXPECT_EQ(BitRate::zero().bytes_in(Duration::seconds(5)), 0);
+}
+
+TEST(BitRate, ScaledAndRatio) {
+  const BitRate r = BitRate::kbps(100);
+  EXPECT_EQ(r.scaled(3.0), BitRate::kbps(300));
+  EXPECT_DOUBLE_EQ(BitRate::kbps(300) / r, 3.0);
+}
+
+TEST(BitRate, ComparisonAndArithmetic) {
+  EXPECT_LT(BitRate::kbps(56), BitRate::kbps(300));
+  EXPECT_EQ(BitRate::kbps(100) + BitRate::kbps(50), BitRate::kbps(150));
+  EXPECT_EQ(BitRate::kbps(100) - BitRate::kbps(50), BitRate::kbps(50));
+}
+
+TEST(BitRate, ToStringPicksUnits) {
+  EXPECT_EQ(to_string(BitRate::kbps(284)), "284.0 Kbps");
+  EXPECT_EQ(to_string(BitRate::mbps(10)), "10.00 Mbps");
+}
+
+}  // namespace
+}  // namespace streamlab

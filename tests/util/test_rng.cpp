@@ -1,0 +1,164 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace streamlab {
+namespace {
+
+double sample_mean(std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double sample_stddev(std::vector<double>& v, double mean) {
+  double ss = 0.0;
+  for (double x : v) ss += (x - mean) * (x - mean);
+  return std::sqrt(ss / static_cast<double>(v.size() - 1));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ConsecutiveSeedsUncorrelated) {
+  // splitmix64 seeding: seeds 1..N should give means near 0.5 individually.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    double sum = 0.0;
+    for (int i = 0; i < 4000; ++i) sum += rng.uniform();
+    EXPECT_NEAR(sum / 4000.0, 0.5, 0.05) << "seed " << seed;
+  }
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(5.0, 6.5);
+    ASSERT_GE(u, 5.0);
+    ASSERT_LT(u, 6.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::vector<int> seen(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const auto v = rng.uniform_int(10, 15);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 15);
+    ++seen[static_cast<std::size_t>(v - 10)];
+  }
+  for (int count : seen) EXPECT_GT(count, 800);  // roughly uniform
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(11);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.normal(10.0, 2.0);
+  const double mean = sample_mean(xs);
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(sample_stddev(xs, mean), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(13);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.exponential(0.25);
+  EXPECT_NEAR(sample_mean(xs), 0.25, 0.02);
+  EXPECT_TRUE(std::all_of(xs.begin(), xs.end(), [](double v) { return v >= 0; }));
+}
+
+TEST(Rng, LognormalMeanCvMatchesTargets) {
+  Rng rng(17);
+  std::vector<double> xs(40000);
+  for (auto& x : xs) x = rng.lognormal_mean_cv(1.0, 0.45);
+  const double mean = sample_mean(xs);
+  EXPECT_NEAR(mean, 1.0, 0.02);
+  EXPECT_NEAR(sample_stddev(xs, mean) / mean, 0.45, 0.03);
+}
+
+TEST(Rng, ParetoRespectsScaleFloor) {
+  Rng rng(19);
+  for (int i = 0; i < 5000; ++i) ASSERT_GE(rng.pareto(2.5, 3.0), 3.0);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // Child and parent produce different sequences.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.next_u64() == child.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(37);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(std::span<int>(shuffled));
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);       // same multiset
+  EXPECT_NE(shuffled, v);     // actually moved (overwhelmingly likely)
+}
+
+TEST(EmpiricalSampler, QuantilesOfKnownSample) {
+  EmpiricalSampler s({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.125), 1.5);  // interpolated
+}
+
+TEST(EmpiricalSampler, UnsortedInputIsSorted) {
+  EmpiricalSampler s({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+}
+
+TEST(EmpiricalSampler, EmptyReturnsZero) {
+  EmpiricalSampler s{std::vector<double>{}};
+  Rng rng(1);
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.sample(rng), 0.0);
+}
+
+TEST(EmpiricalSampler, SamplesReproduceSourceDistribution) {
+  // Sampling from an empirical CDF of U(0,1) data should give ~U(0,1).
+  Rng source(41);
+  std::vector<double> obs(2000);
+  for (auto& o : obs) o = source.uniform();
+  EmpiricalSampler s(obs);
+  Rng rng(43);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) sum += s.sample(rng);
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace streamlab

@@ -1,0 +1,73 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace streamlab {
+namespace {
+
+TEST(Duration, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::millis(1).ns(), 1'000'000);
+  EXPECT_EQ(Duration::micros(1).ns(), 1'000);
+  EXPECT_EQ(Duration::nanos(1).ns(), 1);
+  EXPECT_EQ(Duration::seconds(3), Duration::millis(3000));
+}
+
+TEST(Duration, FromSecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(Duration::from_seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(Duration::from_seconds(0.1).ns(), 100'000'000);
+  EXPECT_EQ(Duration::from_seconds(-0.25).ns(), -250'000'000);
+  EXPECT_EQ(Duration::from_seconds(1e-9).ns(), 1);
+}
+
+TEST(Duration, ArithmeticAndComparison) {
+  const Duration a = Duration::millis(30);
+  const Duration b = Duration::millis(12);
+  EXPECT_EQ((a + b).ns(), Duration::millis(42).ns());
+  EXPECT_EQ((a - b).ns(), Duration::millis(18).ns());
+  EXPECT_EQ((a * 3).ns(), Duration::millis(90).ns());
+  EXPECT_EQ((a / 2).ns(), Duration::millis(15).ns());
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(-a, Duration::millis(-30));
+}
+
+TEST(Duration, ScaledAppliesFloatingFactor) {
+  EXPECT_EQ(Duration::seconds(10).scaled(0.5), Duration::seconds(5));
+  EXPECT_EQ(Duration::millis(100).scaled(1.25), Duration::millis(125));
+}
+
+TEST(Duration, ConversionAccessors) {
+  const Duration d = Duration::millis(1500);
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(d.to_millis(), 1500.0);
+}
+
+TEST(SimTime, AffineAlgebra) {
+  const SimTime t0 = SimTime::from_seconds(10.0);
+  const SimTime t1 = t0 + Duration::seconds(5);
+  EXPECT_EQ(t1.to_seconds(), 15.0);
+  EXPECT_EQ(t1 - t0, Duration::seconds(5));
+  EXPECT_EQ(t1 - Duration::seconds(15), SimTime::zero());
+  EXPECT_LT(t0, t1);
+}
+
+TEST(SimTime, PlusEqualsAdvances) {
+  SimTime t;
+  t += Duration::millis(250);
+  t += Duration::millis(250);
+  EXPECT_EQ(t, SimTime::from_seconds(0.5));
+}
+
+TEST(TimeToString, HumanReadableRanges) {
+  EXPECT_EQ(to_string(Duration::nanos(12)), "12ns");
+  EXPECT_EQ(to_string(Duration::micros(250)), "250.0us");
+  EXPECT_EQ(to_string(Duration::millis(42)), "42.0ms");
+  EXPECT_EQ(to_string(Duration::seconds(3)), "3.00s");
+  EXPECT_EQ(to_string(SimTime::from_seconds(1.5)), "t=1.500s");
+}
+
+}  // namespace
+}  // namespace streamlab
