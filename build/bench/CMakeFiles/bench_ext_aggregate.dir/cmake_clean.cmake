@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_aggregate.dir/bench_ext_aggregate.cpp.o"
+  "CMakeFiles/bench_ext_aggregate.dir/bench_ext_aggregate.cpp.o.d"
+  "bench_ext_aggregate"
+  "bench_ext_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_congestion.dir/bench_ext_congestion.cpp.o"
+  "CMakeFiles/bench_ext_congestion.dir/bench_ext_congestion.cpp.o.d"
+  "bench_ext_congestion"
+  "bench_ext_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

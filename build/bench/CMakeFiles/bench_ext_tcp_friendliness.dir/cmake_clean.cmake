@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_tcp_friendliness.dir/bench_ext_tcp_friendliness.cpp.o"
+  "CMakeFiles/bench_ext_tcp_friendliness.dir/bench_ext_tcp_friendliness.cpp.o.d"
+  "bench_ext_tcp_friendliness"
+  "bench_ext_tcp_friendliness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tcp_friendliness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_hops.dir/bench_fig02_hops.cpp.o"
+  "CMakeFiles/bench_fig02_hops.dir/bench_fig02_hops.cpp.o.d"
+  "bench_fig02_hops"
+  "bench_fig02_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

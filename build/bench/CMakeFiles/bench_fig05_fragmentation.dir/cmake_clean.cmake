@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_fragmentation.dir/bench_fig05_fragmentation.cpp.o"
+  "CMakeFiles/bench_fig05_fragmentation.dir/bench_fig05_fragmentation.cpp.o.d"
+  "bench_fig05_fragmentation"
+  "bench_fig05_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_pktsize_pdf.dir/bench_fig06_pktsize_pdf.cpp.o"
+  "CMakeFiles/bench_fig06_pktsize_pdf.dir/bench_fig06_pktsize_pdf.cpp.o.d"
+  "bench_fig06_pktsize_pdf"
+  "bench_fig06_pktsize_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_pktsize_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_pktsize_norm.dir/bench_fig07_pktsize_norm.cpp.o"
+  "CMakeFiles/bench_fig07_pktsize_norm.dir/bench_fig07_pktsize_norm.cpp.o.d"
+  "bench_fig07_pktsize_norm"
+  "bench_fig07_pktsize_norm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_pktsize_norm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_framerate_enc.dir/bench_fig14_framerate_enc.cpp.o"
+  "CMakeFiles/bench_fig14_framerate_enc.dir/bench_fig14_framerate_enc.cpp.o.d"
+  "bench_fig14_framerate_enc"
+  "bench_fig14_framerate_enc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_framerate_enc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

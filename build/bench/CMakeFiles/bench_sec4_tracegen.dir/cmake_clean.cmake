@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_tracegen.dir/bench_sec4_tracegen.cpp.o"
+  "CMakeFiles/bench_sec4_tracegen.dir/bench_sec4_tracegen.cpp.o.d"
+  "bench_sec4_tracegen"
+  "bench_sec4_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

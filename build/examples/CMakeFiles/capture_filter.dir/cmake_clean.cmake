@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_filter.dir/capture_filter.cpp.o"
+  "CMakeFiles/capture_filter.dir/capture_filter.cpp.o.d"
+  "capture_filter"
+  "capture_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_players.dir/compare_players.cpp.o"
+  "CMakeFiles/compare_players.dir/compare_players.cpp.o.d"
+  "compare_players"
+  "compare_players.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_players.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

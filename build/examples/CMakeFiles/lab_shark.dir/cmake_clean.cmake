@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_shark.dir/lab_shark.cpp.o"
+  "CMakeFiles/lab_shark.dir/lab_shark.cpp.o.d"
+  "lab_shark"
+  "lab_shark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_shark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

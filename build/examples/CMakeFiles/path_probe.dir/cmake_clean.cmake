@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_probe.dir/path_probe.cpp.o"
+  "CMakeFiles/path_probe.dir/path_probe.cpp.o.d"
+  "path_probe"
+  "path_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("sim")
+subdirs("pcap")
+subdirs("dissect")
+subdirs("filter")
+subdirs("media")
+subdirs("players")
+subdirs("trackers")
+subdirs("analysis")
+subdirs("tracegen")
+subdirs("core")
+subdirs("congestion")
+subdirs("tcp")

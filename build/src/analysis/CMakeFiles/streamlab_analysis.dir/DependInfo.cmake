@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bandwidth.cpp" "src/analysis/CMakeFiles/streamlab_analysis.dir/bandwidth.cpp.o" "gcc" "src/analysis/CMakeFiles/streamlab_analysis.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/analysis/burstiness.cpp" "src/analysis/CMakeFiles/streamlab_analysis.dir/burstiness.cpp.o" "gcc" "src/analysis/CMakeFiles/streamlab_analysis.dir/burstiness.cpp.o.d"
+  "/root/repo/src/analysis/flow.cpp" "src/analysis/CMakeFiles/streamlab_analysis.dir/flow.cpp.o" "gcc" "src/analysis/CMakeFiles/streamlab_analysis.dir/flow.cpp.o.d"
+  "/root/repo/src/analysis/histogram.cpp" "src/analysis/CMakeFiles/streamlab_analysis.dir/histogram.cpp.o" "gcc" "src/analysis/CMakeFiles/streamlab_analysis.dir/histogram.cpp.o.d"
+  "/root/repo/src/analysis/jitter.cpp" "src/analysis/CMakeFiles/streamlab_analysis.dir/jitter.cpp.o" "gcc" "src/analysis/CMakeFiles/streamlab_analysis.dir/jitter.cpp.o.d"
+  "/root/repo/src/analysis/polyfit.cpp" "src/analysis/CMakeFiles/streamlab_analysis.dir/polyfit.cpp.o" "gcc" "src/analysis/CMakeFiles/streamlab_analysis.dir/polyfit.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/streamlab_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/streamlab_analysis.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dissect/CMakeFiles/streamlab_dissect.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/streamlab_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/streamlab_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/streamlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/streamlab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/streamlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_analysis.dir/bandwidth.cpp.o"
+  "CMakeFiles/streamlab_analysis.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/streamlab_analysis.dir/burstiness.cpp.o"
+  "CMakeFiles/streamlab_analysis.dir/burstiness.cpp.o.d"
+  "CMakeFiles/streamlab_analysis.dir/flow.cpp.o"
+  "CMakeFiles/streamlab_analysis.dir/flow.cpp.o.d"
+  "CMakeFiles/streamlab_analysis.dir/histogram.cpp.o"
+  "CMakeFiles/streamlab_analysis.dir/histogram.cpp.o.d"
+  "CMakeFiles/streamlab_analysis.dir/jitter.cpp.o"
+  "CMakeFiles/streamlab_analysis.dir/jitter.cpp.o.d"
+  "CMakeFiles/streamlab_analysis.dir/polyfit.cpp.o"
+  "CMakeFiles/streamlab_analysis.dir/polyfit.cpp.o.d"
+  "CMakeFiles/streamlab_analysis.dir/stats.cpp.o"
+  "CMakeFiles/streamlab_analysis.dir/stats.cpp.o.d"
+  "libstreamlab_analysis.a"
+  "libstreamlab_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/congestion/experiment.cpp" "src/congestion/CMakeFiles/streamlab_congestion.dir/experiment.cpp.o" "gcc" "src/congestion/CMakeFiles/streamlab_congestion.dir/experiment.cpp.o.d"
+  "/root/repo/src/congestion/friendliness.cpp" "src/congestion/CMakeFiles/streamlab_congestion.dir/friendliness.cpp.o" "gcc" "src/congestion/CMakeFiles/streamlab_congestion.dir/friendliness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/streamlab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/streamlab_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trackers/CMakeFiles/streamlab_trackers.dir/DependInfo.cmake"
+  "/root/repo/build/src/players/CMakeFiles/streamlab_players.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/streamlab_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/streamlab_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/streamlab_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/dissect/CMakeFiles/streamlab_dissect.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/streamlab_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/streamlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/streamlab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/streamlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_congestion.dir/experiment.cpp.o"
+  "CMakeFiles/streamlab_congestion.dir/experiment.cpp.o.d"
+  "CMakeFiles/streamlab_congestion.dir/friendliness.cpp.o"
+  "CMakeFiles/streamlab_congestion.dir/friendliness.cpp.o.d"
+  "libstreamlab_congestion.a"
+  "libstreamlab_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

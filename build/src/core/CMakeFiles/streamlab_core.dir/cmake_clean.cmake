@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_core.dir/aggregate.cpp.o"
+  "CMakeFiles/streamlab_core.dir/aggregate.cpp.o.d"
+  "CMakeFiles/streamlab_core.dir/experiment.cpp.o"
+  "CMakeFiles/streamlab_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/streamlab_core.dir/export.cpp.o"
+  "CMakeFiles/streamlab_core.dir/export.cpp.o.d"
+  "CMakeFiles/streamlab_core.dir/figures.cpp.o"
+  "CMakeFiles/streamlab_core.dir/figures.cpp.o.d"
+  "CMakeFiles/streamlab_core.dir/render.cpp.o"
+  "CMakeFiles/streamlab_core.dir/render.cpp.o.d"
+  "CMakeFiles/streamlab_core.dir/study.cpp.o"
+  "CMakeFiles/streamlab_core.dir/study.cpp.o.d"
+  "libstreamlab_core.a"
+  "libstreamlab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_dissect.dir/conversations.cpp.o"
+  "CMakeFiles/streamlab_dissect.dir/conversations.cpp.o.d"
+  "CMakeFiles/streamlab_dissect.dir/dissector.cpp.o"
+  "CMakeFiles/streamlab_dissect.dir/dissector.cpp.o.d"
+  "libstreamlab_dissect.a"
+  "libstreamlab_dissect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_dissect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filter/evaluator.cpp" "src/filter/CMakeFiles/streamlab_filter.dir/evaluator.cpp.o" "gcc" "src/filter/CMakeFiles/streamlab_filter.dir/evaluator.cpp.o.d"
+  "/root/repo/src/filter/lexer.cpp" "src/filter/CMakeFiles/streamlab_filter.dir/lexer.cpp.o" "gcc" "src/filter/CMakeFiles/streamlab_filter.dir/lexer.cpp.o.d"
+  "/root/repo/src/filter/parser.cpp" "src/filter/CMakeFiles/streamlab_filter.dir/parser.cpp.o" "gcc" "src/filter/CMakeFiles/streamlab_filter.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dissect/CMakeFiles/streamlab_dissect.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/streamlab_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/streamlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/streamlab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/streamlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_filter.dir/evaluator.cpp.o"
+  "CMakeFiles/streamlab_filter.dir/evaluator.cpp.o.d"
+  "CMakeFiles/streamlab_filter.dir/lexer.cpp.o"
+  "CMakeFiles/streamlab_filter.dir/lexer.cpp.o.d"
+  "CMakeFiles/streamlab_filter.dir/parser.cpp.o"
+  "CMakeFiles/streamlab_filter.dir/parser.cpp.o.d"
+  "libstreamlab_filter.a"
+  "libstreamlab_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/catalog.cpp" "src/media/CMakeFiles/streamlab_media.dir/catalog.cpp.o" "gcc" "src/media/CMakeFiles/streamlab_media.dir/catalog.cpp.o.d"
+  "/root/repo/src/media/clip.cpp" "src/media/CMakeFiles/streamlab_media.dir/clip.cpp.o" "gcc" "src/media/CMakeFiles/streamlab_media.dir/clip.cpp.o.d"
+  "/root/repo/src/media/encoder.cpp" "src/media/CMakeFiles/streamlab_media.dir/encoder.cpp.o" "gcc" "src/media/CMakeFiles/streamlab_media.dir/encoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/streamlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

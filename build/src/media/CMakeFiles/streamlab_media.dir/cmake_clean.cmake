@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_media.dir/catalog.cpp.o"
+  "CMakeFiles/streamlab_media.dir/catalog.cpp.o.d"
+  "CMakeFiles/streamlab_media.dir/clip.cpp.o"
+  "CMakeFiles/streamlab_media.dir/clip.cpp.o.d"
+  "CMakeFiles/streamlab_media.dir/encoder.cpp.o"
+  "CMakeFiles/streamlab_media.dir/encoder.cpp.o.d"
+  "libstreamlab_media.a"
+  "libstreamlab_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

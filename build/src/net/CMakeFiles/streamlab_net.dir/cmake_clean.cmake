@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_net.dir/address.cpp.o"
+  "CMakeFiles/streamlab_net.dir/address.cpp.o.d"
+  "CMakeFiles/streamlab_net.dir/checksum.cpp.o"
+  "CMakeFiles/streamlab_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/streamlab_net.dir/fragmentation.cpp.o"
+  "CMakeFiles/streamlab_net.dir/fragmentation.cpp.o.d"
+  "CMakeFiles/streamlab_net.dir/headers.cpp.o"
+  "CMakeFiles/streamlab_net.dir/headers.cpp.o.d"
+  "CMakeFiles/streamlab_net.dir/packet.cpp.o"
+  "CMakeFiles/streamlab_net.dir/packet.cpp.o.d"
+  "libstreamlab_net.a"
+  "libstreamlab_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

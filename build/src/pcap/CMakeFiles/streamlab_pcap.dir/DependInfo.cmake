@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcap/capture.cpp" "src/pcap/CMakeFiles/streamlab_pcap.dir/capture.cpp.o" "gcc" "src/pcap/CMakeFiles/streamlab_pcap.dir/capture.cpp.o.d"
+  "/root/repo/src/pcap/pcap_file.cpp" "src/pcap/CMakeFiles/streamlab_pcap.dir/pcap_file.cpp.o" "gcc" "src/pcap/CMakeFiles/streamlab_pcap.dir/pcap_file.cpp.o.d"
+  "/root/repo/src/pcap/sniffer.cpp" "src/pcap/CMakeFiles/streamlab_pcap.dir/sniffer.cpp.o" "gcc" "src/pcap/CMakeFiles/streamlab_pcap.dir/sniffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/streamlab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/streamlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/streamlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

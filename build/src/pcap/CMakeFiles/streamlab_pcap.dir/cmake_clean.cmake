@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_pcap.dir/capture.cpp.o"
+  "CMakeFiles/streamlab_pcap.dir/capture.cpp.o.d"
+  "CMakeFiles/streamlab_pcap.dir/pcap_file.cpp.o"
+  "CMakeFiles/streamlab_pcap.dir/pcap_file.cpp.o.d"
+  "CMakeFiles/streamlab_pcap.dir/sniffer.cpp.o"
+  "CMakeFiles/streamlab_pcap.dir/sniffer.cpp.o.d"
+  "libstreamlab_pcap.a"
+  "libstreamlab_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/players/behavior.cpp" "src/players/CMakeFiles/streamlab_players.dir/behavior.cpp.o" "gcc" "src/players/CMakeFiles/streamlab_players.dir/behavior.cpp.o.d"
+  "/root/repo/src/players/client.cpp" "src/players/CMakeFiles/streamlab_players.dir/client.cpp.o" "gcc" "src/players/CMakeFiles/streamlab_players.dir/client.cpp.o.d"
+  "/root/repo/src/players/protocol.cpp" "src/players/CMakeFiles/streamlab_players.dir/protocol.cpp.o" "gcc" "src/players/CMakeFiles/streamlab_players.dir/protocol.cpp.o.d"
+  "/root/repo/src/players/scaling.cpp" "src/players/CMakeFiles/streamlab_players.dir/scaling.cpp.o" "gcc" "src/players/CMakeFiles/streamlab_players.dir/scaling.cpp.o.d"
+  "/root/repo/src/players/server.cpp" "src/players/CMakeFiles/streamlab_players.dir/server.cpp.o" "gcc" "src/players/CMakeFiles/streamlab_players.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/media/CMakeFiles/streamlab_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/streamlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/streamlab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/streamlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

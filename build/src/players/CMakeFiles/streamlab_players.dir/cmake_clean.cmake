@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_players.dir/behavior.cpp.o"
+  "CMakeFiles/streamlab_players.dir/behavior.cpp.o.d"
+  "CMakeFiles/streamlab_players.dir/client.cpp.o"
+  "CMakeFiles/streamlab_players.dir/client.cpp.o.d"
+  "CMakeFiles/streamlab_players.dir/protocol.cpp.o"
+  "CMakeFiles/streamlab_players.dir/protocol.cpp.o.d"
+  "CMakeFiles/streamlab_players.dir/scaling.cpp.o"
+  "CMakeFiles/streamlab_players.dir/scaling.cpp.o.d"
+  "CMakeFiles/streamlab_players.dir/server.cpp.o"
+  "CMakeFiles/streamlab_players.dir/server.cpp.o.d"
+  "libstreamlab_players.a"
+  "libstreamlab_players.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_players.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

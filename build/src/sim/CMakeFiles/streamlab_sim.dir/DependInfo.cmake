@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_loop.cpp" "src/sim/CMakeFiles/streamlab_sim.dir/event_loop.cpp.o" "gcc" "src/sim/CMakeFiles/streamlab_sim.dir/event_loop.cpp.o.d"
+  "/root/repo/src/sim/host.cpp" "src/sim/CMakeFiles/streamlab_sim.dir/host.cpp.o" "gcc" "src/sim/CMakeFiles/streamlab_sim.dir/host.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/sim/CMakeFiles/streamlab_sim.dir/link.cpp.o" "gcc" "src/sim/CMakeFiles/streamlab_sim.dir/link.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/streamlab_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/streamlab_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/router.cpp" "src/sim/CMakeFiles/streamlab_sim.dir/router.cpp.o" "gcc" "src/sim/CMakeFiles/streamlab_sim.dir/router.cpp.o.d"
+  "/root/repo/src/sim/tools.cpp" "src/sim/CMakeFiles/streamlab_sim.dir/tools.cpp.o" "gcc" "src/sim/CMakeFiles/streamlab_sim.dir/tools.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/streamlab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/streamlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

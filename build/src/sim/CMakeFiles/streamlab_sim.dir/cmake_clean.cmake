@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_sim.dir/event_loop.cpp.o"
+  "CMakeFiles/streamlab_sim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/streamlab_sim.dir/host.cpp.o"
+  "CMakeFiles/streamlab_sim.dir/host.cpp.o.d"
+  "CMakeFiles/streamlab_sim.dir/link.cpp.o"
+  "CMakeFiles/streamlab_sim.dir/link.cpp.o.d"
+  "CMakeFiles/streamlab_sim.dir/network.cpp.o"
+  "CMakeFiles/streamlab_sim.dir/network.cpp.o.d"
+  "CMakeFiles/streamlab_sim.dir/router.cpp.o"
+  "CMakeFiles/streamlab_sim.dir/router.cpp.o.d"
+  "CMakeFiles/streamlab_sim.dir/tools.cpp.o"
+  "CMakeFiles/streamlab_sim.dir/tools.cpp.o.d"
+  "libstreamlab_sim.a"
+  "libstreamlab_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstreamlab_sim.a"
+)

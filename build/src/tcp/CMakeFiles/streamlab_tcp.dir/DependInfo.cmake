@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/demux.cpp" "src/tcp/CMakeFiles/streamlab_tcp.dir/demux.cpp.o" "gcc" "src/tcp/CMakeFiles/streamlab_tcp.dir/demux.cpp.o.d"
+  "/root/repo/src/tcp/receiver.cpp" "src/tcp/CMakeFiles/streamlab_tcp.dir/receiver.cpp.o" "gcc" "src/tcp/CMakeFiles/streamlab_tcp.dir/receiver.cpp.o.d"
+  "/root/repo/src/tcp/sender.cpp" "src/tcp/CMakeFiles/streamlab_tcp.dir/sender.cpp.o" "gcc" "src/tcp/CMakeFiles/streamlab_tcp.dir/sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/streamlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/streamlab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/streamlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_tcp.dir/demux.cpp.o"
+  "CMakeFiles/streamlab_tcp.dir/demux.cpp.o.d"
+  "CMakeFiles/streamlab_tcp.dir/receiver.cpp.o"
+  "CMakeFiles/streamlab_tcp.dir/receiver.cpp.o.d"
+  "CMakeFiles/streamlab_tcp.dir/sender.cpp.o"
+  "CMakeFiles/streamlab_tcp.dir/sender.cpp.o.d"
+  "libstreamlab_tcp.a"
+  "libstreamlab_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

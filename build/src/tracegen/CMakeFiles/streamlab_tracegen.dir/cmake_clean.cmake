@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_tracegen.dir/generator.cpp.o"
+  "CMakeFiles/streamlab_tracegen.dir/generator.cpp.o.d"
+  "CMakeFiles/streamlab_tracegen.dir/model.cpp.o"
+  "CMakeFiles/streamlab_tracegen.dir/model.cpp.o.d"
+  "CMakeFiles/streamlab_tracegen.dir/ns_trace.cpp.o"
+  "CMakeFiles/streamlab_tracegen.dir/ns_trace.cpp.o.d"
+  "libstreamlab_tracegen.a"
+  "libstreamlab_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

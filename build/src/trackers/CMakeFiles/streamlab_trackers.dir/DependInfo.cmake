@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trackers/playlist.cpp" "src/trackers/CMakeFiles/streamlab_trackers.dir/playlist.cpp.o" "gcc" "src/trackers/CMakeFiles/streamlab_trackers.dir/playlist.cpp.o.d"
+  "/root/repo/src/trackers/report.cpp" "src/trackers/CMakeFiles/streamlab_trackers.dir/report.cpp.o" "gcc" "src/trackers/CMakeFiles/streamlab_trackers.dir/report.cpp.o.d"
+  "/root/repo/src/trackers/tracker.cpp" "src/trackers/CMakeFiles/streamlab_trackers.dir/tracker.cpp.o" "gcc" "src/trackers/CMakeFiles/streamlab_trackers.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/players/CMakeFiles/streamlab_players.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/streamlab_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/streamlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/streamlab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/streamlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

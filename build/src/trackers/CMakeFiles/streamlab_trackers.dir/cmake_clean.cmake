@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_trackers.dir/playlist.cpp.o"
+  "CMakeFiles/streamlab_trackers.dir/playlist.cpp.o.d"
+  "CMakeFiles/streamlab_trackers.dir/report.cpp.o"
+  "CMakeFiles/streamlab_trackers.dir/report.cpp.o.d"
+  "CMakeFiles/streamlab_trackers.dir/tracker.cpp.o"
+  "CMakeFiles/streamlab_trackers.dir/tracker.cpp.o.d"
+  "libstreamlab_trackers.a"
+  "libstreamlab_trackers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_trackers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_util.dir/bytes.cpp.o"
+  "CMakeFiles/streamlab_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/streamlab_util.dir/rng.cpp.o"
+  "CMakeFiles/streamlab_util.dir/rng.cpp.o.d"
+  "CMakeFiles/streamlab_util.dir/strings.cpp.o"
+  "CMakeFiles/streamlab_util.dir/strings.cpp.o.d"
+  "libstreamlab_util.a"
+  "libstreamlab_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

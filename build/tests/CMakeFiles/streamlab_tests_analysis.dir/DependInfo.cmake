@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/placeholder.cpp" "tests/CMakeFiles/streamlab_tests_analysis.dir/analysis/placeholder.cpp.o" "gcc" "tests/CMakeFiles/streamlab_tests_analysis.dir/analysis/placeholder.cpp.o.d"
+  "/root/repo/tests/analysis/test_bandwidth.cpp" "tests/CMakeFiles/streamlab_tests_analysis.dir/analysis/test_bandwidth.cpp.o" "gcc" "tests/CMakeFiles/streamlab_tests_analysis.dir/analysis/test_bandwidth.cpp.o.d"
+  "/root/repo/tests/analysis/test_burstiness.cpp" "tests/CMakeFiles/streamlab_tests_analysis.dir/analysis/test_burstiness.cpp.o" "gcc" "tests/CMakeFiles/streamlab_tests_analysis.dir/analysis/test_burstiness.cpp.o.d"
+  "/root/repo/tests/analysis/test_flow.cpp" "tests/CMakeFiles/streamlab_tests_analysis.dir/analysis/test_flow.cpp.o" "gcc" "tests/CMakeFiles/streamlab_tests_analysis.dir/analysis/test_flow.cpp.o.d"
+  "/root/repo/tests/analysis/test_histogram.cpp" "tests/CMakeFiles/streamlab_tests_analysis.dir/analysis/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/streamlab_tests_analysis.dir/analysis/test_histogram.cpp.o.d"
+  "/root/repo/tests/analysis/test_jitter.cpp" "tests/CMakeFiles/streamlab_tests_analysis.dir/analysis/test_jitter.cpp.o" "gcc" "tests/CMakeFiles/streamlab_tests_analysis.dir/analysis/test_jitter.cpp.o.d"
+  "/root/repo/tests/analysis/test_polyfit.cpp" "tests/CMakeFiles/streamlab_tests_analysis.dir/analysis/test_polyfit.cpp.o" "gcc" "tests/CMakeFiles/streamlab_tests_analysis.dir/analysis/test_polyfit.cpp.o.d"
+  "/root/repo/tests/analysis/test_stats.cpp" "tests/CMakeFiles/streamlab_tests_analysis.dir/analysis/test_stats.cpp.o" "gcc" "tests/CMakeFiles/streamlab_tests_analysis.dir/analysis/test_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/streamlab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracegen/CMakeFiles/streamlab_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/congestion/CMakeFiles/streamlab_congestion.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/streamlab_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trackers/CMakeFiles/streamlab_trackers.dir/DependInfo.cmake"
+  "/root/repo/build/src/players/CMakeFiles/streamlab_players.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/streamlab_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/streamlab_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/streamlab_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/dissect/CMakeFiles/streamlab_dissect.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/streamlab_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/streamlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/streamlab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/streamlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_tests_analysis.dir/analysis/placeholder.cpp.o"
+  "CMakeFiles/streamlab_tests_analysis.dir/analysis/placeholder.cpp.o.d"
+  "CMakeFiles/streamlab_tests_analysis.dir/analysis/test_bandwidth.cpp.o"
+  "CMakeFiles/streamlab_tests_analysis.dir/analysis/test_bandwidth.cpp.o.d"
+  "CMakeFiles/streamlab_tests_analysis.dir/analysis/test_burstiness.cpp.o"
+  "CMakeFiles/streamlab_tests_analysis.dir/analysis/test_burstiness.cpp.o.d"
+  "CMakeFiles/streamlab_tests_analysis.dir/analysis/test_flow.cpp.o"
+  "CMakeFiles/streamlab_tests_analysis.dir/analysis/test_flow.cpp.o.d"
+  "CMakeFiles/streamlab_tests_analysis.dir/analysis/test_histogram.cpp.o"
+  "CMakeFiles/streamlab_tests_analysis.dir/analysis/test_histogram.cpp.o.d"
+  "CMakeFiles/streamlab_tests_analysis.dir/analysis/test_jitter.cpp.o"
+  "CMakeFiles/streamlab_tests_analysis.dir/analysis/test_jitter.cpp.o.d"
+  "CMakeFiles/streamlab_tests_analysis.dir/analysis/test_polyfit.cpp.o"
+  "CMakeFiles/streamlab_tests_analysis.dir/analysis/test_polyfit.cpp.o.d"
+  "CMakeFiles/streamlab_tests_analysis.dir/analysis/test_stats.cpp.o"
+  "CMakeFiles/streamlab_tests_analysis.dir/analysis/test_stats.cpp.o.d"
+  "streamlab_tests_analysis"
+  "streamlab_tests_analysis.pdb"
+  "streamlab_tests_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_tests_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

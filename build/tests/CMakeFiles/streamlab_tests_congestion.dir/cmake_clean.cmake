@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_tests_congestion.dir/congestion/test_congestion.cpp.o"
+  "CMakeFiles/streamlab_tests_congestion.dir/congestion/test_congestion.cpp.o.d"
+  "CMakeFiles/streamlab_tests_congestion.dir/congestion/test_friendliness.cpp.o"
+  "CMakeFiles/streamlab_tests_congestion.dir/congestion/test_friendliness.cpp.o.d"
+  "streamlab_tests_congestion"
+  "streamlab_tests_congestion.pdb"
+  "streamlab_tests_congestion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_tests_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

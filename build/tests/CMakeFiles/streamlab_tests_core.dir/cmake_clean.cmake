@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_tests_core.dir/core/test_aggregate.cpp.o"
+  "CMakeFiles/streamlab_tests_core.dir/core/test_aggregate.cpp.o.d"
+  "CMakeFiles/streamlab_tests_core.dir/core/test_export.cpp.o"
+  "CMakeFiles/streamlab_tests_core.dir/core/test_export.cpp.o.d"
+  "CMakeFiles/streamlab_tests_core.dir/core/test_render.cpp.o"
+  "CMakeFiles/streamlab_tests_core.dir/core/test_render.cpp.o.d"
+  "streamlab_tests_core"
+  "streamlab_tests_core.pdb"
+  "streamlab_tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

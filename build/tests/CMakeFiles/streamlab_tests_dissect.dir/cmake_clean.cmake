@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_tests_dissect.dir/dissect/placeholder.cpp.o"
+  "CMakeFiles/streamlab_tests_dissect.dir/dissect/placeholder.cpp.o.d"
+  "CMakeFiles/streamlab_tests_dissect.dir/dissect/test_conversations.cpp.o"
+  "CMakeFiles/streamlab_tests_dissect.dir/dissect/test_conversations.cpp.o.d"
+  "CMakeFiles/streamlab_tests_dissect.dir/dissect/test_dissect_fuzz.cpp.o"
+  "CMakeFiles/streamlab_tests_dissect.dir/dissect/test_dissect_fuzz.cpp.o.d"
+  "CMakeFiles/streamlab_tests_dissect.dir/dissect/test_dissector.cpp.o"
+  "CMakeFiles/streamlab_tests_dissect.dir/dissect/test_dissector.cpp.o.d"
+  "streamlab_tests_dissect"
+  "streamlab_tests_dissect.pdb"
+  "streamlab_tests_dissect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_tests_dissect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_tests_filter.dir/filter/placeholder.cpp.o"
+  "CMakeFiles/streamlab_tests_filter.dir/filter/placeholder.cpp.o.d"
+  "CMakeFiles/streamlab_tests_filter.dir/filter/test_evaluator.cpp.o"
+  "CMakeFiles/streamlab_tests_filter.dir/filter/test_evaluator.cpp.o.d"
+  "CMakeFiles/streamlab_tests_filter.dir/filter/test_fuzz.cpp.o"
+  "CMakeFiles/streamlab_tests_filter.dir/filter/test_fuzz.cpp.o.d"
+  "CMakeFiles/streamlab_tests_filter.dir/filter/test_lexer.cpp.o"
+  "CMakeFiles/streamlab_tests_filter.dir/filter/test_lexer.cpp.o.d"
+  "CMakeFiles/streamlab_tests_filter.dir/filter/test_parser.cpp.o"
+  "CMakeFiles/streamlab_tests_filter.dir/filter/test_parser.cpp.o.d"
+  "streamlab_tests_filter"
+  "streamlab_tests_filter.pdb"
+  "streamlab_tests_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_tests_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_tests_integration.dir/integration/placeholder.cpp.o"
+  "CMakeFiles/streamlab_tests_integration.dir/integration/placeholder.cpp.o.d"
+  "CMakeFiles/streamlab_tests_integration.dir/integration/test_experiment.cpp.o"
+  "CMakeFiles/streamlab_tests_integration.dir/integration/test_experiment.cpp.o.d"
+  "CMakeFiles/streamlab_tests_integration.dir/integration/test_figures.cpp.o"
+  "CMakeFiles/streamlab_tests_integration.dir/integration/test_figures.cpp.o.d"
+  "CMakeFiles/streamlab_tests_integration.dir/integration/test_study_claims.cpp.o"
+  "CMakeFiles/streamlab_tests_integration.dir/integration/test_study_claims.cpp.o.d"
+  "CMakeFiles/streamlab_tests_integration.dir/integration/test_turbulence.cpp.o"
+  "CMakeFiles/streamlab_tests_integration.dir/integration/test_turbulence.cpp.o.d"
+  "streamlab_tests_integration"
+  "streamlab_tests_integration.pdb"
+  "streamlab_tests_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

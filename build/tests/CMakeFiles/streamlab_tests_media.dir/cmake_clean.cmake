@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_tests_media.dir/media/placeholder.cpp.o"
+  "CMakeFiles/streamlab_tests_media.dir/media/placeholder.cpp.o.d"
+  "CMakeFiles/streamlab_tests_media.dir/media/test_catalog.cpp.o"
+  "CMakeFiles/streamlab_tests_media.dir/media/test_catalog.cpp.o.d"
+  "CMakeFiles/streamlab_tests_media.dir/media/test_encoder.cpp.o"
+  "CMakeFiles/streamlab_tests_media.dir/media/test_encoder.cpp.o.d"
+  "streamlab_tests_media"
+  "streamlab_tests_media.pdb"
+  "streamlab_tests_media[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_tests_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

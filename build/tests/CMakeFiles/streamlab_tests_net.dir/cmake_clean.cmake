@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_tests_net.dir/net/test_address.cpp.o"
+  "CMakeFiles/streamlab_tests_net.dir/net/test_address.cpp.o.d"
+  "CMakeFiles/streamlab_tests_net.dir/net/test_checksum.cpp.o"
+  "CMakeFiles/streamlab_tests_net.dir/net/test_checksum.cpp.o.d"
+  "CMakeFiles/streamlab_tests_net.dir/net/test_fragmentation.cpp.o"
+  "CMakeFiles/streamlab_tests_net.dir/net/test_fragmentation.cpp.o.d"
+  "CMakeFiles/streamlab_tests_net.dir/net/test_headers.cpp.o"
+  "CMakeFiles/streamlab_tests_net.dir/net/test_headers.cpp.o.d"
+  "CMakeFiles/streamlab_tests_net.dir/net/test_packet.cpp.o"
+  "CMakeFiles/streamlab_tests_net.dir/net/test_packet.cpp.o.d"
+  "streamlab_tests_net"
+  "streamlab_tests_net.pdb"
+  "streamlab_tests_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_tests_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_tests_pcap.dir/pcap/placeholder.cpp.o"
+  "CMakeFiles/streamlab_tests_pcap.dir/pcap/placeholder.cpp.o.d"
+  "CMakeFiles/streamlab_tests_pcap.dir/pcap/test_capture.cpp.o"
+  "CMakeFiles/streamlab_tests_pcap.dir/pcap/test_capture.cpp.o.d"
+  "CMakeFiles/streamlab_tests_pcap.dir/pcap/test_pcap_file.cpp.o"
+  "CMakeFiles/streamlab_tests_pcap.dir/pcap/test_pcap_file.cpp.o.d"
+  "CMakeFiles/streamlab_tests_pcap.dir/pcap/test_sniffer.cpp.o"
+  "CMakeFiles/streamlab_tests_pcap.dir/pcap/test_sniffer.cpp.o.d"
+  "streamlab_tests_pcap"
+  "streamlab_tests_pcap.pdb"
+  "streamlab_tests_pcap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_tests_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_tests_players.dir/players/placeholder.cpp.o"
+  "CMakeFiles/streamlab_tests_players.dir/players/placeholder.cpp.o.d"
+  "CMakeFiles/streamlab_tests_players.dir/players/test_behavior.cpp.o"
+  "CMakeFiles/streamlab_tests_players.dir/players/test_behavior.cpp.o.d"
+  "CMakeFiles/streamlab_tests_players.dir/players/test_client.cpp.o"
+  "CMakeFiles/streamlab_tests_players.dir/players/test_client.cpp.o.d"
+  "CMakeFiles/streamlab_tests_players.dir/players/test_client_robustness.cpp.o"
+  "CMakeFiles/streamlab_tests_players.dir/players/test_client_robustness.cpp.o.d"
+  "CMakeFiles/streamlab_tests_players.dir/players/test_protocol.cpp.o"
+  "CMakeFiles/streamlab_tests_players.dir/players/test_protocol.cpp.o.d"
+  "CMakeFiles/streamlab_tests_players.dir/players/test_rebuffering.cpp.o"
+  "CMakeFiles/streamlab_tests_players.dir/players/test_rebuffering.cpp.o.d"
+  "CMakeFiles/streamlab_tests_players.dir/players/test_scaling.cpp.o"
+  "CMakeFiles/streamlab_tests_players.dir/players/test_scaling.cpp.o.d"
+  "CMakeFiles/streamlab_tests_players.dir/players/test_server.cpp.o"
+  "CMakeFiles/streamlab_tests_players.dir/players/test_server.cpp.o.d"
+  "streamlab_tests_players"
+  "streamlab_tests_players.pdb"
+  "streamlab_tests_players[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_tests_players.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_tests_sim.dir/sim/placeholder.cpp.o"
+  "CMakeFiles/streamlab_tests_sim.dir/sim/placeholder.cpp.o.d"
+  "CMakeFiles/streamlab_tests_sim.dir/sim/test_event_loop.cpp.o"
+  "CMakeFiles/streamlab_tests_sim.dir/sim/test_event_loop.cpp.o.d"
+  "CMakeFiles/streamlab_tests_sim.dir/sim/test_host.cpp.o"
+  "CMakeFiles/streamlab_tests_sim.dir/sim/test_host.cpp.o.d"
+  "CMakeFiles/streamlab_tests_sim.dir/sim/test_link.cpp.o"
+  "CMakeFiles/streamlab_tests_sim.dir/sim/test_link.cpp.o.d"
+  "CMakeFiles/streamlab_tests_sim.dir/sim/test_network.cpp.o"
+  "CMakeFiles/streamlab_tests_sim.dir/sim/test_network.cpp.o.d"
+  "CMakeFiles/streamlab_tests_sim.dir/sim/test_router.cpp.o"
+  "CMakeFiles/streamlab_tests_sim.dir/sim/test_router.cpp.o.d"
+  "CMakeFiles/streamlab_tests_sim.dir/sim/test_tools.cpp.o"
+  "CMakeFiles/streamlab_tests_sim.dir/sim/test_tools.cpp.o.d"
+  "streamlab_tests_sim"
+  "streamlab_tests_sim.pdb"
+  "streamlab_tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_tests_tcp.dir/tcp/test_tcp.cpp.o"
+  "CMakeFiles/streamlab_tests_tcp.dir/tcp/test_tcp.cpp.o.d"
+  "streamlab_tests_tcp"
+  "streamlab_tests_tcp.pdb"
+  "streamlab_tests_tcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_tests_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_tests_tracegen.dir/tracegen/placeholder.cpp.o"
+  "CMakeFiles/streamlab_tests_tracegen.dir/tracegen/placeholder.cpp.o.d"
+  "CMakeFiles/streamlab_tests_tracegen.dir/tracegen/test_generator.cpp.o"
+  "CMakeFiles/streamlab_tests_tracegen.dir/tracegen/test_generator.cpp.o.d"
+  "CMakeFiles/streamlab_tests_tracegen.dir/tracegen/test_model.cpp.o"
+  "CMakeFiles/streamlab_tests_tracegen.dir/tracegen/test_model.cpp.o.d"
+  "CMakeFiles/streamlab_tests_tracegen.dir/tracegen/test_ns_trace.cpp.o"
+  "CMakeFiles/streamlab_tests_tracegen.dir/tracegen/test_ns_trace.cpp.o.d"
+  "streamlab_tests_tracegen"
+  "streamlab_tests_tracegen.pdb"
+  "streamlab_tests_tracegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_tests_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

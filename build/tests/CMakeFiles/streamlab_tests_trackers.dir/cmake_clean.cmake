@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_tests_trackers.dir/trackers/placeholder.cpp.o"
+  "CMakeFiles/streamlab_tests_trackers.dir/trackers/placeholder.cpp.o.d"
+  "CMakeFiles/streamlab_tests_trackers.dir/trackers/test_playlist.cpp.o"
+  "CMakeFiles/streamlab_tests_trackers.dir/trackers/test_playlist.cpp.o.d"
+  "CMakeFiles/streamlab_tests_trackers.dir/trackers/test_tracker.cpp.o"
+  "CMakeFiles/streamlab_tests_trackers.dir/trackers/test_tracker.cpp.o.d"
+  "streamlab_tests_trackers"
+  "streamlab_tests_trackers.pdb"
+  "streamlab_tests_trackers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_tests_trackers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for streamlab_tests_trackers.
+# This may be replaced when dependencies are built.

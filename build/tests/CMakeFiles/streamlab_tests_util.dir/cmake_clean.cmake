@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlab_tests_util.dir/util/test_bytes.cpp.o"
+  "CMakeFiles/streamlab_tests_util.dir/util/test_bytes.cpp.o.d"
+  "CMakeFiles/streamlab_tests_util.dir/util/test_expected.cpp.o"
+  "CMakeFiles/streamlab_tests_util.dir/util/test_expected.cpp.o.d"
+  "CMakeFiles/streamlab_tests_util.dir/util/test_interval_set.cpp.o"
+  "CMakeFiles/streamlab_tests_util.dir/util/test_interval_set.cpp.o.d"
+  "CMakeFiles/streamlab_tests_util.dir/util/test_rate.cpp.o"
+  "CMakeFiles/streamlab_tests_util.dir/util/test_rate.cpp.o.d"
+  "CMakeFiles/streamlab_tests_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/streamlab_tests_util.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/streamlab_tests_util.dir/util/test_strings.cpp.o"
+  "CMakeFiles/streamlab_tests_util.dir/util/test_strings.cpp.o.d"
+  "CMakeFiles/streamlab_tests_util.dir/util/test_time.cpp.o"
+  "CMakeFiles/streamlab_tests_util.dir/util/test_time.cpp.o.d"
+  "streamlab_tests_util"
+  "streamlab_tests_util.pdb"
+  "streamlab_tests_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlab_tests_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

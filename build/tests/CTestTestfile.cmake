@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/streamlab_tests_util[1]_include.cmake")
+include("/root/repo/build/tests/streamlab_tests_net[1]_include.cmake")
+include("/root/repo/build/tests/streamlab_tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/streamlab_tests_pcap[1]_include.cmake")
+include("/root/repo/build/tests/streamlab_tests_dissect[1]_include.cmake")
+include("/root/repo/build/tests/streamlab_tests_filter[1]_include.cmake")
+include("/root/repo/build/tests/streamlab_tests_media[1]_include.cmake")
+include("/root/repo/build/tests/streamlab_tests_players[1]_include.cmake")
+include("/root/repo/build/tests/streamlab_tests_trackers[1]_include.cmake")
+include("/root/repo/build/tests/streamlab_tests_analysis[1]_include.cmake")
+include("/root/repo/build/tests/streamlab_tests_tracegen[1]_include.cmake")
+include("/root/repo/build/tests/streamlab_tests_core[1]_include.cmake")
+include("/root/repo/build/tests/streamlab_tests_tcp[1]_include.cmake")
+include("/root/repo/build/tests/streamlab_tests_congestion[1]_include.cmake")
+include("/root/repo/build/tests/streamlab_tests_integration[1]_include.cmake")
