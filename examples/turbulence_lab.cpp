@@ -1,0 +1,153 @@
+// turbulence_lab: the paper's comparison run through *scripted* network
+// turbulence. Streams the WM/RM pair of one clip set while the fault layer
+// plays impairment episodes onto the bottleneck link — a short link flap
+// the delay buffers should absorb, a long outage the inactivity watchdog
+// must detect, a Gilbert–Elliott burst-loss epoch, and a congestion
+// (bandwidth) dip — then prints each session's recovery metrics and writes
+// the CSV exports.
+//
+// Usage: turbulence_lab [set 1-6] [low|high|very-high] [export-dir]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/export.hpp"
+#include "core/turbulence.hpp"
+#include "util/strings.hpp"
+
+using namespace streamlab;
+
+namespace {
+
+RateTier parse_tier(const char* text) {
+  if (std::strcmp(text, "high") == 0) return RateTier::kHigh;
+  if (std::strcmp(text, "very-high") == 0) return RateTier::kVeryHigh;
+  return RateTier::kLow;
+}
+
+TurbulenceScenarioConfig base_config() {
+  TurbulenceScenarioConfig cfg;
+  cfg.path.hop_count = 8;
+  cfg.path.one_way_propagation = Duration::millis(20);
+  cfg.seed = 42;
+  cfg.recovery.inactivity_timeout = Duration::seconds(8);
+  return cfg;
+}
+
+void describe(const char* name, const TurbulenceRunResult& run) {
+  std::printf("scenario: %s\n", name);
+  for (const auto& rec : run.episodes) {
+    std::printf("  episode %-12s %-14s t=%5.1fs +%5.1fs  dropped %llu packets\n",
+                to_string(rec.episode.kind), rec.episode.label.c_str(),
+                rec.episode.start.to_seconds(), rec.episode.duration.to_seconds(),
+                static_cast<unsigned long long>(rec.packets_dropped));
+  }
+  const auto session = [](const SessionRecoveryMetrics& m) {
+    std::printf("  %-5s %-10s attempts=%u%s%s%s", m.clip.id().c_str(),
+                m.completed      ? "completed"
+                : m.stream_dead  ? "DEAD"
+                : m.abandoned    ? "ABANDONED"
+                                 : "incomplete",
+                m.play_attempts, m.stream_dead ? " (watchdog)" : "",
+                m.abandoned ? " (retries exhausted)" : "",
+                m.established ? "" : " never-established");
+    if (m.time_to_recover)
+      std::printf("  recover=%.2fs", m.time_to_recover->to_seconds());
+    std::printf("  rebuffers=%u stall=%.1fs frames=%u/%u (during=%u after=%u) lost=%llu dup=%llu\n",
+                m.rebuffer_events, m.stall_time.to_seconds(), m.frames_rendered,
+                m.frames_rendered + m.frames_dropped, m.frames_dropped_during_episodes,
+                m.frames_dropped_after_episodes,
+                static_cast<unsigned long long>(m.packets_lost),
+                static_cast<unsigned long long>(m.duplicate_packets));
+  };
+  if (run.real) session(*run.real);
+  if (run.media) session(*run.media);
+  std::printf("  sessions failed: %d\n\n", run.sessions_abandoned());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int set_id = argc > 1 ? std::atoi(argv[1]) : 1;
+  const RateTier tier = argc > 2 ? parse_tier(argv[2]) : RateTier::kLow;
+  const std::string export_dir =
+      argc > 3 ? argv[3] : "/tmp/streamlab_turbulence";
+  if (set_id < 1 || set_id > 6) {
+    std::fprintf(stderr, "set must be 1..6\n");
+    return 1;
+  }
+  const ClipSet& set = table1_catalog()[static_cast<std::size_t>(set_id - 1)];
+  if (!set.pair(tier)) {
+    std::fprintf(stderr, "set %d has no %s tier\n", set_id, to_string(tier).c_str());
+    return 1;
+  }
+
+  std::vector<std::pair<std::string, TurbulenceRunResult>> runs;
+
+  // 1. A 4 s link flap at t=30s: shorter than the delay buffers, so both
+  //    players should ride it out and complete playback.
+  {
+    TurbulenceScenarioConfig cfg = base_config();
+    FaultEpisode flap;
+    flap.kind = FaultKind::kOutage;
+    flap.start = SimTime::from_seconds(30.0);
+    flap.duration = Duration::seconds(4);
+    flap.label = "short-flap";
+    cfg.episodes.push_back(flap);
+    runs.emplace_back("short-outage", run_turbulence_pair(set, tier, cfg));
+  }
+
+  // 2. A 30 s outage: longer than the 8 s inactivity window, so the
+  //    watchdogs must declare both streams dead instead of hanging.
+  {
+    TurbulenceScenarioConfig cfg = base_config();
+    FaultEpisode outage;
+    outage.kind = FaultKind::kOutage;
+    outage.start = SimTime::from_seconds(30.0);
+    outage.duration = Duration::seconds(30);
+    outage.label = "long-outage";
+    cfg.episodes.push_back(outage);
+    runs.emplace_back("long-outage", run_turbulence_pair(set, tier, cfg));
+  }
+
+  // 3. A Gilbert–Elliott burst-loss epoch (congested peering point).
+  {
+    TurbulenceScenarioConfig cfg = base_config();
+    FaultEpisode burst;
+    burst.kind = FaultKind::kBurstLoss;
+    burst.start = SimTime::from_seconds(20.0);
+    burst.duration = Duration::seconds(25);
+    burst.gilbert = GilbertElliottConfig{0.05, 0.25, 0.0, 0.6};
+    burst.label = "burst-loss";
+    cfg.episodes.push_back(burst);
+    runs.emplace_back("burst-loss", run_turbulence_pair(set, tier, cfg));
+  }
+
+  // 4. A congestion dip: bottleneck throttled to 200 Kbps with extra delay.
+  {
+    TurbulenceScenarioConfig cfg = base_config();
+    FaultEpisode dip;
+    dip.kind = FaultKind::kBandwidth;
+    dip.start = SimTime::from_seconds(25.0);
+    dip.duration = Duration::seconds(15);
+    dip.bandwidth = BitRate::kbps(200);
+    dip.label = "congestion-dip";
+    cfg.episodes.push_back(dip);
+    FaultEpisode lag;
+    lag.kind = FaultKind::kExtraDelay;
+    lag.start = SimTime::from_seconds(40.0);
+    lag.duration = Duration::seconds(10);
+    lag.extra_delay = Duration::millis(150);
+    lag.label = "delay-spike";
+    cfg.episodes.push_back(lag);
+    runs.emplace_back("congestion-dip", run_turbulence_pair(set, tier, cfg));
+  }
+
+  for (const auto& [name, run] : runs) describe(name.c_str(), run);
+
+  const int written = export_turbulence(runs, export_dir);
+  std::printf("wrote %d CSV files to %s\n", written, export_dir.c_str());
+  return 0;
+}

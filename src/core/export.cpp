@@ -102,4 +102,67 @@ int export_study(const StudyResults& study, const std::string& directory) {
   return written;
 }
 
+namespace {
+
+void append_recovery_row(std::string& out, const std::string& scenario,
+                         const SessionRecoveryMetrics& m) {
+  out += scenario + "," + m.clip.id() + "," + player_tag(m.clip.player) + "," +
+         std::to_string(m.established ? 1 : 0) + "," + std::to_string(m.play_attempts) +
+         "," + std::to_string(m.abandoned ? 1 : 0) + "," +
+         std::to_string(m.stream_dead ? 1 : 0) + "," +
+         std::to_string(m.completed ? 1 : 0) + "," +
+         (m.time_to_recover ? fmt_double(m.time_to_recover->to_seconds(), 3) : "") + "," +
+         std::to_string(m.rebuffer_events) + "," +
+         fmt_double(m.stall_time.to_seconds(), 3) + "," +
+         std::to_string(m.frames_rendered) + "," + std::to_string(m.frames_dropped) +
+         "," + std::to_string(m.frames_dropped_during_episodes) + "," +
+         std::to_string(m.frames_dropped_after_episodes) + "," +
+         std::to_string(m.packets_received) + "," + std::to_string(m.packets_lost) +
+         "," + std::to_string(m.duplicate_packets) + "\n";
+}
+
+}  // namespace
+
+std::string turbulence_csv(
+    const std::vector<std::pair<std::string, TurbulenceRunResult>>& runs) {
+  std::string out =
+      "scenario,clip_id,player,established,play_attempts,abandoned,stream_dead,"
+      "completed,time_to_recover_s,rebuffer_events,stall_s,frames_rendered,"
+      "frames_dropped,dropped_during,dropped_after,packets,lost,duplicates\n";
+  for (const auto& [scenario, run] : runs) {
+    if (run.real) append_recovery_row(out, scenario, *run.real);
+    if (run.media) append_recovery_row(out, scenario, *run.media);
+  }
+  return out;
+}
+
+std::string turbulence_episodes_csv(
+    const std::vector<std::pair<std::string, TurbulenceRunResult>>& runs) {
+  std::string out = "scenario,kind,label,start_s,duration_s,applied,cleared,packets_dropped\n";
+  for (const auto& [scenario, run] : runs) {
+    for (const auto& rec : run.episodes) {
+      out += scenario + "," + to_string(rec.episode.kind) + "," + rec.episode.label +
+             "," + fmt_double(rec.episode.start.to_seconds(), 3) + "," +
+             fmt_double(rec.episode.duration.to_seconds(), 3) + "," +
+             std::to_string(rec.applied ? 1 : 0) + "," +
+             std::to_string(rec.cleared ? 1 : 0) + "," +
+             std::to_string(rec.packets_dropped) + "\n";
+    }
+  }
+  return out;
+}
+
+int export_turbulence(const std::vector<std::pair<std::string, TurbulenceRunResult>>& runs,
+                      const std::string& directory) {
+  std::filesystem::create_directories(directory);
+  int written = 0;
+  const auto write = [&](const std::string& name, const std::string& content) {
+    std::ofstream out(directory + "/" + name);
+    if (out << content) ++written;
+  };
+  write("turbulence.csv", turbulence_csv(runs));
+  write("turbulence_episodes.csv", turbulence_episodes_csv(runs));
+  return written;
+}
+
 }  // namespace streamlab

@@ -4,8 +4,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/study.hpp"
+#include "core/turbulence.hpp"
 
 namespace streamlab {
 
@@ -24,5 +26,23 @@ std::string figure_csv(const StudyResults& study, const std::string& figure);
 /// Writes every known export into `directory` (created files:
 /// study_results.csv and fig<NN>.csv). Returns the number of files written.
 int export_study(const StudyResults& study, const std::string& directory);
+
+/// Turbulence scenario results, one row per player session per run.
+/// Columns: scenario,clip_id,player,established,play_attempts,abandoned,
+/// stream_dead,completed,time_to_recover_s,rebuffer_events,stall_s,
+/// frames_rendered,frames_dropped,dropped_during,dropped_after,packets,
+/// lost,duplicates
+std::string turbulence_csv(const std::vector<std::pair<std::string, TurbulenceRunResult>>&
+                               runs);
+
+/// Episode ledger across runs. Columns: scenario,kind,label,start_s,
+/// duration_s,applied,cleared,packets_dropped
+std::string turbulence_episodes_csv(
+    const std::vector<std::pair<std::string, TurbulenceRunResult>>& runs);
+
+/// Writes turbulence.csv and turbulence_episodes.csv into `directory`.
+/// Returns the number of files written.
+int export_turbulence(const std::vector<std::pair<std::string, TurbulenceRunResult>>& runs,
+                      const std::string& directory);
 
 }  // namespace streamlab

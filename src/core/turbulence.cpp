@@ -1,0 +1,167 @@
+#include "core/turbulence.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "players/server.hpp"
+
+namespace streamlab {
+namespace {
+
+struct FaultedSession {
+  std::unique_ptr<StreamServer> server;
+  std::unique_ptr<StreamClient> client;
+};
+
+FaultedSession make_session(Network& net, Host& server_host, const ClipInfo& clip,
+                            const TurbulenceScenarioConfig& config) {
+  FaultedSession s;
+  const EncodedClip encoded = encode_clip(clip, config.seed);
+  const bool is_media = clip.player == PlayerKind::kMediaPlayer;
+  const std::uint16_t server_port = is_media ? kMediaServerPort : kRealServerPort;
+
+  if (is_media) {
+    s.server = std::make_unique<WmServer>(server_host, encoded, config.wm, server_port);
+  } else {
+    s.server = std::make_unique<RmServer>(server_host, encoded, config.rm, server_port,
+                                          config.seed ^ 0x524D);
+  }
+
+  StreamClient::Config cc;
+  cc.kind = clip.player;
+  cc.wm = config.wm;
+  cc.rm = config.rm;
+  cc.rebuffering = config.rebuffering;
+  cc.max_stall = config.max_stall;
+  cc.recovery = config.recovery;
+  s.client = std::make_unique<StreamClient>(
+      net.client(), s.server->clip(), Endpoint{server_host.address(), server_port}, cc);
+  return s;
+}
+
+bool inside_any_episode(const std::vector<FaultEpisode>& episodes, SimTime t) {
+  return std::any_of(episodes.begin(), episodes.end(),
+                     [t](const FaultEpisode& e) { return e.covers(t); });
+}
+
+SessionRecoveryMetrics collect(const ClipInfo& clip, const StreamClient& client,
+                               const std::vector<FaultEpisode>& episodes) {
+  SessionRecoveryMetrics m;
+  m.clip = clip;
+  m.established = client.session_established();
+  m.abandoned = client.session_abandoned();
+  m.stream_dead = client.stream_dead();
+  m.completed = client.playback_finished();
+  m.play_attempts = client.play_attempts();
+  m.rebuffer_events = client.rebuffer_events();
+  m.stall_time = client.total_stall_time();
+  m.frames_rendered = client.frames_rendered();
+  m.frames_dropped = client.frames_dropped();
+  m.packets_received = client.packets_received();
+  m.packets_lost = client.packets_lost();
+  m.duplicate_packets = client.duplicate_packets();
+
+  if (!episodes.empty()) {
+    const FaultEpisode& first = *std::min_element(
+        episodes.begin(), episodes.end(),
+        [](const FaultEpisode& a, const FaultEpisode& b) { return a.start < b.start; });
+    for (const PacketEvent& p : client.packets()) {
+      if (p.network_time >= first.end()) {
+        m.time_to_recover = p.network_time - first.end();
+        break;
+      }
+    }
+    const SimTime last_end =
+        std::max_element(episodes.begin(), episodes.end(),
+                         [](const FaultEpisode& a, const FaultEpisode& b) {
+                           return a.end() < b.end();
+                         })
+            ->end();
+    for (const FrameEvent& f : client.frame_events()) {
+      if (f.rendered) continue;
+      if (inside_any_episode(episodes, f.time)) {
+        ++m.frames_dropped_during_episodes;
+      } else if (f.time >= last_end) {
+        ++m.frames_dropped_after_episodes;
+      }
+    }
+  }
+  return m;
+}
+
+SimTime run_deadline(EventLoop& loop, Duration clip_length,
+                     const TurbulenceScenarioConfig& config) {
+  SimTime deadline = loop.now() + clip_length + config.extra_sim_time;
+  for (const FaultEpisode& e : config.episodes) {
+    const SimTime after_episode = e.end() + config.extra_sim_time;
+    if (after_episode > deadline) deadline = after_episode;
+  }
+  return deadline;
+}
+
+}  // namespace
+
+TurbulenceRunResult run_turbulence_clip(const ClipInfo& clip,
+                                        const TurbulenceScenarioConfig& config) {
+  PathConfig path = config.path;
+  path.seed = config.seed;
+  Network net(path);
+  Host& server_host = net.add_server("server");
+
+  auto session = make_session(net, server_host, clip, config);
+
+  FaultScheduler faults(net.loop(), net.bottleneck_link());
+  for (const FaultEpisode& e : config.episodes) faults.add(e);
+  faults.arm();
+
+  session.client->start();
+  net.loop().run_until(run_deadline(net.loop(), clip.length, config));
+  // Drain the stall/recovery tail: every remaining event source is bounded
+  // (per-frame stalls cap at max_stall, the watchdog and batch timers stop
+  // once a session ends), so completion reflects survival, not the deadline.
+  net.loop().run();
+
+  TurbulenceRunResult result;
+  auto metrics = collect(clip, *session.client, config.episodes);
+  (clip.player == PlayerKind::kMediaPlayer ? result.media : result.real) =
+      std::move(metrics);
+  result.episodes = faults.records();
+  return result;
+}
+
+TurbulenceRunResult run_turbulence_pair(const ClipSet& set, RateTier tier,
+                                        const TurbulenceScenarioConfig& config) {
+  TurbulenceRunResult result;
+  const auto pair = set.pair(tier);
+  if (!pair) return result;
+  const auto& [real_clip, media_clip] = *pair;
+
+  PathConfig path = config.path;
+  path.seed = config.seed;
+  Network net(path);
+  Host& real_host = net.add_server("real-server");
+  Host& media_host = net.add_server("media-server");
+
+  auto real_session = make_session(net, real_host, real_clip, config);
+  auto media_session = make_session(net, media_host, media_clip, config);
+
+  // Both streams cross the bottleneck link, so one scheduler hits both —
+  // the "same path, same turbulence" comparison the paper's simultaneous
+  // runs were designed to guarantee.
+  FaultScheduler faults(net.loop(), net.bottleneck_link());
+  for (const FaultEpisode& e : config.episodes) faults.add(e);
+  faults.arm();
+
+  real_session.client->start();
+  media_session.client->start();
+  const Duration longest = std::max(real_clip.length, media_clip.length);
+  net.loop().run_until(run_deadline(net.loop(), longest, config));
+  net.loop().run();  // bounded stall/recovery tail, as in run_turbulence_clip
+
+  result.real = collect(real_clip, *real_session.client, config.episodes);
+  result.media = collect(media_clip, *media_session.client, config.episodes);
+  result.episodes = faults.records();
+  return result;
+}
+
+}  // namespace streamlab

@@ -1,0 +1,96 @@
+// Turbulence scenario harness: the paper's comparison methodology run under
+// *scripted* network turbulence instead of a stationary path. A scenario
+// streams a clip (or a WM-vs-RM pair, Section 2.A) while a FaultScheduler
+// plays impairment episodes — link flaps, burst-loss epochs, congestion
+// (bandwidth) dips, delay spikes — onto the bottleneck link, then reports
+// how each player's session machinery (delay buffer, PLAY retries,
+// inactivity watchdog) survived: recovery time, rebuffering, frames lost
+// during vs. after the episode, and sessions abandoned.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "sim/faults.hpp"
+
+namespace streamlab {
+
+struct TurbulenceScenarioConfig {
+  PathConfig path;
+  std::uint64_t seed = 1;
+  WmBehavior wm;
+  RmBehavior rm;
+  /// Client-side session recovery knobs. The scenario default (unlike the
+  /// plain experiment default) arms the inactivity watchdog, since dead
+  /// sessions are precisely what turbulence runs must detect.
+  SessionRecoveryConfig recovery{true, Duration::millis(500), 2.0, 5,
+                                 Duration::seconds(8)};
+  /// Play with the products' stall behaviour (Section 3.F) so the delay
+  /// buffer's protection during an episode is visible as stall time.
+  bool rebuffering = true;
+  /// Tighter than the client default: a frame whose data was lost to an
+  /// episode (never retransmitted) should be skipped after a short freeze,
+  /// not hold the picture for 10 s.
+  Duration max_stall = Duration::seconds(2);
+  /// Episode script, applied to the path's bottleneck link in start order.
+  std::vector<FaultEpisode> episodes;
+  /// Run-off after the nominal clip length.
+  Duration extra_sim_time = Duration::seconds(90);
+};
+
+/// How one player session fared through the scripted turbulence.
+struct SessionRecoveryMetrics {
+  ClipInfo clip;
+
+  // Session outcome.
+  bool established = false;       ///< server ever answered
+  bool abandoned = false;         ///< PLAY retries exhausted
+  bool stream_dead = false;       ///< inactivity watchdog fired mid-stream
+  bool completed = false;         ///< playback ran to the final frame
+  std::uint32_t play_attempts = 0;
+
+  // Recovery behaviour.
+  /// Gap from the end of the first episode to the next data packet
+  /// delivered afterwards; unset when no data ever followed the episode.
+  std::optional<Duration> time_to_recover;
+  std::uint32_t rebuffer_events = 0;
+  Duration stall_time;
+
+  // Frame accounting, split around the episode windows.
+  std::uint32_t frames_rendered = 0;
+  std::uint32_t frames_dropped = 0;
+  std::uint32_t frames_dropped_during_episodes = 0;  ///< decode deadline inside a window
+  std::uint32_t frames_dropped_after_episodes = 0;   ///< after the last covering window
+
+  // Datagram accounting.
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t duplicate_packets = 0;
+
+  /// abandoned or declared dead: the session did not survive the turbulence.
+  bool session_failed() const { return abandoned || stream_dead; }
+};
+
+/// One scenario run: per-player metrics plus the episode ledger.
+struct TurbulenceRunResult {
+  std::optional<SessionRecoveryMetrics> real;
+  std::optional<SessionRecoveryMetrics> media;
+  std::vector<FaultScheduler::EpisodeRecord> episodes;
+
+  int sessions_abandoned() const {
+    return (real && real->session_failed() ? 1 : 0) +
+           (media && media->session_failed() ? 1 : 0);
+  }
+};
+
+/// Streams one clip over a fresh faulted network.
+TurbulenceRunResult run_turbulence_clip(const ClipInfo& clip,
+                                        const TurbulenceScenarioConfig& config);
+
+/// The paired form: both formats of one clip set streamed simultaneously
+/// through the same scripted turbulence (the paper's side-by-side setup).
+TurbulenceRunResult run_turbulence_pair(const ClipSet& set, RateTier tier,
+                                        const TurbulenceScenarioConfig& config);
+
+}  // namespace streamlab

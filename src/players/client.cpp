@@ -14,19 +14,86 @@ StreamClient::StreamClient(Host& host, const EncodedClip& clip, Endpoint server,
                                SimTime now) { handle_datagram(payload, from, now); });
 }
 
-StreamClient::~StreamClient() { host_.udp_unbind(port_); }
+StreamClient::~StreamClient() {
+  play_timer_.cancel();
+  watchdog_timer_.cancel();
+  host_.udp_unbind(port_);
+}
 
 void StreamClient::start() {
+  next_play_timeout_ = config_.recovery.play_timeout;
+  send_play();
+}
+
+void StreamClient::send_play() {
+  ++play_attempts_;
   ControlMessage play{ControlType::kPlayRequest, clip_.info().id()};
   const auto bytes = play.encode();
   host_.udp_send(port_, server_, bytes);
+  if (config_.recovery.play_retry) {
+    play_timer_ = host_.loop().schedule_in(next_play_timeout_,
+                                           [this] { on_play_timeout(); });
+    next_play_timeout_ = next_play_timeout_.scaled(config_.recovery.backoff);
+  }
+}
+
+void StreamClient::on_play_timeout() {
+  if (session_established() || session_abandoned_) return;
+  if (play_attempts_ >= static_cast<std::uint32_t>(
+                            std::max(1, config_.recovery.max_play_attempts))) {
+    session_abandoned_ = true;
+    failure_time_ = host_.loop().now();
+    return;
+  }
+  send_play();
+}
+
+void StreamClient::on_session_established(SimTime now) {
+  play_timer_.cancel();
+  if (established_time_) return;
+  established_time_ = now;
+  // Arm the inactivity watchdog at establishment, not at first data: a
+  // PLAY-OK followed by a permanent outage must still be detected as a
+  // dead session rather than waiting forever for data that never comes.
+  if (config_.recovery.inactivity_timeout > Duration::zero()) {
+    arm_watchdog(config_.recovery.inactivity_timeout);
+  }
+}
+
+void StreamClient::arm_watchdog(Duration delay) {
+  watchdog_timer_ = host_.loop().schedule_in(delay, [this] { on_watchdog(); });
+}
+
+void StreamClient::on_watchdog() {
+  if (eos_received_ || stream_dead_ || session_abandoned_) return;
+  const Duration window = config_.recovery.inactivity_timeout;
+  const SimTime now = host_.loop().now();
+  // Silence is measured from the last data packet, or — before any data
+  // arrived — from session establishment, so the PLAY-OK→first-data gap is
+  // covered too.
+  const SimTime anchor =
+      last_data_ ? *last_data_ : established_time_ ? *established_time_ : now;
+  const SimTime deadline = anchor + window;
+  if (now < deadline) {
+    // Data arrived since the timer was armed; sleep until the silence
+    // window measured from the latest packet would elapse.
+    watchdog_timer_ = host_.loop().schedule_at(deadline, [this] { on_watchdog(); });
+    return;
+  }
+  // Silence exceeded the window with no end-of-stream: the session is dead.
+  stream_dead_ = true;
+  failure_time_ = now;
+  play_timer_.cancel();
 }
 
 void StreamClient::handle_datagram(std::span<const std::uint8_t> payload, Endpoint from,
                                    SimTime now) {
   if (from.ip != server_.ip) return;
   if (auto ctrl = ControlMessage::decode(payload)) {
-    if (ctrl->type == ControlType::kPlayOk) play_ok_received_ = true;
+    if (ctrl->type == ControlType::kPlayOk) {
+      play_ok_received_ = true;
+      on_session_established(now);
+    }
     return;
   }
   std::size_t media_len = 0;
@@ -36,8 +103,10 @@ void StreamClient::handle_datagram(std::span<const std::uint8_t> payload, Endpoi
 }
 
 void StreamClient::on_data(const DataHeader& header, std::size_t media_len, SimTime now) {
+  if (stream_dead_) return;  // the watchdog already tore the session down
   if (!first_data_) {
     first_data_ = now;
+    on_session_established(now);
     if (config_.scaling.enabled && !report_timer_armed_) {
       report_timer_armed_ = true;
       report_window_max_seq_ = header.seq;
@@ -48,6 +117,11 @@ void StreamClient::on_data(const DataHeader& header, std::size_t media_len, SimT
   last_data_ = now;
   wire_media_bytes_ += kDataHeaderSize + media_len;
 
+  if (seq_seen_.covers(header.seq, std::uint64_t{header.seq} + 1)) {
+    ++duplicate_packets_;
+  } else {
+    seq_seen_.insert(header.seq, std::uint64_t{header.seq} + 1);
+  }
   if (!any_seq_seen_ || header.seq > max_seq_seen_) {
     max_seq_seen_ = header.seq;
     any_seq_seen_ = true;
@@ -107,7 +181,7 @@ void StreamClient::send_receiver_report() {
   host_.udp_send(port_, server_, bytes);
   ++reports_sent_;
 
-  if (!eos_received_) {
+  if (!eos_received_ && !stream_dead_) {
     host_.loop().schedule_in(config_.scaling.report_interval,
                              [this] { send_receiver_report(); });
   }
@@ -122,7 +196,7 @@ void StreamClient::release_app_batch() {
     app_coverage_.insert(ev.media_offset, ev.media_offset + ev.media_len);
     packets_.push_back(ev);
   }
-  if (eos_received_) {
+  if (eos_received_ || stream_dead_) {
     batch_timer_armed_ = false;
     return;
   }
@@ -157,7 +231,21 @@ void StreamClient::schedule_frame(std::size_t index) {
   host_.loop().schedule_at(deadline, [this, index] { decode_frame_rebuffering(index); });
 }
 
+void StreamClient::abandon_remaining_frames(std::size_t from_index) {
+  // Stream declared dead mid-playout: the remaining frames can never be
+  // decoded, so account them as dropped at once instead of stalling
+  // max_stall on each — this is what lets the event loop drain promptly
+  // after a fatal outage.
+  frames_dropped_ +=
+      static_cast<std::uint32_t>(clip_.frames().size() - from_index);
+  playback_end_ = host_.loop().now();
+}
+
 void StreamClient::decode_frame_rebuffering(std::size_t index) {
+  if (stream_dead_) {
+    abandon_remaining_frames(index);
+    return;
+  }
   const EncodedFrame& frame = clip_.frames()[index];
   const bool ready =
       app_coverage_.covers(frame.byte_offset, frame.byte_offset + frame.bytes);
@@ -190,7 +278,9 @@ void StreamClient::decode_frame(std::size_t index) {
   FrameEvent ev;
   ev.time = host_.loop().now();
   ev.frame_index = frame.index;
-  ev.rendered = app_coverage_.covers(frame.byte_offset,
+  // A dead session renders nothing more, even from buffered data.
+  ev.rendered = !stream_dead_ &&
+                app_coverage_.covers(frame.byte_offset,
                                      frame.byte_offset + frame.bytes);
   if (ev.rendered)
     ++frames_rendered_;
@@ -206,10 +296,11 @@ void StreamClient::decode_frame(std::size_t index) {
 
 std::uint64_t StreamClient::packets_lost() const {
   if (!any_seq_seen_) return 0;
+  // Count distinct missing sequences, so duplicated or reordered datagrams
+  // never inflate (or deflate) the loss figure.
   const std::uint64_t expected = max_seq_seen_ + 1;
-  return expected > packets_.size() + pending_app_.size()
-             ? expected - (packets_.size() + pending_app_.size())
-             : 0;
+  const std::uint64_t unique = seq_seen_.total_covered();
+  return expected > unique ? expected - unique : 0;
 }
 
 BitRate StreamClient::average_playback_rate() const {

@@ -37,6 +37,25 @@ struct FrameEvent {
   bool rendered = false;  ///< false = data missed its decode deadline
 };
 
+/// Session-establishment and liveness policy: how the client survives a
+/// lossy control handshake and detects a dead stream instead of waiting
+/// forever (the robustness the fault-injection layer exercises).
+struct SessionRecoveryConfig {
+  /// Retransmit the PLAY request until answered (PLAY-OK or data).
+  bool play_retry = true;
+  /// Timeout before the first retransmission; doubles via `backoff` each
+  /// further attempt (exponential backoff).
+  Duration play_timeout = Duration::millis(500);
+  double backoff = 2.0;
+  /// Total PLAY transmissions before the session is abandoned.
+  int max_play_attempts = 5;
+  /// Data-inactivity watchdog, armed at session establishment (PLAY-OK or
+  /// first data): after this much silence (no data, no end-of-stream) the
+  /// stream is declared dead. zero() disables the watchdog (the default,
+  /// preserving the unguarded baseline behaviour).
+  Duration inactivity_timeout = Duration::zero();
+};
+
 class StreamClient {
  public:
   struct Config {
@@ -55,6 +74,8 @@ class StreamClient {
     bool rebuffering = false;
     /// Longest single stall before the frame is abandoned as dropped.
     Duration max_stall = Duration::seconds(10);
+    /// Handshake retry / liveness policy.
+    SessionRecoveryConfig recovery;
   };
 
   /// The client needs the clip's frame table (in the real products this
@@ -64,7 +85,7 @@ class StreamClient {
   StreamClient(const StreamClient&) = delete;
   StreamClient& operator=(const StreamClient&) = delete;
 
-  /// Sends the PLAY request now.
+  /// Sends the PLAY request now (and arms the retry timer when enabled).
   void start();
 
   // --- Results (valid once the event loop has drained) ---
@@ -73,8 +94,12 @@ class StreamClient {
   std::uint32_t frames_rendered() const { return frames_rendered_; }
   std::uint32_t frames_dropped() const { return frames_dropped_; }
   std::uint64_t media_bytes_received() const { return coverage_.total_covered(); }
-  /// Datagrams lost end-to-end, inferred from sequence-number gaps.
+  /// Datagrams lost end-to-end: sequence numbers never received in any copy.
+  /// Duplicate and reordered deliveries are tolerated — the count is
+  /// (max seq seen + 1) minus the number of *distinct* sequences received.
   std::uint64_t packets_lost() const;
+  /// Datagrams received carrying a sequence number already seen.
+  std::uint64_t duplicate_packets() const { return duplicate_packets_; }
   std::uint64_t packets_received() const { return packets_.size(); }
   /// Application payload bytes received so far (stream headers included).
   std::uint64_t wire_bytes_received() const { return wire_media_bytes_; }
@@ -83,6 +108,20 @@ class StreamClient {
   bool end_of_stream() const { return eos_received_; }
   bool playback_started() const { return playout_start_.has_value(); }
   bool playback_finished() const { return playback_finished_; }
+
+  // --- Session recovery state ---
+  /// PLAY requests sent (1 when the first succeeded without retries).
+  std::uint32_t play_attempts() const { return play_attempts_; }
+  /// True once the server answered (PLAY-OK or first data packet).
+  bool session_established() const { return play_ok_received_ || first_data_.has_value(); }
+  /// Retries exhausted without any server response.
+  bool session_abandoned() const { return session_abandoned_; }
+  /// The inactivity watchdog declared the stream dead mid-session.
+  bool stream_dead() const { return stream_dead_; }
+  /// When the session ended abnormally (abandoned or declared dead).
+  std::optional<SimTime> session_failure_time() const { return failure_time_; }
+  /// When the server first answered.
+  std::optional<SimTime> session_established_time() const { return established_time_; }
 
   std::optional<SimTime> first_data_time() const { return first_data_; }
   std::optional<SimTime> last_data_time() const { return last_data_; }
@@ -103,6 +142,12 @@ class StreamClient {
  private:
   void handle_datagram(std::span<const std::uint8_t> payload, Endpoint from, SimTime now);
   void on_data(const DataHeader& header, std::size_t media_len, SimTime now);
+  void send_play();
+  void on_play_timeout();
+  void on_session_established(SimTime now);
+  void arm_watchdog(Duration delay);
+  void on_watchdog();
+  void abandon_remaining_frames(std::size_t from_index);
   void send_receiver_report();
   void release_app_batch();
   void begin_playout(SimTime when);
@@ -141,7 +186,19 @@ class StreamClient {
 
   std::uint64_t max_seq_seen_ = 0;
   bool any_seq_seen_ = false;
+  IntervalSet seq_seen_;                  ///< distinct sequence numbers received
+  std::uint64_t duplicate_packets_ = 0;
   std::uint64_t wire_media_bytes_ = 0;  ///< media+header bytes received
+
+  // Session recovery state.
+  std::uint32_t play_attempts_ = 0;
+  Duration next_play_timeout_;
+  EventHandle play_timer_;
+  EventHandle watchdog_timer_;
+  bool session_abandoned_ = false;
+  bool stream_dead_ = false;
+  std::optional<SimTime> failure_time_;
+  std::optional<SimTime> established_time_;
 
   // Receiver-report window state (media scaling feedback).
   bool report_timer_armed_ = false;

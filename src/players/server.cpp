@@ -35,8 +35,19 @@ void StreamServer::handle_control(std::span<const std::uint8_t> payload, Endpoin
   if (!msg) return;
   switch (msg->type) {
     case ControlType::kPlayRequest: {
-      if (started_) return;  // single-session server
       if (!msg->clip_id.empty() && msg->clip_id != clip_.info().id()) return;
+      if (started_) {
+        // Duplicate PLAY (a client retransmission whose predecessor — or
+        // whose PLAY-OK — was lost). Re-acknowledge idempotently so client
+        // retries are always safe; never restart the send schedule.
+        if (from == client_) {
+          ++duplicate_play_requests_;
+          ControlMessage ok{ControlType::kPlayOk, clip_.info().id()};
+          const auto ok_bytes = ok.encode();
+          host_.udp_send(port_, client_, ok_bytes);
+        }
+        return;  // single-session server: other endpoints are ignored
+      }
       started_ = true;
       client_ = from;
       ControlMessage ok{ControlType::kPlayOk, clip_.info().id()};

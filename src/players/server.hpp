@@ -45,6 +45,8 @@ class StreamServer {
   std::uint16_t port() const { return port_; }
   bool started() const { return started_; }
   bool finished() const { return finished_; }
+  /// PLAY retransmissions re-acknowledged after the session started.
+  std::uint64_t duplicate_play_requests() const { return duplicate_play_requests_; }
   const std::vector<SendEvent>& send_log() const { return send_log_; }
   /// Wall-clock streaming duration (first send to last send).
   Duration streaming_duration() const;
@@ -91,6 +93,7 @@ class StreamServer {
 
   std::uint32_t next_seq_ = 0;
   std::uint64_t next_offset_ = 0;
+  std::uint64_t duplicate_play_requests_ = 0;
   std::vector<SendEvent> send_log_;
 
   struct ScalingState {

@@ -28,6 +28,9 @@ bool EventLoop::fire_next(SimTime deadline) {
     queue_.pop();
     now_ = ev.when;
     ev.fn();
+    // Fired: flip the liveness flag so the handle reports not-pending and a
+    // late cancel() is a harmless no-op.
+    *ev.alive = false;
     ++executed_;
     return true;
   }

@@ -1,0 +1,184 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+
+namespace streamlab {
+
+bool GilbertElliottLoss::drop(Rng& rng) {
+  // Transition first, then draw loss from the new state: a burst's first
+  // packet is already subject to loss_bad, matching the standard
+  // discrete-time formulation.
+  if (bad_) {
+    if (rng.chance(config_.p_bad_to_good)) bad_ = false;
+  } else {
+    if (rng.chance(config_.p_good_to_bad)) bad_ = true;
+  }
+  const double p = bad_ ? config_.loss_bad : config_.loss_good;
+  return p > 0.0 && rng.chance(p);
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kOutage: return "outage";
+    case FaultKind::kBandwidth: return "bandwidth";
+    case FaultKind::kExtraDelay: return "extra-delay";
+    case FaultKind::kBurstLoss: return "burst-loss";
+    case FaultKind::kRandomLoss: return "random-loss";
+  }
+  return "unknown";
+}
+
+FaultScheduler::~FaultScheduler() {
+  for (EventHandle& h : handles_) h.cancel();
+}
+
+void FaultScheduler::add(FaultEpisode episode) {
+  records_.push_back(EpisodeRecord{std::move(episode)});
+}
+
+void FaultScheduler::add_outage(SimTime start, Duration duration, std::string label) {
+  FaultEpisode e;
+  e.kind = FaultKind::kOutage;
+  e.start = start;
+  e.duration = duration;
+  e.label = std::move(label);
+  add(std::move(e));
+}
+
+void FaultScheduler::add_bandwidth(SimTime start, Duration duration, BitRate bandwidth,
+                                   std::string label) {
+  FaultEpisode e;
+  e.kind = FaultKind::kBandwidth;
+  e.start = start;
+  e.duration = duration;
+  e.bandwidth = bandwidth;
+  e.label = std::move(label);
+  add(std::move(e));
+}
+
+void FaultScheduler::add_extra_delay(SimTime start, Duration duration,
+                                     Duration extra_delay, std::string label) {
+  FaultEpisode e;
+  e.kind = FaultKind::kExtraDelay;
+  e.start = start;
+  e.duration = duration;
+  e.extra_delay = extra_delay;
+  e.label = std::move(label);
+  add(std::move(e));
+}
+
+void FaultScheduler::add_burst_loss(SimTime start, Duration duration,
+                                    GilbertElliottConfig config, std::string label) {
+  FaultEpisode e;
+  e.kind = FaultKind::kBurstLoss;
+  e.start = start;
+  e.duration = duration;
+  e.gilbert = config;
+  e.label = std::move(label);
+  add(std::move(e));
+}
+
+void FaultScheduler::add_random_loss(SimTime start, Duration duration, double probability,
+                                     std::string label) {
+  FaultEpisode e;
+  e.kind = FaultKind::kRandomLoss;
+  e.start = start;
+  e.duration = duration;
+  e.loss_probability = probability;
+  e.label = std::move(label);
+  add(std::move(e));
+}
+
+void FaultScheduler::arm() {
+  if (armed_) return;
+  armed_ = true;
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const EpisodeRecord& a, const EpisodeRecord& b) {
+                     return a.episode.start < b.episode.start;
+                   });
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const FaultEpisode& e = records_[i].episode;
+    handles_.push_back(loop_.schedule_at(e.start, [this, i] { apply(i); }));
+    handles_.push_back(loop_.schedule_at(e.end(), [this, i] { clear(i); }));
+  }
+}
+
+void FaultScheduler::apply(std::size_t index) {
+  EpisodeRecord& rec = records_[index];
+  const FaultEpisode& e = rec.episode;
+
+  // A later episode pre-empts a still-active earlier one: settle the
+  // earlier episode's drop accounting before the override replaces it.
+  if (active_ >= 0) close_accounting(static_cast<std::size_t>(active_));
+
+  LinkImpairment imp;
+  switch (e.kind) {
+    case FaultKind::kOutage:
+      imp.outage = true;
+      break;
+    case FaultKind::kBandwidth:
+      imp.bandwidth = e.bandwidth;
+      break;
+    case FaultKind::kExtraDelay:
+      imp.extra_delay = e.extra_delay;
+      break;
+    case FaultKind::kBurstLoss: {
+      auto chain = std::make_shared<GilbertElliottLoss>(e.gilbert);
+      chains_.push_back(chain);
+      imp.loss_model = [chain](Rng& rng) { return chain->drop(rng); };
+      break;
+    }
+    case FaultKind::kRandomLoss:
+      imp.loss_probability = e.loss_probability;
+      break;
+  }
+  link_.set_impairment(std::move(imp));
+  rec.applied = true;
+  active_ = static_cast<int>(index);
+  drops_at_apply_ = drops_for_kind(e.kind);
+}
+
+std::uint64_t FaultScheduler::drops_for_kind(FaultKind kind) const {
+  const Link::DirectionStats& a = link_.stats_a_to_b();
+  const Link::DirectionStats& b = link_.stats_b_to_a();
+  switch (kind) {
+    case FaultKind::kOutage:
+      return a.packets_dropped_outage + b.packets_dropped_outage;
+    case FaultKind::kBurstLoss:
+      return a.packets_dropped_burst + b.packets_dropped_burst;
+    case FaultKind::kRandomLoss:
+      return a.packets_dropped_loss + b.packets_dropped_loss;
+    case FaultKind::kBandwidth:
+    case FaultKind::kExtraDelay:
+      // These episodes don't override loss; any random-loss drops during
+      // them come from the baseline config and are not the episode's doing.
+      return 0;
+  }
+  return 0;
+}
+
+void FaultScheduler::close_accounting(std::size_t index) {
+  EpisodeRecord& rec = records_[index];
+  rec.packets_dropped += drops_for_kind(rec.episode.kind) - drops_at_apply_;
+  rec.cleared = true;
+}
+
+void FaultScheduler::clear(std::size_t index) {
+  // Only the episode that currently owns the impairment may clear it; a
+  // pre-empted episode's end event must not cancel its successor.
+  if (active_ != static_cast<int>(index)) {
+    records_[index].cleared = true;
+    return;
+  }
+  close_accounting(index);
+  link_.clear_impairment();
+  active_ = -1;
+}
+
+std::uint64_t FaultScheduler::total_episode_drops() const {
+  std::uint64_t total = 0;
+  for (const EpisodeRecord& r : records_) total += r.packets_dropped;
+  return total;
+}
+
+}  // namespace streamlab

@@ -1,0 +1,152 @@
+// Fault injection: scripted, time-varying link impairments.
+//
+// The paper's subject is *network turbulence*, but a LinkConfig is
+// stationary — it cannot express the loss bursts, outages and congestion
+// epochs that streaming delay buffers exist to survive (Sections 3.F, VI).
+// This layer scripts impairment *episodes* onto a Link: a FaultScheduler
+// applies each episode at its start time and restores the baseline when it
+// ends, recording per-episode drop counts so experiments can attribute
+// damage to a specific event. Loss draws go through the link's seeded Rng,
+// so faulted runs replay bit-for-bit like everything else in streamlab.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_loop.hpp"
+#include "sim/link.hpp"
+
+namespace streamlab {
+
+/// Two-state Markov (Gilbert–Elliott) packet-loss model: a GOOD state with
+/// near-zero loss and a BAD state with heavy loss, with per-packet
+/// transition probabilities. Unlike independent Bernoulli loss at the same
+/// average rate, losses arrive in *bursts* whose mean length is
+/// 1 / p_bad_to_good packets — the loss pattern real congestion produces.
+struct GilbertElliottConfig {
+  double p_good_to_bad = 0.02;  ///< per-packet P(enter burst)
+  double p_bad_to_good = 0.25;  ///< per-packet P(leave burst)
+  double loss_good = 0.0;       ///< drop probability while GOOD
+  double loss_bad = 0.75;       ///< drop probability while BAD
+
+  /// Long-run fraction of packets spent in the BAD state.
+  double stationary_bad() const {
+    const double denom = p_good_to_bad + p_bad_to_good;
+    return denom > 0.0 ? p_good_to_bad / denom : 0.0;
+  }
+  /// Long-run average drop probability.
+  double mean_loss() const {
+    const double pi_bad = stationary_bad();
+    return pi_bad * loss_bad + (1.0 - pi_bad) * loss_good;
+  }
+};
+
+/// The chain itself; one instance per impaired link direction-pair. The
+/// state advances once per packet reaching the wire.
+class GilbertElliottLoss {
+ public:
+  explicit GilbertElliottLoss(GilbertElliottConfig config) : config_(config) {}
+
+  /// Advances the chain one packet and returns whether to drop it.
+  bool drop(Rng& rng);
+  bool in_bad_state() const { return bad_; }
+  const GilbertElliottConfig& config() const { return config_; }
+
+ private:
+  GilbertElliottConfig config_;
+  bool bad_ = false;
+};
+
+enum class FaultKind {
+  kOutage,      ///< link flap: nothing gets through
+  kBandwidth,   ///< serialization-rate reduction (congestion epoch)
+  kExtraDelay,  ///< added one-way delay (route change / bufferbloat)
+  kBurstLoss,   ///< Gilbert–Elliott two-state burst loss
+  kRandomLoss,  ///< independent loss override
+};
+
+const char* to_string(FaultKind kind);
+
+/// One scripted impairment episode on a link's timeline.
+struct FaultEpisode {
+  FaultKind kind = FaultKind::kOutage;
+  SimTime start;                      ///< absolute sim time the episode begins
+  Duration duration;                  ///< episode length
+  BitRate bandwidth;                  ///< kBandwidth: reduced rate
+  Duration extra_delay;               ///< kExtraDelay: added one-way delay
+  double loss_probability = 0.0;      ///< kRandomLoss: Bernoulli override
+  GilbertElliottConfig gilbert;       ///< kBurstLoss: chain parameters
+  std::string label;                  ///< free-form tag for reports
+
+  SimTime end() const { return start + duration; }
+  /// True when `t` falls inside [start, end).
+  bool covers(SimTime t) const { return t >= start && t < end(); }
+};
+
+/// Applies a scripted sequence of FaultEpisodes to one Link. Episodes are
+/// sorted by start time when armed; applying an episode replaces any active
+/// impairment and the episode's end restores the unimpaired baseline (so
+/// overlapping episodes truncate their predecessors rather than stacking).
+class FaultScheduler {
+ public:
+  struct EpisodeRecord {
+    FaultEpisode episode;
+    bool applied = false;
+    bool cleared = false;
+    /// Packets dropped by this episode's own mechanism (outage, burst chain
+    /// or loss override) while it was the active impairment. Bandwidth and
+    /// extra-delay episodes attribute nothing here: baseline random loss
+    /// occurring during them is not the episode's doing.
+    std::uint64_t packets_dropped = 0;
+  };
+
+  FaultScheduler(EventLoop& loop, Link& link) : loop_(loop), link_(link) {}
+  FaultScheduler(const FaultScheduler&) = delete;
+  FaultScheduler& operator=(const FaultScheduler&) = delete;
+  ~FaultScheduler();
+
+  /// Adds one episode; call before arm().
+  void add(FaultEpisode episode);
+  // Convenience constructors for the common episode shapes.
+  void add_outage(SimTime start, Duration duration, std::string label = "outage");
+  void add_bandwidth(SimTime start, Duration duration, BitRate bandwidth,
+                     std::string label = "bandwidth");
+  void add_extra_delay(SimTime start, Duration duration, Duration extra_delay,
+                       std::string label = "delay");
+  void add_burst_loss(SimTime start, Duration duration, GilbertElliottConfig config,
+                      std::string label = "burst-loss");
+  void add_random_loss(SimTime start, Duration duration, double probability,
+                       std::string label = "random-loss");
+
+  /// Schedules every added episode on the event loop. Call exactly once,
+  /// before the experiment runs past the first episode start.
+  void arm();
+
+  const std::vector<EpisodeRecord>& records() const { return records_; }
+  /// Index of the episode currently impairing the link, -1 when none.
+  int active_episode() const { return active_; }
+  /// Total packets dropped across all recorded episodes.
+  std::uint64_t total_episode_drops() const;
+
+ private:
+  void apply(std::size_t index);
+  void clear(std::size_t index);
+  void close_accounting(std::size_t index);
+  /// Current link-wide drop count on the counter `kind` is accountable for.
+  std::uint64_t drops_for_kind(FaultKind kind) const;
+
+  EventLoop& loop_;
+  Link& link_;
+  std::vector<EpisodeRecord> records_;
+  std::vector<EventHandle> handles_;
+  /// Chains outlive the closures that capture them (episodes may be queried
+  /// after the run), hence shared ownership.
+  std::vector<std::shared_ptr<GilbertElliottLoss>> chains_;
+  bool armed_ = false;
+  int active_ = -1;
+  std::uint64_t drops_at_apply_ = 0;
+};
+
+}  // namespace streamlab

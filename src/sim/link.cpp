@@ -26,6 +26,10 @@ void Link::send(int dir, const Ipv4Packet& packet) {
   if (!d.transmitting) start_transmission(dir);
 }
 
+void Link::set_impairment(LinkImpairment impairment) {
+  impairment_ = std::move(impairment);
+}
+
 void Link::start_transmission(int dir) {
   Direction& d = dir_[dir];
   if (d.queue.empty()) {
@@ -33,8 +37,35 @@ void Link::start_transmission(int dir) {
     return;
   }
   d.transmitting = true;
-  const Duration tx = config_.bandwidth.transmission_time(wire_size(d.queue.front()));
+  const BitRate bandwidth = impairment_ && impairment_->bandwidth
+                                ? *impairment_->bandwidth
+                                : config_.bandwidth;
+  const Duration tx = bandwidth.transmission_time(wire_size(d.queue.front()));
   loop_.schedule_in(tx, [this, dir] { finish_transmission(dir); });
+}
+
+bool Link::drop_on_wire(DirectionStats& stats) {
+  if (impairment_) {
+    if (impairment_->outage) {
+      ++stats.packets_dropped_outage;
+      return true;
+    }
+    if (impairment_->loss_model) {
+      if (impairment_->loss_model(rng_)) {
+        ++stats.packets_dropped_burst;
+        return true;
+      }
+      return false;
+    }
+  }
+  const double p = impairment_ && impairment_->loss_probability
+                       ? *impairment_->loss_probability
+                       : config_.loss_probability;
+  if (p > 0.0 && rng_.chance(p)) {
+    ++stats.packets_dropped_loss;
+    return true;
+  }
+  return false;
 }
 
 void Link::finish_transmission(int dir) {
@@ -43,10 +74,11 @@ void Link::finish_transmission(int dir) {
   d.queue.pop_front();
   d.queued_bytes -= wire_size(packet);
 
-  if (config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability)) {
-    ++d.stats.packets_dropped_loss;
+  if (drop_on_wire(d.stats)) {
+    // fall through to the next queued packet
   } else {
     Duration delay = config_.propagation;
+    if (impairment_) delay += impairment_->extra_delay;
     if (config_.jitter_stddev > Duration::zero()) {
       const double noise = rng_.normal(0.0, config_.jitter_stddev.to_seconds());
       delay += Duration::from_seconds(std::max(0.0, noise));

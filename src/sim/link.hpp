@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <optional>
 
 #include "net/packet.hpp"
 #include "sim/event_loop.hpp"
@@ -27,6 +29,24 @@ struct LinkConfig {
   std::size_t queue_limit_bytes = 256 * 1024;   ///< drop-tail threshold per direction
 };
 
+/// A transient override of a link's behaviour, applied by the fault layer
+/// (sim/faults.hpp) while an impairment episode is active. Fields left at
+/// their defaults keep the baseline LinkConfig behaviour.
+struct LinkImpairment {
+  /// Link flap: every packet reaching the wire is dropped.
+  bool outage = false;
+  /// Serialization-rate override (congestion epoch / rate renegotiation).
+  std::optional<BitRate> bandwidth;
+  /// Added one-way propagation delay (route change, bufferbloat episode).
+  Duration extra_delay = Duration::zero();
+  /// Override of the independent loss probability.
+  std::optional<double> loss_probability;
+  /// Stateful per-packet loss model (e.g. Gilbert–Elliott burst loss); when
+  /// set it replaces the independent-loss draw entirely. The callback is
+  /// handed the link's own Rng so runs stay deterministic.
+  std::function<bool(Rng&)> loss_model;
+};
+
 class Link {
  public:
   struct DirectionStats {
@@ -34,6 +54,8 @@ class Link {
     std::uint64_t packets_delivered = 0;
     std::uint64_t packets_dropped_queue = 0;
     std::uint64_t packets_dropped_loss = 0;
+    std::uint64_t packets_dropped_outage = 0;  ///< dropped by a link flap
+    std::uint64_t packets_dropped_burst = 0;   ///< dropped by a loss_model
     std::uint64_t bytes_delivered = 0;
   };
 
@@ -50,6 +72,25 @@ class Link {
   const DirectionStats& stats_b_to_a() const { return dir_[1].stats; }
   const LinkConfig& config() const { return config_; }
 
+  /// Installs (replacing any current) or clears the active impairment.
+  /// Packets already serialized or in flight are unaffected; the override
+  /// applies from the next loss/delay decision onward.
+  void set_impairment(LinkImpairment impairment);
+  void clear_impairment() { impairment_.reset(); }
+  bool impaired() const { return impairment_.has_value(); }
+
+  /// Packets dropped on the wire (outage + burst + random loss, baseline
+  /// loss included) summed over both directions. Diagnostic aggregate; the
+  /// fault scheduler's per-episode accounting differences only the counter
+  /// matching each episode's kind.
+  std::uint64_t impairment_drops() const {
+    std::uint64_t total = 0;
+    for (const Direction& d : dir_)
+      total += d.stats.packets_dropped_loss + d.stats.packets_dropped_outage +
+               d.stats.packets_dropped_burst;
+    return total;
+  }
+
  private:
   struct Direction {
     std::deque<Ipv4Packet> queue;
@@ -64,6 +105,7 @@ class Link {
   }
 
   void send(int dir, const Ipv4Packet& packet);
+  bool drop_on_wire(DirectionStats& stats);
   void start_transmission(int dir);
   void finish_transmission(int dir);
   void deliver(int dir, Ipv4Packet packet);
@@ -71,6 +113,7 @@ class Link {
   EventLoop& loop_;
   Rng rng_;
   LinkConfig config_;
+  std::optional<LinkImpairment> impairment_;
   Node* peer_[2];      // peer_[0] = b (receiver for dir 0), peer_[1] = a
   int peer_iface_[2];
   Direction dir_[2];

@@ -27,6 +27,7 @@ Network::Network(const PathConfig& config) : config_(config), rng_(config.seed) 
   const int link_count = config.hop_count + 1;
   const Duration per_link = Duration(config.one_way_propagation.ns() / link_count);
   const int bottleneck_index = link_count / 2;
+  bottleneck_index_ = bottleneck_index;
 
   auto link_config = [&](int index) {
     LinkConfig lc;

@@ -47,6 +47,19 @@ class Network {
 
   std::vector<const Router*> routers() const;
 
+  // --- Link access (for fault injection and stats) ---
+  /// All links in creation order: [0] client access link, [1..hop_count-1]
+  /// inter-router links, then one link per add_server() call.
+  std::size_t link_count() const { return links_.size(); }
+  Link& link(std::size_t i) { return *links_[i]; }
+  /// The client's access link (client <-> first router).
+  Link& access_link() { return *links_.front(); }
+  /// The bottleneck link the path builder configures with the PathConfig
+  /// bandwidth/jitter/loss — the natural target for fault episodes, since
+  /// every server's traffic crosses it.
+  Link& bottleneck_link() { return *links_[static_cast<std::size_t>(bottleneck_index_)]; }
+  int bottleneck_index() const { return bottleneck_index_; }
+
  private:
   PathConfig config_;
   EventLoop loop_;
@@ -57,6 +70,7 @@ class Network {
   std::vector<std::unique_ptr<Link>> links_;
   int next_server_iface_ = 1;  // iface 0 of the last router faces the client
   std::uint8_t next_server_host_octet_ = 10;
+  int bottleneck_index_ = 0;
 };
 
 }  // namespace streamlab

@@ -48,6 +48,7 @@ TEST(ClientRobustness, DuplicateDatagramsCountedOnceInCoverage) {
   EXPECT_EQ(h.client.media_bytes_received(), 1000u);
   EXPECT_EQ(h.client.packets_received(), 2u);  // both packets arrived...
   EXPECT_EQ(h.client.packets_lost(), 0u);      // ...and nothing is "lost"
+  EXPECT_EQ(h.client.duplicate_packets(), 1u);
 }
 
 TEST(ClientRobustness, OutOfOrderDeliveryCoversCorrectly) {
@@ -57,6 +58,7 @@ TEST(ClientRobustness, OutOfOrderDeliveryCoversCorrectly) {
   h.deliver(2, 2000, 500);
   EXPECT_EQ(h.client.media_bytes_received(), 2500u);
   EXPECT_EQ(h.client.packets_lost(), 0u);
+  EXPECT_EQ(h.client.duplicate_packets(), 0u);  // reordering is not duplication
 }
 
 TEST(ClientRobustness, OverlappingRangesMergeNotDoubleCount) {

@@ -130,6 +130,65 @@ TEST(EventLoop, ExecutedEventsCounter) {
   EXPECT_EQ(loop.executed_events(), 7u);
 }
 
+TEST(EventLoop, CancelAfterFiringIsHarmless) {
+  EventLoop loop;
+  int fired = 0;
+  auto handle = loop.schedule_in(Duration::millis(5), [&] { ++fired; });
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  // The event already fired: the handle is no longer pending and cancelling
+  // it must neither crash nor un-count the execution.
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.executed_events(), 1u);
+}
+
+TEST(EventLoop, RunUntilEmptyQueueAdvancesClockToDeadline) {
+  EventLoop loop;
+  EXPECT_TRUE(loop.empty());
+  const auto n = loop.run_until(SimTime::from_seconds(7.5));
+  EXPECT_EQ(n, 0u);
+  EXPECT_EQ(loop.now(), SimTime::from_seconds(7.5));
+  // A second empty run with an earlier deadline never moves time backwards.
+  loop.run_until(SimTime::from_seconds(3.0));
+  EXPECT_EQ(loop.now(), SimTime::from_seconds(7.5));
+}
+
+TEST(EventLoop, SameInstantOrderingSurvivesCancellation) {
+  EventLoop loop;
+  std::vector<int> order;
+  const SimTime t = SimTime::from_seconds(1.0);
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 6; ++i)
+    handles.push_back(loop.schedule_at(t, [&, i] { order.push_back(i); }));
+  // Cancel every other event; survivors must still fire in schedule order.
+  handles[1].cancel();
+  handles[3].cancel();
+  handles[5].cancel();
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(loop.executed_events(), 3u);
+  EXPECT_EQ(loop.now(), t);
+}
+
+TEST(EventLoop, CancelledHeadDoesNotBlockDeadline) {
+  // A cancelled event sitting at the head of the queue must be skipped
+  // without executing and without disturbing later events' times.
+  EventLoop loop;
+  bool late_fired = false;
+  auto head = loop.schedule_in(Duration::millis(1), [] {});
+  loop.schedule_in(Duration::millis(10), [&] { late_fired = true; });
+  head.cancel();
+  const auto n = loop.run_until(SimTime::from_seconds(0.005));
+  EXPECT_EQ(n, 0u);
+  EXPECT_FALSE(late_fired);
+  loop.run();
+  EXPECT_TRUE(late_fired);
+}
+
 TEST(EventLoop, StressManyEventsStayOrdered) {
   EventLoop loop;
   SimTime last;
