@@ -9,6 +9,7 @@
 #include "filter/evaluator.hpp"
 #include "net/checksum.hpp"
 #include "net/fragmentation.hpp"
+#include "obs/obs.hpp"
 #include "pcap/capture.hpp"
 #include "dissect/conversations.hpp"
 #include "sim/event_loop.hpp"
@@ -70,6 +71,77 @@ void BM_EventLoopScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventLoopScheduleRun)->Arg(1000)->Arg(100000);
+
+// Observability overhead on the loop hot path. The three cases bound the
+// cost ladder the design promises: no observer attached (the default every
+// pre-existing run pays — one null check per fired event), metrics only,
+// and full tracing with queue-depth sampling. Compare against
+// BM_EventLoopScheduleRun for the pre-instrumentation baseline.
+void BM_EventLoopObsOff(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    EventLoop loop;
+    long sink = 0;
+    for (std::int64_t i = 0; i < n; ++i)
+      loop.schedule_at(SimTime(i * 1000), [&sink] { ++sink; });
+    loop.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventLoopObsOff)->Arg(1000)->Arg(100000);
+
+void BM_EventLoopObsMetrics(benchmark::State& state) {
+  const auto n = state.range(0);
+  obs::Obs::Config cfg;
+  cfg.tracing = false;
+  for (auto _ : state) {
+    obs::Obs obs(cfg);
+    EventLoop loop;
+    loop.set_observer(&obs);
+    long sink = 0;
+    for (std::int64_t i = 0; i < n; ++i)
+      loop.schedule_at(SimTime(i * 1000), [&sink] { ++sink; });
+    loop.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventLoopObsMetrics)->Arg(1000)->Arg(100000);
+
+void BM_EventLoopObsTracing(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    obs::Obs obs;
+    EventLoop loop;
+    loop.set_observer(&obs);
+    long sink = 0;
+    for (std::int64_t i = 0; i < n; ++i)
+      loop.schedule_at(SimTime(i * 1000), [&sink] { ++sink; });
+    loop.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventLoopObsTracing)->Arg(1000)->Arg(100000);
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Counter c = registry.counter("bench.counter");
+  for (auto _ : state) c.add();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsTracerInstant(benchmark::State& state) {
+  obs::Tracer tracer;
+  const std::uint16_t name = tracer.intern("bench.instant");
+  const std::uint16_t track = tracer.intern("bench");
+  std::int64_t t = 0;
+  for (auto _ : state) tracer.instant(name, track, SimTime(t += 1000));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsTracerInstant);
 
 void BM_DissectFrame(benchmark::State& state) {
   CaptureTrace trace;

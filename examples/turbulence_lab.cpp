@@ -7,14 +7,21 @@
 // the CSV exports.
 //
 // Usage: turbulence_lab [set 1-6] [low|high|very-high] [export-dir]
+//                       [--trace <dir>]
+//
+// With --trace, every scenario also dumps its observability data under
+// <dir>/<scenario>/: trace.json (Chrome trace-event format — open it at
+// ui.perfetto.dev), trace.ndjson, timeseries.csv and metrics.csv.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/export.hpp"
 #include "core/turbulence.hpp"
+#include "obs/export.hpp"
 #include "util/strings.hpp"
 
 using namespace streamlab;
@@ -70,10 +77,23 @@ void describe(const char* name, const TurbulenceRunResult& run) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int set_id = argc > 1 ? std::atoi(argv[1]) : 1;
-  const RateTier tier = argc > 2 ? parse_tier(argv[2]) : RateTier::kLow;
+  std::string trace_dir;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace needs a directory\n");
+        return 1;
+      }
+      trace_dir = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int set_id = positional.size() > 0 ? std::atoi(positional[0]) : 1;
+  const RateTier tier = positional.size() > 1 ? parse_tier(positional[1]) : RateTier::kLow;
   const std::string export_dir =
-      argc > 3 ? argv[3] : "/tmp/streamlab_turbulence";
+      positional.size() > 2 ? positional[2] : "/tmp/streamlab_turbulence";
   if (set_id < 1 || set_id > 6) {
     std::fprintf(stderr, "set must be 1..6\n");
     return 1;
@@ -86,6 +106,22 @@ int main(int argc, char** argv) {
 
   std::vector<std::pair<std::string, TurbulenceRunResult>> runs;
 
+  // One Obs per scenario: sim time restarts at zero for every run, so each
+  // gets its own registry/trace and its own export directory.
+  const auto run_scenario = [&](const char* name, TurbulenceScenarioConfig cfg) {
+    std::unique_ptr<obs::Obs> obs;
+    if (!trace_dir.empty()) {
+      obs = std::make_unique<obs::Obs>();
+      cfg.obs = obs.get();
+    }
+    runs.emplace_back(name, run_turbulence_pair(set, tier, cfg));
+    if (obs) {
+      const std::string dir = trace_dir + "/" + name;
+      const int files = obs::export_trace(*obs, dir);
+      std::printf("trace: wrote %d files to %s\n", files, dir.c_str());
+    }
+  };
+
   // 1. A 4 s link flap at t=30s: shorter than the delay buffers, so both
   //    players should ride it out and complete playback.
   {
@@ -96,7 +132,7 @@ int main(int argc, char** argv) {
     flap.duration = Duration::seconds(4);
     flap.label = "short-flap";
     cfg.episodes.push_back(flap);
-    runs.emplace_back("short-outage", run_turbulence_pair(set, tier, cfg));
+    run_scenario("short-outage", std::move(cfg));
   }
 
   // 2. A 30 s outage: longer than the 8 s inactivity window, so the
@@ -109,7 +145,7 @@ int main(int argc, char** argv) {
     outage.duration = Duration::seconds(30);
     outage.label = "long-outage";
     cfg.episodes.push_back(outage);
-    runs.emplace_back("long-outage", run_turbulence_pair(set, tier, cfg));
+    run_scenario("long-outage", std::move(cfg));
   }
 
   // 3. A Gilbert–Elliott burst-loss epoch (congested peering point).
@@ -122,7 +158,7 @@ int main(int argc, char** argv) {
     burst.gilbert = GilbertElliottConfig{0.05, 0.25, 0.0, 0.6};
     burst.label = "burst-loss";
     cfg.episodes.push_back(burst);
-    runs.emplace_back("burst-loss", run_turbulence_pair(set, tier, cfg));
+    run_scenario("burst-loss", std::move(cfg));
   }
 
   // 4. A congestion dip: bottleneck throttled to 200 Kbps with extra delay.
@@ -142,7 +178,7 @@ int main(int argc, char** argv) {
     lag.extra_delay = Duration::millis(150);
     lag.label = "delay-spike";
     cfg.episodes.push_back(lag);
-    runs.emplace_back("congestion-dip", run_turbulence_pair(set, tier, cfg));
+    run_scenario("congestion-dip", std::move(cfg));
   }
 
   for (const auto& [name, run] : runs) describe(name.c_str(), run);

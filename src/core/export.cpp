@@ -2,6 +2,8 @@
 
 #include <filesystem>
 #include <fstream>
+#include <ostream>
+#include <sstream>
 
 #include "core/figures.hpp"
 #include "util/strings.hpp"
@@ -13,155 +15,181 @@ std::string player_tag(PlayerKind player) {
   return player == PlayerKind::kRealPlayer ? "real" : "media";
 }
 
-std::string values_csv(const char* header, const std::vector<double>& values) {
-  std::string out = std::string(header) + "\n";
-  for (const double v : values) out += fmt_double(v, 6) + "\n";
-  return out;
+void values_csv(const char* header, const std::vector<double>& values, std::ostream& out) {
+  out << header << "\n";
+  for (const double v : values) out << fmt_double(v, 6) << "\n";
 }
 
 }  // namespace
 
-std::string study_results_csv(const StudyResults& study) {
-  std::string out =
-      "clip_id,player,tier,encoding_kbps,playback_kbps,frame_rate_fps,fragment_pct,"
-      "buffering_ratio,streaming_s,packets,lost,quality_pct\n";
+void study_results_csv(const StudyResults& study, std::ostream& out) {
+  out << "clip_id,player,tier,encoding_kbps,playback_kbps,frame_rate_fps,fragment_pct,"
+         "buffering_ratio,streaming_s,packets,lost,quality_pct\n";
   for (const auto* c : study.clips()) {
-    out += c->clip.id() + "," + player_tag(c->clip.player) + "," +
-           to_string(c->clip.tier) + "," + fmt_double(c->clip.encoded_rate.to_kbps(), 1) +
-           "," + fmt_double(c->tracker.average_playback_bandwidth.to_kbps(), 1) + "," +
-           fmt_double(c->tracker.average_frame_rate, 2) + "," +
-           fmt_double(100.0 * c->flow.fragment_fraction(), 2) + "," +
-           fmt_double(c->buffering.ratio(), 3) + "," +
-           fmt_double(c->server_streaming_duration.to_seconds(), 1) + "," +
-           std::to_string(c->tracker.total_packets) + "," +
-           std::to_string(c->tracker.total_lost) + "," +
-           fmt_double(c->tracker.reception_quality(), 2) + "\n";
+    out << c->clip.id() << "," << player_tag(c->clip.player) << ","
+        << to_string(c->clip.tier) << "," << fmt_double(c->clip.encoded_rate.to_kbps(), 1)
+        << "," << fmt_double(c->tracker.average_playback_bandwidth.to_kbps(), 1) << ","
+        << fmt_double(c->tracker.average_frame_rate, 2) << ","
+        << fmt_double(100.0 * c->flow.fragment_fraction(), 2) << ","
+        << fmt_double(c->buffering.ratio(), 3) << ","
+        << fmt_double(c->server_streaming_duration.to_seconds(), 1) << ","
+        << c->tracker.total_packets << "," << c->tracker.total_lost << ","
+        << fmt_double(c->tracker.reception_quality(), 2) << "\n";
   }
-  return out;
+}
+
+std::string study_results_csv(const StudyResults& study) {
+  std::ostringstream out;
+  study_results_csv(study, out);
+  return out.str();
+}
+
+void figure_csv(const StudyResults& study, const std::string& figure, std::ostream& out) {
+  if (figure == "fig01") return values_csv("rtt_ms", figures::rtt_samples_ms(study), out);
+  if (figure == "fig02") return values_csv("hops", figures::hop_counts(study), out);
+  if (figure == "fig03") {
+    out << "player,encoding_kbps,playback_kbps\n";
+    for (const auto& p : figures::playback_vs_encoding(study))
+      out << player_tag(p.player) << "," << fmt_double(p.encoding_kbps, 1) << ","
+          << fmt_double(p.playback_kbps, 1) << "\n";
+    return;
+  }
+  if (figure == "fig05") {
+    out << "player,encoded_kbps,fragment_pct\n";
+    for (const auto& p : figures::fragmentation_vs_rate(study))
+      out << player_tag(p.player) << "," << fmt_double(p.encoded_kbps, 1) << ","
+          << fmt_double(p.fragment_percent, 2) << "\n";
+    return;
+  }
+  if (figure == "fig07") {
+    out << "player,normalized_size\n";
+    for (const PlayerKind player : {PlayerKind::kRealPlayer, PlayerKind::kMediaPlayer})
+      for (const double v : figures::normalized_packet_sizes(study, player))
+        out << player_tag(player) << "," << fmt_double(v, 5) << "\n";
+    return;
+  }
+  if (figure == "fig09") {
+    out << "player,normalized_gap\n";
+    for (const PlayerKind player : {PlayerKind::kRealPlayer, PlayerKind::kMediaPlayer})
+      for (const double v : figures::normalized_interarrivals(study, player))
+        out << player_tag(player) << "," << fmt_double(v, 5) << "\n";
+    return;
+  }
+  if (figure == "fig11") {
+    out << "encoding_kbps,buffering_ratio\n";
+    for (const auto& p : figures::buffering_ratio_vs_rate(study))
+      out << fmt_double(p.encoding_kbps, 1) << "," << fmt_double(p.ratio, 3) << "\n";
+    return;
+  }
+  if (figure == "fig14") {
+    out << "player,tier,encoding_kbps,fps\n";
+    for (const auto& p : figures::framerate_vs_encoding(study))
+      out << player_tag(p.player) << "," << to_string(p.tier) << ","
+          << fmt_double(p.x, 1) << "," << fmt_double(p.fps, 2) << "\n";
+    return;
+  }
 }
 
 std::string figure_csv(const StudyResults& study, const std::string& figure) {
-  if (figure == "fig01") return values_csv("rtt_ms", figures::rtt_samples_ms(study));
-  if (figure == "fig02") return values_csv("hops", figures::hop_counts(study));
-  if (figure == "fig03") {
-    std::string out = "player,encoding_kbps,playback_kbps\n";
-    for (const auto& p : figures::playback_vs_encoding(study))
-      out += player_tag(p.player) + "," + fmt_double(p.encoding_kbps, 1) + "," +
-             fmt_double(p.playback_kbps, 1) + "\n";
-    return out;
-  }
-  if (figure == "fig05") {
-    std::string out = "player,encoded_kbps,fragment_pct\n";
-    for (const auto& p : figures::fragmentation_vs_rate(study))
-      out += player_tag(p.player) + "," + fmt_double(p.encoded_kbps, 1) + "," +
-             fmt_double(p.fragment_percent, 2) + "\n";
-    return out;
-  }
-  if (figure == "fig07") {
-    std::string out = "player,normalized_size\n";
-    for (const PlayerKind player : {PlayerKind::kRealPlayer, PlayerKind::kMediaPlayer})
-      for (const double v : figures::normalized_packet_sizes(study, player))
-        out += player_tag(player) + "," + fmt_double(v, 5) + "\n";
-    return out;
-  }
-  if (figure == "fig09") {
-    std::string out = "player,normalized_gap\n";
-    for (const PlayerKind player : {PlayerKind::kRealPlayer, PlayerKind::kMediaPlayer})
-      for (const double v : figures::normalized_interarrivals(study, player))
-        out += player_tag(player) + "," + fmt_double(v, 5) + "\n";
-    return out;
-  }
-  if (figure == "fig11") {
-    std::string out = "encoding_kbps,buffering_ratio\n";
-    for (const auto& p : figures::buffering_ratio_vs_rate(study))
-      out += fmt_double(p.encoding_kbps, 1) + "," + fmt_double(p.ratio, 3) + "\n";
-    return out;
-  }
-  if (figure == "fig14") {
-    std::string out = "player,tier,encoding_kbps,fps\n";
-    for (const auto& p : figures::framerate_vs_encoding(study))
-      out += player_tag(p.player) + "," + to_string(p.tier) + "," +
-             fmt_double(p.x, 1) + "," + fmt_double(p.fps, 2) + "\n";
-    return out;
-  }
-  return {};
+  std::ostringstream out;
+  figure_csv(study, figure, out);
+  return out.str();
 }
 
 int export_study(const StudyResults& study, const std::string& directory) {
   std::filesystem::create_directories(directory);
   int written = 0;
-  const auto write = [&](const std::string& name, const std::string& content) {
-    if (content.empty()) return;
+  const auto write = [&](const std::string& name, auto&& emit) {
     std::ofstream out(directory + "/" + name);
-    if (out << content) ++written;
+    emit(out);
+    // An unknown figure emits nothing: drop the empty file rather than
+    // leave a zero-byte artifact behind.
+    if (out.tellp() == std::ofstream::pos_type(0)) {
+      out.close();
+      std::filesystem::remove(directory + "/" + name);
+      return;
+    }
+    if (out) ++written;
   };
-  write("study_results.csv", study_results_csv(study));
+  write("study_results.csv", [&](std::ostream& o) { study_results_csv(study, o); });
   for (const char* fig : {"fig01", "fig02", "fig03", "fig05", "fig07", "fig09",
                           "fig11", "fig14"})
-    write(std::string(fig) + ".csv", figure_csv(study, fig));
+    write(std::string(fig) + ".csv",
+          [&](std::ostream& o) { figure_csv(study, fig, o); });
   return written;
 }
 
 namespace {
 
-void append_recovery_row(std::string& out, const std::string& scenario,
+void append_recovery_row(std::ostream& out, const std::string& scenario,
                          const SessionRecoveryMetrics& m) {
-  out += scenario + "," + m.clip.id() + "," + player_tag(m.clip.player) + "," +
-         std::to_string(m.established ? 1 : 0) + "," + std::to_string(m.play_attempts) +
-         "," + std::to_string(m.abandoned ? 1 : 0) + "," +
-         std::to_string(m.stream_dead ? 1 : 0) + "," +
-         std::to_string(m.completed ? 1 : 0) + "," +
-         (m.time_to_recover ? fmt_double(m.time_to_recover->to_seconds(), 3) : "") + "," +
-         std::to_string(m.rebuffer_events) + "," +
-         fmt_double(m.stall_time.to_seconds(), 3) + "," +
-         std::to_string(m.frames_rendered) + "," + std::to_string(m.frames_dropped) +
-         "," + std::to_string(m.frames_dropped_during_episodes) + "," +
-         std::to_string(m.frames_dropped_after_episodes) + "," +
-         std::to_string(m.packets_received) + "," + std::to_string(m.packets_lost) +
-         "," + std::to_string(m.duplicate_packets) + "\n";
+  out << scenario << "," << m.clip.id() << "," << player_tag(m.clip.player) << ","
+      << (m.established ? 1 : 0) << "," << m.play_attempts << ","
+      << (m.abandoned ? 1 : 0) << "," << (m.stream_dead ? 1 : 0) << ","
+      << (m.completed ? 1 : 0) << ","
+      << (m.time_to_recover ? fmt_double(m.time_to_recover->to_seconds(), 3)
+                            : std::string())
+      << "," << m.rebuffer_events << "," << fmt_double(m.stall_time.to_seconds(), 3)
+      << "," << m.frames_rendered << "," << m.frames_dropped << ","
+      << m.frames_dropped_during_episodes << "," << m.frames_dropped_after_episodes
+      << "," << m.packets_received << "," << m.packets_lost << ","
+      << m.duplicate_packets << "\n";
 }
 
 }  // namespace
 
-std::string turbulence_csv(
-    const std::vector<std::pair<std::string, TurbulenceRunResult>>& runs) {
-  std::string out =
-      "scenario,clip_id,player,established,play_attempts,abandoned,stream_dead,"
-      "completed,time_to_recover_s,rebuffer_events,stall_s,frames_rendered,"
-      "frames_dropped,dropped_during,dropped_after,packets,lost,duplicates\n";
+void turbulence_csv(const std::vector<std::pair<std::string, TurbulenceRunResult>>& runs,
+                    std::ostream& out) {
+  out << "scenario,clip_id,player,established,play_attempts,abandoned,stream_dead,"
+         "completed,time_to_recover_s,rebuffer_events,stall_s,frames_rendered,"
+         "frames_dropped,dropped_during,dropped_after,packets,lost,duplicates\n";
   for (const auto& [scenario, run] : runs) {
     if (run.real) append_recovery_row(out, scenario, *run.real);
     if (run.media) append_recovery_row(out, scenario, *run.media);
   }
-  return out;
+}
+
+std::string turbulence_csv(
+    const std::vector<std::pair<std::string, TurbulenceRunResult>>& runs) {
+  std::ostringstream out;
+  turbulence_csv(runs, out);
+  return out.str();
+}
+
+void turbulence_episodes_csv(
+    const std::vector<std::pair<std::string, TurbulenceRunResult>>& runs,
+    std::ostream& out) {
+  out << "scenario,kind,label,start_s,duration_s,applied,cleared,packets_dropped\n";
+  for (const auto& [scenario, run] : runs) {
+    for (const auto& rec : run.episodes) {
+      out << scenario << "," << to_string(rec.episode.kind) << "," << rec.episode.label
+          << "," << fmt_double(rec.episode.start.to_seconds(), 3) << ","
+          << fmt_double(rec.episode.duration.to_seconds(), 3) << ","
+          << (rec.applied ? 1 : 0) << "," << (rec.cleared ? 1 : 0) << ","
+          << rec.packets_dropped << "\n";
+    }
+  }
 }
 
 std::string turbulence_episodes_csv(
     const std::vector<std::pair<std::string, TurbulenceRunResult>>& runs) {
-  std::string out = "scenario,kind,label,start_s,duration_s,applied,cleared,packets_dropped\n";
-  for (const auto& [scenario, run] : runs) {
-    for (const auto& rec : run.episodes) {
-      out += scenario + "," + to_string(rec.episode.kind) + "," + rec.episode.label +
-             "," + fmt_double(rec.episode.start.to_seconds(), 3) + "," +
-             fmt_double(rec.episode.duration.to_seconds(), 3) + "," +
-             std::to_string(rec.applied ? 1 : 0) + "," +
-             std::to_string(rec.cleared ? 1 : 0) + "," +
-             std::to_string(rec.packets_dropped) + "\n";
-    }
-  }
-  return out;
+  std::ostringstream out;
+  turbulence_episodes_csv(runs, out);
+  return out.str();
 }
 
 int export_turbulence(const std::vector<std::pair<std::string, TurbulenceRunResult>>& runs,
                       const std::string& directory) {
   std::filesystem::create_directories(directory);
   int written = 0;
-  const auto write = [&](const std::string& name, const std::string& content) {
+  const auto write = [&](const std::string& name, auto&& emit) {
     std::ofstream out(directory + "/" + name);
-    if (out << content) ++written;
+    emit(out);
+    if (out) ++written;
   };
-  write("turbulence.csv", turbulence_csv(runs));
-  write("turbulence_episodes.csv", turbulence_episodes_csv(runs));
+  write("turbulence.csv", [&](std::ostream& o) { turbulence_csv(runs, o); });
+  write("turbulence_episodes.csv",
+        [&](std::ostream& o) { turbulence_episodes_csv(runs, o); });
   return written;
 }
 

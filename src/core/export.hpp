@@ -1,8 +1,14 @@
 // CSV export of study results — the hand-off format for external plotting
 // tools (the paper's figures were drawn in a spreadsheet; these files
 // reproduce the series each figure plots, one file per figure).
+//
+// Each exporter comes in two forms: a streaming overload writing rows to a
+// std::ostream (the primary implementation — export_* functions stream
+// straight into their output files without building the table in memory)
+// and a std::string convenience wrapper over it.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -14,13 +20,15 @@ namespace streamlab {
 /// One row per clip: the master results table.
 /// Columns: clip_id,player,tier,encoding_kbps,playback_kbps,frame_rate_fps,
 /// fragment_pct,buffering_ratio,streaming_s,packets,lost,quality_pct
+void study_results_csv(const StudyResults& study, std::ostream& out);
 std::string study_results_csv(const StudyResults& study);
 
 /// Figure series as CSV. `figure` selects which series:
 ///   "fig01" RTT samples; "fig02" hop counts; "fig03" playback-vs-encoding;
 ///   "fig05" fragmentation; "fig07" normalised sizes; "fig09" normalised
 ///   interarrivals; "fig11" buffering ratios; "fig14" frame rate vs encoding.
-/// Unknown names return an empty string.
+/// Unknown names write nothing / return an empty string.
+void figure_csv(const StudyResults& study, const std::string& figure, std::ostream& out);
 std::string figure_csv(const StudyResults& study, const std::string& figure);
 
 /// Writes every known export into `directory` (created files:
@@ -32,11 +40,16 @@ int export_study(const StudyResults& study, const std::string& directory);
 /// stream_dead,completed,time_to_recover_s,rebuffer_events,stall_s,
 /// frames_rendered,frames_dropped,dropped_during,dropped_after,packets,
 /// lost,duplicates
+void turbulence_csv(const std::vector<std::pair<std::string, TurbulenceRunResult>>& runs,
+                    std::ostream& out);
 std::string turbulence_csv(const std::vector<std::pair<std::string, TurbulenceRunResult>>&
                                runs);
 
 /// Episode ledger across runs. Columns: scenario,kind,label,start_s,
 /// duration_s,applied,cleared,packets_dropped
+void turbulence_episodes_csv(
+    const std::vector<std::pair<std::string, TurbulenceRunResult>>& runs,
+    std::ostream& out);
 std::string turbulence_episodes_csv(
     const std::vector<std::pair<std::string, TurbulenceRunResult>>& runs);
 

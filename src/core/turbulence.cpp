@@ -106,6 +106,7 @@ TurbulenceRunResult run_turbulence_clip(const ClipInfo& clip,
   PathConfig path = config.path;
   path.seed = config.seed;
   Network net(path);
+  if (config.obs != nullptr) net.attach_observer(*config.obs);
   Host& server_host = net.add_server("server");
 
   auto session = make_session(net, server_host, clip, config);
@@ -139,6 +140,7 @@ TurbulenceRunResult run_turbulence_pair(const ClipSet& set, RateTier tier,
   PathConfig path = config.path;
   path.seed = config.seed;
   Network net(path);
+  if (config.obs != nullptr) net.attach_observer(*config.obs);
   Host& real_host = net.add_server("real-server");
   Host& media_host = net.add_server("media-server");
 

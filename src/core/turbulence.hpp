@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "obs/obs.hpp"
 #include "sim/faults.hpp"
 
 namespace streamlab {
@@ -19,6 +20,11 @@ namespace streamlab {
 struct TurbulenceScenarioConfig {
   PathConfig path;
   std::uint64_t seed = 1;
+  /// Optional observability context; when set it is attached to the run's
+  /// network before any session is constructed, so metric handles and trace
+  /// tracks cover the whole timeline. One Obs per run — SimTime restarts at
+  /// zero for every scenario.
+  obs::Obs* obs = nullptr;
   WmBehavior wm;
   RmBehavior rm;
   /// Client-side session recovery knobs. The scenario default (unlike the

@@ -1,0 +1,31 @@
+#include "obs/obs.hpp"
+
+#include <string>
+
+namespace streamlab::obs {
+
+const char* to_string(EventCategory category) {
+  switch (category) {
+    case EventCategory::kGeneric: return "generic";
+    case EventCategory::kLink: return "link";
+    case EventCategory::kPlayout: return "playout";
+    case EventCategory::kControl: return "control";
+    case EventCategory::kFault: return "fault";
+    case EventCategory::kTimer: return "timer";
+    case EventCategory::kCount: break;
+  }
+  return "unknown";
+}
+
+Obs::Obs(Config config)
+    : registry_(config.metrics),
+      tracer_(Tracer::Config{config.tracing, config.trace_capacity,
+                             config.sample_interval}) {
+  events_fired_ = registry_.counter("loop.events_fired");
+  for (std::size_t i = 0; i < static_cast<std::size_t>(EventCategory::kCount); ++i)
+    fired_by_category_[i] = registry_.counter(
+        std::string("loop.fired.") + to_string(static_cast<EventCategory>(i)));
+  queue_depth_name_ = tracer_.intern("loop.queue_depth");
+}
+
+}  // namespace streamlab::obs

@@ -1,0 +1,110 @@
+// Sim-time tracer: a bounded ring buffer of structured timeline records.
+//
+// Three record shapes cover the timelines the turbulence experiments need:
+// instant events (a PLAY retry, a watchdog firing), duration spans (a fault
+// episode, a rebuffer stall) and counter samples (queue occupancy, goodput).
+// Records are 32 bytes — names and tracks are interned to 16-bit ids — and
+// recording is an array write, so full tracing stays cheap enough to leave
+// on for whole scenario runs. When the buffer fills, the oldest records are
+// overwritten and counted in dropped(), keeping memory bounded on runs of
+// any length. Export formats live in obs/export.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/time.hpp"
+
+namespace streamlab::obs {
+
+enum class RecordKind : std::uint8_t {
+  kInstant,      ///< point event; `value` is a free argument
+  kSpanBegin,    ///< start of a duration span (`span_id` pairs it)
+  kSpanEnd,      ///< end of a duration span
+  kCounter,      ///< sampled counter value at `time`
+};
+
+const char* to_string(RecordKind kind);
+
+struct TraceRecord {
+  SimTime time;
+  RecordKind kind = RecordKind::kInstant;
+  std::uint16_t name = 0;   ///< interned string id
+  std::uint16_t track = 0;  ///< interned lane id (a "thread" in trace viewers)
+  std::uint64_t span_id = 0;
+  double value = 0.0;
+};
+
+class Tracer {
+ public:
+  struct Config {
+    bool enabled = true;
+    /// Ring capacity in records (32 B each). 1<<18 = 8 MiB.
+    std::size_t capacity = std::size_t{1} << 18;
+    /// Rate limit for sample(): at most one record per metric name per this
+    /// much sim time. zero() records every sample.
+    Duration sample_interval = Duration::millis(100);
+  };
+
+  Tracer() : Tracer(Config{}) {}
+  explicit Tracer(Config config);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Interns a string, returning a stable id. Id 0 is the empty string.
+  /// The table caps at 65535 entries; overflow falls back to id 0.
+  std::uint16_t intern(std::string_view s);
+  const std::string& string(std::uint16_t id) const { return strings_[id]; }
+
+  void instant(std::uint16_t name, std::uint16_t track, SimTime now,
+               double value = 0.0);
+  /// Opens a span; returns its id (0 when tracing is off). Spans on one
+  /// track must close in LIFO order for trace viewers to nest them.
+  std::uint64_t begin_span(std::uint16_t name, std::uint16_t track, SimTime now);
+  /// Closes the span. Unknown / already-closed ids are ignored.
+  void end_span(std::uint64_t span_id, SimTime now);
+
+  /// Rate-limited counter sample (per `Config::sample_interval`, keyed by
+  /// name). Returns whether a record was written.
+  bool sample(std::uint16_t name, SimTime now, double value);
+  /// Unconditional counter sample.
+  void sample_always(std::uint16_t name, SimTime now, double value);
+
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Records overwritten because the ring was full.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Visits retained records oldest-first.
+  void for_each(const std::function<void(const TraceRecord&)>& fn) const;
+  std::size_t string_count() const { return strings_.size(); }
+
+ private:
+  struct OpenSpan {
+    std::uint16_t name;
+    std::uint16_t track;
+  };
+
+  void push(const TraceRecord& rec);
+
+  bool enabled_;
+  std::size_t capacity_;
+  Duration sample_interval_;
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;  ///< next overwrite position once full
+  std::uint64_t dropped_ = 0;
+  std::uint64_t next_span_id_ = 1;
+  std::map<std::uint64_t, OpenSpan> open_spans_;
+  std::vector<std::string> strings_;
+  std::map<std::string, std::uint16_t, std::less<>> intern_;
+  std::vector<SimTime> last_sample_;  ///< per name id, for rate limiting
+};
+
+}  // namespace streamlab::obs

@@ -12,6 +12,28 @@ StreamClient::StreamClient(Host& host, const EncodedClip& clip, Endpoint server,
                                                     : kMediaClientPort;
   host_.udp_bind(port_, [this](std::span<const std::uint8_t> payload, Endpoint from,
                                SimTime now) { handle_datagram(payload, from, now); });
+
+  if constexpr (obs::kObsCompiledIn) {
+    if (obs::Obs* obs = host_.loop().observer(); obs != nullptr) {
+      obs_ = std::make_unique<ObsState>();
+      obs_->obs = obs;
+      const std::string tag =
+          config_.kind == PlayerKind::kRealPlayer ? "real" : "media";
+      const std::string prefix = "player." + tag + ".";
+      obs_->play_attempts = obs->registry().counter(prefix + "play_attempts");
+      obs_->play_retries = obs->registry().counter(prefix + "play_retries");
+      obs_->watchdog_fired = obs->registry().counter(prefix + "watchdog_fired");
+      obs_->rebuffers = obs->registry().counter(prefix + "rebuffer_events");
+      obs::Tracer& tracer = obs->tracer();
+      obs_->track = tracer.intern("player." + tag);
+      obs_->retry_name = tracer.intern("play-retry");
+      obs_->established_name = tracer.intern("session-established");
+      obs_->dead_name = tracer.intern("stream-dead");
+      obs_->abandoned_name = tracer.intern("session-abandoned");
+      obs_->rebuffer_name = tracer.intern("rebuffer");
+      obs_->goodput_name = tracer.intern(prefix + "goodput_kbps");
+    }
+  }
 }
 
 StreamClient::~StreamClient() {
@@ -25,14 +47,57 @@ void StreamClient::start() {
   send_play();
 }
 
+void StreamClient::obs_instant(std::uint16_t name, SimTime now, double value) {
+  if constexpr (obs::kObsCompiledIn) {
+    if (obs_ && obs_->obs->tracing())
+      obs_->obs->tracer().instant(name, obs_->track, now, value);
+  }
+}
+
+void StreamClient::obs_end_rebuffer(SimTime now) {
+  if constexpr (obs::kObsCompiledIn) {
+    if (obs_ && obs_->rebuffer_span != 0) {
+      obs_->obs->tracer().end_span(obs_->rebuffer_span, now);
+      obs_->rebuffer_span = 0;
+    }
+  }
+}
+
+void StreamClient::obs_goodput(std::size_t bytes, SimTime now) {
+  // Per-second goodput series: close the window once >= 1 s of sim time has
+  // elapsed, then start the next one with the packet that closed it.
+  if (obs_->goodput_window_bytes == 0 && obs_->goodput_window_start == SimTime()) {
+    obs_->goodput_window_start = now;
+  }
+  const Duration elapsed = now - obs_->goodput_window_start;
+  if (elapsed >= Duration::seconds(1)) {
+    const double kbps = static_cast<double>(obs_->goodput_window_bytes) * 8.0 /
+                        elapsed.to_seconds() / 1000.0;
+    if (obs_->obs->tracing())
+      obs_->obs->tracer().sample_always(obs_->goodput_name, now, kbps);
+    obs_->goodput_window_start = now;
+    obs_->goodput_window_bytes = 0;
+  }
+  obs_->goodput_window_bytes += bytes;
+}
+
 void StreamClient::send_play() {
   ++play_attempts_;
+  if (obs_) {
+    obs_->play_attempts.add();
+    if (play_attempts_ > 1) {
+      obs_->play_retries.add();
+      obs_instant(obs_->retry_name, host_.loop().now(),
+                  static_cast<double>(play_attempts_));
+    }
+  }
   ControlMessage play{ControlType::kPlayRequest, clip_.info().id()};
   const auto bytes = play.encode();
   host_.udp_send(port_, server_, bytes);
   if (config_.recovery.play_retry) {
     play_timer_ = host_.loop().schedule_in(next_play_timeout_,
-                                           [this] { on_play_timeout(); });
+                                           [this] { on_play_timeout(); },
+                                           obs::EventCategory::kControl);
     next_play_timeout_ = next_play_timeout_.scaled(config_.recovery.backoff);
   }
 }
@@ -43,6 +108,7 @@ void StreamClient::on_play_timeout() {
                             std::max(1, config_.recovery.max_play_attempts))) {
     session_abandoned_ = true;
     failure_time_ = host_.loop().now();
+    if (obs_) obs_instant(obs_->abandoned_name, host_.loop().now());
     return;
   }
   send_play();
@@ -52,6 +118,7 @@ void StreamClient::on_session_established(SimTime now) {
   play_timer_.cancel();
   if (established_time_) return;
   established_time_ = now;
+  if (obs_) obs_instant(obs_->established_name, now);
   // Arm the inactivity watchdog at establishment, not at first data: a
   // PLAY-OK followed by a permanent outage must still be detected as a
   // dead session rather than waiting forever for data that never comes.
@@ -61,7 +128,8 @@ void StreamClient::on_session_established(SimTime now) {
 }
 
 void StreamClient::arm_watchdog(Duration delay) {
-  watchdog_timer_ = host_.loop().schedule_in(delay, [this] { on_watchdog(); });
+  watchdog_timer_ = host_.loop().schedule_in(delay, [this] { on_watchdog(); },
+                                             obs::EventCategory::kControl);
 }
 
 void StreamClient::on_watchdog() {
@@ -77,13 +145,18 @@ void StreamClient::on_watchdog() {
   if (now < deadline) {
     // Data arrived since the timer was armed; sleep until the silence
     // window measured from the latest packet would elapse.
-    watchdog_timer_ = host_.loop().schedule_at(deadline, [this] { on_watchdog(); });
+    watchdog_timer_ = host_.loop().schedule_at(deadline, [this] { on_watchdog(); },
+                                               obs::EventCategory::kControl);
     return;
   }
   // Silence exceeded the window with no end-of-stream: the session is dead.
   stream_dead_ = true;
   failure_time_ = now;
   play_timer_.cancel();
+  if (obs_) {
+    obs_->watchdog_fired.add();
+    obs_instant(obs_->dead_name, now);
+  }
 }
 
 void StreamClient::handle_datagram(std::span<const std::uint8_t> payload, Endpoint from,
@@ -111,11 +184,13 @@ void StreamClient::on_data(const DataHeader& header, std::size_t media_len, SimT
       report_timer_armed_ = true;
       report_window_max_seq_ = header.seq;
       host_.loop().schedule_in(config_.scaling.report_interval,
-                               [this] { send_receiver_report(); });
+                               [this] { send_receiver_report(); },
+                               obs::EventCategory::kControl);
     }
   }
   last_data_ = now;
   wire_media_bytes_ += kDataHeaderSize + media_len;
+  if (obs_) obs_goodput(kDataHeaderSize + media_len, now);
 
   if (seq_seen_.covers(header.seq, std::uint64_t{header.seq} + 1)) {
     ++duplicate_packets_;
@@ -144,7 +219,8 @@ void StreamClient::on_data(const DataHeader& header, std::size_t media_len, SimT
     if (!batch_timer_armed_) {
       batch_timer_armed_ = true;
       host_.loop().schedule_in(config_.wm.app_batch_interval,
-                               [this] { release_app_batch(); });
+                               [this] { release_app_batch(); },
+                               obs::EventCategory::kTimer);
     }
   } else {
     ev.app_time = now;
@@ -183,7 +259,8 @@ void StreamClient::send_receiver_report() {
 
   if (!eos_received_ && !stream_dead_) {
     host_.loop().schedule_in(config_.scaling.report_interval,
-                             [this] { send_receiver_report(); });
+                             [this] { send_receiver_report(); },
+                             obs::EventCategory::kControl);
   }
 }
 
@@ -200,7 +277,8 @@ void StreamClient::release_app_batch() {
     batch_timer_armed_ = false;
     return;
   }
-  host_.loop().schedule_in(config_.wm.app_batch_interval, [this] { release_app_batch(); });
+  host_.loop().schedule_in(config_.wm.app_batch_interval, [this] { release_app_batch(); },
+                           obs::EventCategory::kTimer);
 }
 
 void StreamClient::begin_playout(SimTime when) {
@@ -216,7 +294,8 @@ void StreamClient::begin_playout(SimTime when) {
   // availability.
   for (std::size_t i = 0; i < clip_.frames().size(); ++i) {
     const SimTime deadline = when + clip_.frames()[i].pts;
-    host_.loop().schedule_at(deadline, [this, i] { decode_frame(i); });
+    host_.loop().schedule_at(deadline, [this, i] { decode_frame(i); },
+                             obs::EventCategory::kPlayout);
   }
 }
 
@@ -228,7 +307,8 @@ void StreamClient::schedule_frame(std::size_t index) {
   }
   const SimTime deadline = *playout_start_ + playout_shift_ + clip_.frames()[index].pts;
   current_stall_ = Duration::zero();
-  host_.loop().schedule_at(deadline, [this, index] { decode_frame_rebuffering(index); });
+  host_.loop().schedule_at(deadline, [this, index] { decode_frame_rebuffering(index); },
+                           obs::EventCategory::kPlayout);
 }
 
 void StreamClient::abandon_remaining_frames(std::size_t from_index) {
@@ -243,6 +323,7 @@ void StreamClient::abandon_remaining_frames(std::size_t from_index) {
 
 void StreamClient::decode_frame_rebuffering(std::size_t index) {
   if (stream_dead_) {
+    obs_end_rebuffer(host_.loop().now());
     abandon_remaining_frames(index);
     return;
   }
@@ -252,14 +333,26 @@ void StreamClient::decode_frame_rebuffering(std::size_t index) {
 
   if (!ready && current_stall_ < config_.max_stall) {
     // Stall: the picture freezes while the buffer refills.
-    if (current_stall_ == Duration::zero()) ++rebuffer_events_;
+    if (current_stall_ == Duration::zero()) {
+      ++rebuffer_events_;
+      if (obs_) {
+        obs_->rebuffers.add();
+        if constexpr (obs::kObsCompiledIn) {
+          if (obs_->obs->tracing())
+            obs_->rebuffer_span = obs_->obs->tracer().begin_span(
+                obs_->rebuffer_name, obs_->track, host_.loop().now());
+        }
+      }
+    }
     const Duration poll = Duration::millis(100);
     current_stall_ += poll;
     playout_shift_ += poll;
     total_stall_time_ += poll;
-    host_.loop().schedule_in(poll, [this, index] { decode_frame_rebuffering(index); });
+    host_.loop().schedule_in(poll, [this, index] { decode_frame_rebuffering(index); },
+                             obs::EventCategory::kPlayout);
     return;
   }
+  obs_end_rebuffer(host_.loop().now());
 
   FrameEvent ev;
   ev.time = host_.loop().now();

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -140,8 +141,31 @@ class StreamClient {
   BitRate average_playback_rate() const;
 
  private:
+  /// Session-timeline instrumentation, allocated only when the run has an
+  /// observability context attached (see obs/obs.hpp).
+  struct ObsState {
+    obs::Obs* obs = nullptr;
+    obs::Counter play_attempts;
+    obs::Counter play_retries;
+    obs::Counter watchdog_fired;
+    obs::Counter rebuffers;
+    std::uint16_t track = 0;  ///< "player.<real|media>" trace lane
+    std::uint16_t retry_name = 0;
+    std::uint16_t established_name = 0;
+    std::uint16_t dead_name = 0;
+    std::uint16_t abandoned_name = 0;
+    std::uint16_t rebuffer_name = 0;
+    std::uint16_t goodput_name = 0;
+    std::uint64_t rebuffer_span = 0;  ///< open stall span, 0 when none
+    SimTime goodput_window_start;
+    std::uint64_t goodput_window_bytes = 0;
+  };
+
   void handle_datagram(std::span<const std::uint8_t> payload, Endpoint from, SimTime now);
   void on_data(const DataHeader& header, std::size_t media_len, SimTime now);
+  void obs_instant(std::uint16_t name, SimTime now, double value = 0.0);
+  void obs_end_rebuffer(SimTime now);
+  void obs_goodput(std::size_t bytes, SimTime now);
   void send_play();
   void on_play_timeout();
   void on_session_established(SimTime now);
@@ -199,6 +223,8 @@ class StreamClient {
   bool stream_dead_ = false;
   std::optional<SimTime> failure_time_;
   std::optional<SimTime> established_time_;
+
+  std::unique_ptr<ObsState> obs_;
 
   // Receiver-report window state (media scaling feedback).
   bool report_timer_armed_ = false;

@@ -1,6 +1,7 @@
 #include "players/server.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace streamlab {
 
@@ -8,6 +9,20 @@ StreamServer::StreamServer(Host& host, EncodedClip clip, std::uint16_t port)
     : host_(host), clip_(std::move(clip)), port_(port) {
   host_.udp_bind(port_, [this](std::span<const std::uint8_t> payload, Endpoint from,
                                SimTime) { handle_control(payload, from); });
+  if constexpr (obs::kObsCompiledIn) {
+    if (obs::Obs* obs = host_.loop().observer(); obs != nullptr) {
+      obs_ = std::make_unique<ObsState>();
+      obs_->obs = obs;
+      const std::string tag = port_ == kRealServerPort  ? "rm"
+                              : port_ == kMediaServerPort ? "wm"
+                                                          : std::to_string(port_);
+      obs_->switches = obs->registry().counter("server." + tag + ".scaling_switches");
+      obs::Tracer& tracer = obs->tracer();
+      obs_->track = tracer.intern("server." + tag);
+      obs_->switch_name = tracer.intern("scaling-switch");
+      obs_->keep_name = tracer.intern("server." + tag + ".keep_fraction");
+    }
+  }
 }
 
 StreamServer::~StreamServer() { host_.udp_unbind(port_); }
@@ -58,8 +73,11 @@ void StreamServer::handle_control(std::span<const std::uint8_t> payload, Endpoin
     }
     case ControlType::kReceiverReport:
       if (scaling_ && started_ && from == client_) {
+        const std::size_t changes_before = scaling_->controller.level_changes();
         scaling_->controller.on_report(static_cast<double>(msg->value) / 1000.0,
                                        host_.loop().now());
+        if (obs_ && scaling_->controller.level_changes() != changes_before)
+          on_scaling_switch();
       }
       break;
     case ControlType::kTeardown:
@@ -127,6 +145,18 @@ std::size_t StreamServer::send_media(std::size_t media_len, bool buffering_phase
                   : send_plain(media_len, buffering_phase);
 }
 
+void StreamServer::on_scaling_switch() {
+  if constexpr (obs::kObsCompiledIn) {
+    const SimTime now = host_.loop().now();
+    const double keep = scaling_->controller.keep_fraction();
+    obs_->switches.add();
+    if (obs_->obs->tracing()) {
+      obs_->obs->tracer().instant(obs_->switch_name, obs_->track, now, keep);
+      obs_->obs->tracer().sample_always(obs_->keep_name, now, keep);
+    }
+  }
+}
+
 Duration StreamServer::streaming_duration() const {
   if (send_log_.size() < 2) return Duration::zero();
   return send_log_.back().time - send_log_.front().time;
@@ -153,7 +183,7 @@ void WmServer::send_next() {
         clip_.info().encoded_rate.scaled(scaling_keep_fraction());
     next = behavior_.send_interval(scaled_rate, sent);
   }
-  host_.loop().schedule_in(next, [this] { send_next(); });
+  host_.loop().schedule_in(next, [this] { send_next(); }, obs::EventCategory::kTimer);
 }
 
 RmServer::RmServer(Host& host, EncodedClip clip, RmBehavior behavior, std::uint16_t port,
@@ -191,7 +221,8 @@ void RmServer::send_next() {
   // multiplier (mean 1) produces the wide interarrival spread of Figure 8.
   const Duration base = send_rate.transmission_time(sent);
   const double jitter = rng_.lognormal_mean_cv(1.0, behavior_.interarrival_cv);
-  host_.loop().schedule_in(base.scaled(jitter), [this] { send_next(); });
+  host_.loop().schedule_in(base.scaled(jitter), [this] { send_next(); },
+                           obs::EventCategory::kTimer);
 }
 
 }  // namespace streamlab

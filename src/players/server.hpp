@@ -91,6 +91,8 @@ class StreamServer {
   void emit(std::uint64_t offset, std::size_t media_len, std::uint8_t flags,
             bool buffering_phase);
 
+  void on_scaling_switch();
+
   std::uint32_t next_seq_ = 0;
   std::uint64_t next_offset_ = 0;
   std::uint64_t duplicate_play_requests_ = 0;
@@ -101,6 +103,17 @@ class StreamServer {
     ThinnedMediaCursor cursor;
   };
   std::unique_ptr<ScalingState> scaling_;
+
+  /// Scaling-switch instrumentation, allocated only when an observability
+  /// context is attached to the loop (see obs/obs.hpp).
+  struct ObsState {
+    obs::Obs* obs = nullptr;
+    obs::Counter switches;
+    std::uint16_t track = 0;
+    std::uint16_t switch_name = 0;
+    std::uint16_t keep_name = 0;
+  };
+  std::unique_ptr<ObsState> obs_;
 };
 
 /// MediaPlayer server model (CBR, large frames, fragmentation at high rates).

@@ -4,34 +4,61 @@
 
 namespace streamlab {
 
-EventHandle EventLoop::schedule_at(SimTime when, std::function<void()> fn) {
-  if (when < now_) when = now_;
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{when, next_seq_++, std::move(fn), alive});
-  return EventHandle(std::move(alive));
+EventLoop::~EventLoop() {
+  // Handles may outlive the loop: detach their count pointer so a late
+  // cancel() flips the flag without touching freed memory.
+  while (!queue_.empty()) {
+    if (EventCtl* ctl = queue_.top().ctl.get()) ctl->live = nullptr;
+    queue_.pop();
+  }
 }
 
-EventHandle EventLoop::schedule_in(Duration delay, std::function<void()> fn) {
-  return schedule_at(now_ + delay, std::move(fn));
+EventHandle EventLoop::schedule_at(SimTime when, std::function<void()> fn,
+                                   obs::EventCategory category) {
+  if (when < now_) when = now_;
+  auto* ctl = new EventCtl;
+  ctl->live = &live_count_;
+  EventCtlRef ref(ctl);
+  queue_.push(Event{when,
+                    (next_seq_++ << kCategoryBits) | static_cast<std::uint64_t>(category),
+                    std::move(fn), ref});
+  ++live_count_;
+  return EventHandle(std::move(ref));
+}
+
+EventHandle EventLoop::schedule_in(Duration delay, std::function<void()> fn,
+                                   obs::EventCategory category) {
+  return schedule_at(now_ + delay, std::move(fn), category);
 }
 
 bool EventLoop::fire_next(SimTime deadline) {
   while (!queue_.empty()) {
     const Event& top = queue_.top();
     if (top.when > deadline) return false;
-    if (!*top.alive) {
+    if (!top.ctl.get()->alive) {
+      // Cancelled: the live count was settled at cancel() time.
       queue_.pop();
       continue;
     }
-    // Copy out before popping: fn may schedule new events and reallocate.
-    Event ev{top.when, top.seq, std::move(const_cast<Event&>(top).fn), top.alive};
+    // Move out before popping: fn may schedule new events and reallocate.
+    Event ev{top.when, top.seq, std::move(const_cast<Event&>(top).fn),
+             std::move(const_cast<Event&>(top).ctl)};
     queue_.pop();
     now_ = ev.when;
     ev.fn();
     // Fired: flip the liveness flag so the handle reports not-pending and a
-    // late cancel() is a harmless no-op.
-    *ev.alive = false;
+    // late cancel() is a harmless no-op. The flag may already be false if fn
+    // cancelled its own handle — then cancel() settled the count already.
+    if (EventCtl* ctl = ev.ctl.get(); ctl->alive) {
+      ctl->alive = false;
+      --live_count_;
+    }
     ++executed_;
+    if constexpr (obs::kObsCompiledIn) {
+      if (obs_ != nullptr)
+        obs_->on_loop_event(static_cast<obs::EventCategory>(ev.seq & kCategoryMask),
+                            live_count_, now_);
+    }
     return true;
   }
   return false;

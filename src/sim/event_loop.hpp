@@ -9,43 +9,86 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/time.hpp"
 
 namespace streamlab {
 
+/// Per-event control block shared between the queued event and its handle.
+/// Refcounted without atomics — the loop (and everything scheduled on it) is
+/// single-threaded by design. `live` points at the loop's live-event count so
+/// cancel() can settle it in O(1); the loop's destructor nulls it out of any
+/// still-queued controls so a handle outliving the loop stays harmless.
+struct EventCtl {
+  std::uint32_t refs = 1;
+  bool alive = true;
+  std::size_t* live = nullptr;
+};
+
+class EventCtlRef {
+ public:
+  EventCtlRef() = default;
+  explicit EventCtlRef(EventCtl* adopted) : p_(adopted) {}
+  EventCtlRef(const EventCtlRef& other) : p_(other.p_) {
+    if (p_ != nullptr) ++p_->refs;
+  }
+  EventCtlRef(EventCtlRef&& other) noexcept : p_(other.p_) { other.p_ = nullptr; }
+  EventCtlRef& operator=(EventCtlRef other) noexcept {
+    std::swap(p_, other.p_);
+    return *this;
+  }
+  ~EventCtlRef() {
+    if (p_ != nullptr && --p_->refs == 0) delete p_;
+  }
+  EventCtl* get() const { return p_; }
+
+ private:
+  EventCtl* p_ = nullptr;
+};
+
 /// Handle for cancelling a scheduled event. Default-constructed handles are
-/// inert. Cancellation is O(1): the event stays queued but is skipped.
+/// inert. Cancellation is O(1): the event stays queued but is skipped, and
+/// the loop's live-event count is decremented immediately so empty() /
+/// pending_events() stay truthful.
 class EventHandle {
  public:
   EventHandle() = default;
 
   void cancel() {
-    if (alive_) *alive_ = false;
+    EventCtl* ctl = ctl_.get();
+    if (ctl != nullptr && ctl->alive) {
+      ctl->alive = false;
+      if (ctl->live != nullptr) --*ctl->live;
+    }
   }
-  bool pending() const { return alive_ && *alive_; }
+  bool pending() const { return ctl_.get() != nullptr && ctl_.get()->alive; }
 
  private:
   friend class EventLoop;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  explicit EventHandle(EventCtlRef ctl) : ctl_(std::move(ctl)) {}
+  EventCtlRef ctl_;
 };
 
 class EventLoop {
  public:
   EventLoop() = default;
+  ~EventLoop();
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
   SimTime now() const { return now_; }
 
   /// Schedules `fn` at absolute time `when` (clamped to now if in the past).
-  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+  /// `category` tags the event for the observer's per-category counts.
+  EventHandle schedule_at(SimTime when, std::function<void()> fn,
+                          obs::EventCategory category = obs::EventCategory::kGeneric);
   /// Schedules `fn` after a relative delay.
-  EventHandle schedule_in(Duration delay, std::function<void()> fn);
+  EventHandle schedule_in(Duration delay, std::function<void()> fn,
+                          obs::EventCategory category = obs::EventCategory::kGeneric);
 
   /// Runs until the queue is empty or `limit` events have fired.
   /// Returns the number of events executed.
@@ -54,18 +97,32 @@ class EventLoop {
   /// `deadline` even if the queue empties earlier.
   std::uint64_t run_until(SimTime deadline);
 
-  /// True when no events remain queued (cancelled events may still be
-  /// counted until the loop skips past them).
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending_events() const { return queue_.size(); }
+  /// True when no *live* events remain: cancelled-but-still-queued events
+  /// are excluded (they are purged lazily as the loop reaches them).
+  bool empty() const { return live_count_ == 0; }
+  /// Live (non-cancelled, not yet fired) events currently scheduled.
+  std::size_t pending_events() const { return live_count_; }
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Attaches (or detaches, with nullptr) the run's observability context.
+  /// Not owned; must outlive the loop or be detached first.
+  void set_observer(obs::Obs* obs) { obs_ = obs; }
+  obs::Obs* observer() const { return obs_; }
+
  private:
+  // The event's category rides in the low bits of `seq` so the queue entry
+  // stays one cache line wide; ordering is unaffected because the shifted
+  // insertion sequence is still strictly monotone.
+  static constexpr std::uint64_t kCategoryBits = 3;
+  static constexpr std::uint64_t kCategoryMask = (1u << kCategoryBits) - 1;
+  static_assert(static_cast<std::uint64_t>(obs::EventCategory::kCount) <=
+                (std::uint64_t{1} << kCategoryBits));
+
   struct Event {
     SimTime when;
     std::uint64_t seq;
     std::function<void()> fn;
-    std::shared_ptr<bool> alive;
+    EventCtlRef ctl;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -79,7 +136,9 @@ class EventLoop {
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t live_count_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  obs::Obs* obs_ = nullptr;
 };
 
 }  // namespace streamlab

@@ -98,8 +98,10 @@ void FaultScheduler::arm() {
                    });
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const FaultEpisode& e = records_[i].episode;
-    handles_.push_back(loop_.schedule_at(e.start, [this, i] { apply(i); }));
-    handles_.push_back(loop_.schedule_at(e.end(), [this, i] { clear(i); }));
+    handles_.push_back(
+        loop_.schedule_at(e.start, [this, i] { apply(i); }, obs::EventCategory::kFault));
+    handles_.push_back(
+        loop_.schedule_at(e.end(), [this, i] { clear(i); }, obs::EventCategory::kFault));
   }
 }
 
@@ -136,6 +138,18 @@ void FaultScheduler::apply(std::size_t index) {
   rec.applied = true;
   active_ = static_cast<int>(index);
   drops_at_apply_ = drops_for_kind(e.kind);
+
+  // Episode span on the shared "faults" track: begin here, end when the
+  // episode clears or a successor pre-empts it.
+  if constexpr (obs::kObsCompiledIn) {
+    if (obs::Obs* obs = loop_.observer(); obs != nullptr && obs->tracing()) {
+      obs::Tracer& tracer = obs->tracer();
+      const std::uint16_t name = tracer.intern(
+          std::string("fault:") + to_string(e.kind) +
+          (e.label.empty() ? std::string() : ":" + e.label));
+      active_span_ = tracer.begin_span(name, tracer.intern("faults"), loop_.now());
+    }
+  }
 }
 
 std::uint64_t FaultScheduler::drops_for_kind(FaultKind kind) const {
@@ -161,6 +175,13 @@ void FaultScheduler::close_accounting(std::size_t index) {
   EpisodeRecord& rec = records_[index];
   rec.packets_dropped += drops_for_kind(rec.episode.kind) - drops_at_apply_;
   rec.cleared = true;
+  if constexpr (obs::kObsCompiledIn) {
+    if (active_span_ != 0) {
+      if (obs::Obs* obs = loop_.observer(); obs != nullptr)
+        obs->tracer().end_span(active_span_, loop_.now());
+      active_span_ = 0;
+    }
+  }
 }
 
 void FaultScheduler::clear(std::size_t index) {

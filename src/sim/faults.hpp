@@ -147,6 +147,8 @@ class FaultScheduler {
   bool armed_ = false;
   int active_ = -1;
   std::uint64_t drops_at_apply_ = 0;
+  /// Trace span of the active episode (0 when none / tracing off).
+  std::uint64_t active_span_ = 0;
 };
 
 }  // namespace streamlab

@@ -13,16 +13,41 @@ Link::Link(EventLoop& loop, Rng rng, LinkConfig config, Node& a, int a_iface, No
   peer_iface_[1] = a_iface;
 }
 
+void Link::set_observer(obs::Obs& obs, const std::string& label) {
+  if constexpr (!obs::kObsCompiledIn) {
+    (void)obs;
+    (void)label;
+    return;
+  }
+  obs_ = std::make_unique<ObsState>();
+  obs_->obs = &obs;
+  const std::string prefix = "link." + label + ".";
+  obs_->delivered = obs.registry().counter(prefix + "delivered");
+  obs_->drops_queue = obs.registry().counter(prefix + "drops_queue");
+  obs_->drops_loss = obs.registry().counter(prefix + "drops_loss");
+  obs_->drops_outage = obs.registry().counter(prefix + "drops_outage");
+  obs_->drops_burst = obs.registry().counter(prefix + "drops_burst");
+  obs_->queue_bytes_name[0] = obs.tracer().intern(prefix + "queue_bytes.ab");
+  obs_->queue_bytes_name[1] = obs.tracer().intern(prefix + "queue_bytes.ba");
+}
+
+void Link::sample_queue(int dir) {
+  obs_->obs->tracer().sample(obs_->queue_bytes_name[dir], loop_.now(),
+                             static_cast<double>(dir_[dir].queued_bytes));
+}
+
 void Link::send(int dir, const Ipv4Packet& packet) {
   Direction& d = dir_[dir];
   ++d.stats.packets_sent;
   const std::size_t size = wire_size(packet);
   if (d.queued_bytes + size > config_.queue_limit_bytes) {
     ++d.stats.packets_dropped_queue;
+    if (obs_) obs_->drops_queue.add();
     return;
   }
   d.queue.push_back(packet);
   d.queued_bytes += size;
+  if (obs_) sample_queue(dir);
   if (!d.transmitting) start_transmission(dir);
 }
 
@@ -41,18 +66,21 @@ void Link::start_transmission(int dir) {
                                 ? *impairment_->bandwidth
                                 : config_.bandwidth;
   const Duration tx = bandwidth.transmission_time(wire_size(d.queue.front()));
-  loop_.schedule_in(tx, [this, dir] { finish_transmission(dir); });
+  loop_.schedule_in(tx, [this, dir] { finish_transmission(dir); },
+                    obs::EventCategory::kLink);
 }
 
 bool Link::drop_on_wire(DirectionStats& stats) {
   if (impairment_) {
     if (impairment_->outage) {
       ++stats.packets_dropped_outage;
+      if (obs_) obs_->drops_outage.add();
       return true;
     }
     if (impairment_->loss_model) {
       if (impairment_->loss_model(rng_)) {
         ++stats.packets_dropped_burst;
+        if (obs_) obs_->drops_burst.add();
         return true;
       }
       return false;
@@ -63,6 +91,7 @@ bool Link::drop_on_wire(DirectionStats& stats) {
                        : config_.loss_probability;
   if (p > 0.0 && rng_.chance(p)) {
     ++stats.packets_dropped_loss;
+    if (obs_) obs_->drops_loss.add();
     return true;
   }
   return false;
@@ -73,6 +102,7 @@ void Link::finish_transmission(int dir) {
   Ipv4Packet packet = std::move(d.queue.front());
   d.queue.pop_front();
   d.queued_bytes -= wire_size(packet);
+  if (obs_) sample_queue(dir);
 
   if (drop_on_wire(d.stats)) {
     // fall through to the next queued packet
@@ -88,7 +118,8 @@ void Link::finish_transmission(int dir) {
     SimTime deliver_at = loop_.now() + delay;
     if (deliver_at < d.last_delivery) deliver_at = d.last_delivery;
     d.last_delivery = deliver_at;
-    loop_.schedule_at(deliver_at, [this, dir, p = std::move(packet)] { deliver(dir, p); });
+    loop_.schedule_at(deliver_at, [this, dir, p = std::move(packet)] { deliver(dir, p); },
+                      obs::EventCategory::kLink);
   }
   start_transmission(dir);
 }
@@ -97,6 +128,7 @@ void Link::deliver(int dir, Ipv4Packet packet) {
   Direction& d = dir_[dir];
   ++d.stats.packets_delivered;
   d.stats.bytes_delivered += wire_size(packet);
+  if (obs_) obs_->delivered.add();
   peer_[dir]->handle_packet(packet, peer_iface_[dir]);
 }
 

@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <string>
 
 #include "net/packet.hpp"
 #include "sim/event_loop.hpp"
@@ -79,6 +81,11 @@ class Link {
   void clear_impairment() { impairment_.reset(); }
   bool impaired() const { return impairment_.has_value(); }
 
+  /// Registers this link's metrics and trace series on `obs` under
+  /// "link.<label>.*" and starts sampling queue occupancy. Typically called
+  /// for a whole topology at once by Network::attach_observer().
+  void set_observer(obs::Obs& obs, const std::string& label);
+
   /// Packets dropped on the wire (outage + burst + random loss, baseline
   /// loss included) summed over both directions. Diagnostic aggregate; the
   /// fault scheduler's per-episode accounting differences only the counter
@@ -104,11 +111,24 @@ class Link {
     return kEthernetHeaderSize + p.total_length();
   }
 
+  /// Registered handles, allocated only when an observer is attached; the
+  /// un-instrumented cost is one null check per site.
+  struct ObsState {
+    obs::Obs* obs = nullptr;
+    obs::Counter delivered;
+    obs::Counter drops_queue;
+    obs::Counter drops_loss;
+    obs::Counter drops_outage;
+    obs::Counter drops_burst;
+    std::uint16_t queue_bytes_name[2] = {0, 0};  ///< per-direction trace series
+  };
+
   void send(int dir, const Ipv4Packet& packet);
   bool drop_on_wire(DirectionStats& stats);
   void start_transmission(int dir);
   void finish_transmission(int dir);
   void deliver(int dir, Ipv4Packet packet);
+  void sample_queue(int dir);
 
   EventLoop& loop_;
   Rng rng_;
@@ -117,6 +137,7 @@ class Link {
   Node* peer_[2];      // peer_[0] = b (receiver for dir 0), peer_[1] = a
   int peer_iface_[2];
   Direction dir_[2];
+  std::unique_ptr<ObsState> obs_;
 };
 
 }  // namespace streamlab

@@ -83,6 +83,27 @@ Network::Network(const PathConfig& config) : config_(config), rng_(config.seed) 
   }
 }
 
+void Network::attach_observer(obs::Obs& obs) {
+  obs_ = &obs;
+  loop_.set_observer(&obs);
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    std::string label;
+    if (static_cast<int>(i) == bottleneck_index_) {
+      label = "bottleneck";
+    } else if (i == 0) {
+      label = "access";
+    } else if (i < static_cast<std::size_t>(config_.hop_count)) {
+      label = "hop" + std::to_string(i);
+    } else {
+      // Server links were appended after the path; label by position.
+      label = "server" + std::to_string(i - static_cast<std::size_t>(config_.hop_count));
+    }
+    links_[i]->set_observer(obs, label);
+  }
+  for (std::size_t i = 0; i < routers_.size(); ++i)
+    routers_[i]->set_observer(obs, "r" + std::to_string(i));
+}
+
 Ipv4Address Network::router_address(int i) const {
   return Ipv4Address(10, 1, static_cast<std::uint8_t>(i), 1);
 }
@@ -103,6 +124,7 @@ Host& Network::add_server(const std::string& name) {
   edge.attach_interface(iface, [l](const Ipv4Packet& p) { l->send_from_a(p); });
   server->attach_interface([l](const Ipv4Packet& p) { l->send_from_b(p); });
   edge.add_route(addr, 32, iface);
+  if (obs_ != nullptr) link->set_observer(*obs_, "server." + name);
   links_.push_back(std::move(link));
 
   servers_.push_back(std::move(server));

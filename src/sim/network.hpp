@@ -42,6 +42,13 @@ class Network {
   /// is the paper's "same subnet, same network path" clip-selection rule.
   Host& add_server(const std::string& name);
 
+  /// Wires one observability context through the whole topology: the event
+  /// loop's observer plus per-link ("access"/"bottleneck"/"hop<i>"/
+  /// "server.<name>") and per-router metric handles. Links of servers added
+  /// later are instrumented as they are created. Not owned; `obs` must
+  /// outlive the network.
+  void attach_observer(obs::Obs& obs);
+
   /// Address of router at position i (0 = nearest the client).
   Ipv4Address router_address(int i) const;
 
@@ -71,6 +78,7 @@ class Network {
   int next_server_iface_ = 1;  // iface 0 of the last router faces the client
   std::uint8_t next_server_host_octet_ = 10;
   int bottleneck_index_ = 0;
+  obs::Obs* obs_ = nullptr;
 };
 
 }  // namespace streamlab

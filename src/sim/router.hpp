@@ -5,9 +5,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "net/packet.hpp"
+#include "obs/obs.hpp"
 #include "sim/node.hpp"
 
 namespace streamlab {
@@ -43,6 +46,9 @@ class Router : public Node {
 
   const Stats& stats() const { return stats_; }
 
+  /// Registers forwarding and drop counters ("router.<label>.*") on `obs`.
+  void set_observer(obs::Obs& obs, const std::string& label);
+
  private:
   struct Route {
     std::uint32_t prefix;
@@ -54,11 +60,18 @@ class Router : public Node {
   int lookup(Ipv4Address dst) const;
   void send_icmp_error(const Ipv4Packet& offending, IcmpType type, std::uint8_t code);
 
+  struct ObsState {
+    obs::Counter forwarded;
+    obs::Counter ttl_expired;
+    obs::Counter no_route;
+  };
+
   Ipv4Address address_;
   std::vector<SendFn> interfaces_;
   std::vector<Route> routes_;
   Stats stats_;
   std::uint16_t next_ip_id_ = 1;
+  std::unique_ptr<ObsState> obs_;
 };
 
 }  // namespace streamlab

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "util/strings.hpp"
 
@@ -56,6 +57,40 @@ TEST(Export, Fig05CsvCoversEveryClip) {
 TEST(Export, UnknownFigureEmpty) {
   EXPECT_TRUE(figure_csv(small_study(), "fig99").empty());
   EXPECT_TRUE(figure_csv(small_study(), "").empty());
+  // Stream form writes nothing either.
+  std::ostringstream out;
+  figure_csv(small_study(), "fig99", out);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(Export, EmptyStudyYieldsHeadersOnly) {
+  const StudyResults empty;
+  EXPECT_EQ(study_results_csv(empty),
+            "clip_id,player,tier,encoding_kbps,playback_kbps,frame_rate_fps,"
+            "fragment_pct,buffering_ratio,streaming_s,packets,lost,quality_pct\n");
+  EXPECT_EQ(figure_csv(empty, "fig03"), "player,encoding_kbps,playback_kbps\n");
+  EXPECT_EQ(figure_csv(empty, "fig01"), "rtt_ms\n");
+}
+
+TEST(Export, StreamAndStringFormsMatch) {
+  std::ostringstream study_out;
+  study_results_csv(small_study(), study_out);
+  EXPECT_EQ(study_out.str(), study_results_csv(small_study()));
+
+  for (const char* fig : {"fig01", "fig03", "fig11"}) {
+    std::ostringstream fig_out;
+    figure_csv(small_study(), fig, fig_out);
+    EXPECT_EQ(fig_out.str(), figure_csv(small_study(), fig)) << fig;
+  }
+
+  const std::vector<std::pair<std::string, TurbulenceRunResult>> no_runs;
+  std::ostringstream turb_out;
+  turbulence_csv(no_runs, turb_out);
+  EXPECT_EQ(turb_out.str(), turbulence_csv(no_runs));
+  EXPECT_EQ(turb_out.str().find("scenario,clip_id,player"), 0u);
+  std::ostringstream eps_out;
+  turbulence_episodes_csv(no_runs, eps_out);
+  EXPECT_EQ(eps_out.str(), turbulence_episodes_csv(no_runs));
 }
 
 TEST(Export, WritesAllFilesToDirectory) {

@@ -1,0 +1,152 @@
+// Minimal JSON syntax validator for the trace-export tests: enough of
+// RFC 8259 to reject malformed output (unbalanced brackets, bad escapes,
+// trailing commas, bare values) without pulling in a JSON library.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace streamlab::testjson {
+
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  /// Empty string on success, a position-stamped description on failure.
+  std::string validate() {
+    skip_ws();
+    if (!value()) return error_;
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing data");
+    return error_;
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return !fail("unexpected end");
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') return !fail("object key must be a string");
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return !fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return !fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return !fail("expected ',' or ']'");
+    }
+  }
+
+  bool string() {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return !fail("raw control char in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return !fail("truncated escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_])))
+              return !fail("bad \\u escape");
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) == std::string_view::npos) {
+          return !fail("bad escape");
+        }
+      }
+      ++pos_;
+    }
+    return !fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return !fail("bad number");
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return !fail("bad fraction");
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return !fail("bad exponent");
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return !fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool fail(const char* what) {
+    if (error_.empty())
+      error_ = std::string(what) + " at offset " + std::to_string(pos_);
+    return true;  // callers negate; keeps call sites terse
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+/// Empty string when `text` is syntactically valid JSON.
+inline std::string json_validate(std::string_view text) {
+  return Validator(text).validate();
+}
+
+}  // namespace streamlab::testjson

@@ -206,5 +206,47 @@ TEST(EventLoop, StressManyEventsStayOrdered) {
   EXPECT_EQ(count, 10000);
 }
 
+TEST(EventLoop, CancelledEventsLeaveCountTruthful) {
+  // Regression: cancellation leaves the event queued (purged lazily), but
+  // empty() / pending_events() must reflect live events only.
+  EventLoop loop;
+  auto a = loop.schedule_in(Duration::millis(1), [] {});
+  auto b = loop.schedule_in(Duration::millis(2), [] {});
+  EXPECT_EQ(loop.pending_events(), 2u);
+  EXPECT_FALSE(loop.empty());
+  a.cancel();
+  EXPECT_EQ(loop.pending_events(), 1u);
+  EXPECT_FALSE(loop.empty());
+  b.cancel();
+  EXPECT_EQ(loop.pending_events(), 0u);
+  EXPECT_TRUE(loop.empty());
+  a.cancel();  // double cancel must not underflow the count
+  EXPECT_EQ(loop.pending_events(), 0u);
+  EXPECT_EQ(loop.run(), 0u);
+}
+
+TEST(EventLoop, SelfCancelDuringFireKeepsCountBalanced) {
+  // An event cancelling its own handle while firing must decrement exactly
+  // once.
+  EventLoop loop;
+  EventHandle self;
+  self = loop.schedule_in(Duration::millis(1), [&] { self.cancel(); });
+  auto later = loop.schedule_in(Duration::millis(2), [] {});
+  loop.run(1);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  later.cancel();
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop, PendingCountTracksFiring) {
+  EventLoop loop;
+  for (int i = 0; i < 5; ++i) loop.schedule_in(Duration::millis(i + 1), [] {});
+  EXPECT_EQ(loop.pending_events(), 5u);
+  loop.run(2);
+  EXPECT_EQ(loop.pending_events(), 3u);
+  loop.run();
+  EXPECT_TRUE(loop.empty());
+}
+
 }  // namespace
 }  // namespace streamlab
