@@ -8,17 +8,32 @@
 //
 // Usage: turbulence_lab [set 1-6] [low|high|very-high] [export-dir]
 //                       [--trace <dir>]
+//                       [--campaign <N>] [--verify-determinism]
+//                       [--manifest <path>] [--seed <base>]
 //
 // With --trace, every scenario also dumps its observability data under
 // <dir>/<scenario>/: trace.json (Chrome trace-event format — open it at
 // ui.perfetto.dev), trace.ndjson, timeseries.csv and metrics.csv.
+//
+// With --campaign N the lab switches to campaign mode: N audited burst-loss
+// trials per player (seeds base..base+N-1) with per-trial budgets, quarantine
+// of throwing/violating trials, and an NDJSON resume manifest (--manifest;
+// re-running with the same manifest skips finished trials). Add
+// --verify-determinism to run every trial twice and compare replay digests.
+// Exits nonzero when any trial was quarantined.
+//
+// A scenario run that dies mid-flight still flushes the CSV rows of every
+// scenario finished so far before exiting nonzero, so a crashed lab leaves
+// salvageable partial exports rather than nothing.
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/campaign.hpp"
 #include "core/export.hpp"
 #include "core/turbulence.hpp"
 #include "obs/export.hpp"
@@ -74,18 +89,105 @@ void describe(const char* name, const TurbulenceRunResult& run) {
   std::printf("  sessions failed: %d\n\n", run.sessions_abandoned());
 }
 
+/// Campaign mode: N audited trials of the burst-loss scenario per player.
+/// Returns the process exit code (nonzero when any trial was quarantined).
+int run_campaign_mode(const ClipSet& set, RateTier tier, std::size_t trials,
+                      std::uint64_t base_seed, bool verify_determinism,
+                      const std::string& manifest_path) {
+  const auto [real_clip, media_clip] = *set.pair(tier);
+  int exit_code = 0;
+  for (const ClipInfo* clip : {&real_clip, &media_clip}) {
+    CampaignConfig cfg;
+    cfg.clip = *clip;
+    cfg.trials = trials;
+    cfg.base_seed = base_seed;
+    cfg.verify_determinism = verify_determinism;
+    cfg.scenario = base_config();
+    FaultEpisode burst;
+    burst.kind = FaultKind::kBurstLoss;
+    burst.start = SimTime::from_seconds(20.0);
+    burst.duration = Duration::seconds(25);
+    burst.gilbert = GilbertElliottConfig{0.05, 0.25, 0.0, 0.6};
+    burst.label = "burst-loss";
+    cfg.scenario.episodes.push_back(burst);
+    // Budgets: generous enough that healthy trials never hit them, tight
+    // enough that a runaway trial is truncated instead of hanging the lab.
+    cfg.scenario.max_sim_events = 50'000'000;
+    cfg.scenario.max_wall_time = std::chrono::seconds(120);
+    const char* player = clip->player == PlayerKind::kMediaPlayer ? "media" : "real";
+    if (!manifest_path.empty()) cfg.manifest_path = manifest_path + "." + player;
+
+    std::printf("campaign: %s  %zu trials  seeds %llu..%llu%s\n", clip->id().c_str(),
+                trials, static_cast<unsigned long long>(base_seed),
+                static_cast<unsigned long long>(base_seed + trials - 1),
+                verify_determinism ? "  (verifying determinism)" : "");
+    CampaignResult result;
+    try {
+      result = run_campaign(cfg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "campaign %s failed: %s\n", player, e.what());
+      return 1;
+    }
+    for (const TrialOutcome& t : result.trials) {
+      if (t.status == TrialStatus::kQuarantined) {
+        std::printf("  trial %3zu seed %llu QUARANTINED: %s\n", t.index,
+                    static_cast<unsigned long long>(t.seed), t.reason.c_str());
+      } else if (!t.from_manifest) {
+        std::printf("  trial %3zu seed %llu completed: %llu events, %llu checks%s\n",
+                    t.index, static_cast<unsigned long long>(t.seed),
+                    static_cast<unsigned long long>(t.sim_events),
+                    static_cast<unsigned long long>(t.checks),
+                    t.budget_exhausted ? " (budget exhausted)" : "");
+      }
+    }
+    const CampaignAggregate& agg = result.aggregate;
+    std::printf(
+        "  %s: %zu completed (%zu resumed), %zu quarantined | sessions %llu/%llu "
+        "completed, frames %llu/%llu rendered, %llu packets lost, stall %.1fs\n",
+        player, result.completed, result.resumed, result.quarantined,
+        static_cast<unsigned long long>(agg.sessions_completed),
+        static_cast<unsigned long long>(agg.sessions),
+        static_cast<unsigned long long>(agg.frames_rendered),
+        static_cast<unsigned long long>(agg.frames_rendered + agg.frames_dropped),
+        static_cast<unsigned long long>(agg.packets_lost), agg.stall_time.to_seconds());
+    if (!result.ok()) {
+      exit_code = 1;
+      std::printf("  quarantined seeds:");
+      for (std::uint64_t seed : result.quarantined_seeds())
+        std::printf(" %llu", static_cast<unsigned long long>(seed));
+      std::printf("\n");
+    }
+  }
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_dir;
+  std::string manifest_path;
+  std::size_t campaign_trials = 0;
+  std::uint64_t base_seed = 1;
+  bool verify_determinism = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0) {
+    const auto flag_value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "--trace needs a directory\n");
-        return 1;
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(1);
       }
-      trace_dir = argv[++i];
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_dir = flag_value("--trace");
+    } else if (std::strcmp(argv[i], "--campaign") == 0) {
+      campaign_trials = static_cast<std::size_t>(std::atoll(flag_value("--campaign")));
+    } else if (std::strcmp(argv[i], "--manifest") == 0) {
+      manifest_path = flag_value("--manifest");
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      base_seed = static_cast<std::uint64_t>(std::atoll(flag_value("--seed")));
+    } else if (std::strcmp(argv[i], "--verify-determinism") == 0) {
+      verify_determinism = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -103,6 +205,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "set %d has no %s tier\n", set_id, to_string(tier).c_str());
     return 1;
   }
+
+  if (campaign_trials > 0)
+    return run_campaign_mode(set, tier, campaign_trials, base_seed, verify_determinism,
+                             manifest_path);
 
   std::vector<std::pair<std::string, TurbulenceRunResult>> runs;
 
@@ -122,6 +228,7 @@ int main(int argc, char** argv) {
     }
   };
 
+  try {
   // 1. A 4 s link flap at t=30s: shorter than the delay buffers, so both
   //    players should ride it out and complete playback.
   {
@@ -179,6 +286,16 @@ int main(int argc, char** argv) {
     lag.label = "delay-spike";
     cfg.episodes.push_back(lag);
     run_scenario("congestion-dip", std::move(cfg));
+  }
+  } catch (const std::exception& e) {
+    // A scenario died mid-flight. Flush the rows of every scenario that
+    // finished so the partial CSVs are salvageable, then fail loudly.
+    std::fprintf(stderr, "scenario failed after %zu completed run(s): %s\n",
+                 runs.size(), e.what());
+    const int written = export_turbulence(runs, export_dir);
+    std::fprintf(stderr, "flushed %d partial CSV file(s) to %s\n", written,
+                 export_dir.c_str());
+    return 2;
   }
 
   for (const auto& [name, run] : runs) describe(name.c_str(), run);

@@ -1,0 +1,390 @@
+#include "core/campaign.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace streamlab {
+namespace {
+
+// --- Config digest (FNV-1a over the parameters that shape trial results) ---
+
+struct Digester {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 0x100000001b3ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void i64(std::int64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+};
+
+void fold_episode(Digester& d, const FaultEpisode& e) {
+  d.u64(static_cast<std::uint64_t>(e.kind));
+  d.i64(e.start.ns());
+  d.i64(e.duration.ns());
+  d.i64(e.bandwidth.bits_per_second());
+  d.i64(e.extra_delay.ns());
+  d.f64(e.loss_probability);
+  d.f64(e.gilbert.p_good_to_bad);
+  d.f64(e.gilbert.p_bad_to_good);
+  d.f64(e.gilbert.loss_good);
+  d.f64(e.gilbert.loss_bad);
+}
+
+// --- NDJSON helpers (hand-rolled: the repo carries no JSON dependency) ---
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        out += (static_cast<unsigned char>(c) < 0x20) ? ' ' : c;
+    }
+  }
+  return out;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Value of `"key":` in a one-line JSON object: unescaped content for
+/// strings, the raw token for numbers. nullopt when the key is absent.
+std::optional<std::string> json_value(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  pos += needle.size();
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos >= line.size()) return std::nullopt;
+  if (line[pos] == '"') {
+    std::string out;
+    for (++pos; pos < line.size() && line[pos] != '"'; ++pos) {
+      char c = line[pos];
+      if (c == '\\' && pos + 1 < line.size()) {
+        c = line[++pos];
+        if (c == 'n') c = '\n';
+        else if (c == 'r') c = '\r';
+        else if (c == 't') c = '\t';
+      }
+      out += c;
+    }
+    return out;
+  }
+  const std::size_t end = line.find_first_of(",}", pos);
+  if (end == std::string::npos) return std::nullopt;
+  std::string out = line.substr(pos, end - pos);
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::uint64_t json_u64(const std::string& line, const std::string& key,
+                       std::uint64_t fallback = 0) {
+  const auto v = json_value(line, key);
+  if (!v || v->empty()) return fallback;
+  return std::stoull(*v);
+}
+
+std::int64_t json_i64(const std::string& line, const std::string& key,
+                      std::int64_t fallback = 0) {
+  const auto v = json_value(line, key);
+  if (!v || v->empty()) return fallback;
+  return std::stoll(*v);
+}
+
+std::string manifest_line(const TrialOutcome& t, const std::string& config_hex) {
+  std::string line = "{";
+  const auto num = [&line](const char* key, std::uint64_t v) {
+    line += "\"" + std::string(key) + "\":" + std::to_string(v) + ",";
+  };
+  num("trial", t.index);
+  num("seed", t.seed);
+  line += "\"config\":\"" + config_hex + "\",";
+  line += "\"status\":\"" + std::string(to_string(t.status)) + "\",";
+  line += "\"reason\":\"" + json_escape(t.reason) + "\",";
+  num("checks", t.checks);
+  num("violations", t.violations);
+  num("sim_events", t.sim_events);
+  num("budget_exhausted", t.budget_exhausted ? 1 : 0);
+  line += "\"digest\":\"" + hex64(t.digest) + "\",";
+  line += "\"divergence\":" +
+          std::to_string(t.divergence ? static_cast<std::int64_t>(*t.divergence) : -1) +
+          ",";
+  num("sessions", t.sessions);
+  num("sessions_completed", t.sessions_completed);
+  num("sessions_failed", t.sessions_failed);
+  num("frames_rendered", t.frames_rendered);
+  num("frames_dropped", t.frames_dropped);
+  num("packets_received", t.packets_received);
+  num("packets_lost", t.packets_lost);
+  num("rebuffers", t.rebuffer_events);
+  line += "\"stall_ns\":" + std::to_string(t.stall_time.ns()) + "}";
+  return line;
+}
+
+TrialOutcome parse_manifest_line(const std::string& line, const std::string& config_hex,
+                                 std::size_t line_no) {
+  const auto fail = [line_no](const std::string& why) {
+    throw std::runtime_error("resume manifest line " + std::to_string(line_no) + ": " +
+                             why);
+  };
+  const auto config = json_value(line, "config");
+  if (!config) fail("missing config digest");
+  if (*config != config_hex)
+    fail("config digest mismatch (manifest " + *config + ", campaign " + config_hex +
+         "): refusing to mix trials from different configurations");
+  const auto status = json_value(line, "status");
+  if (!status) fail("missing status");
+
+  TrialOutcome t;
+  t.index = json_u64(line, "trial");
+  t.seed = json_u64(line, "seed");
+  if (*status == to_string(TrialStatus::kCompleted)) {
+    t.status = TrialStatus::kCompleted;
+  } else if (*status == to_string(TrialStatus::kQuarantined)) {
+    t.status = TrialStatus::kQuarantined;
+  } else {
+    fail("unknown status '" + *status + "'");
+  }
+  t.reason = json_value(line, "reason").value_or("");
+  t.checks = json_u64(line, "checks");
+  t.violations = json_u64(line, "violations");
+  t.sim_events = json_u64(line, "sim_events");
+  t.budget_exhausted = json_u64(line, "budget_exhausted") != 0;
+  if (const auto digest = json_value(line, "digest"); digest && !digest->empty())
+    t.digest = std::stoull(*digest, nullptr, 16);
+  if (const std::int64_t div = json_i64(line, "divergence", -1); div >= 0)
+    t.divergence = static_cast<std::uint64_t>(div);
+  t.from_manifest = true;
+  t.sessions = json_u64(line, "sessions");
+  t.sessions_completed = json_u64(line, "sessions_completed");
+  t.sessions_failed = json_u64(line, "sessions_failed");
+  t.frames_rendered = json_u64(line, "frames_rendered");
+  t.frames_dropped = json_u64(line, "frames_dropped");
+  t.packets_received = json_u64(line, "packets_received");
+  t.packets_lost = json_u64(line, "packets_lost");
+  t.rebuffer_events = json_u64(line, "rebuffers");
+  t.stall_time = Duration::nanos(json_i64(line, "stall_ns"));
+  return t;
+}
+
+// --- Trial execution ---
+
+/// Copies the per-session metrics a manifest line can carry (and the
+/// aggregate folds) out of the full run result.
+void fill_salvage(TrialOutcome& t) {
+  if (!t.result) return;
+  const auto fold_session = [&t](const std::optional<SessionRecoveryMetrics>& m) {
+    if (!m) return;
+    ++t.sessions;
+    if (m->completed) ++t.sessions_completed;
+    if (m->session_failed()) ++t.sessions_failed;
+    t.frames_rendered += m->frames_rendered;
+    t.frames_dropped += m->frames_dropped;
+    t.packets_received += m->packets_received;
+    t.packets_lost += m->packets_lost;
+    t.rebuffer_events += m->rebuffer_events;
+    t.stall_time = t.stall_time + m->stall_time;
+  };
+  fold_session(t.result->real);
+  fold_session(t.result->media);
+}
+
+TrialOutcome run_trial(const CampaignConfig& config, std::size_t index) {
+  TrialOutcome t;
+  t.index = index;
+  t.seed = config.base_seed + index;
+
+  audit::Auditor auditor;
+  audit::DeterminismProbe probe;
+  probe.enable_recording(config.verify_determinism);
+
+  TurbulenceScenarioConfig scenario = config.scenario;
+  scenario.seed = t.seed;
+  scenario.auditor = &auditor;
+  scenario.probe = &probe;
+
+  try {
+    TurbulenceRunResult run = run_turbulence_clip(config.clip, scenario);
+    t.sim_events = run.sim_events;
+    t.budget_exhausted = run.budget_exhausted;
+    t.result = std::move(run);
+    t.digest = probe.digest();
+
+    if (config.verify_determinism) {
+      audit::Auditor replay_auditor;
+      audit::DeterminismProbe replay_probe;
+      replay_probe.enable_recording(true);
+      TurbulenceScenarioConfig replay = scenario;
+      replay.seed = t.seed + config.verify_seed_skew;
+      replay.auditor = &replay_auditor;
+      replay.probe = &replay_probe;
+      run_turbulence_clip(config.clip, replay);
+      if (probe.digest() != replay_probe.digest() ||
+          probe.events() != replay_probe.events())
+        t.divergence = audit::first_divergence(probe, replay_probe)
+                           .value_or(std::min(probe.events(), replay_probe.events()));
+    }
+
+    if (config.fault_hook) config.fault_hook(auditor, index, t.seed);
+  } catch (const std::exception& e) {
+    t.status = TrialStatus::kQuarantined;
+    t.reason = std::string("exception: ") + e.what();
+  } catch (...) {
+    t.status = TrialStatus::kQuarantined;
+    t.reason = "exception: unknown";
+  }
+
+  t.checks = auditor.report().checks_performed;
+  t.violations = auditor.report().total_violations;
+  if (t.status == TrialStatus::kCompleted) {
+    if (!auditor.report().clean()) {
+      t.status = TrialStatus::kQuarantined;
+      t.reason = "audit: " + auditor.report().summary();
+    } else if (t.divergence) {
+      t.status = TrialStatus::kQuarantined;
+      t.reason =
+          "determinism: runs diverge at event #" + std::to_string(*t.divergence);
+    }
+  }
+  if (t.status == TrialStatus::kCompleted) fill_salvage(t);
+  return t;
+}
+
+}  // namespace
+
+const char* to_string(TrialStatus status) {
+  return status == TrialStatus::kCompleted ? "completed" : "quarantined";
+}
+
+void CampaignAggregate::fold(const TrialOutcome& trial) {
+  ++trials;
+  sessions += trial.sessions;
+  sessions_completed += trial.sessions_completed;
+  sessions_failed += trial.sessions_failed;
+  frames_rendered += trial.frames_rendered;
+  frames_dropped += trial.frames_dropped;
+  packets_received += trial.packets_received;
+  packets_lost += trial.packets_lost;
+  rebuffer_events += trial.rebuffer_events;
+  stall_time = stall_time + trial.stall_time;
+}
+
+std::vector<std::uint64_t> CampaignResult::quarantined_seeds() const {
+  std::vector<std::uint64_t> seeds;
+  for (const TrialOutcome& t : trials)
+    if (t.status == TrialStatus::kQuarantined) seeds.push_back(t.seed);
+  return seeds;
+}
+
+std::uint64_t campaign_config_digest(const CampaignConfig& config) {
+  Digester d;
+  const ClipInfo& clip = config.clip;
+  d.i64(clip.data_set);
+  d.u64(static_cast<std::uint64_t>(clip.content));
+  d.u64(static_cast<std::uint64_t>(clip.player));
+  d.u64(static_cast<std::uint64_t>(clip.tier));
+  d.i64(clip.encoded_rate.bits_per_second());
+  d.i64(clip.advertised_rate.bits_per_second());
+  d.i64(clip.length.ns());
+
+  const TurbulenceScenarioConfig& s = config.scenario;
+  d.i64(s.path.hop_count);
+  d.i64(s.path.access_bandwidth.bits_per_second());
+  d.i64(s.path.backbone_bandwidth.bits_per_second());
+  d.i64(s.path.bottleneck_bandwidth.bits_per_second());
+  d.i64(s.path.one_way_propagation.ns());
+  d.i64(s.path.jitter_stddev.ns());
+  d.f64(s.path.loss_probability);
+  d.u64(s.path.queue_limit_bytes);
+  d.u64(s.recovery.play_retry ? 1 : 0);
+  d.i64(s.recovery.play_timeout.ns());
+  d.f64(s.recovery.backoff);
+  d.i64(s.recovery.max_play_attempts);
+  d.i64(s.recovery.inactivity_timeout.ns());
+  d.u64(s.rebuffering ? 1 : 0);
+  d.i64(s.max_stall.ns());
+  d.u64(s.episodes.size());
+  for (const FaultEpisode& e : s.episodes) fold_episode(d, e);
+  d.i64(s.extra_sim_time.ns());
+  d.u64(s.max_sim_events);
+  d.i64(s.max_wall_time.count());
+
+  d.u64(config.trials);
+  d.u64(config.base_seed);
+  d.u64(config.verify_determinism ? 1 : 0);
+  d.u64(config.verify_seed_skew);
+  return d.h;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  const std::string config_hex = hex64(campaign_config_digest(config));
+
+  // Restore finished trials from an existing manifest (resume).
+  std::map<std::size_t, TrialOutcome> restored;
+  if (!config.manifest_path.empty()) {
+    if (std::ifstream in(config.manifest_path); in) {
+      std::string line;
+      std::size_t line_no = 0;
+      while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        TrialOutcome t = parse_manifest_line(line, config_hex, line_no);
+        if (t.index < config.trials) restored.insert_or_assign(t.index, std::move(t));
+      }
+    }
+  }
+
+  std::ofstream manifest;
+  if (!config.manifest_path.empty()) {
+    manifest.open(config.manifest_path, std::ios::app);
+    if (!manifest)
+      throw std::runtime_error("cannot open resume manifest for append: " +
+                               config.manifest_path);
+  }
+
+  CampaignResult result;
+  for (std::size_t i = 0; i < config.trials; ++i) {
+    TrialOutcome outcome;
+    if (auto it = restored.find(i); it != restored.end()) {
+      outcome = std::move(it->second);
+      ++result.resumed;
+    } else {
+      outcome = run_trial(config, i);
+      if (manifest.is_open()) {
+        // One line per finished trial, flushed immediately: a campaign killed
+        // mid-run resumes from the first trial with no line.
+        manifest << manifest_line(outcome, config_hex) << '\n' << std::flush;
+      }
+    }
+    if (outcome.status == TrialStatus::kCompleted) {
+      ++result.completed;
+      result.aggregate.fold(outcome);
+    } else {
+      ++result.quarantined;
+    }
+    result.trials.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+}  // namespace streamlab

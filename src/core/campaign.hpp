@@ -1,0 +1,124 @@
+// Resilient campaign runner: many turbulence trials, one trustworthy study.
+//
+// A campaign runs N TurbulenceScenarioConfig trials (seed = base_seed + i)
+// with per-trial sim-event and wall-clock budgets, a fresh invariant auditor
+// and determinism probe per trial, and exception containment: a trial that
+// throws — or whose audit finds violations — is *quarantined* (its seed and
+// cause recorded) while every completed trial's stats are salvaged into the
+// study aggregate. An NDJSON resume manifest records one line per finished
+// trial (seed, config digest, status, audit summary, salvage fields), flushed
+// as each trial ends, so an interrupted campaign restarts from the first
+// incomplete trial without re-running — and a manifest written under a
+// different configuration is rejected outright.
+//
+// --verify-determinism mode runs each trial twice with the same seed and
+// compares the replay digests event-for-event, reporting the index of the
+// first divergent event when the runs part ways (see audit::DeterminismProbe).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/turbulence.hpp"
+
+namespace streamlab {
+
+struct CampaignConfig {
+  /// Scenario template. `seed`, `auditor` and `probe` are overwritten for
+  /// each trial; the budgets (max_sim_events / max_wall_time) apply per
+  /// trial. Leave `obs` unset for campaigns — one Obs context cannot span
+  /// runs whose SimTime restarts at zero.
+  TurbulenceScenarioConfig scenario;
+  ClipInfo clip;
+  std::size_t trials = 1;
+  /// Trial i streams with seed base_seed + i.
+  std::uint64_t base_seed = 1;
+  /// NDJSON resume manifest path; empty = no manifest (and no resume).
+  std::string manifest_path;
+  /// Run each trial twice with the same seed and compare replay digests.
+  bool verify_determinism = false;
+  /// Test-only: offsets the verification run's seed so the divergence
+  /// reporting path can be exercised deliberately. Leave 0.
+  std::uint64_t verify_seed_skew = 0;
+  /// Test-only fault hook, invoked with each trial's auditor after the run
+  /// and before the trial is judged (see audit::Auditor::force_violation) —
+  /// how tests plant exactly one violating trial in a healthy campaign.
+  std::function<void(audit::Auditor&, std::size_t index, std::uint64_t seed)>
+      fault_hook;
+};
+
+enum class TrialStatus : std::uint8_t { kCompleted, kQuarantined };
+const char* to_string(TrialStatus status);
+
+/// One trial's ledger entry — also the unit the resume manifest stores.
+struct TrialOutcome {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  TrialStatus status = TrialStatus::kCompleted;
+  std::string reason;        ///< quarantine cause; empty when completed
+  std::uint64_t checks = 0;  ///< audit checks performed
+  std::uint64_t violations = 0;
+  std::uint64_t sim_events = 0;
+  bool budget_exhausted = false;
+  std::uint64_t digest = 0;  ///< replay digest folded at the client NIC
+  /// Index of the first divergent event (verify-determinism mode only).
+  std::optional<std::uint64_t> divergence;
+  /// Restored from the resume manifest rather than run in this process.
+  bool from_manifest = false;
+  /// Full run metrics; absent when the trial threw before collection or was
+  /// restored from a manifest (whose lines keep only the aggregate fields).
+  std::optional<TurbulenceRunResult> result;
+
+  // Salvage fields folded into the study aggregate (survive the manifest
+  // round-trip, unlike `result`).
+  std::uint64_t sessions = 0;
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t sessions_failed = 0;
+  std::uint64_t frames_rendered = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t rebuffer_events = 0;
+  Duration stall_time;
+};
+
+/// Study-level totals over every *completed* trial, live or restored.
+struct CampaignAggregate {
+  std::uint64_t trials = 0;
+  std::uint64_t sessions = 0;
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t sessions_failed = 0;
+  std::uint64_t frames_rendered = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t rebuffer_events = 0;
+  Duration stall_time;
+
+  void fold(const TrialOutcome& trial);
+};
+
+struct CampaignResult {
+  std::vector<TrialOutcome> trials;
+  CampaignAggregate aggregate;
+  std::size_t completed = 0;
+  std::size_t quarantined = 0;
+  std::size_t resumed = 0;  ///< trials restored from the manifest
+  bool ok() const { return quarantined == 0; }
+  /// Seeds of every quarantined trial (the campaign's repro handles).
+  std::vector<std::uint64_t> quarantined_seeds() const;
+};
+
+/// Digest of the campaign parameters under which trial results are
+/// comparable; a resume manifest carrying a different digest is rejected.
+std::uint64_t campaign_config_digest(const CampaignConfig& config);
+
+/// Runs (or resumes) the campaign. Throws std::runtime_error when the
+/// manifest at manifest_path was written under a different config digest or
+/// cannot be parsed.
+CampaignResult run_campaign(const CampaignConfig& config);
+
+}  // namespace streamlab

@@ -1,6 +1,7 @@
 #include "core/turbulence.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "players/server.hpp"
@@ -99,6 +100,52 @@ SimTime run_deadline(EventLoop& loop, Duration clip_length,
   return deadline;
 }
 
+/// Attaches the optional auditor/probe instrumentation before any session
+/// event is scheduled, so the audit and the replay digest cover the whole
+/// timeline.
+void attach_instrumentation(Network& net, const TurbulenceScenarioConfig& config) {
+  if (config.obs != nullptr) net.attach_observer(*config.obs);
+  if (config.auditor != nullptr) {
+    net.attach_auditor(*config.auditor);
+    if (config.obs != nullptr) config.auditor->attach_obs(*config.obs);
+  }
+  if (config.probe != nullptr) net.set_determinism_probe(config.probe);
+}
+
+/// Runs the scenario timeline under the configured budgets: first to the
+/// scripted horizon, then the bounded stall/recovery tail (every remaining
+/// event source is bounded — per-frame stalls cap at max_stall, the watchdog
+/// and batch timers stop once a session ends — so completion reflects
+/// survival, not the deadline). Events fire in ~16k chunks with the
+/// wall-clock budget checked between chunks.
+void run_budgeted(EventLoop& loop, SimTime deadline,
+                  const TurbulenceScenarioConfig& config, TurbulenceRunResult& result) {
+  constexpr std::uint64_t kChunk = 16384;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t event_budget =
+      config.max_sim_events == 0 ? UINT64_MAX : config.max_sim_events;
+  const auto over_wall = [&] {
+    return config.max_wall_time.count() != 0 &&
+           std::chrono::steady_clock::now() - wall_start >= config.max_wall_time;
+  };
+
+  bool draining_tail = false;
+  while (true) {
+    if (result.sim_events >= event_budget || over_wall()) {
+      result.budget_exhausted = true;
+      break;
+    }
+    const std::uint64_t chunk = std::min(kChunk, event_budget - result.sim_events);
+    const std::uint64_t fired =
+        draining_tail ? loop.run(chunk) : loop.run_until(deadline, chunk);
+    result.sim_events += fired;
+    if (fired < chunk) {
+      if (draining_tail) break;  // queue empty: the run finished naturally
+      draining_tail = true;      // horizon reached: drain the bounded tail
+    }
+  }
+}
+
 }  // namespace
 
 TurbulenceRunResult run_turbulence_clip(const ClipInfo& clip,
@@ -106,7 +153,7 @@ TurbulenceRunResult run_turbulence_clip(const ClipInfo& clip,
   PathConfig path = config.path;
   path.seed = config.seed;
   Network net(path);
-  if (config.obs != nullptr) net.attach_observer(*config.obs);
+  attach_instrumentation(net, config);
   Host& server_host = net.add_server("server");
 
   auto session = make_session(net, server_host, clip, config);
@@ -116,13 +163,14 @@ TurbulenceRunResult run_turbulence_clip(const ClipInfo& clip,
   faults.arm();
 
   session.client->start();
-  net.loop().run_until(run_deadline(net.loop(), clip.length, config));
-  // Drain the stall/recovery tail: every remaining event source is bounded
-  // (per-frame stalls cap at max_stall, the watchdog and batch timers stop
-  // once a session ends), so completion reflects survival, not the deadline.
-  net.loop().run();
-
   TurbulenceRunResult result;
+  run_budgeted(net.loop(), run_deadline(net.loop(), clip.length, config), config,
+               result);
+  // Close any episode whose obs span is still open at the horizon (a budget
+  // truncation can stop the loop mid-episode) and run the trial-end ledgers.
+  faults.finish();
+  if (config.auditor != nullptr) net.audit_finalize(*config.auditor);
+
   auto metrics = collect(clip, *session.client, config.episodes);
   (clip.player == PlayerKind::kMediaPlayer ? result.media : result.real) =
       std::move(metrics);
@@ -140,7 +188,7 @@ TurbulenceRunResult run_turbulence_pair(const ClipSet& set, RateTier tier,
   PathConfig path = config.path;
   path.seed = config.seed;
   Network net(path);
-  if (config.obs != nullptr) net.attach_observer(*config.obs);
+  attach_instrumentation(net, config);
   Host& real_host = net.add_server("real-server");
   Host& media_host = net.add_server("media-server");
 
@@ -157,8 +205,9 @@ TurbulenceRunResult run_turbulence_pair(const ClipSet& set, RateTier tier,
   real_session.client->start();
   media_session.client->start();
   const Duration longest = std::max(real_clip.length, media_clip.length);
-  net.loop().run_until(run_deadline(net.loop(), longest, config));
-  net.loop().run();  // bounded stall/recovery tail, as in run_turbulence_clip
+  run_budgeted(net.loop(), run_deadline(net.loop(), longest, config), config, result);
+  faults.finish();  // close spans left open by a mid-episode truncation
+  if (config.auditor != nullptr) net.audit_finalize(*config.auditor);
 
   result.real = collect(real_clip, *real_session.client, config.episodes);
   result.media = collect(media_clip, *media_session.client, config.episodes);

@@ -8,11 +8,13 @@
 // during vs. after the episode, and sessions abandoned.
 #pragma once
 
+#include <chrono>
 #include <optional>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "obs/obs.hpp"
+#include "sim/audit.hpp"
 #include "sim/faults.hpp"
 
 namespace streamlab {
@@ -25,6 +27,22 @@ struct TurbulenceScenarioConfig {
   /// tracks cover the whole timeline. One Obs per run — SimTime restarts at
   /// zero for every scenario.
   obs::Obs* obs = nullptr;
+  /// Optional invariant auditor (sim/audit.hpp): attached to the run's loop
+  /// and links before any session starts, fed the trial-end conservation
+  /// ledgers after the loop drains. One fresh Auditor per scenario run; when
+  /// `obs` is also set the audit counters are registered on it.
+  audit::Auditor* auditor = nullptr;
+  /// Optional determinism probe, folded over every packet reaching a client
+  /// NIC. Two runs of the same seed must produce equal digests.
+  audit::DeterminismProbe* probe = nullptr;
+  /// Per-trial sim-event budget; 0 = unlimited. A trial that exhausts it
+  /// stops where it stands (TurbulenceRunResult::budget_exhausted) — the
+  /// collected metrics cover the truncated timeline, and link conservation
+  /// still balances because the ledger counts queued and in-flight packets.
+  std::uint64_t max_sim_events = 0;
+  /// Per-trial wall-clock budget; zero = unlimited. Checked between event
+  /// chunks, so overrun is bounded by one chunk's execution time.
+  std::chrono::milliseconds max_wall_time{0};
   WmBehavior wm;
   RmBehavior rm;
   /// Client-side session recovery knobs. The scenario default (unlike the
@@ -83,6 +101,10 @@ struct TurbulenceRunResult {
   std::optional<SessionRecoveryMetrics> real;
   std::optional<SessionRecoveryMetrics> media;
   std::vector<FaultScheduler::EpisodeRecord> episodes;
+  /// Events executed by this run's loop.
+  std::uint64_t sim_events = 0;
+  /// The run was truncated by max_sim_events / max_wall_time.
+  bool budget_exhausted = false;
 
   int sessions_abandoned() const {
     return (real && real->session_failed() ? 1 : 0) +

@@ -43,8 +43,19 @@ StreamClient::~StreamClient() {
 }
 
 void StreamClient::start() {
+  enter_phase(audit::SessionPhase::kConnecting);
   next_play_timeout_ = config_.recovery.play_timeout;
   send_play();
+}
+
+void StreamClient::enter_phase(audit::SessionPhase to) {
+  // Every real lifecycle transition flows through here so an attached
+  // auditor can validate the session state machine as it happens.
+  if (audit::Auditor* a = host_.loop().auditor())
+    a->on_session_transition(
+        config_.kind == PlayerKind::kRealPlayer ? "client.real" : "client.media",
+        phase_, to, host_.loop().now());
+  phase_ = to;
 }
 
 void StreamClient::obs_instant(std::uint16_t name, SimTime now, double value) {
@@ -108,6 +119,7 @@ void StreamClient::on_play_timeout() {
                             std::max(1, config_.recovery.max_play_attempts))) {
     session_abandoned_ = true;
     failure_time_ = host_.loop().now();
+    enter_phase(audit::SessionPhase::kAbandoned);
     if (obs_) obs_instant(obs_->abandoned_name, host_.loop().now());
     return;
   }
@@ -118,6 +130,7 @@ void StreamClient::on_session_established(SimTime now) {
   play_timer_.cancel();
   if (established_time_) return;
   established_time_ = now;
+  enter_phase(audit::SessionPhase::kEstablished);
   if (obs_) obs_instant(obs_->established_name, now);
   // Arm the inactivity watchdog at establishment, not at first data: a
   // PLAY-OK followed by a permanent outage must still be detected as a
@@ -152,6 +165,7 @@ void StreamClient::on_watchdog() {
   // Silence exceeded the window with no end-of-stream: the session is dead.
   stream_dead_ = true;
   failure_time_ = now;
+  enter_phase(audit::SessionPhase::kDead);
   play_timer_.cancel();
   if (obs_) {
     obs_->watchdog_fired.add();
@@ -303,6 +317,8 @@ void StreamClient::schedule_frame(std::size_t index) {
   if (index >= clip_.frames().size()) {
     playback_finished_ = true;
     playback_end_ = host_.loop().now();
+    if (phase_ == audit::SessionPhase::kEstablished)
+      enter_phase(audit::SessionPhase::kCompleted);
     return;
   }
   const SimTime deadline = *playout_start_ + playout_shift_ + clip_.frames()[index].pts;
@@ -384,6 +400,11 @@ void StreamClient::decode_frame(std::size_t index) {
   if (index + 1 == clip_.frames().size()) {
     playback_finished_ = true;
     playback_end_ = host_.loop().now();
+    // Pre-scheduled drop-late deadlines keep firing after a watchdog death,
+    // so the playout timeline can end in a dead session; only a live one
+    // transitions to kCompleted.
+    if (phase_ == audit::SessionPhase::kEstablished)
+      enter_phase(audit::SessionPhase::kCompleted);
   }
 }
 

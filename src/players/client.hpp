@@ -15,6 +15,7 @@
 #include "players/behavior.hpp"
 #include "players/protocol.hpp"
 #include "players/scaling.hpp"
+#include "sim/audit.hpp"
 #include "sim/host.hpp"
 #include "util/interval_set.hpp"
 
@@ -124,6 +125,11 @@ class StreamClient {
   /// When the server first answered.
   std::optional<SimTime> session_established_time() const { return established_time_; }
 
+  /// Lifecycle phase as reported to the invariant auditor (kIdle ->
+  /// kConnecting -> {kEstablished, kAbandoned}; kEstablished ->
+  /// {kCompleted, kDead}).
+  audit::SessionPhase session_phase() const { return phase_; }
+
   std::optional<SimTime> first_data_time() const { return first_data_; }
   std::optional<SimTime> last_data_time() const { return last_data_; }
   std::optional<SimTime> playout_start_time() const { return playout_start_; }
@@ -161,6 +167,7 @@ class StreamClient {
     std::uint64_t goodput_window_bytes = 0;
   };
 
+  void enter_phase(audit::SessionPhase to);
   void handle_datagram(std::span<const std::uint8_t> payload, Endpoint from, SimTime now);
   void on_data(const DataHeader& header, std::size_t media_len, SimTime now);
   void obs_instant(std::uint16_t name, SimTime now, double value = 0.0);
@@ -215,6 +222,7 @@ class StreamClient {
   std::uint64_t wire_media_bytes_ = 0;  ///< media+header bytes received
 
   // Session recovery state.
+  audit::SessionPhase phase_ = audit::SessionPhase::kIdle;
   std::uint32_t play_attempts_ = 0;
   Duration next_play_timeout_;
   EventHandle play_timer_;

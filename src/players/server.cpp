@@ -64,6 +64,7 @@ void StreamServer::handle_control(std::span<const std::uint8_t> payload, Endpoin
         return;  // single-session server: other endpoints are ignored
       }
       started_ = true;
+      audit_transition(audit::SessionPhase::kStreaming);
       client_ = from;
       ControlMessage ok{ControlType::kPlayOk, clip_.info().id()};
       const auto ok_bytes = ok.encode();
@@ -81,7 +82,7 @@ void StreamServer::handle_control(std::span<const std::uint8_t> payload, Endpoin
       }
       break;
     case ControlType::kTeardown:
-      finished_ = true;
+      finish_stream();
       break;
     default:
       break;
@@ -104,7 +105,7 @@ std::size_t StreamServer::send_plain(std::size_t media_len, bool buffering_phase
   media_len =
       static_cast<std::size_t>(std::min<std::uint64_t>(media_len, remaining_bytes()));
   if (media_len == 0) {
-    finished_ = true;
+    finish_stream();
     return 0;
   }
   const std::uint64_t offset = next_offset_;
@@ -112,7 +113,7 @@ std::size_t StreamServer::send_plain(std::size_t media_len, bool buffering_phase
   std::uint8_t flags = 0;
   if (next_offset_ >= clip_.total_bytes()) {
     flags |= kFlagEndOfStream;
-    finished_ = true;
+    finish_stream();
   }
   emit(offset, media_len, flags, buffering_phase);
   return media_len;
@@ -126,17 +127,32 @@ std::size_t StreamServer::send_thinned(std::size_t media_len, bool buffering_pha
     // packet may have been sent before the final thinning decision).
     if (!finished_) {
       emit(cursor.position(), 0, kFlagEndOfStream, buffering_phase);
-      finished_ = true;
+      finish_stream();
     }
     return 0;
   }
   std::uint8_t flags = 0;
   if (range.end_of_stream) {
     flags |= kFlagEndOfStream;
-    finished_ = true;
+    finish_stream();
   }
   emit(range.offset, range.length, flags, buffering_phase);
   return range.length;
+}
+
+void StreamServer::audit_transition(audit::SessionPhase to) {
+  if (audit::Auditor* auditor = host_.loop().auditor(); auditor != nullptr)
+    auditor->on_session_transition("server", audit_phase_, to, host_.loop().now());
+  audit_phase_ = to;
+}
+
+void StreamServer::finish_stream() {
+  if (finished_) return;
+  finished_ = true;
+  // A teardown that arrives before any PLAY leaves the session in kIdle:
+  // it never streamed, so there is no lifecycle transition to report.
+  if (audit_phase_ == audit::SessionPhase::kStreaming)
+    audit_transition(audit::SessionPhase::kFinished);
 }
 
 std::size_t StreamServer::send_media(std::size_t media_len, bool buffering_phase) {

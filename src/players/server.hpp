@@ -45,6 +45,9 @@ class StreamServer {
   std::uint16_t port() const { return port_; }
   bool started() const { return started_; }
   bool finished() const { return finished_; }
+  /// Lifecycle phase as reported to the invariant auditor
+  /// (kIdle -> kStreaming -> kFinished).
+  audit::SessionPhase session_phase() const { return audit_phase_; }
   /// PLAY retransmissions re-acknowledged after the session started.
   std::uint64_t duplicate_play_requests() const { return duplicate_play_requests_; }
   const std::vector<SendEvent>& send_log() const { return send_log_; }
@@ -86,6 +89,11 @@ class StreamServer {
  private:
   void handle_control(std::span<const std::uint8_t> payload, Endpoint from);
 
+  void audit_transition(audit::SessionPhase to);
+  /// Marks the stream finished exactly once, reporting the state transition
+  /// to an attached auditor.
+  void finish_stream();
+
   std::size_t send_plain(std::size_t media_len, bool buffering_phase);
   std::size_t send_thinned(std::size_t media_len, bool buffering_phase);
   void emit(std::uint64_t offset, std::size_t media_len, std::uint8_t flags,
@@ -93,6 +101,7 @@ class StreamServer {
 
   void on_scaling_switch();
 
+  audit::SessionPhase audit_phase_ = audit::SessionPhase::kIdle;
   std::uint32_t next_seq_ = 0;
   std::uint64_t next_offset_ = 0;
   std::uint64_t duplicate_play_requests_ = 0;

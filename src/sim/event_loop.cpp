@@ -44,21 +44,33 @@ bool EventLoop::fire_next(SimTime deadline) {
     Event ev{top.when, top.seq, std::move(const_cast<Event&>(top).fn),
              std::move(const_cast<Event&>(top).ctl)};
     queue_.pop();
+    if (auditor_ != nullptr) auditor_->on_event_dispatch(ev.when, now_);
     now_ = ev.when;
-    ev.fn();
-    // Fired: flip the liveness flag so the handle reports not-pending and a
-    // late cancel() is a harmless no-op. The flag may already be false if fn
-    // cancelled its own handle — then cancel() settled the count already.
-    if (EventCtl* ctl = ev.ctl.get(); ctl->alive) {
-      ctl->alive = false;
-      --live_count_;
+    // Settle the bookkeeping whether fn returns or throws: the event *did*
+    // fire either way, so the liveness flag flips (making the handle report
+    // not-pending and a late cancel() a harmless no-op — it may already be
+    // false if fn cancelled its own handle, in which case cancel() settled
+    // the count) and the executed count advances. Without this a throwing
+    // callback would leave live_count_ permanently overstating the queue.
+    const auto settle = [this, &ev] {
+      if (EventCtl* ctl = ev.ctl.get(); ctl->alive) {
+        ctl->alive = false;
+        --live_count_;
+      }
+      ++executed_;
+      if constexpr (obs::kObsCompiledIn) {
+        if (obs_ != nullptr)
+          obs_->on_loop_event(static_cast<obs::EventCategory>(ev.seq & kCategoryMask),
+                              live_count_, now_);
+      }
+    };
+    try {
+      ev.fn();
+    } catch (...) {
+      settle();
+      throw;
     }
-    ++executed_;
-    if constexpr (obs::kObsCompiledIn) {
-      if (obs_ != nullptr)
-        obs_->on_loop_event(static_cast<obs::EventCategory>(ev.seq & kCategoryMask),
-                            live_count_, now_);
-    }
+    settle();
     return true;
   }
   return false;
@@ -74,6 +86,16 @@ std::uint64_t EventLoop::run_until(SimTime deadline) {
   std::uint64_t n = 0;
   while (fire_next(deadline)) ++n;
   if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::uint64_t EventLoop::run_until(SimTime deadline, std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && fire_next(deadline)) ++n;
+  // Only catch the clock up once the work <= deadline is exhausted; a
+  // budget-truncated run leaves the clock where it stopped so the caller
+  // can resume.
+  if (n < limit && now_ < deadline) now_ = deadline;
   return n;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "sim/audit.hpp"
 #include "util/time.hpp"
 
 namespace streamlab {
@@ -92,10 +93,20 @@ class EventLoop {
 
   /// Runs until the queue is empty or `limit` events have fired.
   /// Returns the number of events executed.
+  ///
+  /// Exception safety: a callback that throws unwinds out of run()/run_until()
+  /// with the loop's bookkeeping already settled — the event counts as fired,
+  /// its control block is flipped so late cancels are no-ops, and empty() /
+  /// pending_events() / executed_events() stay truthful. The loop remains
+  /// usable: a subsequent run() continues with the next queued event.
   std::uint64_t run(std::uint64_t limit = UINT64_MAX);
   /// Runs events with time <= deadline; the clock finishes at exactly
   /// `deadline` even if the queue empties earlier.
   std::uint64_t run_until(SimTime deadline);
+  /// Budgeted form: fires at most `limit` events with time <= deadline.
+  /// The clock only catches up to `deadline` when the queue drained below
+  /// the budget, so a truncated run can be resumed with a further call.
+  std::uint64_t run_until(SimTime deadline, std::uint64_t limit);
 
   /// True when no *live* events remain: cancelled-but-still-queued events
   /// are excluded (they are purged lazily as the loop reaches them).
@@ -108,6 +119,13 @@ class EventLoop {
   /// Not owned; must outlive the loop or be detached first.
   void set_observer(obs::Obs* obs) { obs_ = obs; }
   obs::Obs* observer() const { return obs_; }
+
+  /// Attaches (or detaches, with nullptr) the run's invariant auditor, which
+  /// checks monotone dispatch here and is reachable by every component that
+  /// can reach the loop (links, players). Not owned; same lifetime contract
+  /// as the observer.
+  void set_auditor(audit::Auditor* auditor) { auditor_ = auditor; }
+  audit::Auditor* auditor() const { return auditor_; }
 
  private:
   // The event's category rides in the low bits of `seq` so the queue entry
@@ -139,6 +157,7 @@ class EventLoop {
   std::size_t live_count_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   obs::Obs* obs_ = nullptr;
+  audit::Auditor* auditor_ = nullptr;
 };
 
 }  // namespace streamlab

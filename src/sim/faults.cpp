@@ -29,7 +29,15 @@ const char* to_string(FaultKind kind) {
 }
 
 FaultScheduler::~FaultScheduler() {
+  finish();
   for (EventHandle& h : handles_) h.cancel();
+}
+
+void FaultScheduler::finish() {
+  if (active_ < 0) return;
+  close_accounting(static_cast<std::size_t>(active_));
+  link_.clear_impairment();
+  active_ = -1;
 }
 
 void FaultScheduler::add(FaultEpisode episode) {

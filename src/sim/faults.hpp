@@ -124,6 +124,13 @@ class FaultScheduler {
   /// before the experiment runs past the first episode start.
   void arm();
 
+  /// Closes out an episode still active when the trial horizon ends (budget
+  /// truncation, or a script whose last episode outlives the run): settles
+  /// its drop accounting, ends its obs span so Chrome traces of truncated
+  /// trials show no dangling spans, and restores the unimpaired baseline.
+  /// Idempotent; also invoked by the destructor.
+  void finish();
+
   const std::vector<EpisodeRecord>& records() const { return records_; }
   /// Index of the episode currently impairing the link, -1 when none.
   int active_episode() const { return active_; }

@@ -48,6 +48,9 @@ void Host::transmit(const Ipv4Packet& packet) {
 void Host::handle_packet(const Ipv4Packet& packet, int /*ingress_iface*/) {
   if (packet.header.dst != address_) return;  // not promiscuous for foreign traffic
   if (tap_) tap_(packet, TapDirection::kInbound, loop_.now());
+  if (probe_ != nullptr)
+    probe_->fold(loop_.now(), packet.header.protocol, packet.header.identification,
+                 packet.total_length());
 
   auto whole = reassembler_.offer(packet, loop_.now());
   reassembler_.expire(loop_.now());

@@ -13,6 +13,7 @@
 
 #include "net/fragmentation.hpp"
 #include "net/packet.hpp"
+#include "sim/audit.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/node.hpp"
 
@@ -76,6 +77,12 @@ class Host : public Node {
   /// Installs the sniffer tap (pass nullptr-equivalent {} to remove).
   void set_tap(TapFn tap) { tap_ = std::move(tap); }
 
+  /// Installs (or clears, with nullptr) the determinism probe: every IP
+  /// packet this NIC accepts is folded into the replay digest as
+  /// (sim-time, IP protocol, IP id, total length), pre-reassembly — the
+  /// same vantage point as the paper's sniffer. Not owned.
+  void set_determinism_probe(audit::DeterminismProbe* probe) { probe_ = probe; }
+
   void handle_packet(const Ipv4Packet& packet, int ingress_iface) override;
 
   const Stats& stats() const { return stats_; }
@@ -94,6 +101,7 @@ class Host : public Node {
   IcmpHandler icmp_handler_;
   TcpHandler tcp_handler_;
   TapFn tap_;
+  audit::DeterminismProbe* probe_ = nullptr;
   Reassembler reassembler_;
   std::uint16_t next_ip_id_ = 1;
   Stats stats_;

@@ -47,6 +47,20 @@ void Link::send(int dir, const Ipv4Packet& packet) {
   }
   d.queue.push_back(packet);
   d.queued_bytes += size;
+  if (audit::Auditor* a = loop_.auditor()) {
+    a->on_link_enqueue(d.queued_bytes, config_.queue_limit_bytes, loop_.now(),
+                       audit_label_.c_str());
+    if constexpr (audit::kFullAudit) {
+      // Full audit recomputes the byte ledger from scratch on every enqueue:
+      // the incremental queued_bytes must equal the sum over queued packets.
+      std::size_t total = 0;
+      for (const Ipv4Packet& q : d.queue) total += wire_size(q);
+      if (total != d.queued_bytes)
+        a->violation(audit::Invariant::kQueueBounds, loop_.now(),
+                     audit_label_ + " queued_bytes out of sync with queue contents",
+                     static_cast<double>(d.queued_bytes), static_cast<double>(total));
+    }
+  }
   if (obs_) sample_queue(dir);
   if (!d.transmitting) start_transmission(dir);
 }
@@ -118,6 +132,7 @@ void Link::finish_transmission(int dir) {
     SimTime deliver_at = loop_.now() + delay;
     if (deliver_at < d.last_delivery) deliver_at = d.last_delivery;
     d.last_delivery = deliver_at;
+    ++d.in_flight;
     loop_.schedule_at(deliver_at, [this, dir, p = std::move(packet)] { deliver(dir, p); },
                       obs::EventCategory::kLink);
   }
@@ -126,10 +141,26 @@ void Link::finish_transmission(int dir) {
 
 void Link::deliver(int dir, Ipv4Packet packet) {
   Direction& d = dir_[dir];
+  --d.in_flight;
   ++d.stats.packets_delivered;
   d.stats.bytes_delivered += wire_size(packet);
   if (obs_) obs_->delivered.add();
+  if (audit::Auditor* a = loop_.auditor())
+    a->on_delivery_ttl(packet.header.ttl, loop_.now(), audit_label_.c_str());
   peer_[dir]->handle_packet(packet, peer_iface_[dir]);
+}
+
+void Link::audit_conservation(audit::Auditor& auditor, SimTime now) const {
+  static const char* const kDirName[2] = {".ab", ".ba"};
+  for (int dir = 0; dir < 2; ++dir) {
+    const Direction& d = dir_[dir];
+    const DirectionStats& s = d.stats;
+    const std::uint64_t dropped = s.packets_dropped_queue + s.packets_dropped_loss +
+                                  s.packets_dropped_outage + s.packets_dropped_burst;
+    auditor.check_conservation(audit_label_ + kDirName[dir], s.packets_sent,
+                               s.packets_delivered, dropped, d.queue.size(),
+                               d.in_flight, now);
+  }
 }
 
 }  // namespace streamlab

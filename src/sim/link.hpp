@@ -86,6 +86,16 @@ class Link {
   /// for a whole topology at once by Network::attach_observer().
   void set_observer(obs::Obs& obs, const std::string& label);
 
+  /// Names this link for auditor violation reports (the auditor itself is
+  /// reached through the loop). Typically called by Network::attach_auditor.
+  void set_audit_label(std::string label) { audit_label_ = std::move(label); }
+
+  /// Trial-end packet-conservation check, one ledger per direction:
+  /// packets sent == delivered + dropped (queue/loss/outage/burst) +
+  /// still-queued + in-flight. Holds at any instant the loop is between
+  /// events, including budget-truncated trials.
+  void audit_conservation(audit::Auditor& auditor, SimTime now) const;
+
   /// Packets dropped on the wire (outage + burst + random loss, baseline
   /// loss included) summed over both directions. Diagnostic aggregate; the
   /// fault scheduler's per-episode accounting differences only the counter
@@ -104,6 +114,7 @@ class Link {
     std::size_t queued_bytes = 0;
     bool transmitting = false;
     SimTime last_delivery;  // FIFO guard: jitter never reorders a direction
+    std::uint64_t in_flight = 0;  ///< serialized, propagation pending
     DirectionStats stats;
   };
 
@@ -138,6 +149,7 @@ class Link {
   int peer_iface_[2];
   Direction dir_[2];
   std::unique_ptr<ObsState> obs_;
+  std::string audit_label_ = "link";
 };
 
 }  // namespace streamlab

@@ -83,25 +83,36 @@ Network::Network(const PathConfig& config) : config_(config), rng_(config.seed) 
   }
 }
 
+std::string Network::link_label(std::size_t i) const {
+  if (static_cast<int>(i) == bottleneck_index_) return "bottleneck";
+  if (i == 0) return "access";
+  if (i < static_cast<std::size_t>(config_.hop_count)) return "hop" + std::to_string(i);
+  // Server links were appended after the path; label by position.
+  return "server" + std::to_string(i - static_cast<std::size_t>(config_.hop_count));
+}
+
 void Network::attach_observer(obs::Obs& obs) {
   obs_ = &obs;
   loop_.set_observer(&obs);
-  for (std::size_t i = 0; i < links_.size(); ++i) {
-    std::string label;
-    if (static_cast<int>(i) == bottleneck_index_) {
-      label = "bottleneck";
-    } else if (i == 0) {
-      label = "access";
-    } else if (i < static_cast<std::size_t>(config_.hop_count)) {
-      label = "hop" + std::to_string(i);
-    } else {
-      // Server links were appended after the path; label by position.
-      label = "server" + std::to_string(i - static_cast<std::size_t>(config_.hop_count));
-    }
-    links_[i]->set_observer(obs, label);
-  }
+  for (std::size_t i = 0; i < links_.size(); ++i)
+    links_[i]->set_observer(obs, link_label(i));
   for (std::size_t i = 0; i < routers_.size(); ++i)
     routers_[i]->set_observer(obs, "r" + std::to_string(i));
+}
+
+void Network::attach_auditor(audit::Auditor& auditor) {
+  auditor_ = &auditor;
+  loop_.set_auditor(&auditor);
+  for (std::size_t i = 0; i < links_.size(); ++i)
+    links_[i]->set_audit_label(link_label(i));
+}
+
+void Network::audit_finalize(audit::Auditor& auditor) {
+  for (const auto& link : links_) link->audit_conservation(auditor, loop_.now());
+}
+
+void Network::set_determinism_probe(audit::DeterminismProbe* probe) {
+  client_->set_determinism_probe(probe);
 }
 
 Ipv4Address Network::router_address(int i) const {
@@ -125,6 +136,7 @@ Host& Network::add_server(const std::string& name) {
   server->attach_interface([l](const Ipv4Packet& p) { l->send_from_b(p); });
   edge.add_route(addr, 32, iface);
   if (obs_ != nullptr) link->set_observer(*obs_, "server." + name);
+  if (auditor_ != nullptr) link->set_audit_label("server." + name);
   links_.push_back(std::move(link));
 
   servers_.push_back(std::move(server));

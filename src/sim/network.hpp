@@ -49,6 +49,20 @@ class Network {
   /// outlive the network.
   void attach_observer(obs::Obs& obs);
 
+  /// Wires one invariant auditor through the topology: the event loop's
+  /// dispatch check plus per-link audit labels (same naming scheme as
+  /// attach_observer). Not owned; `auditor` must outlive the network.
+  void attach_auditor(audit::Auditor& auditor);
+
+  /// Trial-end audit: packet conservation on every link. Call once the loop
+  /// has stopped (drained or budget-truncated); events still queued count as
+  /// in-flight/queued in the ledger, so truncation is not a violation.
+  void audit_finalize(audit::Auditor& auditor);
+
+  /// Installs (or clears, with nullptr) the determinism probe on the client
+  /// host — the "client NIC" fold point of the replay digest.
+  void set_determinism_probe(audit::DeterminismProbe* probe);
+
   /// Address of router at position i (0 = nearest the client).
   Ipv4Address router_address(int i) const;
 
@@ -79,6 +93,9 @@ class Network {
   std::uint8_t next_server_host_octet_ = 10;
   int bottleneck_index_ = 0;
   obs::Obs* obs_ = nullptr;
+  audit::Auditor* auditor_ = nullptr;
+
+  std::string link_label(std::size_t i) const;
 };
 
 }  // namespace streamlab

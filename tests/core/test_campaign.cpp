@@ -1,0 +1,232 @@
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace streamlab {
+namespace {
+
+/// A deliberately tiny clip so a 20-trial campaign stays fast.
+ClipInfo tiny_clip() {
+  ClipInfo clip;
+  clip.data_set = 1;
+  clip.content = ContentClass::kNews;
+  clip.player = PlayerKind::kRealPlayer;
+  clip.tier = RateTier::kLow;
+  clip.encoded_rate = BitRate::kbps(33);
+  clip.advertised_rate = BitRate::kbps(56);
+  clip.length = Duration::seconds(5);
+  return clip;
+}
+
+CampaignConfig tiny_campaign(std::size_t trials) {
+  CampaignConfig config;
+  config.clip = tiny_clip();
+  config.trials = trials;
+  config.base_seed = 100;
+  config.scenario.path.hop_count = 2;
+  config.scenario.path.one_way_propagation = Duration::millis(5);
+  config.scenario.extra_sim_time = Duration::seconds(5);
+  // One short outage mid-clip so every trial exercises the fault layer.
+  FaultEpisode flap;
+  flap.kind = FaultKind::kOutage;
+  flap.start = SimTime::from_seconds(1.0);
+  flap.duration = Duration::millis(500);
+  flap.label = "flap";
+  config.scenario.episodes.push_back(flap);
+  return config;
+}
+
+std::string temp_manifest(const char* name) {
+  std::string path = ::testing::TempDir() + "campaign_" + name + ".ndjson";
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(Campaign, RunsEveryTrialCleanly) {
+  const CampaignConfig config = tiny_campaign(5);
+  const CampaignResult result = run_campaign(config);
+  ASSERT_EQ(result.trials.size(), 5u);
+  EXPECT_EQ(result.completed, 5u);
+  EXPECT_EQ(result.quarantined, 0u);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.aggregate.trials, 5u);
+  EXPECT_EQ(result.aggregate.sessions, 5u);
+  for (const TrialOutcome& t : result.trials) {
+    EXPECT_EQ(t.seed, config.base_seed + t.index);
+    EXPECT_NE(t.digest, 0u);
+    EXPECT_GT(t.checks, 0u);
+    EXPECT_EQ(t.violations, 0u);
+    EXPECT_FALSE(t.budget_exhausted);
+    ASSERT_TRUE(t.result.has_value());
+  }
+}
+
+TEST(Campaign, FaultHookQuarantinesExactlyThatSeed) {
+  CampaignConfig config = tiny_campaign(20);
+  config.manifest_path = temp_manifest("fault_hook");
+  config.fault_hook = [](audit::Auditor& auditor, std::size_t index, std::uint64_t) {
+    if (index == 7) auditor.force_violation("planted by test");
+  };
+  const CampaignResult result = run_campaign(config);
+  EXPECT_EQ(result.completed, 19u);
+  EXPECT_EQ(result.quarantined, 1u);
+  EXPECT_FALSE(result.ok());
+  // Exactly the planted seed is quarantined; everyone else is salvaged.
+  EXPECT_EQ(result.quarantined_seeds(),
+            (std::vector<std::uint64_t>{config.base_seed + 7}));
+  EXPECT_EQ(result.trials[7].status, TrialStatus::kQuarantined);
+  EXPECT_NE(result.trials[7].reason.find("planted by test"), std::string::npos);
+  EXPECT_EQ(result.aggregate.trials, 19u);
+
+  // The manifest records the quarantine line-for-line.
+  std::ifstream in(config.manifest_path);
+  std::string line;
+  int quarantined_lines = 0;
+  while (std::getline(in, line))
+    if (line.find("\"quarantined\"") != std::string::npos) ++quarantined_lines;
+  EXPECT_EQ(quarantined_lines, 1);
+}
+
+TEST(Campaign, ManifestRoundTripRestoresOutcomes) {
+  CampaignConfig config = tiny_campaign(3);
+  config.manifest_path = temp_manifest("round_trip");
+  const CampaignResult first = run_campaign(config);
+  ASSERT_EQ(first.completed, 3u);
+
+  const CampaignResult second = run_campaign(config);
+  EXPECT_EQ(second.resumed, 3u);
+  EXPECT_EQ(second.completed, 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const TrialOutcome& live = first.trials[i];
+    const TrialOutcome& restored = second.trials[i];
+    EXPECT_TRUE(restored.from_manifest);
+    EXPECT_EQ(restored.seed, live.seed);
+    EXPECT_EQ(restored.digest, live.digest);
+    EXPECT_EQ(restored.checks, live.checks);
+    EXPECT_EQ(restored.sim_events, live.sim_events);
+    EXPECT_EQ(restored.frames_rendered, live.frames_rendered);
+    EXPECT_EQ(restored.packets_lost, live.packets_lost);
+    EXPECT_EQ(restored.stall_time.ns(), live.stall_time.ns());
+  }
+  // The salvage aggregate is identical whether folded live or from disk.
+  EXPECT_EQ(second.aggregate.frames_rendered, first.aggregate.frames_rendered);
+  EXPECT_EQ(second.aggregate.packets_lost, first.aggregate.packets_lost);
+  EXPECT_EQ(second.aggregate.stall_time.ns(), first.aggregate.stall_time.ns());
+}
+
+TEST(Campaign, ResumesAfterKillFromFirstIncompleteTrial) {
+  CampaignConfig config = tiny_campaign(5);
+  config.manifest_path = temp_manifest("resume_kill");
+  const CampaignResult full = run_campaign(config);
+  ASSERT_EQ(full.completed, 5u);
+
+  // Simulate a campaign killed after trial 1: keep the first two manifest
+  // lines only.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(config.manifest_path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 5u);
+  {
+    std::ofstream out(config.manifest_path, std::ios::trunc);
+    out << lines[0] << '\n' << lines[1] << '\n';
+  }
+
+  const CampaignResult resumed = run_campaign(config);
+  EXPECT_EQ(resumed.resumed, 2u);
+  EXPECT_EQ(resumed.completed, 5u);
+  // Re-run trials replay deterministically: same digests as the first pass.
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(resumed.trials[i].digest, full.trials[i].digest) << "trial " << i;
+  // The manifest is whole again (2 restored lines + 3 appended).
+  std::ifstream in(config.manifest_path);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(in, line))
+    if (!line.empty()) ++count;
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(Campaign, RejectsManifestFromDifferentConfig) {
+  CampaignConfig config = tiny_campaign(2);
+  config.manifest_path = temp_manifest("mismatch");
+  run_campaign(config);
+
+  CampaignConfig changed = config;
+  changed.scenario.path.loss_probability = 0.01;  // different study entirely
+  EXPECT_THROW(run_campaign(changed), std::runtime_error);
+
+  CampaignConfig reseeded = config;
+  reseeded.base_seed = 999;
+  EXPECT_THROW(run_campaign(reseeded), std::runtime_error);
+}
+
+TEST(Campaign, ConfigDigestSeparatesStudies) {
+  const CampaignConfig config = tiny_campaign(2);
+  CampaignConfig other = config;
+  EXPECT_EQ(campaign_config_digest(config), campaign_config_digest(other));
+  other.scenario.max_stall = Duration::seconds(7);
+  EXPECT_NE(campaign_config_digest(config), campaign_config_digest(other));
+}
+
+TEST(Campaign, VerifyDeterminismPassesOnDefaultSeeds) {
+  CampaignConfig config = tiny_campaign(2);
+  config.verify_determinism = true;
+  const CampaignResult result = run_campaign(config);
+  EXPECT_EQ(result.completed, 2u);
+  for (const TrialOutcome& t : result.trials) {
+    EXPECT_EQ(t.status, TrialStatus::kCompleted);
+    EXPECT_FALSE(t.divergence.has_value());
+  }
+}
+
+TEST(Campaign, InjectedNondeterminismPinpointsFirstDivergentEvent) {
+  CampaignConfig config = tiny_campaign(1);
+  config.verify_determinism = true;
+  config.verify_seed_skew = 1;  // replay under a different seed: must diverge
+  const CampaignResult result = run_campaign(config);
+  ASSERT_EQ(result.trials.size(), 1u);
+  const TrialOutcome& t = result.trials[0];
+  EXPECT_EQ(t.status, TrialStatus::kQuarantined);
+  ASSERT_TRUE(t.divergence.has_value());
+  EXPECT_NE(t.reason.find("diverge"), std::string::npos);
+  EXPECT_NE(t.reason.find(std::to_string(*t.divergence)), std::string::npos);
+}
+
+TEST(Campaign, EventBudgetTruncatesYetLedgersBalance) {
+  CampaignConfig config = tiny_campaign(1);
+  config.scenario.max_sim_events = 500;  // far below a full trial
+  const CampaignResult result = run_campaign(config);
+  ASSERT_EQ(result.trials.size(), 1u);
+  const TrialOutcome& t = result.trials[0];
+  EXPECT_TRUE(t.budget_exhausted);
+  EXPECT_EQ(t.sim_events, 500u);
+  // Truncation is not a violation: queued and in-flight packets keep the
+  // conservation ledger balanced.
+  EXPECT_EQ(t.status, TrialStatus::kCompleted) << t.reason;
+  EXPECT_EQ(t.violations, 0u);
+}
+
+TEST(Campaign, ThrowingTrialIsQuarantinedOthersSalvaged) {
+  CampaignConfig config = tiny_campaign(3);
+  config.fault_hook = [](audit::Auditor&, std::size_t index, std::uint64_t) {
+    if (index == 1) throw std::runtime_error("trial exploded");
+  };
+  const CampaignResult result = run_campaign(config);
+  EXPECT_EQ(result.completed, 2u);
+  EXPECT_EQ(result.quarantined, 1u);
+  EXPECT_EQ(result.trials[1].status, TrialStatus::kQuarantined);
+  EXPECT_NE(result.trials[1].reason.find("trial exploded"), std::string::npos);
+  EXPECT_EQ(result.aggregate.trials, 2u);
+}
+
+}  // namespace
+}  // namespace streamlab

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 namespace streamlab {
@@ -246,6 +247,61 @@ TEST(EventLoop, PendingCountTracksFiring) {
   EXPECT_EQ(loop.pending_events(), 3u);
   loop.run();
   EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop, ThrowingCallbackLeavesBookkeepingConsistent) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(SimTime::from_seconds(1.0),
+                   [] { throw std::runtime_error("boom"); });
+  loop.schedule_at(SimTime::from_seconds(2.0), [&] { ++fired; });
+  EXPECT_THROW(loop.run(), std::runtime_error);
+  // The throwing event counts as fired and is no longer pending.
+  EXPECT_EQ(loop.executed_events(), 1u);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  EXPECT_EQ(loop.now(), SimTime::from_seconds(1.0));
+  // The loop stays usable: a further run() continues with the next event.
+  EXPECT_EQ(loop.run(), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(loop.empty());
+  EXPECT_EQ(loop.executed_events(), 2u);
+}
+
+TEST(EventLoop, CancelAfterThrowIsNoop) {
+  EventLoop loop;
+  auto handle = loop.schedule_in(Duration::millis(1),
+                                 [] { throw std::runtime_error("boom"); });
+  loop.schedule_in(Duration::millis(2), [] {});
+  EXPECT_THROW(loop.run(), std::runtime_error);
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // must not decrement the live count a second time
+  EXPECT_EQ(loop.pending_events(), 1u);
+  EXPECT_EQ(loop.run(), 1u);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop, BudgetedRunUntilStopsWithoutClockCatchUp) {
+  EventLoop loop;
+  for (int i = 1; i <= 5; ++i) loop.schedule_at(SimTime::from_seconds(i), [] {});
+  const SimTime deadline = SimTime::from_seconds(10.0);
+  // Budget truncation: the clock stays where the last event fired, so the
+  // run can be resumed with a further call.
+  EXPECT_EQ(loop.run_until(deadline, 2), 2u);
+  EXPECT_EQ(loop.now(), SimTime::from_seconds(2.0));
+  EXPECT_EQ(loop.pending_events(), 3u);
+  // Drained below the budget: the clock catches up to the deadline.
+  EXPECT_EQ(loop.run_until(deadline, 100), 3u);
+  EXPECT_EQ(loop.now(), deadline);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop, BudgetedRunUntilRespectsDeadlineOverBudget) {
+  EventLoop loop;
+  loop.schedule_at(SimTime::from_seconds(1.0), [] {});
+  loop.schedule_at(SimTime::from_seconds(20.0), [] {});
+  EXPECT_EQ(loop.run_until(SimTime::from_seconds(10.0), 100), 1u);
+  EXPECT_EQ(loop.now(), SimTime::from_seconds(10.0));
+  EXPECT_EQ(loop.pending_events(), 1u);
 }
 
 }  // namespace
