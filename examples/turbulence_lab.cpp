@@ -8,7 +8,7 @@
 //
 // Usage: turbulence_lab [set 1-6] [low|high|very-high] [export-dir]
 //                       [--trace <dir>]
-//                       [--campaign <N>] [--verify-determinism]
+//                       [--campaign <N>] [--workers <N>] [--verify-determinism]
 //                       [--manifest <path>] [--seed <base>]
 //
 // With --trace, every scenario also dumps its observability data under
@@ -18,13 +18,17 @@
 // With --campaign N the lab switches to campaign mode: N audited burst-loss
 // trials per player (seeds base..base+N-1) with per-trial budgets, quarantine
 // of throwing/violating trials, and an NDJSON resume manifest (--manifest;
-// re-running with the same manifest skips finished trials). Add
+// re-running with the same manifest skips finished trials). Trials run on a
+// worker pool (--workers N; 0 = one per hardware thread, 1 = serial) with
+// results committed in trial order, so the output is identical at any worker
+// count; each campaign prints its trials/sec wall-clock throughput. Add
 // --verify-determinism to run every trial twice and compare replay digests.
 // Exits nonzero when any trial was quarantined.
 //
 // A scenario run that dies mid-flight still flushes the CSV rows of every
 // scenario finished so far before exiting nonzero, so a crashed lab leaves
 // salvageable partial exports rather than nothing.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -93,7 +97,7 @@ void describe(const char* name, const TurbulenceRunResult& run) {
 /// Returns the process exit code (nonzero when any trial was quarantined).
 int run_campaign_mode(const ClipSet& set, RateTier tier, std::size_t trials,
                       std::uint64_t base_seed, bool verify_determinism,
-                      const std::string& manifest_path) {
+                      const std::string& manifest_path, std::size_t workers) {
   const auto [real_clip, media_clip] = *set.pair(tier);
   int exit_code = 0;
   for (const ClipInfo* clip : {&real_clip, &media_clip}) {
@@ -101,6 +105,7 @@ int run_campaign_mode(const ClipSet& set, RateTier tier, std::size_t trials,
     cfg.clip = *clip;
     cfg.trials = trials;
     cfg.base_seed = base_seed;
+    cfg.workers = workers;
     cfg.verify_determinism = verify_determinism;
     cfg.scenario = base_config();
     FaultEpisode burst;
@@ -122,12 +127,16 @@ int run_campaign_mode(const ClipSet& set, RateTier tier, std::size_t trials,
                 static_cast<unsigned long long>(base_seed + trials - 1),
                 verify_determinism ? "  (verifying determinism)" : "");
     CampaignResult result;
+    const auto wall_start = std::chrono::steady_clock::now();
     try {
       result = run_campaign(cfg);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "campaign %s failed: %s\n", player, e.what());
       return 1;
     }
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+            .count();
     for (const TrialOutcome& t : result.trials) {
       if (t.status == TrialStatus::kQuarantined) {
         std::printf("  trial %3zu seed %llu QUARANTINED: %s\n", t.index,
@@ -150,6 +159,11 @@ int run_campaign_mode(const ClipSet& set, RateTier tier, std::size_t trials,
         static_cast<unsigned long long>(agg.frames_rendered),
         static_cast<unsigned long long>(agg.frames_rendered + agg.frames_dropped),
         static_cast<unsigned long long>(agg.packets_lost), agg.stall_time.to_seconds());
+    const std::size_t ran = result.trials.size() - result.resumed;
+    if (ran > 0 && wall_seconds > 0.0) {
+      std::printf("  throughput: %zu trials in %.2fs wall = %.2f trials/sec (workers=%zu)\n",
+                  ran, wall_seconds, static_cast<double>(ran) / wall_seconds, workers);
+    }
     if (!result.ok()) {
       exit_code = 1;
       std::printf("  quarantined seeds:");
@@ -167,6 +181,7 @@ int main(int argc, char** argv) {
   std::string trace_dir;
   std::string manifest_path;
   std::size_t campaign_trials = 0;
+  std::size_t campaign_workers = 0;  // 0 = one per hardware thread
   std::uint64_t base_seed = 1;
   bool verify_determinism = false;
   std::vector<const char*> positional;
@@ -182,6 +197,8 @@ int main(int argc, char** argv) {
       trace_dir = flag_value("--trace");
     } else if (std::strcmp(argv[i], "--campaign") == 0) {
       campaign_trials = static_cast<std::size_t>(std::atoll(flag_value("--campaign")));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      campaign_workers = static_cast<std::size_t>(std::atoll(flag_value("--workers")));
     } else if (std::strcmp(argv[i], "--manifest") == 0) {
       manifest_path = flag_value("--manifest");
     } else if (std::strcmp(argv[i], "--seed") == 0) {
@@ -208,7 +225,7 @@ int main(int argc, char** argv) {
 
   if (campaign_trials > 0)
     return run_campaign_mode(set, tier, campaign_trials, base_seed, verify_determinism,
-                             manifest_path);
+                             manifest_path, campaign_workers);
 
   std::vector<std::pair<std::string, TurbulenceRunResult>> runs;
 

@@ -1,10 +1,15 @@
 #include "core/campaign.hpp"
 
+#include <atomic>
 #include <bit>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 namespace streamlab {
 namespace {
@@ -336,6 +341,16 @@ std::uint64_t campaign_config_digest(const CampaignConfig& config) {
   return d.h;
 }
 
+std::size_t resolve_workers(const CampaignConfig& config, std::size_t pending) {
+  std::size_t n = config.workers;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;  // hardware_concurrency may be unknowable
+  }
+  if (n > pending) n = pending;
+  return n == 0 ? 1 : n;
+}
+
 CampaignResult run_campaign(const CampaignConfig& config) {
   const std::string config_hex = hex64(campaign_config_digest(config));
 
@@ -354,12 +369,58 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     }
   }
 
+  // Trials still to run, in index order (the claim order of the pool).
+  std::vector<std::size_t> pending;
+  pending.reserve(config.trials);
+  for (std::size_t i = 0; i < config.trials; ++i)
+    if (!restored.contains(i)) pending.push_back(i);
+
+  const std::size_t workers = resolve_workers(config, pending.size());
+  // An Obs context is thread-confined and single-run; two concurrent trials
+  // writing one registry/tracer would race. Campaigns were already told to
+  // leave `obs` unset (SimTime restarts per trial) — under a parallel pool
+  // that advice becomes a hard requirement, rejected up front.
+  if (config.scenario.obs != nullptr && workers > 1)
+    throw std::runtime_error(
+        "campaign: scenario.obs cannot be shared across concurrent trials; "
+        "run with workers=1 or leave obs unset");
+
   std::ofstream manifest;
   if (!config.manifest_path.empty()) {
     manifest.open(config.manifest_path, std::ios::app);
     if (!manifest)
       throw std::runtime_error("cannot open resume manifest for append: " +
                                config.manifest_path);
+  }
+
+  // Worker pool. Each worker claims the next pending index, runs the trial
+  // entirely on its own thread (run_trial contains every exception inside
+  // the outcome), and parks the result in `finished`. The coordinator below
+  // consumes outcomes strictly in index order, so everything order-sensitive
+  // — manifest lines, aggregate folds, quarantine counts — is identical to a
+  // serial run. With workers == 1 no thread is spawned at all.
+  std::vector<std::optional<TrialOutcome>> finished(config.trials);
+  std::mutex mu;
+  std::condition_variable trial_done;
+  std::atomic<std::size_t> next_claim{0};
+  const auto worker_body = [&] {
+    while (true) {
+      const std::size_t k = next_claim.fetch_add(1, std::memory_order_relaxed);
+      if (k >= pending.size()) return;
+      const std::size_t index = pending[k];
+      TrialOutcome outcome = run_trial(config, index);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        finished[index] = std::move(outcome);
+      }
+      trial_done.notify_one();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  if (workers > 1) {
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker_body);
   }
 
   CampaignResult result;
@@ -369,10 +430,18 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       outcome = std::move(it->second);
       ++result.resumed;
     } else {
-      outcome = run_trial(config, i);
+      if (workers > 1) {
+        std::unique_lock<std::mutex> lock(mu);
+        trial_done.wait(lock, [&] { return finished[i].has_value(); });
+        outcome = std::move(*finished[i]);
+        finished[i].reset();
+      } else {
+        outcome = run_trial(config, i);
+      }
       if (manifest.is_open()) {
-        // One line per finished trial, flushed immediately: a campaign killed
-        // mid-run resumes from the first trial with no line.
+        // One line per finished trial, flushed as soon as every *earlier*
+        // trial's line is down: a campaign killed mid-run resumes from the
+        // first trial with no line, and lines never appear out of order.
         manifest << manifest_line(outcome, config_hex) << '\n' << std::flush;
       }
     }
@@ -384,6 +453,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     }
     result.trials.push_back(std::move(outcome));
   }
+
+  for (std::thread& t : pool) t.join();
   return result;
 }
 

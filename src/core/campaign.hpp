@@ -14,6 +14,15 @@
 // --verify-determinism mode runs each trial twice with the same seed and
 // compares the replay digests event-for-event, reporting the index of the
 // first divergent event when the runs part ways (see audit::DeterminismProbe).
+//
+// Campaigns run their trials on a pool of `workers` threads. Trials share
+// nothing — each owns a private EventLoop, Network, Rng, Auditor and
+// DeterminismProbe, all created and destroyed on its worker thread — and the
+// coordinator thread commits finished trials (manifest line, aggregate fold,
+// quarantine count) strictly in trial-index order, so the manifest bytes,
+// aggregate stats and quarantine records of a `workers=N` run are identical
+// to a `workers=1` run of the same config. See DESIGN.md §10 for the
+// isolation argument.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +47,12 @@ struct CampaignConfig {
   std::uint64_t base_seed = 1;
   /// NDJSON resume manifest path; empty = no manifest (and no resume).
   std::string manifest_path;
+  /// Worker threads running trials concurrently. 0 = one per hardware
+  /// thread; 1 = serial on the calling thread (the pre-parallel behaviour).
+  /// Results are committed in trial-index order regardless, so the manifest
+  /// and aggregate are byte-identical across worker counts. Not part of the
+  /// config digest: a manifest written serially resumes under any `workers`.
+  std::size_t workers = 0;
   /// Run each trial twice with the same seed and compare replay digests.
   bool verify_determinism = false;
   /// Test-only: offsets the verification run's seed so the divergence
@@ -118,7 +133,9 @@ std::uint64_t campaign_config_digest(const CampaignConfig& config);
 
 /// Runs (or resumes) the campaign. Throws std::runtime_error when the
 /// manifest at manifest_path was written under a different config digest or
-/// cannot be parsed.
+/// cannot be parsed — or when `scenario.obs` is set and more than one trial
+/// would run concurrently (an Obs is single-threaded and single-run; a
+/// shared one across parallel trials would be a silent data race).
 CampaignResult run_campaign(const CampaignConfig& config);
 
 }  // namespace streamlab

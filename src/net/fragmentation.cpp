@@ -11,7 +11,7 @@ std::vector<Ipv4Packet> fragment_packet(const Ipv4Packet& packet, std::size_t mt
   // Largest 8-byte-aligned payload per fragment.
   const std::size_t max_payload = ((mtu - kIpv4HeaderSize) / 8) * 8;
   std::vector<Ipv4Packet> fragments;
-  const auto& payload = packet.payload;
+  const Buffer& payload = packet.payload;
 
   std::size_t offset = 0;
   while (offset < payload.size()) {
@@ -22,8 +22,9 @@ std::vector<Ipv4Packet> fragment_packet(const Ipv4Packet& packet, std::size_t mt
         static_cast<std::uint16_t>((packet.header.fragment_offset_bytes() + offset) / 8);
     frag.header.more_fragments =
         (offset + chunk < payload.size()) || packet.header.more_fragments;
-    frag.payload.assign(payload.begin() + static_cast<std::ptrdiff_t>(offset),
-                        payload.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
+    // A view into the original datagram's block: fragmentation moves no
+    // payload bytes, only (offset, length) pairs.
+    frag.payload = payload.view(offset, chunk);
     frag.header.total_length = static_cast<std::uint16_t>(frag.total_length());
     fragments.push_back(std::move(frag));
     offset += chunk;
@@ -71,7 +72,9 @@ std::optional<Ipv4Packet> Reassembler::offer(const Ipv4Packet& packet, SimTime n
   whole.header = p.first_header;
   whole.header.more_fragments = false;
   whole.header.fragment_offset_units = 0;
-  whole.payload = std::move(p.bytes);
+  // One copy per *reassembled* datagram (the assembly scratch vector into a
+  // refcounted block); unfragmented packets above never reach this path.
+  whole.payload = Buffer::copy_of(p.bytes);
   whole.header.total_length = static_cast<std::uint16_t>(whole.total_length());
   partial_.erase(it);
   ++stats_.datagrams_delivered;

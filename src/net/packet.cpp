@@ -19,7 +19,7 @@ Ipv4Packet make_udp_packet(Endpoint src, Endpoint dst, std::span<const std::uint
   ByteWriter w(kUdpHeaderSize + payload.size());
   udp.encode(w, src.ip, dst.ip, payload);
   w.bytes(payload);
-  pkt.payload = w.take();
+  pkt.payload = Buffer::copy_of(w.view());
   pkt.header.total_length = static_cast<std::uint16_t>(pkt.total_length());
   return pkt;
 }
@@ -42,7 +42,7 @@ Ipv4Packet make_tcp_packet(Endpoint src, Endpoint dst, const TcpHeader& tcp,
   ByteWriter w(kTcpHeaderSize + payload.size());
   seg.encode(w, src.ip, dst.ip, payload);
   w.bytes(payload);
-  pkt.payload = w.take();
+  pkt.payload = Buffer::copy_of(w.view());
   pkt.header.total_length = static_cast<std::uint16_t>(pkt.total_length());
   return pkt;
 }
@@ -60,7 +60,7 @@ Ipv4Packet make_icmp_packet(Ipv4Address src, Ipv4Address dst, const IcmpHeader& 
   ByteWriter w(kIcmpHeaderSize + payload.size());
   icmp.encode(w, payload);
   w.bytes(payload);
-  pkt.payload = w.take();
+  pkt.payload = Buffer::copy_of(w.view());
   pkt.header.total_length = static_cast<std::uint16_t>(pkt.total_length());
   return pkt;
 }
@@ -72,13 +72,18 @@ Frame frame_ipv4(MacAddress src_mac, MacAddress dst_mac, const Ipv4Packet& packe
   eth.dst = dst_mac;
   eth.encode(w);
   packet.header.encode(w);
-  w.bytes(packet.payload);
-  return Frame(w.take());
+  w.bytes(packet.payload.bytes());
+  return Frame(Buffer::copy_of(w.view()));
 }
 
-Expected<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame) {
+namespace {
+
+/// Shared parse: fills everything but `out.payload`, reporting the payload's
+/// (offset, length) within `frame` so callers can either copy the slice or
+/// take a zero-copy view of an owning Buffer.
+Expected<std::pair<std::size_t, std::size_t>> parse_frame_headers(
+    std::span<const std::uint8_t> frame, ParsedFrame& out) {
   ByteReader r(frame);
-  ParsedFrame out;
 
   auto eth = EthernetHeader::decode(r);
   if (!eth) return Unexpected(eth.error());
@@ -91,12 +96,12 @@ Expected<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame) {
   out.ip = *ip;
   if (out.ip.payload_length() > r.remaining())
     return Unexpected(std::string("IPv4 total length exceeds frame"));
+  const std::size_t ip_payload_offset = r.offset();
   auto ip_payload = r.bytes(out.ip.payload_length());
 
   if (out.ip.is_trailing_fragment()) {
     // No transport header: this is a middle/last slice of a larger datagram.
-    out.payload.assign(ip_payload.begin(), ip_payload.end());
-    return out;
+    return std::pair{ip_payload_offset, ip_payload.size()};
   }
 
   ByteReader tr(ip_payload);
@@ -122,8 +127,24 @@ Expected<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame) {
     default:
       break;  // unknown transport: expose raw payload
   }
-  auto rest = tr.bytes(tr.remaining());
-  out.payload.assign(rest.begin(), rest.end());
+  return std::pair{ip_payload_offset + tr.offset(), tr.remaining()};
+}
+
+}  // namespace
+
+Expected<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame) {
+  ParsedFrame out;
+  auto slice = parse_frame_headers(frame, out);
+  if (!slice) return Unexpected(slice.error());
+  out.payload = Buffer::copy_of(frame.subspan(slice->first, slice->second));
+  return out;
+}
+
+Expected<ParsedFrame> parse_frame(const Frame& frame) {
+  ParsedFrame out;
+  auto slice = parse_frame_headers(frame.bytes(), out);
+  if (!slice) return Unexpected(slice.error());
+  out.payload = frame.buffer().view(slice->first, slice->second);
   return out;
 }
 

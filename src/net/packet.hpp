@@ -11,31 +11,38 @@
 #include <span>
 #include <vector>
 
+#include "net/buffer.hpp"
 #include "net/headers.hpp"
 #include "util/expected.hpp"
 
 namespace streamlab {
 
-/// An Ethernet frame as it appears on the wire.
+/// An Ethernet frame as it appears on the wire. The bytes live in a
+/// refcounted Buffer so parsed views can share them without copying.
 class Frame {
  public:
   Frame() = default;
-  explicit Frame(std::vector<std::uint8_t> data) : data_(std::move(data)) {}
+  explicit Frame(Buffer data) : data_(std::move(data)) {}
+  explicit Frame(const std::vector<std::uint8_t>& data)
+      : data_(Buffer::copy_of(data)) {}
 
-  std::span<const std::uint8_t> bytes() const { return data_; }
+  const Buffer& buffer() const { return data_; }
+  std::span<const std::uint8_t> bytes() const { return data_.bytes(); }
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
  private:
-  std::vector<std::uint8_t> data_;
+  Buffer data_;
 };
 
 /// An IPv4 packet: header plus raw payload bytes. For an unfragmented UDP
 /// datagram the payload is UDP header + application data; for a trailing
-/// fragment it is a slice of the original payload.
+/// fragment it is a slice (a Buffer view) of the original payload. Copying
+/// an Ipv4Packet copies the 20-byte header and bumps the payload refcount —
+/// payload bytes are written once at packet creation and never again.
 struct Ipv4Packet {
   Ipv4Header header;
-  std::vector<std::uint8_t> payload;
+  Buffer payload;
 
   std::size_t total_length() const { return kIpv4HeaderSize + payload.size(); }
 };
@@ -50,8 +57,10 @@ struct ParsedFrame {
   std::optional<TcpHeader> tcp;
   std::optional<IcmpHeader> icmp;
   /// Transport payload (after UDP/TCP/ICMP header) for first fragments, or
-  /// the raw IP payload for trailing fragments.
-  std::vector<std::uint8_t> payload;
+  /// the raw IP payload for trailing fragments. When parsing a Frame this is
+  /// a view into the frame's own buffer; when parsing a raw span it owns a
+  /// copy.
+  Buffer payload;
 };
 
 /// Builds a UDP/IPv4 datagram (not yet fragmented or framed).
@@ -71,7 +80,10 @@ Ipv4Packet make_icmp_packet(Ipv4Address src, Ipv4Address dst, const IcmpHeader& 
 /// Wraps an IPv4 packet in an Ethernet frame.
 Frame frame_ipv4(MacAddress src_mac, MacAddress dst_mac, const Ipv4Packet& packet);
 
-/// Parses a captured frame back into headers + payload.
+/// Parses a captured frame back into headers + payload (payload copied).
 Expected<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame);
+
+/// Zero-copy form: the returned payload is a view into `frame`'s buffer.
+Expected<ParsedFrame> parse_frame(const Frame& frame);
 
 }  // namespace streamlab

@@ -21,9 +21,14 @@ namespace streamlab {
 
 /// Per-event control block shared between the queued event and its handle.
 /// Refcounted without atomics — the loop (and everything scheduled on it) is
-/// single-threaded by design. `live` points at the loop's live-event count so
-/// cancel() can settle it in O(1); the loop's destructor nulls it out of any
-/// still-queued controls so a handle outliving the loop stays harmless.
+/// single-threaded by design: a loop, its events and their handles must all
+/// live and die on one thread. The parallel campaign runner relies on exactly
+/// this confinement — each trial's loop is created, run and destroyed on its
+/// worker thread, and nothing reachable from it ever crosses to another
+/// (net::Buffer makes the same bargain; see DESIGN.md §10). `live` points at
+/// the loop's live-event count so cancel() can settle it in O(1); the loop's
+/// destructor nulls it out of any still-queued controls so a handle outliving
+/// the loop stays harmless.
 struct EventCtl {
   std::uint32_t refs = 1;
   bool alive = true;

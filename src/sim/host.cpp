@@ -3,15 +3,17 @@
 #include <vector>
 
 namespace streamlab {
-namespace {
-std::uint32_t nic_counter = 0;
-}
 
+// The MAC is derived from the host's IPv4 address rather than a global NIC
+// counter: addresses are unique within a topology, the derivation is
+// deterministic regardless of how many trials ran before (or run
+// concurrently on other threads), and it removes the last mutable global
+// the parallel campaign runner would otherwise race on.
 Host::Host(EventLoop& loop, std::string name, Ipv4Address address, std::size_t mtu)
     : Node(std::move(name)),
       loop_(loop),
       address_(address),
-      mac_(MacAddress::for_nic(++nic_counter)),
+      mac_(MacAddress::for_nic(address.value())),
       mtu_(mtu) {}
 
 void Host::udp_bind(std::uint16_t port, UdpHandler handler) {

@@ -91,7 +91,7 @@ void Router::send_icmp_error(const Ipv4Packet& offending, IcmpType type, std::ui
   ByteWriter quoted(kIpv4HeaderSize + 8);
   offending.header.encode(quoted);
   const std::size_t quote = std::min<std::size_t>(8, offending.payload.size());
-  quoted.bytes(std::span(offending.payload).subspan(0, quote));
+  quoted.bytes(offending.payload.bytes().subspan(0, quote));
 
   IcmpHeader icmp;
   icmp.type = type;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/obs.hpp"
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -213,6 +215,145 @@ TEST(Campaign, EventBudgetTruncatesYetLedgersBalance) {
   // conservation ledger balanced.
   EXPECT_EQ(t.status, TrialStatus::kCompleted) << t.reason;
   EXPECT_EQ(t.violations, 0u);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// The ordered-commit guarantee, asserted at its strongest: a parallel
+/// campaign's resume manifest is byte-identical to the serial one, and every
+/// per-trial digest and aggregate field matches.
+TEST(CampaignParallel, ManifestBytesIdenticalToSerial) {
+  CampaignConfig serial = tiny_campaign(8);
+  serial.workers = 1;
+  serial.manifest_path = temp_manifest("serial_ref");
+  const CampaignResult ref = run_campaign(serial);
+  ASSERT_EQ(ref.completed, 8u);
+
+  CampaignConfig parallel = tiny_campaign(8);
+  parallel.workers = 4;
+  parallel.manifest_path = temp_manifest("parallel_4");
+  const CampaignResult par = run_campaign(parallel);
+  ASSERT_EQ(par.completed, 8u);
+
+  EXPECT_EQ(slurp(serial.manifest_path), slurp(parallel.manifest_path));
+  ASSERT_EQ(par.trials.size(), ref.trials.size());
+  for (std::size_t i = 0; i < ref.trials.size(); ++i) {
+    EXPECT_EQ(par.trials[i].index, ref.trials[i].index);
+    EXPECT_EQ(par.trials[i].seed, ref.trials[i].seed);
+    EXPECT_EQ(par.trials[i].digest, ref.trials[i].digest) << "trial " << i;
+    EXPECT_EQ(par.trials[i].sim_events, ref.trials[i].sim_events);
+  }
+  EXPECT_EQ(par.aggregate.sessions, ref.aggregate.sessions);
+  EXPECT_EQ(par.aggregate.frames_rendered, ref.aggregate.frames_rendered);
+  EXPECT_EQ(par.aggregate.frames_dropped, ref.aggregate.frames_dropped);
+  EXPECT_EQ(par.aggregate.packets_received, ref.aggregate.packets_received);
+  EXPECT_EQ(par.aggregate.packets_lost, ref.aggregate.packets_lost);
+  EXPECT_EQ(par.aggregate.rebuffer_events, ref.aggregate.rebuffer_events);
+  EXPECT_EQ(par.aggregate.stall_time.ns(), ref.aggregate.stall_time.ns());
+}
+
+/// Quarantine semantics survive parallelism: a planted violation lands on
+/// exactly the same seed, with the same manifest record, at any worker count.
+TEST(CampaignParallel, FaultHookQuarantinesSameSeedAsSerial) {
+  const auto plant = [](audit::Auditor& auditor, std::size_t index, std::uint64_t) {
+    if (index == 7) auditor.force_violation("planted by test");
+  };
+  CampaignConfig serial = tiny_campaign(20);
+  serial.workers = 1;
+  serial.manifest_path = temp_manifest("fault_serial");
+  serial.fault_hook = plant;
+  const CampaignResult ref = run_campaign(serial);
+
+  CampaignConfig parallel = tiny_campaign(20);
+  parallel.workers = 4;
+  parallel.manifest_path = temp_manifest("fault_parallel");
+  parallel.fault_hook = plant;
+  const CampaignResult par = run_campaign(parallel);
+
+  EXPECT_EQ(par.completed, ref.completed);
+  EXPECT_EQ(par.quarantined, 1u);
+  EXPECT_EQ(par.quarantined_seeds(), ref.quarantined_seeds());
+  EXPECT_EQ(par.trials[7].status, TrialStatus::kQuarantined);
+  EXPECT_EQ(par.trials[7].reason, ref.trials[7].reason);
+  EXPECT_EQ(slurp(serial.manifest_path), slurp(parallel.manifest_path));
+}
+
+/// A manifest written serially resumes under a parallel pool (workers is
+/// deliberately not part of the config digest) and completes to the same
+/// bytes the serial run would have written.
+TEST(CampaignParallel, SerialManifestResumesUnderParallelWorkers) {
+  CampaignConfig config = tiny_campaign(6);
+  config.workers = 1;
+  config.manifest_path = temp_manifest("mixed_resume");
+  const CampaignResult full = run_campaign(config);
+  ASSERT_EQ(full.completed, 6u);
+  const std::string full_bytes = slurp(config.manifest_path);
+
+  // Keep only the first three lines — a campaign killed mid-run — then
+  // resume with four workers.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(config.manifest_path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  {
+    std::ofstream out(config.manifest_path, std::ios::trunc);
+    for (std::size_t i = 0; i < 3; ++i) out << lines[i] << '\n';
+  }
+  config.workers = 4;
+  const CampaignResult resumed = run_campaign(config);
+  EXPECT_EQ(resumed.resumed, 3u);
+  EXPECT_EQ(resumed.completed, 6u);
+  EXPECT_EQ(slurp(config.manifest_path), full_bytes);
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_EQ(resumed.trials[i].digest, full.trials[i].digest) << "trial " << i;
+}
+
+TEST(CampaignParallel, VerifyDeterminismPassesUnderWorkers) {
+  CampaignConfig config = tiny_campaign(4);
+  config.workers = 4;
+  config.verify_determinism = true;
+  const CampaignResult result = run_campaign(config);
+  EXPECT_EQ(result.completed, 4u);
+  for (const TrialOutcome& t : result.trials)
+    EXPECT_FALSE(t.divergence.has_value());
+}
+
+/// A shared Obs across concurrent trials would be a silent data race — the
+/// campaign rejects it up front instead. With only one trial actually
+/// pending, no concurrency can occur and the same config is accepted.
+TEST(CampaignParallel, SharedObsRejectedWhenTrialsWouldRunConcurrently) {
+  obs::Obs obs;
+  CampaignConfig config = tiny_campaign(4);
+  config.workers = 4;
+  config.scenario.obs = &obs;
+  EXPECT_THROW(run_campaign(config), std::runtime_error);
+
+  CampaignConfig single = tiny_campaign(1);
+  single.workers = 4;  // clamped to the single pending trial: no concurrency
+  single.scenario.obs = &obs;
+  EXPECT_NO_THROW(run_campaign(single));
+}
+
+/// workers=0 (one per hardware thread) must behave like any explicit count.
+TEST(CampaignParallel, DefaultWorkerCountProducesSameResults) {
+  CampaignConfig serial = tiny_campaign(4);
+  serial.workers = 1;
+  const CampaignResult ref = run_campaign(serial);
+
+  CampaignConfig defaulted = tiny_campaign(4);
+  defaulted.workers = 0;
+  const CampaignResult result = run_campaign(defaulted);
+  ASSERT_EQ(result.trials.size(), ref.trials.size());
+  for (std::size_t i = 0; i < ref.trials.size(); ++i)
+    EXPECT_EQ(result.trials[i].digest, ref.trials[i].digest);
+  EXPECT_EQ(result.aggregate.frames_rendered, ref.aggregate.frames_rendered);
 }
 
 TEST(Campaign, ThrowingTrialIsQuarantinedOthersSalvaged) {

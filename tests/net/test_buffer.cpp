@@ -1,0 +1,120 @@
+#include "net/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/fragmentation.hpp"
+#include "net/packet.hpp"
+
+namespace streamlab {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  return v;
+}
+
+TEST(Buffer, DefaultIsEmpty) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b, Buffer());
+}
+
+TEST(Buffer, CopyOfPreservesBytes) {
+  const auto src = pattern(300);
+  const Buffer b = Buffer::copy_of(src);
+  ASSERT_EQ(b.size(), 300u);
+  EXPECT_EQ(b, src);
+  // Equality is reversible (C++20 synthesizes the vector == Buffer form).
+  EXPECT_TRUE(src == b);
+}
+
+TEST(Buffer, CopyIsRefcountNotReallocation) {
+  const Buffer a = Buffer::copy_of(pattern(512));
+  const Buffer b = a;   // copy ctor: refcount bump
+  Buffer c;
+  c = a;                // copy assign
+  EXPECT_TRUE(a.shares_block_with(b));
+  EXPECT_TRUE(a.shares_block_with(c));
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Buffer, MoveTransfersOwnership) {
+  Buffer a = Buffer::copy_of(pattern(64));
+  const std::uint8_t* p = a.data();
+  Buffer b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_TRUE(a.empty());  // moved-from is the empty buffer
+}
+
+TEST(Buffer, ViewSharesBlockAndWindowsBytes) {
+  const auto src = pattern(1000);
+  const Buffer whole = Buffer::copy_of(src);
+  const Buffer mid = whole.view(100, 250);
+  ASSERT_EQ(mid.size(), 250u);
+  EXPECT_TRUE(mid.shares_block_with(whole));
+  for (std::size_t i = 0; i < mid.size(); ++i) EXPECT_EQ(mid[i], src[100 + i]);
+  // A view of a view still shares the original block.
+  const Buffer inner = mid.view(10, 20);
+  EXPECT_TRUE(inner.shares_block_with(whole));
+  EXPECT_EQ(inner[0], src[110]);
+}
+
+TEST(Buffer, ZeroLengthAndOutOfRangeViewsAreEmpty) {
+  const Buffer b = Buffer::copy_of(pattern(10));
+  EXPECT_TRUE(b.view(5, 0).empty());
+  EXPECT_TRUE(b.view(11, 1).empty());
+  EXPECT_TRUE(b.view(5, 6).empty());
+}
+
+TEST(Buffer, BytesOutliveTheOriginalHandle) {
+  Buffer survivor;
+  {
+    const Buffer whole = Buffer::copy_of(pattern(200));
+    survivor = whole.view(50, 100);
+  }  // whole destroyed; the shared block must stay alive
+  ASSERT_EQ(survivor.size(), 100u);
+  const auto src = pattern(200);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(survivor[i], src[50 + i]);
+}
+
+TEST(Buffer, SlabRecyclesReleasedBlocks) {
+  Buffer::trim_slab();
+  const auto before = Buffer::slab_stats();
+  { const Buffer a = Buffer::copy_of(pattern(500)); }
+  { const Buffer b = Buffer::copy_of(pattern(500)); }  // same size class
+  const auto after = Buffer::slab_stats();
+  EXPECT_GE(after.fresh_blocks, before.fresh_blocks + 1);
+  EXPECT_GE(after.recycled_blocks, before.recycled_blocks + 1);
+}
+
+TEST(Buffer, FragmentsAreViewsIntoTheDatagramPayload) {
+  // The zero-copy contract end-to-end: fragmenting a big datagram must not
+  // copy payload bytes — every fragment windows the original block.
+  const Endpoint src{Ipv4Address(192, 168, 100, 10), 1755};
+  const Endpoint dst{Ipv4Address(10, 0, 0, 2), 7000};
+  const Ipv4Packet datagram = make_udp_packet(src, dst, pattern(4000), 77);
+  const auto fragments = fragment_packet(datagram, kDefaultMtu);
+  ASSERT_GT(fragments.size(), 1u);
+  for (const auto& frag : fragments)
+    EXPECT_TRUE(frag.payload.shares_block_with(datagram.payload));
+}
+
+TEST(Buffer, ParseFrameZeroCopySharesTheFrameBlock) {
+  const Endpoint src{Ipv4Address(192, 168, 100, 10), 1755};
+  const Endpoint dst{Ipv4Address(10, 0, 0, 2), 7000};
+  const Ipv4Packet pkt = make_udp_packet(src, dst, pattern(600), 3);
+  const Frame frame = frame_ipv4(MacAddress::for_nic(1), MacAddress::for_nic(2), pkt);
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->payload.shares_block_with(frame.buffer()));
+  // The parsed payload is the transport data (UDP header consumed).
+  EXPECT_EQ(parsed->payload, pattern(600));
+}
+
+}  // namespace
+}  // namespace streamlab
