@@ -7,9 +7,17 @@
 // the CSV exports.
 //
 // Usage: turbulence_lab [set 1-6] [low|high|very-high] [export-dir]
-//                       [--trace <dir>]
+//                       [--trace <dir>] [--chaos]
 //                       [--campaign <N>] [--workers <N>] [--verify-determinism]
 //                       [--manifest <path>] [--seed <base>]
+//
+// With --chaos the lab runs the self-healing scenarios instead of the link
+// impairment set: a mid-stream router failure on a path with a detour
+// segment (the route-repair control plane withdraws the primaries and the
+// stream rides the detour), and the same failure without a detour but with
+// a mirror server (the withdraw produces Destination Unreachable, the
+// client fails over and resumes mid-clip). Combined with --campaign N the
+// campaign trials run the detour-reroute chaos scenario.
 //
 // With --trace, every scenario also dumps its observability data under
 // <dir>/<scenario>/: trace.json (Chrome trace-event format — open it at
@@ -62,6 +70,45 @@ TurbulenceScenarioConfig base_config() {
   return cfg;
 }
 
+FaultEpisode router_down_episode(int router_index, double start_s, double duration_s) {
+  FaultEpisode down;
+  down.kind = FaultKind::kRouterDown;
+  down.router_index = router_index;
+  down.start = SimTime::from_seconds(start_s);
+  down.duration = Duration::seconds(static_cast<std::int64_t>(duration_s));
+  down.label = "router-down";
+  return down;
+}
+
+/// Chaos scenario 1: router 3 dies mid-stream on a path with a detour
+/// bridging span [3,4]; the repair plane reroutes within detection delay +
+/// hold-down and converges back when the router returns.
+TurbulenceScenarioConfig chaos_reroute_config() {
+  TurbulenceScenarioConfig cfg = base_config();
+  cfg.path.detour = DetourConfig{3, 4, 2, 10};
+  cfg.repair = RouteRepairConfig{};
+  cfg.mirror_server = true;  // dormant backstop; the detour should win
+  cfg.episodes.push_back(router_down_episode(3, 30.0, 10.0));
+  return cfg;
+}
+
+/// Chaos scenario 2: the same failure without a detour. The repair plane
+/// still withdraws the span's primaries, so the boundary routers answer with
+/// Destination Unreachable instead of black-holing; the client fails over
+/// to the mirror and resumes once the outage clears.
+TurbulenceScenarioConfig chaos_failover_config() {
+  TurbulenceScenarioConfig cfg = base_config();
+  cfg.repair = RouteRepairConfig{};
+  cfg.repair_span_first = 3;
+  cfg.repair_span_last = 4;
+  cfg.mirror_server = true;
+  // Enough PLAY budget (exponential backoff from 500 ms) to span the
+  // 20 s outage after the ~8 s watchdog triggers the failover.
+  cfg.recovery.max_play_attempts = 8;
+  cfg.episodes.push_back(router_down_episode(3, 30.0, 20.0));
+  return cfg;
+}
+
 void describe(const char* name, const TurbulenceRunResult& run) {
   std::printf("scenario: %s\n", name);
   for (const auto& rec : run.episodes) {
@@ -81,15 +128,27 @@ void describe(const char* name, const TurbulenceRunResult& run) {
                 m.established ? "" : " never-established");
     if (m.time_to_recover)
       std::printf("  recover=%.2fs", m.time_to_recover->to_seconds());
-    std::printf("  rebuffers=%u stall=%.1fs frames=%u/%u (during=%u after=%u) lost=%llu dup=%llu\n",
+    std::printf("  rebuffers=%u stall=%.1fs frames=%u/%u (during=%u after=%u) lost=%llu dup=%llu",
                 m.rebuffer_events, m.stall_time.to_seconds(), m.frames_rendered,
                 m.frames_rendered + m.frames_dropped, m.frames_dropped_during_episodes,
                 m.frames_dropped_after_episodes,
                 static_cast<unsigned long long>(m.packets_lost),
                 static_cast<unsigned long long>(m.duplicate_packets));
+    if (m.failovers > 0)
+      std::printf("  failovers=%u (resume@%llu, %llu unreachables)", m.failovers,
+                  static_cast<unsigned long long>(m.resume_offset),
+                  static_cast<unsigned long long>(m.icmp_unreachables));
+    if (m.stall_during_router_down > Duration::zero())
+      std::printf("  router-down-stall=%.1fs",
+                  m.stall_during_router_down.to_seconds());
+    std::printf("\n");
   };
   if (run.real) session(*run.real);
   if (run.media) session(*run.media);
+  if (run.reroutes > 0 || run.route_restores > 0)
+    std::printf("  route repair: %llu reroutes, %llu restores\n",
+                static_cast<unsigned long long>(run.reroutes),
+                static_cast<unsigned long long>(run.route_restores));
   std::printf("  sessions failed: %d\n\n", run.sessions_abandoned());
 }
 
@@ -97,7 +156,8 @@ void describe(const char* name, const TurbulenceRunResult& run) {
 /// Returns the process exit code (nonzero when any trial was quarantined).
 int run_campaign_mode(const ClipSet& set, RateTier tier, std::size_t trials,
                       std::uint64_t base_seed, bool verify_determinism,
-                      const std::string& manifest_path, std::size_t workers) {
+                      const std::string& manifest_path, std::size_t workers,
+                      bool chaos) {
   const auto [real_clip, media_clip] = *set.pair(tier);
   int exit_code = 0;
   for (const ClipInfo* clip : {&real_clip, &media_clip}) {
@@ -107,14 +167,20 @@ int run_campaign_mode(const ClipSet& set, RateTier tier, std::size_t trials,
     cfg.base_seed = base_seed;
     cfg.workers = workers;
     cfg.verify_determinism = verify_determinism;
-    cfg.scenario = base_config();
-    FaultEpisode burst;
-    burst.kind = FaultKind::kBurstLoss;
-    burst.start = SimTime::from_seconds(20.0);
-    burst.duration = Duration::seconds(25);
-    burst.gilbert = GilbertElliottConfig{0.05, 0.25, 0.0, 0.6};
-    burst.label = "burst-loss";
-    cfg.scenario.episodes.push_back(burst);
+    if (chaos) {
+      // Self-healing trials: router failure + detour reroute (mirror armed
+      // as backstop), audited and replay-verified like any other campaign.
+      cfg.scenario = chaos_reroute_config();
+    } else {
+      cfg.scenario = base_config();
+      FaultEpisode burst;
+      burst.kind = FaultKind::kBurstLoss;
+      burst.start = SimTime::from_seconds(20.0);
+      burst.duration = Duration::seconds(25);
+      burst.gilbert = GilbertElliottConfig{0.05, 0.25, 0.0, 0.6};
+      burst.label = "burst-loss";
+      cfg.scenario.episodes.push_back(burst);
+    }
     // Budgets: generous enough that healthy trials never hit them, tight
     // enough that a runaway trial is truncated instead of hanging the lab.
     cfg.scenario.max_sim_events = 50'000'000;
@@ -159,6 +225,14 @@ int run_campaign_mode(const ClipSet& set, RateTier tier, std::size_t trials,
         static_cast<unsigned long long>(agg.frames_rendered),
         static_cast<unsigned long long>(agg.frames_rendered + agg.frames_dropped),
         static_cast<unsigned long long>(agg.packets_lost), agg.stall_time.to_seconds());
+    if (chaos)
+      std::printf(
+          "  self-healing: %llu reroutes, %llu restores, %llu failovers, "
+          "router-down stall %.1fs\n",
+          static_cast<unsigned long long>(agg.reroutes),
+          static_cast<unsigned long long>(agg.route_restores),
+          static_cast<unsigned long long>(agg.failovers),
+          agg.router_down_stall.to_seconds());
     const std::size_t ran = result.trials.size() - result.resumed;
     if (ran > 0 && wall_seconds > 0.0) {
       std::printf("  throughput: %zu trials in %.2fs wall = %.2f trials/sec (workers=%zu)\n",
@@ -184,6 +258,7 @@ int main(int argc, char** argv) {
   std::size_t campaign_workers = 0;  // 0 = one per hardware thread
   std::uint64_t base_seed = 1;
   bool verify_determinism = false;
+  bool chaos = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const auto flag_value = [&](const char* flag) -> const char* {
@@ -205,6 +280,8 @@ int main(int argc, char** argv) {
       base_seed = static_cast<std::uint64_t>(std::atoll(flag_value("--seed")));
     } else if (std::strcmp(argv[i], "--verify-determinism") == 0) {
       verify_determinism = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -225,7 +302,7 @@ int main(int argc, char** argv) {
 
   if (campaign_trials > 0)
     return run_campaign_mode(set, tier, campaign_trials, base_seed, verify_determinism,
-                             manifest_path, campaign_workers);
+                             manifest_path, campaign_workers, chaos);
 
   std::vector<std::pair<std::string, TurbulenceRunResult>> runs;
 
@@ -244,6 +321,41 @@ int main(int argc, char** argv) {
       std::printf("trace: wrote %d files to %s\n", files, dir.c_str());
     }
   };
+
+  // Chaos (self-healing) scenarios: a paired run over the detour topology,
+  // then per-player mirror-failover runs (the pair harness is
+  // single-server, so failover uses the clip form).
+  if (chaos) {
+    const auto clip_pair = *set.pair(tier);
+    try {
+      run_scenario("router-down-reroute", chaos_reroute_config());
+      for (const ClipInfo* clip : {&clip_pair.first, &clip_pair.second}) {
+        TurbulenceScenarioConfig cfg = chaos_failover_config();
+        std::unique_ptr<obs::Obs> obs;
+        if (!trace_dir.empty()) {
+          obs = std::make_unique<obs::Obs>();
+          cfg.obs = obs.get();
+        }
+        const std::string name =
+            std::string("router-down-failover-") +
+            (clip->player == PlayerKind::kMediaPlayer ? "media" : "real");
+        runs.emplace_back(name, run_turbulence_clip(*clip, cfg));
+        if (obs) {
+          const std::string dir = trace_dir + "/" + name;
+          const int files = obs::export_trace(*obs, dir);
+          std::printf("trace: wrote %d files to %s\n", files, dir.c_str());
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "chaos scenario failed after %zu completed run(s): %s\n",
+                   runs.size(), e.what());
+      return 2;
+    }
+    for (const auto& [name, run] : runs) describe(name.c_str(), run);
+    const int written = export_turbulence(runs, export_dir);
+    std::printf("wrote %d CSV files to %s\n", written, export_dir.c_str());
+    return 0;
+  }
 
   try {
   // 1. A 4 s link flap at t=30s: shorter than the delay buffers, so both

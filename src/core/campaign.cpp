@@ -36,6 +36,7 @@ struct Digester {
 
 void fold_episode(Digester& d, const FaultEpisode& e) {
   d.u64(static_cast<std::uint64_t>(e.kind));
+  d.i64(e.router_index);
   d.i64(e.start.ns());
   d.i64(e.duration.ns());
   d.i64(e.bandwidth.bits_per_second());
@@ -142,6 +143,10 @@ std::string manifest_line(const TrialOutcome& t, const std::string& config_hex) 
   num("packets_received", t.packets_received);
   num("packets_lost", t.packets_lost);
   num("rebuffers", t.rebuffer_events);
+  num("reroutes", t.reroutes);
+  num("route_restores", t.route_restores);
+  num("failovers", t.failovers);
+  line += "\"router_down_stall_ns\":" + std::to_string(t.router_down_stall.ns()) + ",";
   line += "\"stall_ns\":" + std::to_string(t.stall_time.ns()) + "}";
   return line;
 }
@@ -188,6 +193,10 @@ TrialOutcome parse_manifest_line(const std::string& line, const std::string& con
   t.packets_received = json_u64(line, "packets_received");
   t.packets_lost = json_u64(line, "packets_lost");
   t.rebuffer_events = json_u64(line, "rebuffers");
+  t.reroutes = json_u64(line, "reroutes");
+  t.route_restores = json_u64(line, "route_restores");
+  t.failovers = json_u64(line, "failovers");
+  t.router_down_stall = Duration::nanos(json_i64(line, "router_down_stall_ns"));
   t.stall_time = Duration::nanos(json_i64(line, "stall_ns"));
   return t;
 }
@@ -209,9 +218,13 @@ void fill_salvage(TrialOutcome& t) {
     t.packets_lost += m->packets_lost;
     t.rebuffer_events += m->rebuffer_events;
     t.stall_time = t.stall_time + m->stall_time;
+    t.failovers += m->failovers;
+    t.router_down_stall = t.router_down_stall + m->stall_during_router_down;
   };
   fold_session(t.result->real);
   fold_session(t.result->media);
+  t.reroutes = t.result->reroutes;
+  t.route_restores = t.result->route_restores;
 }
 
 TrialOutcome run_trial(const CampaignConfig& config, std::size_t index) {
@@ -292,6 +305,10 @@ void CampaignAggregate::fold(const TrialOutcome& trial) {
   packets_lost += trial.packets_lost;
   rebuffer_events += trial.rebuffer_events;
   stall_time = stall_time + trial.stall_time;
+  reroutes += trial.reroutes;
+  route_restores += trial.route_restores;
+  failovers += trial.failovers;
+  router_down_stall = router_down_stall + trial.router_down_stall;
 }
 
 std::vector<std::uint64_t> CampaignResult::quarantined_seeds() const {
@@ -321,6 +338,24 @@ std::uint64_t campaign_config_digest(const CampaignConfig& config) {
   d.i64(s.path.jitter_stddev.ns());
   d.f64(s.path.loss_probability);
   d.u64(s.path.queue_limit_bytes);
+  // Self-healing topology/control-plane knobs: trials run with a different
+  // detour, repair policy or mirror setup are not comparable.
+  d.u64(s.path.detour ? 1 : 0);
+  if (s.path.detour) {
+    d.i64(s.path.detour->span_first);
+    d.i64(s.path.detour->span_last);
+    d.i64(s.path.detour->hops);
+    d.i64(s.path.detour->metric);
+  }
+  d.u64(s.repair ? 1 : 0);
+  if (s.repair) {
+    d.i64(s.repair->detection_delay.ns());
+    d.i64(s.repair->hold_down.ns());
+  }
+  d.i64(s.repair_span_first);
+  d.i64(s.repair_span_last);
+  d.u64(s.mirror_server ? 1 : 0);
+  d.i64(s.icmp_unreachable_threshold);
   d.u64(s.recovery.play_retry ? 1 : 0);
   d.i64(s.recovery.play_timeout.ns());
   d.f64(s.recovery.backoff);

@@ -98,6 +98,11 @@ struct TrialOutcome {
   std::uint64_t packets_lost = 0;
   std::uint64_t rebuffer_events = 0;
   Duration stall_time;
+  std::uint64_t reroutes = 0;        ///< route-repair withdraw transitions
+  std::uint64_t route_restores = 0;  ///< route-repair restore transitions
+  std::uint64_t failovers = 0;       ///< mirror failovers committed
+  /// Stall time overlapping kRouterDown episode windows.
+  Duration router_down_stall;
 };
 
 /// Study-level totals over every *completed* trial, live or restored.
@@ -112,6 +117,10 @@ struct CampaignAggregate {
   std::uint64_t packets_lost = 0;
   std::uint64_t rebuffer_events = 0;
   Duration stall_time;
+  std::uint64_t reroutes = 0;
+  std::uint64_t route_restores = 0;
+  std::uint64_t failovers = 0;
+  Duration router_down_stall;
 
   void fold(const TrialOutcome& trial);
 };

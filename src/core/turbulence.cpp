@@ -11,21 +11,34 @@ namespace {
 
 struct FaultedSession {
   std::unique_ptr<StreamServer> server;
+  std::unique_ptr<StreamServer> mirror;  ///< failover target, when configured
   std::unique_ptr<StreamClient> client;
 };
 
-FaultedSession make_session(Network& net, Host& server_host, const ClipInfo& clip,
+std::unique_ptr<StreamServer> make_server(Host& host, const EncodedClip& encoded,
+                                          std::uint16_t port, bool is_media,
+                                          const TurbulenceScenarioConfig& config,
+                                          std::uint64_t rm_seed) {
+  if (is_media)
+    return std::make_unique<WmServer>(host, encoded, config.wm, port);
+  return std::make_unique<RmServer>(host, encoded, config.rm, port, rm_seed);
+}
+
+FaultedSession make_session(Network& net, Host& server_host, Host* mirror_host,
+                            const ClipInfo& clip,
                             const TurbulenceScenarioConfig& config) {
   FaultedSession s;
   const EncodedClip encoded = encode_clip(clip, config.seed);
   const bool is_media = clip.player == PlayerKind::kMediaPlayer;
   const std::uint16_t server_port = is_media ? kMediaServerPort : kRealServerPort;
 
-  if (is_media) {
-    s.server = std::make_unique<WmServer>(server_host, encoded, config.wm, server_port);
-  } else {
-    s.server = std::make_unique<RmServer>(server_host, encoded, config.rm, server_port,
-                                          config.seed ^ 0x524D);
+  s.server = make_server(server_host, encoded, server_port, is_media, config,
+                         config.seed ^ 0x524D);
+  if (mirror_host != nullptr) {
+    // The mirror serves the same clip on the same port from its own host; a
+    // failover PLAY carrying a resume offset continues the stream there.
+    s.mirror = make_server(*mirror_host, encoded, server_port, is_media, config,
+                           config.seed ^ 0x6D69);
   }
 
   StreamClient::Config cc;
@@ -35,6 +48,10 @@ FaultedSession make_session(Network& net, Host& server_host, const ClipInfo& cli
   cc.rebuffering = config.rebuffering;
   cc.max_stall = config.max_stall;
   cc.recovery = config.recovery;
+  if (mirror_host != nullptr) {
+    cc.failover.mirrors.push_back(Endpoint{mirror_host->address(), server_port});
+    cc.failover.icmp_unreachable_threshold = config.icmp_unreachable_threshold;
+  }
   s.client = std::make_unique<StreamClient>(
       net.client(), s.server->clip(), Endpoint{server_host.address(), server_port}, cc);
   return s;
@@ -61,6 +78,30 @@ SessionRecoveryMetrics collect(const ClipInfo& clip, const StreamClient& client,
   m.packets_received = client.packets_received();
   m.packets_lost = client.packets_lost();
   m.duplicate_packets = client.duplicate_packets();
+  m.failovers = client.failover_count();
+  m.icmp_unreachables = client.icmp_unreachables();
+  m.resume_offset = client.resume_offset();
+
+  // Attribute stall time to router failure: overlap each stall interval
+  // with the merged kRouterDown windows.
+  std::vector<std::pair<SimTime, SimTime>> down_windows;
+  for (const FaultEpisode& e : episodes)
+    if (e.kind == FaultKind::kRouterDown) down_windows.emplace_back(e.start, e.end());
+  std::sort(down_windows.begin(), down_windows.end());
+  std::vector<std::pair<SimTime, SimTime>> merged;
+  for (const auto& w : down_windows) {
+    if (!merged.empty() && w.first <= merged.back().second)
+      merged.back().second = std::max(merged.back().second, w.second);
+    else
+      merged.push_back(w);
+  }
+  for (const auto& [stall_start, stall_end] : client.stall_intervals()) {
+    for (const auto& [win_start, win_end] : merged) {
+      const SimTime lo = std::max(stall_start, win_start);
+      const SimTime hi = std::min(stall_end, win_end);
+      if (hi > lo) m.stall_during_router_down += hi - lo;
+    }
+  }
 
   if (!episodes.empty()) {
     const FaultEpisode& first = *std::min_element(
@@ -112,6 +153,21 @@ void attach_instrumentation(Network& net, const TurbulenceScenarioConfig& config
   if (config.probe != nullptr) net.set_determinism_probe(config.probe);
 }
 
+/// Builds the optional route-repair control plane. The RouteRepair ctor
+/// protects the detour span when the path has one; an explicit
+/// repair_span_first/last protects a chain span as well (the no-detour
+/// fast-fail setup).
+std::unique_ptr<RouteRepair> make_repair(Network& net,
+                                         const TurbulenceScenarioConfig& config) {
+  if (!config.repair) return nullptr;
+  auto repair = std::make_unique<RouteRepair>(net, *config.repair);
+  if (config.repair_span_first >= 0 &&
+      config.repair_span_last >= config.repair_span_first)
+    repair->protect(config.repair_span_first, config.repair_span_last);
+  if (config.obs != nullptr) repair->set_observer(*config.obs);
+  return repair;
+}
+
 /// Runs the scenario timeline under the configured budgets: first to the
 /// scripted horizon, then the bounded stall/recovery tail (every remaining
 /// event source is bounded — per-frame stalls cap at max_stall, the watchdog
@@ -155,10 +211,12 @@ TurbulenceRunResult run_turbulence_clip(const ClipInfo& clip,
   Network net(path);
   attach_instrumentation(net, config);
   Host& server_host = net.add_server("server");
+  Host* mirror_host = config.mirror_server ? &net.add_server("mirror") : nullptr;
+  auto repair = make_repair(net, config);
 
-  auto session = make_session(net, server_host, clip, config);
+  auto session = make_session(net, server_host, mirror_host, clip, config);
 
-  FaultScheduler faults(net.loop(), net.bottleneck_link());
+  FaultScheduler faults(net.loop(), net.bottleneck_link(), net);
   for (const FaultEpisode& e : config.episodes) faults.add(e);
   faults.arm();
 
@@ -169,8 +227,13 @@ TurbulenceRunResult run_turbulence_clip(const ClipInfo& clip,
   // Close any episode whose obs span is still open at the horizon (a budget
   // truncation can stop the loop mid-episode) and run the trial-end ledgers.
   faults.finish();
+  if (repair) repair->finish();
   if (config.auditor != nullptr) net.audit_finalize(*config.auditor);
 
+  if (repair) {
+    result.reroutes = repair->stats().reroutes;
+    result.route_restores = repair->stats().restores;
+  }
   auto metrics = collect(clip, *session.client, config.episodes);
   (clip.player == PlayerKind::kMediaPlayer ? result.media : result.real) =
       std::move(metrics);
@@ -191,14 +254,15 @@ TurbulenceRunResult run_turbulence_pair(const ClipSet& set, RateTier tier,
   attach_instrumentation(net, config);
   Host& real_host = net.add_server("real-server");
   Host& media_host = net.add_server("media-server");
+  auto repair = make_repair(net, config);
 
-  auto real_session = make_session(net, real_host, real_clip, config);
-  auto media_session = make_session(net, media_host, media_clip, config);
+  auto real_session = make_session(net, real_host, nullptr, real_clip, config);
+  auto media_session = make_session(net, media_host, nullptr, media_clip, config);
 
   // Both streams cross the bottleneck link, so one scheduler hits both —
   // the "same path, same turbulence" comparison the paper's simultaneous
   // runs were designed to guarantee.
-  FaultScheduler faults(net.loop(), net.bottleneck_link());
+  FaultScheduler faults(net.loop(), net.bottleneck_link(), net);
   for (const FaultEpisode& e : config.episodes) faults.add(e);
   faults.arm();
 
@@ -207,8 +271,13 @@ TurbulenceRunResult run_turbulence_pair(const ClipSet& set, RateTier tier,
   const Duration longest = std::max(real_clip.length, media_clip.length);
   run_budgeted(net.loop(), run_deadline(net.loop(), longest, config), config, result);
   faults.finish();  // close spans left open by a mid-episode truncation
+  if (repair) repair->finish();
   if (config.auditor != nullptr) net.audit_finalize(*config.auditor);
 
+  if (repair) {
+    result.reroutes = repair->stats().reroutes;
+    result.route_restores = repair->stats().restores;
+  }
   result.real = collect(real_clip, *real_session.client, config.episodes);
   result.media = collect(media_clip, *media_session.client, config.episodes);
   result.episodes = faults.records();

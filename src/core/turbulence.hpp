@@ -16,6 +16,7 @@
 #include "obs/obs.hpp"
 #include "sim/audit.hpp"
 #include "sim/faults.hpp"
+#include "sim/repair.hpp"
 
 namespace streamlab {
 
@@ -58,9 +59,31 @@ struct TurbulenceScenarioConfig {
   /// not hold the picture for 10 s.
   Duration max_stall = Duration::seconds(2);
   /// Episode script, applied to the path's bottleneck link in start order.
+  /// kRouterDown episodes target `FaultEpisode::router_index` instead.
   std::vector<FaultEpisode> episodes;
   /// Run-off after the nominal clip length.
   Duration extra_sim_time = Duration::seconds(90);
+
+  // --- Self-healing knobs (router-down turbulence) ---
+  /// Deterministic route-repair control plane (sim/repair.hpp). When set, a
+  /// RouteRepair protects the path's detour span (if `path.detour` is
+  /// configured) and/or the explicit span below, withdrawing the primaries
+  /// through downed routers after a detection delay and restoring them
+  /// after hold-down. nullopt = no control plane (silent black hole).
+  std::optional<RouteRepairConfig> repair;
+  /// Chain-router span [first, last] to protect when the path has no detour
+  /// (the withdraw then produces Destination Unreachable — the failover
+  /// fast-fail signal). Negative = protect only the detour span.
+  int repair_span_first = -1;
+  int repair_span_last = -1;
+  /// Stand up a mirror server beside the primary and hand its endpoint to
+  /// the client, which fails over to it (resuming at the contiguous media
+  /// position) when the primary path dies. Clip runs only; the paired
+  /// comparison harness ignores this.
+  bool mirror_server = false;
+  /// Consecutive Destination Unreachable packets that fast-fail the client
+  /// onto the mirror (see FailoverConfig).
+  int icmp_unreachable_threshold = 3;
 };
 
 /// How one player session fared through the scripted turbulence.
@@ -92,6 +115,14 @@ struct SessionRecoveryMetrics {
   std::uint64_t packets_lost = 0;
   std::uint64_t duplicate_packets = 0;
 
+  // Self-healing behaviour.
+  std::uint32_t failovers = 0;            ///< mirror failovers committed
+  std::uint64_t icmp_unreachables = 0;    ///< Destination Unreachable observed
+  std::uint64_t resume_offset = 0;        ///< media position of the last failover PLAY
+  /// Stall time overlapping a kRouterDown episode window — the rebuffering
+  /// attributable to router failure rather than ambient turbulence.
+  Duration stall_during_router_down;
+
   /// abandoned or declared dead: the session did not survive the turbulence.
   bool session_failed() const { return abandoned || stream_dead; }
 };
@@ -105,6 +136,9 @@ struct TurbulenceRunResult {
   std::uint64_t sim_events = 0;
   /// The run was truncated by max_sim_events / max_wall_time.
   bool budget_exhausted = false;
+  /// Route-repair control-plane transitions (zero without `repair`).
+  std::uint64_t reroutes = 0;
+  std::uint64_t route_restores = 0;
 
   int sessions_abandoned() const {
     return (real && real->session_failed() ? 1 : 0) +

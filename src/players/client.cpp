@@ -1,6 +1,9 @@
 #include "players/client.hpp"
 #include <algorithm>
 
+#include "net/headers.hpp"
+#include "util/bytes.hpp"
+
 
 namespace streamlab {
 
@@ -13,6 +16,18 @@ StreamClient::StreamClient(Host& host, const EncodedClip& clip, Endpoint server,
   host_.udp_bind(port_, [this](std::span<const std::uint8_t> payload, Endpoint from,
                                SimTime now) { handle_datagram(payload, from, now); });
 
+  // With mirrors configured, Destination Unreachable about the active server
+  // is a fast-fail signal: listen for it ahead of the inactivity watchdog.
+  if (!config_.failover.mirrors.empty() &&
+      config_.failover.icmp_unreachable_threshold > 0) {
+    icmp_handler_installed_ = true;
+    host_.set_icmp_handler(
+        [this](const IcmpHeader& icmp, const Ipv4Header&,
+               std::span<const std::uint8_t> payload, SimTime now) {
+          on_icmp(icmp, payload, now);
+        });
+  }
+
   if constexpr (obs::kObsCompiledIn) {
     if (obs::Obs* obs = host_.loop().observer(); obs != nullptr) {
       obs_ = std::make_unique<ObsState>();
@@ -24,6 +39,8 @@ StreamClient::StreamClient(Host& host, const EncodedClip& clip, Endpoint server,
       obs_->play_retries = obs->registry().counter(prefix + "play_retries");
       obs_->watchdog_fired = obs->registry().counter(prefix + "watchdog_fired");
       obs_->rebuffers = obs->registry().counter(prefix + "rebuffer_events");
+      obs_->failovers = obs->registry().counter(prefix + "failovers");
+      obs_->unreachables = obs->registry().counter(prefix + "icmp_unreachables");
       obs::Tracer& tracer = obs->tracer();
       obs_->track = tracer.intern("player." + tag);
       obs_->retry_name = tracer.intern("play-retry");
@@ -32,6 +49,8 @@ StreamClient::StreamClient(Host& host, const EncodedClip& clip, Endpoint server,
       obs_->abandoned_name = tracer.intern("session-abandoned");
       obs_->rebuffer_name = tracer.intern("rebuffer");
       obs_->goodput_name = tracer.intern(prefix + "goodput_kbps");
+      obs_->failover_name = tracer.intern("failover");
+      obs_->unreachable_name = tracer.intern("icmp-unreachable");
     }
   }
 }
@@ -39,6 +58,7 @@ StreamClient::StreamClient(Host& host, const EncodedClip& clip, Endpoint server,
 StreamClient::~StreamClient() {
   play_timer_.cancel();
   watchdog_timer_.cancel();
+  if (icmp_handler_installed_) host_.set_icmp_handler({});
   host_.udp_unbind(port_);
 }
 
@@ -94,6 +114,7 @@ void StreamClient::obs_goodput(std::size_t bytes, SimTime now) {
 
 void StreamClient::send_play() {
   ++play_attempts_;
+  ++play_attempts_current_;
   if (obs_) {
     obs_->play_attempts.add();
     if (play_attempts_ > 1) {
@@ -103,6 +124,7 @@ void StreamClient::send_play() {
     }
   }
   ControlMessage play{ControlType::kPlayRequest, clip_.info().id()};
+  play.offset = resume_offset_;  // nonzero only after a failover
   const auto bytes = play.encode();
   host_.udp_send(port_, server_, bytes);
   if (config_.recovery.play_retry) {
@@ -114,9 +136,18 @@ void StreamClient::send_play() {
 }
 
 void StreamClient::on_play_timeout() {
-  if (session_established() || session_abandoned_) return;
-  if (play_attempts_ >= static_cast<std::uint32_t>(
-                            std::max(1, config_.recovery.max_play_attempts))) {
+  // `current_server_answered_` (not the sticky session_established()) gates
+  // the retry loop so a post-failover PLAY keeps retrying against the mirror
+  // even though the original server once answered.
+  if (current_server_answered_ || session_abandoned_ || stream_dead_) return;
+  if (play_attempts_current_ >= static_cast<std::uint32_t>(
+                                    std::max(1, config_.recovery.max_play_attempts))) {
+    // This server never answered: move to the next mirror if one remains,
+    // otherwise give the session up.
+    if (mirror_available()) {
+      failover(host_.loop().now());
+      return;
+    }
     session_abandoned_ = true;
     failure_time_ = host_.loop().now();
     enter_phase(audit::SessionPhase::kAbandoned);
@@ -128,7 +159,20 @@ void StreamClient::on_play_timeout() {
 
 void StreamClient::on_session_established(SimTime now) {
   play_timer_.cancel();
-  if (established_time_) return;
+  current_server_answered_ = true;
+  liveness_anchor_ = now;
+  if (established_time_) {
+    // A mirror answered after a failover: re-enter kEstablished and re-arm
+    // the watchdog against the new server's stream (it was disarmed while
+    // the failover PLAY was in flight).
+    if (phase_ == audit::SessionPhase::kConnecting) {
+      enter_phase(audit::SessionPhase::kEstablished);
+      if (obs_) obs_instant(obs_->established_name, now);
+      if (config_.recovery.inactivity_timeout > Duration::zero())
+        arm_watchdog(config_.recovery.inactivity_timeout);
+    }
+    return;
+  }
   established_time_ = now;
   enter_phase(audit::SessionPhase::kEstablished);
   if (obs_) obs_instant(obs_->established_name, now);
@@ -150,16 +194,24 @@ void StreamClient::on_watchdog() {
   const Duration window = config_.recovery.inactivity_timeout;
   const SimTime now = host_.loop().now();
   // Silence is measured from the last data packet, or — before any data
-  // arrived — from session establishment, so the PLAY-OK→first-data gap is
-  // covered too.
-  const SimTime anchor =
-      last_data_ ? *last_data_ : established_time_ ? *established_time_ : now;
+  // arrived — from session (re-)establishment, so the PLAY-OK→first-data
+  // gap is covered too. The max() matters after a failover: last_data_ may
+  // predate the mirror's establishment.
+  const SimTime anchor = last_data_ ? std::max(*last_data_, liveness_anchor_)
+                                    : liveness_anchor_;
   const SimTime deadline = anchor + window;
   if (now < deadline) {
     // Data arrived since the timer was armed; sleep until the silence
     // window measured from the latest packet would elapse.
     watchdog_timer_ = host_.loop().schedule_at(deadline, [this] { on_watchdog(); },
                                                obs::EventCategory::kControl);
+    return;
+  }
+  if (mirror_available()) {
+    // Silence exceeded the window but a mirror remains: fail the session
+    // over instead of declaring it dead.
+    if (obs_) obs_->watchdog_fired.add();
+    failover(now);
     return;
   }
   // Silence exceeded the window with no end-of-stream: the session is dead.
@@ -171,6 +223,67 @@ void StreamClient::on_watchdog() {
     obs_->watchdog_fired.add();
     obs_instant(obs_->dead_name, now);
   }
+}
+
+void StreamClient::on_icmp(const IcmpHeader& icmp, std::span<const std::uint8_t> payload,
+                           SimTime now) {
+  if (icmp.type != IcmpType::kDestinationUnreachable) return;
+  if (eos_received_ || stream_dead_ || session_abandoned_) return;
+  // The error quotes the offending IP header; only errors about traffic we
+  // sent toward the *active* server count (stale errors about an abandoned
+  // server must not re-trigger a failover).
+  ByteReader reader(payload);
+  const auto quoted = Ipv4Header::decode(reader);
+  if (!quoted || quoted->dst != server_.ip) return;
+  ++icmp_unreachables_;
+  ++unreachable_streak_;
+  if (obs_) {
+    obs_->unreachables.add();
+    obs_instant(obs_->unreachable_name, now, static_cast<double>(unreachable_streak_));
+  }
+  if (unreachable_streak_ >= config_.failover.icmp_unreachable_threshold &&
+      mirror_available()) {
+    failover(now);
+  }
+}
+
+void StreamClient::failover(SimTime now) {
+  if (!mirror_available()) return;
+  play_timer_.cancel();
+  watchdog_timer_.cancel();
+  ++failover_count_;
+  server_ = config_.failover.mirrors[next_mirror_++];
+
+  // The mirror is a fresh server whose sequence numbering restarts at 0:
+  // fold the finished epoch's losses into the accumulator and track the new
+  // epoch's sequence space from scratch. In-flight packets from the old
+  // server are rejected by handle_datagram's source filter.
+  if (any_seq_seen_) {
+    const std::uint64_t expected = max_seq_seen_ + 1;
+    const std::uint64_t unique = seq_seen_.total_covered();
+    lost_prior_epochs_ += expected > unique ? expected - unique : 0;
+  }
+  seq_seen_ = IntervalSet();
+  max_seq_seen_ = 0;
+  any_seq_seen_ = false;
+  report_window_max_seq_ = 0;
+  report_window_received_ = packets_.size() + pending_app_.size();
+
+  unreachable_streak_ = 0;
+  current_server_answered_ = false;
+  play_attempts_current_ = 0;
+  next_play_timeout_ = config_.recovery.play_timeout;
+  // Ask the mirror to resume at the longest contiguous prefix already
+  // received — everything past it may have holes and will be re-sent.
+  resume_offset_ = coverage_.contiguous_prefix();
+
+  if (phase_ == audit::SessionPhase::kEstablished)
+    enter_phase(audit::SessionPhase::kConnecting);
+  if (obs_) {
+    obs_->failovers.add();
+    obs_instant(obs_->failover_name, now, static_cast<double>(failover_count_));
+  }
+  send_play();
 }
 
 void StreamClient::handle_datagram(std::span<const std::uint8_t> payload, Endpoint from,
@@ -191,6 +304,7 @@ void StreamClient::handle_datagram(std::span<const std::uint8_t> payload, Endpoi
 
 void StreamClient::on_data(const DataHeader& header, std::size_t media_len, SimTime now) {
   if (stream_dead_) return;  // the watchdog already tore the session down
+  unreachable_streak_ = 0;   // data disproves an unreachable path
   if (!first_data_) {
     first_data_ = now;
     on_session_established(now);
@@ -201,6 +315,9 @@ void StreamClient::on_data(const DataHeader& header, std::size_t media_len, SimT
                                [this] { send_receiver_report(); },
                                obs::EventCategory::kControl);
     }
+  } else if (!current_server_answered_) {
+    // First data from a mirror after a failover whose PLAY-OK was lost.
+    on_session_established(now);
   }
   last_data_ = now;
   wire_media_bytes_ += kDataHeaderSize + media_len;
@@ -337,9 +454,17 @@ void StreamClient::abandon_remaining_frames(std::size_t from_index) {
   playback_end_ = host_.loop().now();
 }
 
+void StreamClient::close_stall_interval(SimTime now) {
+  if (stall_start_) {
+    stalls_.emplace_back(*stall_start_, now);
+    stall_start_.reset();
+  }
+}
+
 void StreamClient::decode_frame_rebuffering(std::size_t index) {
   if (stream_dead_) {
     obs_end_rebuffer(host_.loop().now());
+    close_stall_interval(host_.loop().now());
     abandon_remaining_frames(index);
     return;
   }
@@ -351,6 +476,7 @@ void StreamClient::decode_frame_rebuffering(std::size_t index) {
     // Stall: the picture freezes while the buffer refills.
     if (current_stall_ == Duration::zero()) {
       ++rebuffer_events_;
+      stall_start_ = host_.loop().now();
       if (obs_) {
         obs_->rebuffers.add();
         if constexpr (obs::kObsCompiledIn) {
@@ -369,6 +495,7 @@ void StreamClient::decode_frame_rebuffering(std::size_t index) {
     return;
   }
   obs_end_rebuffer(host_.loop().now());
+  close_stall_interval(host_.loop().now());
 
   FrameEvent ev;
   ev.time = host_.loop().now();
@@ -409,12 +536,16 @@ void StreamClient::decode_frame(std::size_t index) {
 }
 
 std::uint64_t StreamClient::packets_lost() const {
-  if (!any_seq_seen_) return 0;
   // Count distinct missing sequences, so duplicated or reordered datagrams
-  // never inflate (or deflate) the loss figure.
-  const std::uint64_t expected = max_seq_seen_ + 1;
-  const std::uint64_t unique = seq_seen_.total_covered();
-  return expected > unique ? expected - unique : 0;
+  // never inflate (or deflate) the loss figure. Sequence epochs finished by
+  // earlier failovers contribute their accumulated losses.
+  std::uint64_t current = 0;
+  if (any_seq_seen_) {
+    const std::uint64_t expected = max_seq_seen_ + 1;
+    const std::uint64_t unique = seq_seen_.total_covered();
+    current = expected > unique ? expected - unique : 0;
+  }
+  return lost_prior_epochs_ + current;
 }
 
 BitRate StreamClient::average_playback_rate() const {

@@ -9,6 +9,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "media/encoder.hpp"
@@ -58,6 +59,21 @@ struct SessionRecoveryConfig {
   Duration inactivity_timeout = Duration::zero();
 };
 
+/// Mirror failover policy: when the active server's path fails — the
+/// inactivity watchdog trips, PLAY retries exhaust, or routers on the path
+/// report Destination Unreachable — the session fails over to the next
+/// mirror, resuming at the current contiguous media position instead of
+/// dying. Empty mirrors (the default) keeps the single-server behaviour.
+struct FailoverConfig {
+  /// Mirror servers tried in order; each failover advances to the next.
+  std::vector<Endpoint> mirrors;
+  /// Consecutive Destination Unreachable packets about the active server
+  /// (with no data in between) that trigger a failover — the fast-fail
+  /// signal, ahead of the inactivity watchdog. <= 0 disables the ICMP
+  /// trigger (the watchdog/PLAY-retry triggers remain).
+  int icmp_unreachable_threshold = 3;
+};
+
 class StreamClient {
  public:
   struct Config {
@@ -78,6 +94,8 @@ class StreamClient {
     Duration max_stall = Duration::seconds(10);
     /// Handshake retry / liveness policy.
     SessionRecoveryConfig recovery;
+    /// Mirror-server failover policy (empty = no failover).
+    FailoverConfig failover;
   };
 
   /// The client needs the clip's frame table (in the real products this
@@ -127,8 +145,26 @@ class StreamClient {
 
   /// Lifecycle phase as reported to the invariant auditor (kIdle ->
   /// kConnecting -> {kEstablished, kAbandoned}; kEstablished ->
-  /// {kCompleted, kDead}).
+  /// {kCompleted, kDead, kConnecting} — the last is mirror failover).
   audit::SessionPhase session_phase() const { return phase_; }
+
+  // --- Failover state ---
+  /// Mirror failovers committed (0 = the original server carried the whole
+  /// session).
+  std::uint32_t failover_count() const { return failover_count_; }
+  /// Destination Unreachable packets observed about the active server.
+  std::uint64_t icmp_unreachables() const { return icmp_unreachables_; }
+  /// The server the session is currently (or was last) bound to.
+  Endpoint active_server() const { return server_; }
+  /// Media position the most recent failover PLAY asked the mirror to
+  /// resume from (0 before any failover).
+  std::uint64_t resume_offset() const { return resume_offset_; }
+  /// Closed [start, end) rebuffering stall intervals, in playout order —
+  /// what lets a campaign attribute stall time to fault episodes that
+  /// overlap them.
+  const std::vector<std::pair<SimTime, SimTime>>& stall_intervals() const {
+    return stalls_;
+  }
 
   std::optional<SimTime> first_data_time() const { return first_data_; }
   std::optional<SimTime> last_data_time() const { return last_data_; }
@@ -155,6 +191,8 @@ class StreamClient {
     obs::Counter play_retries;
     obs::Counter watchdog_fired;
     obs::Counter rebuffers;
+    obs::Counter failovers;
+    obs::Counter unreachables;
     std::uint16_t track = 0;  ///< "player.<real|media>" trace lane
     std::uint16_t retry_name = 0;
     std::uint16_t established_name = 0;
@@ -162,6 +200,8 @@ class StreamClient {
     std::uint16_t abandoned_name = 0;
     std::uint16_t rebuffer_name = 0;
     std::uint16_t goodput_name = 0;
+    std::uint16_t failover_name = 0;
+    std::uint16_t unreachable_name = 0;
     std::uint64_t rebuffer_span = 0;  ///< open stall span, 0 when none
     SimTime goodput_window_start;
     std::uint64_t goodput_window_bytes = 0;
@@ -178,6 +218,13 @@ class StreamClient {
   void on_session_established(SimTime now);
   void arm_watchdog(Duration delay);
   void on_watchdog();
+  void on_icmp(const IcmpHeader& icmp, std::span<const std::uint8_t> payload, SimTime now);
+  /// True when another mirror remains to fail over to.
+  bool mirror_available() const {
+    return next_mirror_ < config_.failover.mirrors.size();
+  }
+  void failover(SimTime now);
+  void close_stall_interval(SimTime now);
   void abandon_remaining_frames(std::size_t from_index);
   void send_receiver_report();
   void release_app_batch();
@@ -231,6 +278,25 @@ class StreamClient {
   bool stream_dead_ = false;
   std::optional<SimTime> failure_time_;
   std::optional<SimTime> established_time_;
+
+  // Failover state. Each failover starts a fresh *epoch* against the next
+  // mirror: PLAY attempts, backoff, the answered flag and the sequence space
+  // all reset (the mirror numbers from 0), while cumulative results
+  // (coverage, packets, losses of finished epochs) carry over.
+  std::size_t next_mirror_ = 0;
+  std::uint32_t failover_count_ = 0;
+  std::uint64_t icmp_unreachables_ = 0;
+  int unreachable_streak_ = 0;
+  bool current_server_answered_ = false;
+  std::uint32_t play_attempts_current_ = 0;  ///< PLAYs sent to the active server
+  std::uint64_t resume_offset_ = 0;
+  std::uint64_t lost_prior_epochs_ = 0;
+  SimTime liveness_anchor_;  ///< (re)establishment time, watchdog baseline
+  bool icmp_handler_installed_ = false;
+
+  // Rebuffering stall intervals (closed at stall end / session death).
+  std::optional<SimTime> stall_start_;
+  std::vector<std::pair<SimTime, SimTime>> stalls_;
 
   std::unique_ptr<ObsState> obs_;
 

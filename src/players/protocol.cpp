@@ -3,10 +3,12 @@
 namespace streamlab {
 
 std::vector<std::uint8_t> ControlMessage::encode() const {
-  ByteWriter w(6 + clip_id.size());
+  ByteWriter w(14 + clip_id.size());
   w.u16be(kControlMagic);
   w.u8(static_cast<std::uint8_t>(type));
   w.u16be(value);
+  w.u32be(static_cast<std::uint32_t>(offset >> 32));
+  w.u32be(static_cast<std::uint32_t>(offset));
   w.u8(static_cast<std::uint8_t>(clip_id.size()));
   for (char c : clip_id) w.u8(static_cast<std::uint8_t>(c));
   return w.take();
@@ -18,6 +20,9 @@ std::optional<ControlMessage> ControlMessage::decode(std::span<const std::uint8_
   ControlMessage msg;
   msg.type = static_cast<ControlType>(r.u8());
   msg.value = r.u16be();
+  const std::uint64_t hi = r.u32be();
+  const std::uint64_t lo = r.u32be();
+  msg.offset = (hi << 32) | lo;
   const std::size_t len = r.u8();
   auto id = r.bytes(len);
   if (!r.ok()) return std::nullopt;

@@ -39,6 +39,10 @@ struct ControlMessage {
   ControlType type = ControlType::kPlayRequest;
   std::string clip_id;
   std::uint16_t value = 0;  ///< type-specific payload (receiver reports)
+  /// kPlayRequest: media byte position to start (resume) from. 0 plays from
+  /// the top; a failover PLAY carries the client's contiguous media position
+  /// so the mirror continues the clip instead of restarting it.
+  std::uint64_t offset = 0;
 
   std::vector<std::uint8_t> encode() const;
   static std::optional<ControlMessage> decode(std::span<const std::uint8_t> payload);

@@ -49,6 +49,20 @@ ThinnedMediaCursor::Range ThinnedMediaCursor::next(std::size_t max_len,
   return r;
 }
 
+void ThinnedMediaCursor::seek(std::uint64_t media_offset) {
+  const auto& frames = clip_.frames();
+  while (frame_index_ < frames.size() &&
+         frames[frame_index_].byte_offset + frames[frame_index_].bytes <= media_offset) {
+    position_ = frames[frame_index_].byte_offset + frames[frame_index_].bytes;
+    ++frame_index_;
+  }
+  if (frame_index_ < frames.size() && frames[frame_index_].byte_offset < media_offset) {
+    offset_in_frame_ =
+        static_cast<std::size_t>(media_offset - frames[frame_index_].byte_offset);
+    position_ = media_offset;
+  }
+}
+
 void ScalingController::on_report(double loss_fraction, SimTime now) {
   if (!policy_.enabled || policy_.levels.empty()) return;
   const Duration since_change = now - last_change_;

@@ -59,6 +59,11 @@ class ThinnedMediaCursor {
   /// (level switches take effect at the next frame boundary).
   Range next(std::size_t max_len, double keep_fraction);
 
+  /// Fast-forwards to `media_offset` (a resumed session: the client already
+  /// holds everything before it). Bytes seeked past count neither as kept
+  /// nor as skipped. Call before the first next().
+  void seek(std::uint64_t media_offset);
+
   /// Bytes of media already walked past (kept + skipped).
   std::uint64_t position() const { return position_; }
   bool exhausted() const { return frame_index_ >= clip_.frames().size(); }

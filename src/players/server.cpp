@@ -66,6 +66,7 @@ void StreamServer::handle_control(std::span<const std::uint8_t> payload, Endpoin
       started_ = true;
       audit_transition(audit::SessionPhase::kStreaming);
       client_ = from;
+      if (msg->offset > 0) resume_from(msg->offset);
       ControlMessage ok{ControlType::kPlayOk, clip_.info().id()};
       const auto ok_bytes = ok.encode();
       host_.udp_send(port_, client_, ok_bytes);
@@ -87,6 +88,12 @@ void StreamServer::handle_control(std::span<const std::uint8_t> payload, Endpoin
     default:
       break;
   }
+}
+
+void StreamServer::resume_from(std::uint64_t offset) {
+  offset = std::min<std::uint64_t>(offset, clip_.total_bytes());
+  next_offset_ = offset;
+  if (scaling_) scaling_->cursor.seek(offset);
 }
 
 void StreamServer::emit(std::uint64_t offset, std::size_t media_len, std::uint8_t flags,

@@ -94,6 +94,11 @@ class StreamServer {
   /// to an attached auditor.
   void finish_stream();
 
+  /// Honors a PLAY request's resume offset: streaming starts (and seq
+  /// numbering continues from 0) at this media byte instead of the top —
+  /// how a mirror continues a failed-over session.
+  void resume_from(std::uint64_t offset);
+
   std::size_t send_plain(std::size_t media_len, bool buffering_phase);
   std::size_t send_thinned(std::size_t media_len, bool buffering_phase);
   void emit(std::uint64_t offset, std::size_t media_len, std::uint8_t flags,

@@ -12,6 +12,7 @@ const char* to_string(Invariant invariant) {
     case Invariant::kTtlSanity: return "ttl-sanity";
     case Invariant::kPacketConservation: return "packet-conservation";
     case Invariant::kSessionState: return "session-state";
+    case Invariant::kRoutingLoop: return "routing-loop";
     case Invariant::kForced: return "forced";
     case Invariant::kCount: break;
   }
@@ -45,7 +46,9 @@ bool legal_transition(SessionPhase from, SessionPhase to) {
       legal = bit(SessionPhase::kEstablished) | bit(SessionPhase::kAbandoned);
       break;
     case SessionPhase::kEstablished:
-      legal = bit(SessionPhase::kCompleted) | bit(SessionPhase::kDead);
+      // kConnecting re-entry is mirror failover (players/client.hpp).
+      legal = bit(SessionPhase::kCompleted) | bit(SessionPhase::kDead) |
+              bit(SessionPhase::kConnecting);
       break;
     case SessionPhase::kStreaming:
       legal = bit(SessionPhase::kFinished);

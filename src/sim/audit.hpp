@@ -46,6 +46,7 @@ enum class Invariant : std::uint8_t {
   kTtlSanity,           ///< packet delivered with an expired/absurd TTL
   kPacketConservation,  ///< link ledger does not balance at trial end
   kSessionState,        ///< illegal player session state transition
+  kRoutingLoop,         ///< forwarding tables form a cycle (TTL-storm fuel)
   kForced,              ///< test-only fault hook
   kCount,
 };
@@ -55,7 +56,9 @@ const char* to_string(Invariant invariant);
 /// Legal player/server session phases, shared by client and server state
 /// machines so one legality table covers both:
 ///   client: kIdle -> kConnecting -> {kEstablished, kAbandoned};
-///           kEstablished -> {kCompleted, kDead}
+///           kEstablished -> {kCompleted, kDead, kConnecting}
+///           (kEstablished -> kConnecting is mirror failover: the session
+///           re-enters connection establishment against the next server)
 ///   server: kIdle -> kStreaming -> kFinished
 enum class SessionPhase : std::uint8_t {
   kIdle,
@@ -150,6 +153,14 @@ class Auditor {
   void check_conservation(const std::string& label, std::uint64_t injected,
                           std::uint64_t delivered, std::uint64_t dropped,
                           std::uint64_t queued, std::uint64_t in_flight, SimTime now);
+
+  /// Folds `n` externally-performed checks into the ledger — how batch
+  /// audits (e.g. Network::audit_routing's table walks) make their coverage
+  /// visible in "clean (N checks)" summaries.
+  void count_checks(std::uint64_t n) {
+    report_.checks_performed += n;
+    obs_checks_.add(n);
+  }
 
   /// Records a violation directly (also the test-only fault hook's entry).
   void violation(Invariant invariant, SimTime now, std::string detail,

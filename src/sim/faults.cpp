@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/network.hpp"
+
 namespace streamlab {
 
 bool GilbertElliottLoss::drop(Rng& rng) {
@@ -24,6 +26,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kExtraDelay: return "extra-delay";
     case FaultKind::kBurstLoss: return "burst-loss";
     case FaultKind::kRandomLoss: return "random-loss";
+    case FaultKind::kRouterDown: return "router-down";
   }
   return "unknown";
 }
@@ -34,6 +37,11 @@ FaultScheduler::~FaultScheduler() {
 }
 
 void FaultScheduler::finish() {
+  // Router-down episodes dangling at the trial horizon settle exactly like
+  // link episodes: drop accounting closed, obs span ended, baseline (router
+  // online) restored.
+  for (const auto& [index, state] : open_router_downs_) settle_router(index, state);
+  open_router_downs_.clear();
   if (active_ < 0) return;
   close_accounting(static_cast<std::size_t>(active_));
   link_.clear_impairment();
@@ -97,6 +105,17 @@ void FaultScheduler::add_random_loss(SimTime start, Duration duration, double pr
   add(std::move(e));
 }
 
+void FaultScheduler::add_router_down(SimTime start, Duration duration, int router_index,
+                                     std::string label) {
+  FaultEpisode e;
+  e.kind = FaultKind::kRouterDown;
+  e.start = start;
+  e.duration = duration;
+  e.router_index = router_index;
+  e.label = std::move(label);
+  add(std::move(e));
+}
+
 void FaultScheduler::arm() {
   if (armed_) return;
   armed_ = true;
@@ -106,10 +125,70 @@ void FaultScheduler::arm() {
                    });
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const FaultEpisode& e = records_[i].episode;
+    if (e.kind == FaultKind::kRouterDown) {
+      handles_.push_back(loop_.schedule_at(e.start, [this, i] { apply_router(i); },
+                                           obs::EventCategory::kFault));
+      handles_.push_back(loop_.schedule_at(e.end(), [this, i] { clear_router(i); },
+                                           obs::EventCategory::kFault));
+      continue;
+    }
     handles_.push_back(
         loop_.schedule_at(e.start, [this, i] { apply(i); }, obs::EventCategory::kFault));
     handles_.push_back(
         loop_.schedule_at(e.end(), [this, i] { clear(i); }, obs::EventCategory::kFault));
+  }
+}
+
+void FaultScheduler::apply_router(std::size_t index) {
+  EpisodeRecord& rec = records_[index];
+  const FaultEpisode& e = rec.episode;
+  if (network_ == nullptr || e.router_index < 0 ||
+      e.router_index >= network_->hop_count()) {
+    // No network attached (or a bogus index): the episode is unschedulable.
+    // Mark it settled so finish() and reports see no dangling record.
+    rec.applied = true;
+    rec.cleared = true;
+    return;
+  }
+  RouterDownState state;
+  state.baseline = drops_for_kind(FaultKind::kRouterDown);
+  rec.applied = true;
+  ++router_down_depth_[e.router_index];
+  network_->router(e.router_index).set_offline(true);
+  if constexpr (obs::kObsCompiledIn) {
+    if (obs::Obs* obs = loop_.observer(); obs != nullptr && obs->tracing()) {
+      obs::Tracer& tracer = obs->tracer();
+      const std::uint16_t name = tracer.intern(
+          std::string("fault:") + to_string(e.kind) +
+          (e.label.empty() ? std::string() : ":" + e.label));
+      state.span = tracer.begin_span(name, tracer.intern("faults"), loop_.now());
+    }
+  }
+  open_router_downs_[index] = state;
+}
+
+void FaultScheduler::clear_router(std::size_t index) {
+  const auto it = open_router_downs_.find(index);
+  if (it == open_router_downs_.end()) return;  // never applied, or settled by finish()
+  settle_router(index, it->second);
+  open_router_downs_.erase(it);
+}
+
+void FaultScheduler::settle_router(std::size_t index, const RouterDownState& state) {
+  EpisodeRecord& rec = records_[index];
+  // Network-wide differencing: overlapping router-down episodes each charge
+  // themselves for drops inside the overlap, mirroring how a pre-empting
+  // link episode takes over the drop stream.
+  rec.packets_dropped += drops_for_kind(FaultKind::kRouterDown) - state.baseline;
+  rec.cleared = true;
+  const int router_index = rec.episode.router_index;
+  if (--router_down_depth_[router_index] == 0)
+    network_->router(router_index).set_offline(false);
+  if constexpr (obs::kObsCompiledIn) {
+    if (state.span != 0) {
+      if (obs::Obs* obs = loop_.observer(); obs != nullptr)
+        obs->tracer().end_span(state.span, loop_.now());
+    }
   }
 }
 
@@ -141,6 +220,8 @@ void FaultScheduler::apply(std::size_t index) {
     case FaultKind::kRandomLoss:
       imp.loss_probability = e.loss_probability;
       break;
+    case FaultKind::kRouterDown:
+      break;  // dispatched to apply_router() by arm(); never reaches here
   }
   link_.set_impairment(std::move(imp));
   rec.applied = true;
@@ -175,6 +256,15 @@ std::uint64_t FaultScheduler::drops_for_kind(FaultKind kind) const {
       // These episodes don't override loss; any random-loss drops during
       // them come from the baseline config and are not the episode's doing.
       return 0;
+    case FaultKind::kRouterDown: {
+      // Network-wide offline swallows: a downed router is the only producer.
+      if (network_ == nullptr) return 0;
+      std::uint64_t total = 0;
+      for (const Router* r : network_->routers()) total += r->stats().packets_dropped_offline;
+      for (const Router* r : network_->detour_routers())
+        total += r->stats().packets_dropped_offline;
+      return total;
+    }
   }
   return 0;
 }

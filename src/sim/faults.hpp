@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +20,8 @@
 #include "sim/link.hpp"
 
 namespace streamlab {
+
+class Network;
 
 /// Two-state Markov (Gilbert–Elliott) packet-loss model: a GOOD state with
 /// near-zero loss and a BAD state with heavy loss, with per-packet
@@ -65,6 +68,7 @@ enum class FaultKind {
   kExtraDelay,  ///< added one-way delay (route change / bufferbloat)
   kBurstLoss,   ///< Gilbert–Elliott two-state burst loss
   kRandomLoss,  ///< independent loss override
+  kRouterDown,  ///< chain router fully offline: no forwarding, no ICMP
 };
 
 const char* to_string(FaultKind kind);
@@ -78,6 +82,7 @@ struct FaultEpisode {
   Duration extra_delay;               ///< kExtraDelay: added one-way delay
   double loss_probability = 0.0;      ///< kRandomLoss: Bernoulli override
   GilbertElliottConfig gilbert;       ///< kBurstLoss: chain parameters
+  int router_index = -1;              ///< kRouterDown: chain router to down
   std::string label;                  ///< free-form tag for reports
 
   SimTime end() const { return start + duration; }
@@ -103,6 +108,12 @@ class FaultScheduler {
   };
 
   FaultScheduler(EventLoop& loop, Link& link) : loop_(loop), link_(link) {}
+  /// With a Network attached, FaultKind::kRouterDown episodes can take chain
+  /// routers offline. Router-down episodes run *in parallel* with the single
+  /// link-impairment slot: a router failure neither pre-empts nor is
+  /// pre-empted by a concurrent link episode.
+  FaultScheduler(EventLoop& loop, Link& link, Network& network)
+      : loop_(loop), link_(link), network_(&network) {}
   FaultScheduler(const FaultScheduler&) = delete;
   FaultScheduler& operator=(const FaultScheduler&) = delete;
   ~FaultScheduler();
@@ -119,6 +130,11 @@ class FaultScheduler {
                       std::string label = "burst-loss");
   void add_random_loss(SimTime start, Duration duration, double probability,
                        std::string label = "random-loss");
+  /// Requires the Network-attached constructor; `router_index` names a chain
+  /// router (Network::router). Overlapping episodes on one router nest: it
+  /// returns online only when the last one ends.
+  void add_router_down(SimTime start, Duration duration, int router_index,
+                       std::string label = "router-down");
 
   /// Schedules every added episode on the event loop. Call exactly once,
   /// before the experiment runs past the first episode start.
@@ -138,14 +154,27 @@ class FaultScheduler {
   std::uint64_t total_episode_drops() const;
 
  private:
+  /// Bookkeeping for one in-flight router-down episode (keyed by record
+  /// index): the network-wide offline-drop count at apply time plus its obs
+  /// span. Lives until clear_router() or finish() settles it.
+  struct RouterDownState {
+    std::uint64_t baseline = 0;
+    std::uint64_t span = 0;
+  };
+
   void apply(std::size_t index);
   void clear(std::size_t index);
   void close_accounting(std::size_t index);
-  /// Current link-wide drop count on the counter `kind` is accountable for.
+  void apply_router(std::size_t index);
+  void clear_router(std::size_t index);
+  void settle_router(std::size_t index, const RouterDownState& state);
+  /// Current drop count on the counter `kind` is accountable for (the link's
+  /// direction counters; for kRouterDown the network-wide offline drops).
   std::uint64_t drops_for_kind(FaultKind kind) const;
 
   EventLoop& loop_;
   Link& link_;
+  Network* network_ = nullptr;
   std::vector<EpisodeRecord> records_;
   std::vector<EventHandle> handles_;
   /// Chains outlive the closures that capture them (episodes may be queried
@@ -156,6 +185,10 @@ class FaultScheduler {
   std::uint64_t drops_at_apply_ = 0;
   /// Trace span of the active episode (0 when none / tracing off).
   std::uint64_t active_span_ = 0;
+  std::map<std::size_t, RouterDownState> open_router_downs_;
+  /// Concurrent router-down episodes per chain router; the router comes back
+  /// online when its depth returns to zero.
+  std::map<int, int> router_down_depth_;
 };
 
 }  // namespace streamlab

@@ -1,15 +1,21 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace streamlab {
 namespace {
 
 // Address plan: client LAN 10.0.0.0/24, router i loopback 10.1.<i>.1,
-// server subnet 192.168.100.0/24.
+// detour router i loopback 10.2.<i>.1, server subnet 192.168.100.0/24.
 constexpr Ipv4Address kClientAddr{10, 0, 0, 2};
 constexpr Ipv4Address kClientLanPrefix{10, 0, 0, 0};
+constexpr Ipv4Address kDetourPrefix{10, 2, 0, 0};
 constexpr Ipv4Address kServerSubnetPrefix{192, 168, 100, 0};
+
+// Interface plan: on every router iface 0 faces the client, iface 1 the
+// servers; on the branch/rejoin routers iface 2 enters the detour segment.
+constexpr int kDetourIface = 2;
 
 }  // namespace
 
@@ -49,23 +55,13 @@ Network::Network(const PathConfig& config) : config_(config), rng_(config.seed) 
   };
 
   // client <-> r0
-  {
-    auto link = std::make_unique<Link>(loop_, rng_.fork(), link_config(0), *client_, 0,
-                                       *routers_[0], 0);
-    Link* l = link.get();
-    client_->attach_interface([l](const Ipv4Packet& p) { l->send_from_a(p); });
-    routers_[0]->attach_interface(0, [l](const Ipv4Packet& p) { l->send_from_b(p); });
-    links_.push_back(std::move(link));
-  }
+  wire(link_config(0), *client_, 0, *routers_[0], 0,
+       bottleneck_index == 0 ? "bottleneck" : "access");
 
   // r_{i-1} <-> r_i
   for (int i = 1; i < config.hop_count; ++i) {
-    auto link = std::make_unique<Link>(loop_, rng_.fork(), link_config(i),
-                                       *routers_[i - 1], 1, *routers_[i], 0);
-    Link* l = link.get();
-    routers_[i - 1]->attach_interface(1, [l](const Ipv4Packet& p) { l->send_from_a(p); });
-    routers_[i]->attach_interface(0, [l](const Ipv4Packet& p) { l->send_from_b(p); });
-    links_.push_back(std::move(link));
+    wire(link_config(i), *routers_[i - 1], 1, *routers_[i], 0,
+         i == bottleneck_index ? "bottleneck" : "hop" + std::to_string(i));
   }
 
   // Routing: toward the client everything in 10.0.0.0/16 plus each upstream
@@ -81,34 +77,207 @@ Network::Network(const PathConfig& config) : config_(config), rng_(config.seed) 
     }
     // The last router's server routes are added per-server in add_server().
   }
+
+  if (config.detour) build_detour(*config.detour, per_link);
 }
 
-std::string Network::link_label(std::size_t i) const {
-  if (static_cast<int>(i) == bottleneck_index_) return "bottleneck";
-  if (i == 0) return "access";
-  if (i < static_cast<std::size_t>(config_.hop_count)) return "hop" + std::to_string(i);
-  // Server links were appended after the path; label by position.
-  return "server" + std::to_string(i - static_cast<std::size_t>(config_.hop_count));
+void Network::build_detour(const DetourConfig& detour, Duration per_link_propagation) {
+  assert(detour.hops >= 1);
+  assert(detour.metric > 0);
+  assert(detour.span_first >= 1);
+  assert(detour.span_first <= detour.span_last);
+  // The branch (span_first-1) and rejoin (span_last+1) routers must both
+  // exist on the chain, so the span may not include either end router.
+  assert(detour.span_last <= config_.hop_count - 2);
+
+  const int branch_index = detour.span_first - 1;
+  const int rejoin_index = detour.span_last + 1;
+  Router& branch = *routers_[static_cast<std::size_t>(branch_index)];
+  Router& rejoin = *routers_[static_cast<std::size_t>(rejoin_index)];
+
+  for (int i = 0; i < detour.hops; ++i) {
+    detour_routers_.push_back(
+        std::make_unique<Router>("d" + std::to_string(i), detour_router_address(i)));
+  }
+
+  // Detour links mirror backbone hops (bandwidth + light jitter): the detour
+  // is a viable alternate path, not a degraded one — what changes under
+  // reroute is the hop sequence, which is what tracert measures.
+  LinkConfig lc;
+  lc.bandwidth = config_.backbone_bandwidth;
+  lc.propagation = per_link_propagation;
+  lc.queue_limit_bytes = config_.queue_limit_bytes;
+  lc.jitter_stddev = Duration(config_.jitter_stddev.ns() / 4);
+
+  wire(lc, branch, kDetourIface, *detour_routers_.front(), 0, "detour0");
+  for (int i = 1; i < detour.hops; ++i) {
+    wire(lc, *detour_routers_[static_cast<std::size_t>(i - 1)], 1,
+         *detour_routers_[static_cast<std::size_t>(i)], 0, "detour" + std::to_string(i));
+  }
+  wire(lc, *detour_routers_.back(), 1, rejoin, kDetourIface,
+       "detour" + std::to_string(detour.hops));
+
+  // Detour-segment routing (iface 0 faces the branch, iface 1 the rejoin).
+  for (int i = 0; i < detour.hops; ++i) {
+    Router& d = *detour_routers_[static_cast<std::size_t>(i)];
+    d.add_route(kClientLanPrefix, 16, 0);
+    d.add_route(kServerSubnetPrefix, 24, 1);
+    // Chain loopbacks: span routers resolve toward the branch, which holds
+    // their (withdrawable) /32s — so a probe to a dead span router earns a
+    // Destination Unreachable at the branch instead of looping.
+    for (int j = 0; j < config_.hop_count; ++j)
+      d.add_route(router_address(j), 32, j <= detour.span_last ? 0 : 1);
+    for (int j = 0; j < detour.hops; ++j) {
+      if (j != i) d.add_route(detour_router_address(j), 32, j < i ? 0 : 1);
+    }
+  }
+
+  // Chain routers reach the detour loopbacks through the nearer junction.
+  for (int i = 0; i < config_.hop_count; ++i) {
+    if (i == branch_index || i == rejoin_index) {
+      routers_[static_cast<std::size_t>(i)]->add_route(kDetourPrefix, 16, kDetourIface);
+    } else {
+      routers_[static_cast<std::size_t>(i)]->add_route(kDetourPrefix, 16,
+                                                       i < branch_index ? 1 : 0);
+    }
+  }
+
+  // Backup routes: shadow every boundary primary that crosses the span at
+  // detour.metric. They only win once the repair plane withdraws the metric-0
+  // primaries (sim/repair.hpp). Span-router /32s get no backup on purpose —
+  // a downed span router should answer with unreachable, not a detour loop.
+  branch.add_route(kServerSubnetPrefix, 24, kDetourIface, detour.metric);
+  for (int j = rejoin_index; j < config_.hop_count; ++j)
+    branch.add_route(router_address(j), 32, kDetourIface, detour.metric);
+  rejoin.add_route(kClientLanPrefix, 16, kDetourIface, detour.metric);
+  for (int j = 0; j <= branch_index; ++j)
+    rejoin.add_route(router_address(j), 32, kDetourIface, detour.metric);
+
+  // When the rejoin is the last chain router its detour interface occupies
+  // slot 2; server links start above it.
+  if (rejoin_index == config_.hop_count - 1) next_server_iface_ = kDetourIface + 1;
+
+  DetourControl control;
+  control.span_first = detour.span_first;
+  control.span_last = detour.span_last;
+  control.branch = &branch;
+  control.rejoin = &rejoin;
+  control.primaries = span_primaries(detour.span_first, detour.span_last);
+  detour_control_ = std::move(control);
+}
+
+std::vector<std::pair<Router*, Router::RouteId>> Network::span_primaries(int span_first,
+                                                                         int span_last) {
+  assert(span_first >= 1);
+  assert(span_first <= span_last);
+  assert(span_last <= config_.hop_count - 2);
+  Router& branch = *routers_[static_cast<std::size_t>(span_first - 1)];
+  Router& rejoin = *routers_[static_cast<std::size_t>(span_last + 1)];
+  std::vector<std::pair<Router*, Router::RouteId>> primaries;
+  // Everything the branch forwards into the span (iface 1: the server subnet
+  // plus downstream /32s) and everything the rejoin forwards into it from the
+  // far side (iface 0: the client prefix plus upstream /32s).
+  for (Router::RouteId id : branch.routes_via(1)) primaries.emplace_back(&branch, id);
+  for (Router::RouteId id : rejoin.routes_via(0)) primaries.emplace_back(&rejoin, id);
+  return primaries;
+}
+
+Link& Network::wire(LinkConfig lc, Node& a, int a_iface, Node& b, int b_iface,
+                    std::string label) {
+  auto link = std::make_unique<Link>(loop_, rng_.fork(), lc, a, a_iface, b, b_iface);
+  Link* l = link.get();
+  if (auto* router_a = dynamic_cast<Router*>(&a)) {
+    router_a->attach_interface(a_iface, [l](const Ipv4Packet& p) { l->send_from_a(p); });
+    record_adjacency(*router_a, a_iface, b);
+  } else {
+    static_cast<Host&>(a).attach_interface([l](const Ipv4Packet& p) { l->send_from_a(p); });
+  }
+  if (auto* router_b = dynamic_cast<Router*>(&b)) {
+    router_b->attach_interface(b_iface, [l](const Ipv4Packet& p) { l->send_from_b(p); });
+    record_adjacency(*router_b, b_iface, a);
+  } else {
+    static_cast<Host&>(b).attach_interface([l](const Ipv4Packet& p) { l->send_from_b(p); });
+  }
+  if (obs_ != nullptr) link->set_observer(*obs_, label);
+  if (auditor_ != nullptr) link->set_audit_label(label);
+  links_.push_back(std::move(link));
+  link_labels_.push_back(std::move(label));
+  return *links_.back();
+}
+
+void Network::record_adjacency(const Router& from, int iface, const Node& peer) {
+  auto& row = adjacency_[&from];
+  if (row.size() <= static_cast<std::size_t>(iface))
+    row.resize(static_cast<std::size_t>(iface) + 1, nullptr);
+  row[static_cast<std::size_t>(iface)] = &peer;
 }
 
 void Network::attach_observer(obs::Obs& obs) {
   obs_ = &obs;
   loop_.set_observer(&obs);
   for (std::size_t i = 0; i < links_.size(); ++i)
-    links_[i]->set_observer(obs, link_label(i));
-  for (std::size_t i = 0; i < routers_.size(); ++i)
-    routers_[i]->set_observer(obs, "r" + std::to_string(i));
+    links_[i]->set_observer(obs, link_labels_[i]);
+  for (const auto& router : routers_) router->set_observer(obs, router->name());
+  for (const auto& router : detour_routers_) router->set_observer(obs, router->name());
 }
 
 void Network::attach_auditor(audit::Auditor& auditor) {
   auditor_ = &auditor;
   loop_.set_auditor(&auditor);
   for (std::size_t i = 0; i < links_.size(); ++i)
-    links_[i]->set_audit_label(link_label(i));
+    links_[i]->set_audit_label(link_labels_[i]);
 }
 
 void Network::audit_finalize(audit::Auditor& auditor) {
   for (const auto& link : links_) link->audit_conservation(auditor, loop_.now());
+  audit_routing();
+}
+
+void Network::audit_routing() {
+  if (auditor_ == nullptr) return;
+  std::vector<Ipv4Address> destinations;
+  destinations.push_back(client_->address());
+  for (const auto& server : servers_) destinations.push_back(server->address());
+  for (const auto& router : routers_) destinations.push_back(router->address());
+  for (const auto& router : detour_routers_) destinations.push_back(router->address());
+
+  std::vector<const Router*> starts = routers();
+  for (const auto& router : detour_routers_) starts.push_back(router.get());
+
+  std::vector<const Router*> visited;
+  std::uint64_t walks = 0;
+  for (const Router* start : starts) {
+    for (const Ipv4Address dst : destinations) {
+      ++walks;
+      visited.clear();
+      const Router* current = start;
+      while (current != nullptr) {
+        // Local delivery, a black-holing offline router, and no-route
+        // (Destination Unreachable) all terminate a walk without a loop.
+        if (current->address() == dst || current->offline()) break;
+        const int iface = current->lookup(dst);
+        if (iface < 0) break;
+        const auto row = adjacency_.find(current);
+        if (row == adjacency_.end() ||
+            static_cast<std::size_t>(iface) >= row->second.size())
+          break;
+        const Node* peer = row->second[static_cast<std::size_t>(iface)];
+        const auto* next = dynamic_cast<const Router*>(peer);
+        if (next == nullptr) break;  // handed to a host: delivered
+        if (std::find(visited.begin(), visited.end(), next) != visited.end()) {
+          auditor_->violation(audit::Invariant::kRoutingLoop, loop_.now(),
+                              "forwarding loop from " + start->name() + " toward " +
+                                  dst.to_string() + " (revisits " + next->name() + ")",
+                              static_cast<double>(visited.size()),
+                              static_cast<double>(visited.size()));
+          break;
+        }
+        visited.push_back(current);
+        current = next;
+      }
+    }
+  }
+  auditor_->count_checks(walks);
 }
 
 void Network::set_determinism_probe(audit::DeterminismProbe* probe) {
@@ -117,6 +286,10 @@ void Network::set_determinism_probe(audit::DeterminismProbe* probe) {
 
 Ipv4Address Network::router_address(int i) const {
   return Ipv4Address(10, 1, static_cast<std::uint8_t>(i), 1);
+}
+
+Ipv4Address Network::detour_router_address(int i) const {
+  return Ipv4Address(10, 2, static_cast<std::uint8_t>(i), 1);
 }
 
 Host& Network::add_server(const std::string& name) {
@@ -130,14 +303,8 @@ Host& Network::add_server(const std::string& name) {
   lc.propagation = Duration(config_.one_way_propagation.ns() / (config_.hop_count + 1));
   lc.queue_limit_bytes = config_.queue_limit_bytes;
 
-  auto link = std::make_unique<Link>(loop_, rng_.fork(), lc, edge, iface, *server, 0);
-  Link* l = link.get();
-  edge.attach_interface(iface, [l](const Ipv4Packet& p) { l->send_from_a(p); });
-  server->attach_interface([l](const Ipv4Packet& p) { l->send_from_b(p); });
+  wire(lc, edge, iface, *server, 0, "server." + name);
   edge.add_route(addr, 32, iface);
-  if (obs_ != nullptr) link->set_observer(*obs_, "server." + name);
-  if (auditor_ != nullptr) link->set_audit_label("server." + name);
-  links_.push_back(std::move(link));
 
   servers_.push_back(std::move(server));
   return *servers_.back();
@@ -147,6 +314,13 @@ std::vector<const Router*> Network::routers() const {
   std::vector<const Router*> out;
   out.reserve(routers_.size());
   for (const auto& r : routers_) out.push_back(r.get());
+  return out;
+}
+
+std::vector<const Router*> Network::detour_routers() const {
+  std::vector<const Router*> out;
+  out.reserve(detour_routers_.size());
+  for (const auto& r : detour_routers_) out.push_back(r.get());
   return out;
 }
 

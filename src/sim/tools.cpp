@@ -32,7 +32,15 @@ PingResult run_ping(Network& net, Ipv4Address target, int count, Duration interv
   std::map<std::uint16_t, SimTime> sent_at;
 
   client.set_icmp_handler([&](const IcmpHeader& icmp, const Ipv4Header& ip,
-                              std::span<const std::uint8_t>, SimTime when) {
+                              std::span<const std::uint8_t> payload, SimTime when) {
+    if (icmp.type == IcmpType::kDestinationUnreachable) {
+      // A router on the path had no live route for our probe. The quoted
+      // original header confirms it was ours and not concurrent traffic.
+      ByteReader r(payload);
+      const auto quoted_ip = Ipv4Header::decode(r);
+      if (quoted_ip && quoted_ip->dst == target) ++result.unreachable;
+      return;
+    }
     if (icmp.type != IcmpType::kEchoReply || icmp.identifier != id) return;
     if (ip.src != target) return;
     auto it = sent_at.find(icmp.sequence);

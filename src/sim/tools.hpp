@@ -16,6 +16,10 @@ namespace streamlab {
 struct PingResult {
   int sent = 0;
   int received = 0;
+  /// Probes answered with ICMP Destination Unreachable — a withdrawn route
+  /// fails *fast* ("Destination host unreachable" in real ping output),
+  /// unlike the silent loss of an outage or black hole.
+  int unreachable = 0;
   std::vector<Duration> rtts;  ///< one per received reply, in send order
 
   double loss_fraction() const {

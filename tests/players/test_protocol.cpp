@@ -14,6 +14,21 @@ TEST(ControlMessage, RoundTrip) {
   EXPECT_EQ(decoded->clip_id, "set1/M-h");
 }
 
+TEST(ControlMessage, ResumeOffsetRoundTrips) {
+  // A failover PLAY carries the media position to resume from; the full
+  // 64-bit range must survive the wire format.
+  ControlMessage msg{ControlType::kPlayRequest, "set1/R-l"};
+  msg.offset = 0x1234'5678'9ABC'DEF0ULL;
+  const auto decoded = ControlMessage::decode(msg.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->offset, 0x1234'5678'9ABC'DEF0ULL);
+  // And the default stays "play from the top".
+  const ControlMessage plain{ControlType::kPlayRequest, "set1/R-l"};
+  const auto plain_decoded = ControlMessage::decode(plain.encode());
+  ASSERT_TRUE(plain_decoded.has_value());
+  EXPECT_EQ(plain_decoded->offset, 0u);
+}
+
 TEST(ControlMessage, EmptyClipId) {
   ControlMessage msg{ControlType::kTeardown, ""};
   const auto decoded = ControlMessage::decode(msg.encode());

@@ -81,6 +81,44 @@ TEST(ThinnedMediaCursor, RangesAreContiguousWithinFrames) {
   }
 }
 
+TEST(ThinnedMediaCursor, SeekResumesAtOffset) {
+  // A resumed session walks only the tail: every emitted range starts at or
+  // after the seek point and the tail bytes are covered exactly once.
+  const EncodedClip clip = encode_clip(*find_clip("set2/R-l"), 1);
+  const std::uint64_t resume = clip.total_bytes() / 2;
+  ThinnedMediaCursor cursor(clip);
+  cursor.seek(resume);
+
+  std::uint64_t total = 0;
+  std::uint64_t next_expected = 0;
+  bool first = true;
+  while (true) {
+    const auto r = cursor.next(1400, 1.0);
+    if (r.length == 0) break;
+    if (first) {
+      EXPECT_GE(r.offset, resume);  // frame-aligned: at or past the seek point
+      first = false;
+    } else {
+      EXPECT_EQ(r.offset, next_expected);
+    }
+    next_expected = r.offset + r.length;
+    total += r.length;
+  }
+  EXPECT_TRUE(cursor.exhausted());
+  EXPECT_LE(total, clip.total_bytes() - resume);
+  EXPECT_GT(total, 0u);
+  EXPECT_EQ(cursor.frames_skipped(), 0u);  // seeked-past frames aren't "skipped"
+}
+
+TEST(ThinnedMediaCursor, SeekPastEndExhausts) {
+  const EncodedClip clip = encode_clip(*find_clip("set2/M-l"), 2);
+  ThinnedMediaCursor cursor(clip);
+  cursor.seek(clip.total_bytes() + 1);
+  const auto r = cursor.next(1400, 1.0);
+  EXPECT_EQ(r.length, 0u);
+  EXPECT_TRUE(cursor.exhausted());
+}
+
 TEST(ThinnedMediaCursor, HalfLevelSkipsFramesAndBytes) {
   const EncodedClip clip = encode_clip(*find_clip("set2/R-l"), 3);
   ThinnedMediaCursor cursor(clip);

@@ -51,6 +51,42 @@ TEST(StreamServer, SequenceNumbersAndOffsetsMonotone) {
   }
 }
 
+TEST(StreamServer, PlayWithOffsetResumesMidClip) {
+  // A failover PLAY carrying a resume offset must start the stream at that
+  // media position, not from byte zero.
+  Session s(short_clip(PlayerKind::kMediaPlayer, 100));
+  const std::uint64_t resume = s.encoded.total_bytes() / 2;
+  ControlMessage play{ControlType::kPlayRequest, s.encoded.info().id()};
+  play.offset = resume;
+  s.net.client().udp_send(5555, Endpoint{s.server_host.address(), kMediaServerPort},
+                          play.encode());
+  s.net.loop().run_until(s.net.loop().now() + s.encoded.info().length +
+                         Duration::seconds(30));
+
+  ASSERT_TRUE(s.server->started());
+  const auto& log = s.server->send_log();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.front().media_offset, resume);
+  std::uint64_t sent = 0;
+  for (const auto& ev : log) sent += ev.media_len;
+  EXPECT_EQ(sent, s.encoded.total_bytes() - resume);  // only the tail
+}
+
+TEST(StreamServer, PlayOffsetPastEndClampsToEnd) {
+  Session s(short_clip(PlayerKind::kMediaPlayer, 100));
+  ControlMessage play{ControlType::kPlayRequest, s.encoded.info().id()};
+  play.offset = s.encoded.total_bytes() + 1000;
+  s.net.client().udp_send(5555, Endpoint{s.server_host.address(), kMediaServerPort},
+                          play.encode());
+  s.net.loop().run_until(s.net.loop().now() + s.encoded.info().length +
+                         Duration::seconds(30));
+
+  ASSERT_TRUE(s.server->started());
+  std::uint64_t sent = 0;
+  for (const auto& ev : s.server->send_log()) sent += ev.media_len;
+  EXPECT_EQ(sent, 0u);  // nothing left to send, and no crash or underflow
+}
+
 TEST(WmServer, ConstantPacketSizeAndInterval) {
   Session s(short_clip(PlayerKind::kMediaPlayer, 250, 20));
   s.run();

@@ -52,8 +52,10 @@ TEST(AuditStateMachine, IllegalTransitionsRejected) {
 }
 
 TEST(Auditor, IllegalSessionTransitionRecordsViolation) {
+  // kAbandoned is terminal: nothing may leave it (kEstablished -> kConnecting
+  // became legal with mirror failover, so it no longer serves as the example).
   Auditor auditor(check_everything());
-  auditor.on_session_transition("client.test", SessionPhase::kEstablished,
+  auditor.on_session_transition("client.test", SessionPhase::kAbandoned,
                                 SessionPhase::kConnecting, SimTime::from_seconds(1.0));
   EXPECT_FALSE(auditor.report().clean());
   EXPECT_EQ(auditor.violations_by(Invariant::kSessionState), 1u);

@@ -7,6 +7,8 @@
 #include <memory>
 #include <vector>
 
+#include "sim/network.hpp"
+
 namespace streamlab {
 namespace {
 
@@ -311,6 +313,129 @@ TEST(FaultScheduler, EpisodeCoversHelper) {
   EXPECT_TRUE(e.covers(SimTime::from_seconds(10.0)));
   EXPECT_TRUE(e.covers(SimTime::from_seconds(14.999)));
   EXPECT_FALSE(e.covers(SimTime::from_seconds(15.0)));
+}
+
+// --- Router failure injection (FaultKind::kRouterDown) ---
+
+TEST(FaultKindNames, CoversEveryKind) {
+  EXPECT_STREQ(to_string(FaultKind::kOutage), "outage");
+  EXPECT_STREQ(to_string(FaultKind::kRouterDown), "router-down");
+}
+
+PathConfig quiet_chain() {
+  PathConfig cfg;
+  cfg.hop_count = 8;
+  cfg.jitter_stddev = Duration::zero();
+  cfg.loss_probability = 0.0;
+  return cfg;
+}
+
+TEST(FaultScheduler, RouterDownAppliesAndClearsOnSchedule) {
+  Network net(quiet_chain());
+  Host& server = net.add_server("srv");
+  FaultScheduler faults(net.loop(), net.bottleneck_link(), net);
+  faults.add_router_down(SimTime::from_seconds(1.0), Duration::seconds(1), 3);
+  faults.arm();
+
+  int received = 0;
+  server.udp_bind(5000, [&](auto, auto, auto) { ++received; });
+  auto send_at = [&](double t) {
+    net.loop().schedule_at(SimTime::from_seconds(t), [&] {
+      net.client().udp_send(6000, Endpoint{server.address(), 5000},
+                            std::vector<std::uint8_t>{1});
+    });
+  };
+  send_at(0.5);  // before: delivered
+  send_at(1.5);  // during: swallowed by the offline router
+  send_at(2.5);  // after: delivered again
+  net.loop().run();
+
+  EXPECT_EQ(received, 2);
+  EXPECT_FALSE(net.router(3).offline());
+  ASSERT_EQ(faults.records().size(), 1u);
+  const auto& rec = faults.records()[0];
+  EXPECT_TRUE(rec.applied);
+  EXPECT_TRUE(rec.cleared);
+  EXPECT_EQ(rec.packets_dropped, 1u);
+  EXPECT_EQ(net.router(3).stats().packets_dropped_offline, 1u);
+}
+
+TEST(FaultScheduler, RouterDownRunsInParallelWithLinkEpisode) {
+  // A router failure neither pre-empts nor is pre-empted by a concurrent
+  // link impairment: both episodes apply and clear on their own schedules.
+  Network net(quiet_chain());
+  net.add_server("srv");
+  FaultScheduler faults(net.loop(), net.bottleneck_link(), net);
+  faults.add_outage(SimTime::from_seconds(1.0), Duration::seconds(2));
+  faults.add_router_down(SimTime::from_seconds(1.5), Duration::seconds(1), 3);
+  faults.arm();
+
+  bool both_active = false;
+  net.loop().schedule_at(SimTime::from_seconds(2.0), [&] {
+    both_active = net.bottleneck_link().impaired() && net.router(3).offline();
+  });
+  net.loop().run();
+
+  EXPECT_TRUE(both_active);
+  EXPECT_FALSE(net.bottleneck_link().impaired());
+  EXPECT_FALSE(net.router(3).offline());
+  for (const auto& rec : faults.records()) {
+    EXPECT_TRUE(rec.applied);
+    EXPECT_TRUE(rec.cleared);
+  }
+}
+
+TEST(FaultScheduler, OverlappingRouterDownsNest) {
+  // Two episodes on one router: it returns online only when the last ends.
+  Network net(quiet_chain());
+  net.add_server("srv");
+  FaultScheduler faults(net.loop(), net.bottleneck_link(), net);
+  faults.add_router_down(SimTime::from_seconds(1.0), Duration::seconds(2), 3);
+  faults.add_router_down(SimTime::from_seconds(2.0), Duration::seconds(2), 3);
+  faults.arm();
+
+  bool offline_between_ends = false, online_after_both = true;
+  net.loop().schedule_at(SimTime::from_seconds(3.5),
+                         [&] { offline_between_ends = net.router(3).offline(); });
+  net.loop().schedule_at(SimTime::from_seconds(4.5),
+                         [&] { online_after_both = net.router(3).offline(); });
+  net.loop().run();
+
+  EXPECT_TRUE(offline_between_ends);
+  EXPECT_FALSE(online_after_both);
+}
+
+TEST(FaultScheduler, FinishSettlesDanglingRouterDown) {
+  // A budget truncation can stop the loop mid-episode; finish() must close
+  // the accounting and put the router back online.
+  Network net(quiet_chain());
+  net.add_server("srv");
+  FaultScheduler faults(net.loop(), net.bottleneck_link(), net);
+  faults.add_router_down(SimTime::from_seconds(1.0), Duration::seconds(100), 3);
+  faults.arm();
+  net.loop().run_until(SimTime::from_seconds(2.0));
+
+  EXPECT_TRUE(net.router(3).offline());
+  faults.finish();
+  EXPECT_FALSE(net.router(3).offline());
+  ASSERT_EQ(faults.records().size(), 1u);
+  EXPECT_TRUE(faults.records()[0].applied);
+  EXPECT_TRUE(faults.records()[0].cleared);
+}
+
+TEST(FaultScheduler, RouterDownWithoutNetworkIsSettledNoop) {
+  // The 2-arg constructor has no network handle: a router-down episode is
+  // unschedulable and must settle immediately rather than dangle.
+  FaultFixture f;
+  auto link = f.make(LinkConfig{});
+  FaultScheduler faults(f.loop, *link);
+  faults.add_router_down(SimTime::from_seconds(1.0), Duration::seconds(1), 3);
+  faults.arm();
+  f.loop.run();
+  ASSERT_EQ(faults.records().size(), 1u);
+  EXPECT_TRUE(faults.records()[0].applied);
+  EXPECT_TRUE(faults.records()[0].cleared);
+  EXPECT_EQ(faults.records()[0].packets_dropped, 0u);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/audit.hpp"
+
 namespace streamlab {
 namespace {
 
@@ -102,6 +104,94 @@ TEST(Network, RouterAddressesAreRoutable) {
   for (int i = 0; i < net.hop_count(); ++i) {
     EXPECT_EQ(net.router_address(i), net.routers()[static_cast<std::size_t>(i)]->address());
   }
+}
+
+// --- Detour topology (DESIGN.md §11) ---
+
+PathConfig detour_path() {
+  PathConfig cfg;
+  cfg.hop_count = 8;
+  cfg.jitter_stddev = Duration::zero();
+  cfg.loss_probability = 0.0;
+  cfg.detour = DetourConfig{};  // span [3,4], 2 detour routers, metric 10
+  return cfg;
+}
+
+TEST(Network, DetourSegmentBuilds) {
+  Network net(detour_path());
+  EXPECT_TRUE(net.has_detour());
+  EXPECT_EQ(net.detour_routers().size(), 2u);
+  ASSERT_NE(net.detour_control(), nullptr);
+  EXPECT_EQ(net.detour_control()->branch, &net.router(2));
+  // Detour routers live in their own address plan, distinct from the chain.
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < net.hop_count(); ++j)
+      EXPECT_NE(net.detour_router_address(i), net.router_address(j));
+  }
+}
+
+TEST(Network, DetourIsDormantWhilePrimariesHold) {
+  // With the metric-0 primaries in place, the higher-metric detour routes
+  // must shadow: traffic crosses the chain, not the detour.
+  Network net(detour_path());
+  Host& server = net.add_server("srv");
+  int received = 0;
+  server.udp_bind(5000, [&](auto, auto, auto) { ++received; });
+  net.client().udp_send(6000, Endpoint{server.address(), 5000},
+                        std::vector<std::uint8_t>{1});
+  net.loop().run();
+  EXPECT_EQ(received, 1);
+  for (const Router* r : net.detour_routers())
+    EXPECT_EQ(r->stats().packets_forwarded, 0u);
+}
+
+TEST(Network, DetourCarriesTrafficWhenSpanWithdrawn) {
+  // The repair plane's move, by hand: span router dead, boundary primaries
+  // withdrawn -> the metric-shadowed backups route around the hole.
+  Network net(detour_path());
+  Host& server = net.add_server("srv");
+  net.router(3).set_offline(true);
+  for (auto& [router, id] : net.span_primaries(3, 4)) router->withdraw_route(id);
+
+  std::vector<std::uint8_t> received;
+  server.udp_bind(5000, [&](std::span<const std::uint8_t> data, Endpoint from, SimTime) {
+    received.assign(data.begin(), data.end());
+    server.udp_send(5000, from, data);  // echo: exercises the return path too
+  });
+  std::vector<std::uint8_t> reply;
+  net.client().udp_bind(6000, [&](std::span<const std::uint8_t> data, Endpoint, SimTime) {
+    reply.assign(data.begin(), data.end());
+  });
+
+  const std::vector<std::uint8_t> payload = {4, 2};
+  net.client().udp_send(6000, Endpoint{server.address(), 5000}, payload);
+  net.loop().run();
+  EXPECT_EQ(received, payload);  // forward path heals
+  EXPECT_EQ(reply, payload);     // ...and the return path too
+  std::uint64_t via_detour = 0;
+  for (const Router* r : net.detour_routers()) via_detour += r->stats().packets_forwarded;
+  EXPECT_GT(via_detour, 0u);
+  EXPECT_EQ(net.router(3).stats().packets_forwarded, 0u);
+}
+
+TEST(Network, DetourTopologyIsLoopFree) {
+  // The forwarding-table walk must stay acyclic through every repair state:
+  // healthy, withdrawn (detour active), and restored.
+  audit::Auditor auditor;
+  Network net(detour_path());
+  net.add_server("srv");
+  net.attach_auditor(auditor);
+
+  net.audit_routing();
+  auto primaries = net.span_primaries(3, 4);
+  EXPECT_FALSE(primaries.empty());
+  for (auto& [router, id] : primaries) router->withdraw_route(id);
+  net.audit_routing();
+  for (auto& [router, id] : primaries) router->restore_route(id);
+  net.audit_routing();
+
+  EXPECT_TRUE(auditor.report().clean()) << auditor.report().summary();
+  EXPECT_GT(auditor.report().checks_performed, 0u);
 }
 
 TEST(Network, DeterministicAcrossRebuilds) {

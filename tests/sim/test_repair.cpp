@@ -1,0 +1,168 @@
+#include "sim/repair.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/audit.hpp"
+#include "sim/network.hpp"
+
+namespace streamlab {
+namespace {
+
+PathConfig detour_path() {
+  PathConfig cfg;
+  cfg.hop_count = 8;
+  cfg.jitter_stddev = Duration::zero();
+  cfg.loss_probability = 0.0;
+  cfg.detour = DetourConfig{};  // span [3,4], 2 detour routers, metric 10
+  return cfg;
+}
+
+/// Samples `repair.rerouted()` at an absolute sim time.
+void sample_at(Network& net, RouteRepair& repair, double seconds, bool& out) {
+  net.loop().schedule_at(SimTime::from_seconds(seconds),
+                         [&repair, &out] { out = repair.rerouted(); });
+}
+
+void offline_at(Network& net, int router, double seconds, bool offline) {
+  net.loop().schedule_at(SimTime::from_seconds(seconds),
+                         [&net, router, offline] { net.router(router).set_offline(offline); });
+}
+
+TEST(RouteRepair, WithdrawsAfterDetectionDelay) {
+  Network net(detour_path());
+  net.add_server("srv");
+  RouteRepair repair(net);  // defaults: detect 300ms, hold-down 700ms
+
+  offline_at(net, 3, 1.0, true);
+  bool before_detection = true, after_detection = false;
+  sample_at(net, repair, 1.2, before_detection);  // dark, not yet detected
+  sample_at(net, repair, 1.4, after_detection);   // detection delay elapsed
+  net.loop().run();
+
+  EXPECT_FALSE(before_detection);
+  EXPECT_TRUE(after_detection);
+  EXPECT_EQ(repair.stats().reroutes, 1u);
+  EXPECT_EQ(repair.stats().restores, 0u);
+}
+
+TEST(RouteRepair, RestoresAfterHoldDown) {
+  Network net(detour_path());
+  net.add_server("srv");
+  RouteRepair repair(net);
+
+  offline_at(net, 3, 1.0, true);
+  offline_at(net, 3, 2.0, false);
+  bool during_hold_down = false, after_hold_down = true;
+  sample_at(net, repair, 2.6, during_hold_down);  // back, hold-down running
+  sample_at(net, repair, 2.8, after_hold_down);   // hold-down elapsed
+  net.loop().run();
+
+  EXPECT_TRUE(during_hold_down);
+  EXPECT_FALSE(after_hold_down);
+  EXPECT_EQ(repair.stats().reroutes, 1u);
+  EXPECT_EQ(repair.stats().restores, 1u);
+  // Convergence means the primaries are actually back in the tables.
+  for (auto& [router, id] : net.span_primaries(3, 4))
+    EXPECT_FALSE(router->route_withdrawn(id));
+}
+
+TEST(RouteRepair, FlapInsideHoldDownDoesNotRestoreEarly) {
+  Network net(detour_path());
+  net.add_server("srv");
+  RouteRepair repair(net);
+
+  offline_at(net, 3, 1.0, true);   // withdraw commits at 1.3
+  offline_at(net, 3, 2.0, false);  // hold-down would end at 2.7...
+  offline_at(net, 3, 2.5, true);   // ...but the router flaps back down first
+  offline_at(net, 3, 3.0, false);  // final recovery; restore at 3.7
+  bool after_cancelled_hold_down = false, after_final_hold_down = true;
+  sample_at(net, repair, 2.8, after_cancelled_hold_down);
+  sample_at(net, repair, 3.8, after_final_hold_down);
+  net.loop().run();
+
+  EXPECT_TRUE(after_cancelled_hold_down);  // flap kept the span withdrawn
+  EXPECT_FALSE(after_final_hold_down);
+  EXPECT_EQ(repair.stats().reroutes, 1u);  // one withdrawn interval, not two
+  EXPECT_EQ(repair.stats().restores, 1u);
+}
+
+TEST(RouteRepair, ProtectsExplicitSpanWithoutDetour) {
+  // No detour: the withdraw cannot reroute, but it turns the black hole into
+  // fast failure by pulling the primaries at the span boundaries.
+  PathConfig cfg;
+  cfg.hop_count = 8;
+  cfg.jitter_stddev = Duration::zero();
+  cfg.loss_probability = 0.0;
+  Network net(cfg);
+  net.add_server("srv");
+  RouteRepair repair(net);  // nothing auto-protected without a detour
+  repair.protect(3, 4);
+
+  auto primaries = net.span_primaries(3, 4);
+  ASSERT_FALSE(primaries.empty());
+  offline_at(net, 4, 1.0, true);
+  net.loop().run();
+
+  EXPECT_TRUE(repair.rerouted());
+  for (auto& [router, id] : primaries) EXPECT_TRUE(router->route_withdrawn(id));
+  EXPECT_EQ(repair.stats().reroutes, 1u);
+}
+
+TEST(RouteRepair, SpanWithTwoDeadRoutersRestoresOnlyWhenBothReturn) {
+  Network net(detour_path());
+  net.add_server("srv");
+  RouteRepair repair(net);
+
+  offline_at(net, 3, 1.0, true);
+  offline_at(net, 4, 1.1, true);
+  offline_at(net, 3, 2.0, false);  // one back: span still broken
+  bool with_one_back = false;
+  sample_at(net, repair, 3.0, with_one_back);
+  offline_at(net, 4, 4.0, false);  // whole span back: restore at 4.7
+  bool after_full_recovery = true;
+  sample_at(net, repair, 4.8, after_full_recovery);
+  net.loop().run();
+
+  EXPECT_TRUE(with_one_back);
+  EXPECT_FALSE(after_full_recovery);
+  EXPECT_EQ(repair.stats().reroutes, 1u);
+  EXPECT_EQ(repair.stats().restores, 1u);
+}
+
+TEST(RouteRepair, TransitionsKeepRoutingLoopFree) {
+  // Every withdraw/restore re-runs the forwarding-loop audit; a full
+  // down/up cycle must come out clean.
+  audit::Auditor auditor;
+  Network net(detour_path());
+  net.add_server("srv");
+  net.attach_auditor(auditor);
+  RouteRepair repair(net);
+
+  offline_at(net, 3, 1.0, true);
+  offline_at(net, 3, 2.0, false);
+  net.loop().run();
+
+  EXPECT_EQ(repair.stats().reroutes, 1u);
+  EXPECT_EQ(repair.stats().restores, 1u);
+  EXPECT_TRUE(auditor.report().clean()) << auditor.report().summary();
+}
+
+TEST(RouteRepair, DeterministicAcrossRuns) {
+  // The control plane lives on the sim loop: identical scripts must produce
+  // identical transition counts and identical table state.
+  auto run_once = [] {
+    Network net(detour_path());
+    net.add_server("srv");
+    RouteRepair repair(net);
+    offline_at(net, 3, 1.0, true);
+    offline_at(net, 3, 2.0, false);
+    offline_at(net, 4, 2.5, true);
+    offline_at(net, 4, 3.5, false);
+    net.loop().run();
+    return std::make_pair(repair.stats().reroutes, repair.stats().restores);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace streamlab

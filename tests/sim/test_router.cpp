@@ -121,6 +121,166 @@ TEST(Router, AnswersPingToOwnAddress) {
   EXPECT_EQ(r.remaining(), pad.size());
 }
 
+TEST(Router, MetricBreaksPrefixTies) {
+  RouterHarness h;
+  // Same prefix on both interfaces: the lower metric is the primary.
+  const auto primary = h.router.add_route(Ipv4Address(172, 16, 0, 0), 16, 0, 0);
+  h.router.add_route(Ipv4Address(172, 16, 0, 0), 16, 1, 10);
+  h.router.handle_packet(udp_packet(kClient, Ipv4Address(172, 16, 0, 9)), 1);
+  ASSERT_EQ(h.out0.size(), 1u);
+
+  // Withdrawing the primary promotes the metric-10 backup.
+  h.router.withdraw_route(primary);
+  EXPECT_TRUE(h.router.route_withdrawn(primary));
+  h.router.handle_packet(udp_packet(kClient, Ipv4Address(172, 16, 0, 9)), 0);
+  ASSERT_EQ(h.out1.size(), 1u);
+
+  // Restoring converges back to the primary.
+  h.router.restore_route(primary);
+  h.router.handle_packet(udp_packet(kClient, Ipv4Address(172, 16, 0, 9)), 1);
+  EXPECT_EQ(h.out0.size(), 2u);
+  EXPECT_EQ(h.out1.size(), 1u);
+}
+
+TEST(Router, WithdrawnRouteWithoutBackupIsUnreachable) {
+  Router router("r", Ipv4Address(10, 1, 0, 1));
+  std::vector<Ipv4Packet> out0;
+  router.attach_interface(0, [&](const Ipv4Packet& p) { out0.push_back(p); });
+  router.add_route(Ipv4Address(10, 0, 0, 0), 16, 0);
+  const auto only = router.add_route(Ipv4Address(172, 16, 0, 0), 16, 0);
+  router.withdraw_route(only);
+  router.handle_packet(udp_packet(kClient, Ipv4Address(172, 16, 0, 9)), 0);
+  EXPECT_EQ(router.stats().packets_no_route, 1u);
+  // The emitted packet is the Destination Unreachable toward the client.
+  ASSERT_EQ(out0.size(), 1u);
+  ByteReader r(out0[0].payload);
+  const auto icmp = IcmpHeader::decode(r);
+  ASSERT_TRUE(icmp.has_value());
+  EXPECT_EQ(icmp->type, IcmpType::kDestinationUnreachable);
+}
+
+TEST(Router, RoutesViaReportsInterfaceRoutes) {
+  RouterHarness h;  // /16 via 0, default via 1
+  const auto extra = h.router.add_route(Ipv4Address(172, 16, 0, 0), 16, 1, 5);
+  EXPECT_EQ(h.router.routes_via(0).size(), 1u);
+  const auto via1 = h.router.routes_via(1);
+  ASSERT_EQ(via1.size(), 2u);
+  EXPECT_EQ(via1.back(), extra);
+}
+
+TEST(Router, OfflineBlackHolesEverything) {
+  RouterHarness h;
+  h.router.set_offline(true);
+  EXPECT_TRUE(h.router.offline());
+  // Forwarding, local delivery and ICMP generation all stop dead.
+  h.router.handle_packet(udp_packet(kServer, kClient), 1);
+  IcmpHeader echo;
+  echo.type = IcmpType::kEchoRequest;
+  h.router.handle_packet(
+      make_icmp_packet(kClient, h.router.address(), echo, {}, 7), 0);
+  EXPECT_TRUE(h.out0.empty());
+  EXPECT_TRUE(h.out1.empty());
+  EXPECT_EQ(h.router.stats().packets_dropped_offline, 2u);
+
+  // Back online, forwarding resumes.
+  h.router.set_offline(false);
+  h.router.handle_packet(udp_packet(kServer, kClient), 1);
+  EXPECT_EQ(h.out0.size(), 1u);
+}
+
+TEST(Router, HealthListenerFiresOncePerTransition) {
+  RouterHarness h;
+  std::vector<bool> events;
+  h.router.set_health_listener([&](bool online) { events.push_back(online); });
+  h.router.set_offline(true);
+  h.router.set_offline(true);  // idempotent: no second event
+  h.router.set_offline(false);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0]);
+  EXPECT_TRUE(events[1]);
+}
+
+TEST(Router, NeverIcmpErrorsAnIcmpError) {
+  // RFC 1122 §3.2.2: an ICMP error about an ICMP error message can ping-pong
+  // between routers forever; the error must be suppressed.
+  Router router("r", Ipv4Address(10, 1, 0, 1));
+  std::vector<Ipv4Packet> out0;
+  router.attach_interface(0, [&](const Ipv4Packet& p) { out0.push_back(p); });
+  router.add_route(Ipv4Address(10, 0, 0, 0), 16, 0);
+
+  IcmpHeader error;
+  error.type = IcmpType::kDestinationUnreachable;
+  // 172.16/16 is unroutable here, which would normally produce an error.
+  router.handle_packet(
+      make_icmp_packet(kClient, Ipv4Address(172, 16, 0, 9), error, {}, 9), 0);
+  EXPECT_TRUE(out0.empty());
+  EXPECT_EQ(router.stats().icmp_errors_suppressed, 1u);
+  EXPECT_EQ(router.stats().icmp_errors_sent, 0u);
+
+  // Informational ICMP (an echo request) is NOT an error message and still
+  // elicits Destination Unreachable.
+  IcmpHeader echo;
+  echo.type = IcmpType::kEchoRequest;
+  router.handle_packet(
+      make_icmp_packet(kClient, Ipv4Address(172, 16, 0, 9), echo, {}, 10), 0);
+  EXPECT_EQ(out0.size(), 1u);
+  EXPECT_EQ(router.stats().icmp_errors_sent, 1u);
+}
+
+TEST(Router, NeverIcmpErrorsTrailingFragment) {
+  // RFC 1122 §3.2.2: only the first fragment of a datagram may trigger an
+  // ICMP error, or every fragment of one lost datagram multiplies the error.
+  RouterHarness h;
+  std::vector<std::uint8_t> big(4000, 0x22);
+  auto frags = fragment_packet(
+      make_udp_packet(Endpoint{kClient, 1}, Endpoint{Ipv4Address(172, 16, 0, 9), 2},
+                      big, 44),
+      kDefaultMtu);
+  ASSERT_GE(frags.size(), 2u);
+  // Route everything through a withdrawn dead end so each fragment is
+  // unroutable (RouterHarness has a default route; replace the target).
+  Router bare("r2", Ipv4Address(10, 1, 0, 2));
+  std::vector<Ipv4Packet> out;
+  bare.attach_interface(0, [&](const Ipv4Packet& p) { out.push_back(p); });
+  bare.add_route(Ipv4Address(10, 0, 0, 0), 16, 0);
+  for (const auto& frag : frags) bare.handle_packet(frag, 0);
+  // One error for the first fragment, suppression for every trailing one.
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(bare.stats().icmp_errors_sent, 1u);
+  EXPECT_EQ(bare.stats().icmp_errors_suppressed, frags.size() - 1);
+}
+
+TEST(Router, PingPongStormRegression) {
+  // A and B route each other's traffic straight back at each other. A client
+  // datagram for an unroutable destination makes B emit one Destination
+  // Unreachable, which then ricochets in the A<->B forwarding loop until its
+  // TTL expires. The expiry would produce a Time Exceeded *about an ICMP
+  // error* — the seed of an unbounded error-about-error storm. The RFC 1122
+  // guard suppresses it and the exchange terminates.
+  Router a("a", Ipv4Address(10, 9, 0, 1));
+  Router b("b", Ipv4Address(10, 9, 0, 2));
+  std::size_t volleys = 0;
+  bool overflow = false;
+  a.attach_interface(0, [&](const Ipv4Packet& p) {
+    if (++volleys < 300) b.handle_packet(p, 0);
+    else overflow = true;
+  });
+  b.attach_interface(0, [&](const Ipv4Packet& p) {
+    if (++volleys < 300) a.handle_packet(p, 0);
+    else overflow = true;
+  });
+  a.add_default_route(0);
+  b.add_route(Ipv4Address(10, 0, 0, 0), 16, 0);  // client via A; 172.16/16 unroutable
+
+  a.handle_packet(udp_packet(kClient, Ipv4Address(172, 16, 0, 9)), 0);
+
+  EXPECT_FALSE(overflow);  // the storm died before the volley cap
+  // Exactly one real error (B's unreachable), exactly one suppression (the
+  // would-be Time Exceeded about it when its TTL ran out in the loop).
+  EXPECT_EQ(a.stats().icmp_errors_sent + b.stats().icmp_errors_sent, 1u);
+  EXPECT_EQ(a.stats().icmp_errors_suppressed + b.stats().icmp_errors_suppressed, 1u);
+}
+
 TEST(Router, FragmentsForwardIndependently) {
   RouterHarness h;
   std::vector<std::uint8_t> big(4000, 0x22);

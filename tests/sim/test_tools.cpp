@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "sim/repair.hpp"
+
 namespace streamlab {
 namespace {
 
@@ -103,6 +108,87 @@ TEST(Traceroute, HopCountMatchesPathConfig) {
     EXPECT_TRUE(r.reached);
     EXPECT_EQ(r.hop_count(), hops + 1) << hops << " hops";
   }
+}
+
+// --- Path characterization under failure (DESIGN.md §11) ---
+
+TEST(Ping, ReportsUnreachableWhileRouteWithdrawn) {
+  // Withdrawn primaries with no detour: the boundary router answers probes
+  // with Destination Unreachable — ping fails *fast*, unlike an outage's
+  // silent timeout.
+  Network net(quiet_path(8, 10));
+  Host& server = net.add_server("srv");
+  for (auto& [router, id] : net.span_primaries(3, 4)) router->withdraw_route(id);
+
+  const PingResult r = run_ping(net, server.address(), 4);
+  EXPECT_EQ(r.sent, 4);
+  EXPECT_EQ(r.received, 0);
+  EXPECT_EQ(r.unreachable, 4);
+  EXPECT_DOUBLE_EQ(r.loss_fraction(), 1.0);
+}
+
+TEST(Ping, RecoversWhenRouteRestored) {
+  Network net(quiet_path(8, 10));
+  Host& server = net.add_server("srv");
+  auto primaries = net.span_primaries(3, 4);
+  for (auto& [router, id] : primaries) router->withdraw_route(id);
+  const PingResult broken = run_ping(net, server.address(), 2);
+  for (auto& [router, id] : primaries) router->restore_route(id);
+  const PingResult healed = run_ping(net, server.address(), 2);
+
+  EXPECT_EQ(broken.unreachable, 2);
+  EXPECT_EQ(healed.received, 2);
+  EXPECT_EQ(healed.unreachable, 0);
+}
+
+TEST(Traceroute, ShowsDetourHopsAcrossDownedSpan) {
+  // tracert after the repair plane converges: the downed chain router is
+  // gone from the hop list and the detour routers appear in its place.
+  PathConfig cfg = quiet_path(8, 10);
+  cfg.detour = DetourConfig{};  // span [3,4], 2 detour routers
+  Network net(cfg);
+  Host& server = net.add_server("srv");
+  RouteRepair repair(net);
+  net.router(3).set_offline(true);
+  net.loop().run();  // drive past the detection delay: withdraw commits
+  ASSERT_TRUE(repair.rerouted());
+
+  const TracerouteResult r = run_traceroute(net, server.address());
+  ASSERT_TRUE(r.reached);
+  std::vector<Ipv4Address> hops;
+  for (const auto& hop : r.hops)
+    if (hop.address) hops.push_back(*hop.address);
+  auto seen = [&](Ipv4Address addr) {
+    return std::find(hops.begin(), hops.end(), addr) != hops.end();
+  };
+  EXPECT_TRUE(seen(net.detour_router_address(0)));
+  EXPECT_TRUE(seen(net.detour_router_address(1)));
+  EXPECT_FALSE(seen(net.router_address(3)));
+  EXPECT_FALSE(seen(net.router_address(4)));
+  // Detour adds hops: 8 chain - 2 bypassed + 2 detour + server, minus the
+  // downed span, still reaches in a bounded, loop-free number of steps.
+  EXPECT_EQ(r.hop_count(), 8 - 2 + 2 + 1);
+}
+
+TEST(Traceroute, ChainHopsReturnAfterRestore) {
+  PathConfig cfg = quiet_path(8, 10);
+  cfg.detour = DetourConfig{};
+  Network net(cfg);
+  Host& server = net.add_server("srv");
+  RouteRepair repair(net);
+  net.router(3).set_offline(true);
+  net.loop().run();
+  net.router(3).set_offline(false);
+  net.loop().run();  // hold-down elapses, primaries restored
+  ASSERT_FALSE(repair.rerouted());
+
+  const TracerouteResult r = run_traceroute(net, server.address());
+  ASSERT_TRUE(r.reached);
+  EXPECT_EQ(r.hop_count(), 8 + 1);
+  std::vector<Ipv4Address> hops;
+  for (const auto& hop : r.hops)
+    if (hop.address) hops.push_back(*hop.address);
+  EXPECT_NE(std::find(hops.begin(), hops.end(), net.router_address(3)), hops.end());
 }
 
 }  // namespace
