@@ -7,7 +7,7 @@
 // the CSV exports.
 //
 // Usage: turbulence_lab [set 1-6] [low|high|very-high] [export-dir]
-//                       [--trace <dir>] [--chaos]
+//                       [--trace <dir>] [--chaos] [--fec <k>] [--nack]
 //                       [--campaign <N>] [--workers <N>] [--verify-determinism]
 //                       [--manifest <path>] [--seed <base>]
 //
@@ -18,6 +18,15 @@
 // a mirror server (the withdraw produces Destination Unreachable, the
 // client fails over and resumes mid-clip). Combined with --campaign N the
 // campaign trials run the detour-reroute chaos scenario.
+//
+// With --fec <k> the servers send one interleaved XOR parity packet per k
+// data packets (stride 4, tuned for the burst-loss regime's mean burst
+// length) and the clients reconstruct single erasures per parity row. With
+// --nack the clients detect sequence gaps and request retransmission
+// (RTT-scaled timeout, bounded retries; the server answers from a bounded
+// buffer through a token-bucket pacer). Both flags apply to every scenario
+// and campaign trial; each session's summary line then reports recovered
+// packet counts, recovery ratio, repair latency and bandwidth overhead.
 //
 // With --trace, every scenario also dumps its observability data under
 // <dir>/<scenario>/: trace.json (Chrome trace-event format — open it at
@@ -61,12 +70,17 @@ RateTier parse_tier(const char* text) {
   return RateTier::kLow;
 }
 
+/// Repair layer selected by --fec/--nack; folded into every scenario config
+/// (including the chaos and campaign variants) through base_config().
+RepairLayerConfig g_repair;
+
 TurbulenceScenarioConfig base_config() {
   TurbulenceScenarioConfig cfg;
   cfg.path.hop_count = 8;
   cfg.path.one_way_propagation = Duration::millis(20);
   cfg.seed = 42;
   cfg.recovery.inactivity_timeout = Duration::seconds(8);
+  cfg.repair_layer = g_repair;
   return cfg;
 }
 
@@ -142,6 +156,16 @@ void describe(const char* name, const TurbulenceRunResult& run) {
       std::printf("  router-down-stall=%.1fs",
                   m.stall_during_router_down.to_seconds());
     std::printf("\n");
+    if (m.packets_recovered > 0 || m.parity_packets > 0 || m.nacks_sent > 0)
+      std::printf(
+          "        repair: recovered=%llu (fec=%llu retx=%llu) ratio=%.1f%% "
+          "latency=%.1f/%.1fms nacks=%llu overhead=%.2f%%\n",
+          static_cast<unsigned long long>(m.packets_recovered),
+          static_cast<unsigned long long>(m.recovered_by_fec),
+          static_cast<unsigned long long>(m.recovered_by_retx),
+          100.0 * m.recovery_ratio(), m.repair_latency_mean_ms,
+          m.repair_latency_p95_ms, static_cast<unsigned long long>(m.nacks_sent),
+          100.0 * m.repair_overhead());
   };
   if (run.real) session(*run.real);
   if (run.media) session(*run.media);
@@ -233,6 +257,14 @@ int run_campaign_mode(const ClipSet& set, RateTier tier, std::size_t trials,
           static_cast<unsigned long long>(agg.route_restores),
           static_cast<unsigned long long>(agg.failovers),
           agg.router_down_stall.to_seconds());
+    if (g_repair.enabled())
+      std::printf(
+          "  repair: %llu packets recovered, %llu NACKs sent, %llu retx answered, "
+          "%llu parity packets\n",
+          static_cast<unsigned long long>(agg.packets_recovered),
+          static_cast<unsigned long long>(agg.nacks_sent),
+          static_cast<unsigned long long>(agg.retransmissions_sent),
+          static_cast<unsigned long long>(agg.parity_packets));
     const std::size_t ran = result.trials.size() - result.resumed;
     if (ran > 0 && wall_seconds > 0.0) {
       std::printf("  throughput: %zu trials in %.2fs wall = %.2f trials/sec (workers=%zu)\n",
@@ -278,6 +310,18 @@ int main(int argc, char** argv) {
       manifest_path = flag_value("--manifest");
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       base_seed = static_cast<std::uint64_t>(std::atoll(flag_value("--seed")));
+    } else if (std::strcmp(argv[i], "--fec") == 0) {
+      const int k = std::atoi(flag_value("--fec"));
+      if (k < 1 || k > 64) {
+        std::fprintf(stderr, "--fec k must be 1..64\n");
+        return 1;
+      }
+      g_repair.fec_k = static_cast<std::uint8_t>(k);
+      // Interleave depth 4: the burst-loss regime's mean burst length, so a
+      // whole burst lands in distinct parity rows and stays recoverable.
+      g_repair.fec_stride = 4;
+    } else if (std::strcmp(argv[i], "--nack") == 0) {
+      g_repair.nack = true;
     } else if (std::strcmp(argv[i], "--verify-determinism") == 0) {
       verify_determinism = true;
     } else if (std::strcmp(argv[i], "--chaos") == 0) {

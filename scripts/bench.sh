@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Records the benchmark JSON artifacts (BENCH_CAMPAIGN.json, BENCH_OBS.json)
-# from a Release build — and refuses anything else. Numbers measured from a
+# Records the benchmark JSON artifacts (BENCH_CAMPAIGN.json, BENCH_OBS.json,
+# BENCH_REPAIR.json) from a Release build — and refuses anything else. Numbers measured from a
 # debug or sanitized tree are not comparable to the committed baselines, so
 # this script is the only sanctioned way to refresh them.
 # Usage: scripts/bench.sh [build-dir]   (default: build-release, configured
@@ -35,7 +35,7 @@ if [[ -n "$SANITIZE" ]]; then
   exit 1
 fi
 
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_campaign bench_micro
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_campaign bench_micro bench_repair
 
 "$BUILD_DIR/bench/bench_campaign" \
   --benchmark_out=BENCH_CAMPAIGN.json --benchmark_out_format=json \
@@ -45,12 +45,16 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_campaign bench_micro
   --benchmark_out=BENCH_OBS.json --benchmark_out_format=json \
   --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
 
+"$BUILD_DIR/bench/bench_repair" \
+  --benchmark_out=BENCH_REPAIR.json --benchmark_out_format=json \
+  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+
 # google-benchmark's context.library_build_type describes the *benchmark
 # library* shipped with the toolchain, not our binaries — stamp the build
 # type this script just verified so the artifact is self-describing.
 python3 - <<'EOF'
 import json
-for path in ("BENCH_CAMPAIGN.json", "BENCH_OBS.json"):
+for path in ("BENCH_CAMPAIGN.json", "BENCH_OBS.json", "BENCH_REPAIR.json"):
     with open(path) as f:
         d = json.load(f)
     d["context"]["streamlab_build_type"] = "Release"
@@ -64,4 +68,4 @@ for path in ("BENCH_CAMPAIGN.json", "BENCH_OBS.json"):
         f.write("\n")
 EOF
 
-echo "bench.sh: wrote BENCH_CAMPAIGN.json and BENCH_OBS.json (Release, unsanitized)"
+echo "bench.sh: wrote BENCH_CAMPAIGN.json, BENCH_OBS.json and BENCH_REPAIR.json (Release, unsanitized)"

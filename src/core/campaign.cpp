@@ -146,6 +146,10 @@ std::string manifest_line(const TrialOutcome& t, const std::string& config_hex) 
   num("reroutes", t.reroutes);
   num("route_restores", t.route_restores);
   num("failovers", t.failovers);
+  num("packets_recovered", t.packets_recovered);
+  num("nacks_sent", t.nacks_sent);
+  num("retx_sent", t.retransmissions_sent);
+  num("parity_packets", t.parity_packets);
   line += "\"router_down_stall_ns\":" + std::to_string(t.router_down_stall.ns()) + ",";
   line += "\"stall_ns\":" + std::to_string(t.stall_time.ns()) + "}";
   return line;
@@ -196,6 +200,10 @@ TrialOutcome parse_manifest_line(const std::string& line, const std::string& con
   t.reroutes = json_u64(line, "reroutes");
   t.route_restores = json_u64(line, "route_restores");
   t.failovers = json_u64(line, "failovers");
+  t.packets_recovered = json_u64(line, "packets_recovered");
+  t.nacks_sent = json_u64(line, "nacks_sent");
+  t.retransmissions_sent = json_u64(line, "retx_sent");
+  t.parity_packets = json_u64(line, "parity_packets");
   t.router_down_stall = Duration::nanos(json_i64(line, "router_down_stall_ns"));
   t.stall_time = Duration::nanos(json_i64(line, "stall_ns"));
   return t;
@@ -220,6 +228,10 @@ void fill_salvage(TrialOutcome& t) {
     t.stall_time = t.stall_time + m->stall_time;
     t.failovers += m->failovers;
     t.router_down_stall = t.router_down_stall + m->stall_during_router_down;
+    t.packets_recovered += m->packets_recovered;
+    t.nacks_sent += m->nacks_sent;
+    t.retransmissions_sent += m->retransmissions_sent;
+    t.parity_packets += m->parity_packets;
   };
   fold_session(t.result->real);
   fold_session(t.result->media);
@@ -309,6 +321,10 @@ void CampaignAggregate::fold(const TrialOutcome& trial) {
   route_restores += trial.route_restores;
   failovers += trial.failovers;
   router_down_stall = router_down_stall + trial.router_down_stall;
+  packets_recovered += trial.packets_recovered;
+  nacks_sent += trial.nacks_sent;
+  retransmissions_sent += trial.retransmissions_sent;
+  parity_packets += trial.parity_packets;
 }
 
 std::vector<std::uint64_t> CampaignResult::quarantined_seeds() const {
@@ -356,6 +372,18 @@ std::uint64_t campaign_config_digest(const CampaignConfig& config) {
   d.i64(s.repair_span_last);
   d.u64(s.mirror_server ? 1 : 0);
   d.i64(s.icmp_unreachable_threshold);
+  // Loss-repair policy: trials with different FEC/NACK/pacer parameters
+  // produce different wire traffic and are not comparable.
+  d.i64(s.repair_layer.fec_k);
+  d.i64(s.repair_layer.fec_stride);
+  d.u64(s.repair_layer.nack ? 1 : 0);
+  d.f64(s.repair_layer.nack_rtt_multiplier);
+  d.i64(s.repair_layer.nack_min_delay.ns());
+  d.i64(s.repair_layer.nack_max_delay.ns());
+  d.i64(s.repair_layer.nack_max_retries);
+  d.u64(s.repair_layer.retx_buffer_packets);
+  d.f64(s.repair_layer.pacer_rate_fraction);
+  d.u64(s.repair_layer.pacer_burst_bytes);
   d.u64(s.recovery.play_retry ? 1 : 0);
   d.i64(s.recovery.play_timeout.ns());
   d.f64(s.recovery.backoff);

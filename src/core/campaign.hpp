@@ -103,6 +103,11 @@ struct TrialOutcome {
   std::uint64_t failovers = 0;       ///< mirror failovers committed
   /// Stall time overlapping kRouterDown episode windows.
   Duration router_down_stall;
+  // Loss-repair salvage (zero when the repair layer is disabled).
+  std::uint64_t packets_recovered = 0;  ///< FEC + retransmission repairs
+  std::uint64_t nacks_sent = 0;         ///< client NACK messages
+  std::uint64_t retransmissions_sent = 0;  ///< server retx answered
+  std::uint64_t parity_packets = 0;     ///< parity packets received
 };
 
 /// Study-level totals over every *completed* trial, live or restored.
@@ -121,6 +126,10 @@ struct CampaignAggregate {
   std::uint64_t route_restores = 0;
   std::uint64_t failovers = 0;
   Duration router_down_stall;
+  std::uint64_t packets_recovered = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t retransmissions_sent = 0;
+  std::uint64_t parity_packets = 0;
 
   void fold(const TrialOutcome& trial);
 };

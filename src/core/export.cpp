@@ -133,7 +133,10 @@ void append_recovery_row(std::ostream& out, const std::string& scenario,
       << "," << m.frames_rendered << "," << m.frames_dropped << ","
       << m.frames_dropped_during_episodes << "," << m.frames_dropped_after_episodes
       << "," << m.packets_received << "," << m.packets_lost << ","
-      << m.duplicate_packets << "\n";
+      << m.duplicate_packets << "," << m.packets_recovered << ","
+      << fmt_double(m.recovery_ratio(), 4) << ","
+      << fmt_double(m.repair_latency_mean_ms, 3) << ","
+      << fmt_double(m.repair_overhead(), 4) << "\n";
 }
 
 }  // namespace
@@ -142,7 +145,8 @@ void turbulence_csv(const std::vector<std::pair<std::string, TurbulenceRunResult
                     std::ostream& out) {
   out << "scenario,clip_id,player,established,play_attempts,abandoned,stream_dead,"
          "completed,time_to_recover_s,rebuffer_events,stall_s,frames_rendered,"
-         "frames_dropped,dropped_during,dropped_after,packets,lost,duplicates\n";
+         "frames_dropped,dropped_during,dropped_after,packets,lost,duplicates,"
+         "recovered,recovery_ratio,repair_latency_mean_ms,repair_overhead\n";
   for (const auto& [scenario, run] : runs) {
     if (run.real) append_recovery_row(out, scenario, *run.real);
     if (run.media) append_recovery_row(out, scenario, *run.media);

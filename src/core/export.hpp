@@ -39,7 +39,8 @@ int export_study(const StudyResults& study, const std::string& directory);
 /// Columns: scenario,clip_id,player,established,play_attempts,abandoned,
 /// stream_dead,completed,time_to_recover_s,rebuffer_events,stall_s,
 /// frames_rendered,frames_dropped,dropped_during,dropped_after,packets,
-/// lost,duplicates
+/// lost,duplicates,recovered,recovery_ratio,repair_latency_mean_ms,
+/// repair_overhead
 void turbulence_csv(const std::vector<std::pair<std::string, TurbulenceRunResult>>& runs,
                     std::ostream& out);
 std::string turbulence_csv(const std::vector<std::pair<std::string, TurbulenceRunResult>>&

@@ -34,11 +34,13 @@ FaultedSession make_session(Network& net, Host& server_host, Host* mirror_host,
 
   s.server = make_server(server_host, encoded, server_port, is_media, config,
                          config.seed ^ 0x524D);
+  if (config.repair_layer.enabled()) s.server->enable_repair(config.repair_layer);
   if (mirror_host != nullptr) {
     // The mirror serves the same clip on the same port from its own host; a
     // failover PLAY carrying a resume offset continues the stream there.
     s.mirror = make_server(*mirror_host, encoded, server_port, is_media, config,
                            config.seed ^ 0x6D69);
+    if (config.repair_layer.enabled()) s.mirror->enable_repair(config.repair_layer);
   }
 
   StreamClient::Config cc;
@@ -48,6 +50,7 @@ FaultedSession make_session(Network& net, Host& server_host, Host* mirror_host,
   cc.rebuffering = config.rebuffering;
   cc.max_stall = config.max_stall;
   cc.recovery = config.recovery;
+  cc.repair = config.repair_layer;
   if (mirror_host != nullptr) {
     cc.failover.mirrors.push_back(Endpoint{mirror_host->address(), server_port});
     cc.failover.icmp_unreachable_threshold = config.icmp_unreachable_threshold;
@@ -62,7 +65,27 @@ bool inside_any_episode(const std::vector<FaultEpisode>& episodes, SimTime t) {
                      [t](const FaultEpisode& e) { return e.covers(t); });
 }
 
+/// Mean and 95th percentile of the recovered packets' repair delays.
+void fill_repair_latency(const std::vector<Duration>& latencies,
+                         SessionRecoveryMetrics& m) {
+  if (latencies.empty()) return;
+  double sum_ms = 0.0;
+  std::vector<double> ms;
+  ms.reserve(latencies.size());
+  for (const Duration d : latencies) {
+    ms.push_back(d.to_millis());
+    sum_ms += d.to_millis();
+  }
+  std::sort(ms.begin(), ms.end());
+  m.repair_latency_mean_ms = sum_ms / static_cast<double>(ms.size());
+  const std::size_t idx =
+      std::min(ms.size() - 1,
+               static_cast<std::size_t>(0.95 * static_cast<double>(ms.size())));
+  m.repair_latency_p95_ms = ms[idx];
+}
+
 SessionRecoveryMetrics collect(const ClipInfo& clip, const StreamClient& client,
+                               const StreamServer* server, const StreamServer* mirror,
                                const std::vector<FaultEpisode>& episodes) {
   SessionRecoveryMetrics m;
   m.clip = clip;
@@ -81,6 +104,20 @@ SessionRecoveryMetrics collect(const ClipInfo& clip, const StreamClient& client,
   m.failovers = client.failover_count();
   m.icmp_unreachables = client.icmp_unreachables();
   m.resume_offset = client.resume_offset();
+
+  m.packets_recovered = client.packets_recovered();
+  m.recovered_by_fec = client.recovered_by_fec();
+  m.recovered_by_retx = client.recovered_by_retx();
+  m.nacks_sent = client.nacks_sent();
+  m.parity_packets = client.parity_packets_received();
+  m.repair_wire_bytes = client.parity_wire_bytes() + client.retx_wire_bytes();
+  m.total_wire_bytes = client.wire_bytes_received() + client.parity_wire_bytes();
+  fill_repair_latency(client.repair_latencies(), m);
+  for (const StreamServer* s : {server, mirror}) {
+    if (s == nullptr) continue;
+    m.retransmissions_sent += s->retransmissions_sent();
+    m.retx_suppressed_pacer += s->retx_suppressed_pacer();
+  }
 
   // Attribute stall time to router failure: overlap each stall interval
   // with the merged kRouterDown windows.
@@ -234,7 +271,8 @@ TurbulenceRunResult run_turbulence_clip(const ClipInfo& clip,
     result.reroutes = repair->stats().reroutes;
     result.route_restores = repair->stats().restores;
   }
-  auto metrics = collect(clip, *session.client, config.episodes);
+  auto metrics = collect(clip, *session.client, session.server.get(),
+                         session.mirror.get(), config.episodes);
   (clip.player == PlayerKind::kMediaPlayer ? result.media : result.real) =
       std::move(metrics);
   result.episodes = faults.records();
@@ -278,8 +316,10 @@ TurbulenceRunResult run_turbulence_pair(const ClipSet& set, RateTier tier,
     result.reroutes = repair->stats().reroutes;
     result.route_restores = repair->stats().restores;
   }
-  result.real = collect(real_clip, *real_session.client, config.episodes);
-  result.media = collect(media_clip, *media_session.client, config.episodes);
+  result.real = collect(real_clip, *real_session.client, real_session.server.get(),
+                        nullptr, config.episodes);
+  result.media = collect(media_clip, *media_session.client, media_session.server.get(),
+                         nullptr, config.episodes);
   result.episodes = faults.records();
   return result;
 }

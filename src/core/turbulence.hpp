@@ -14,6 +14,7 @@
 
 #include "core/experiment.hpp"
 #include "obs/obs.hpp"
+#include "players/repair.hpp"
 #include "sim/audit.hpp"
 #include "sim/faults.hpp"
 #include "sim/repair.hpp"
@@ -84,6 +85,12 @@ struct TurbulenceScenarioConfig {
   /// Consecutive Destination Unreachable packets that fast-fail the client
   /// onto the mirror (see FailoverConfig).
   int icmp_unreachable_threshold = 3;
+
+  // --- Loss repair layer (players/repair.hpp) ---
+  /// FEC + NACK policy applied to every server (mirror included) and client
+  /// of the scenario. The default leaves repair off, preserving the
+  /// unrepaired baseline byte for byte.
+  RepairLayerConfig repair_layer;
 };
 
 /// How one player session fared through the scripted turbulence.
@@ -123,8 +130,35 @@ struct SessionRecoveryMetrics {
   /// attributable to router failure rather than ambient turbulence.
   Duration stall_during_router_down;
 
+  // Loss repair behaviour (all zero when repair_layer is disabled).
+  std::uint64_t packets_recovered = 0;   ///< FEC + retransmission repairs
+  std::uint64_t recovered_by_fec = 0;
+  std::uint64_t recovered_by_retx = 0;
+  std::uint64_t nacks_sent = 0;          ///< client NACK messages
+  std::uint64_t parity_packets = 0;      ///< parity packets received
+  std::uint64_t repair_wire_bytes = 0;   ///< parity + retransmission wire bytes
+  std::uint64_t total_wire_bytes = 0;    ///< all wire bytes (media + repair)
+  double repair_latency_mean_ms = 0.0;   ///< gap notice -> repair delivery
+  double repair_latency_p95_ms = 0.0;
+  std::uint64_t retransmissions_sent = 0;   ///< server-side retx answered
+  std::uint64_t retx_suppressed_pacer = 0;  ///< server retx dropped by pacer
+
   /// abandoned or declared dead: the session did not survive the turbulence.
   bool session_failed() const { return abandoned || stream_dead; }
+
+  /// Fraction of the packets the network lost that the repair layer
+  /// delivered anyway: recovered / (recovered + still-lost).
+  double recovery_ratio() const {
+    const std::uint64_t denom = packets_recovered + packets_lost;
+    return denom == 0 ? 0.0 : static_cast<double>(packets_recovered) /
+                                  static_cast<double>(denom);
+  }
+  /// Repair bandwidth overhead: repair wire bytes per media wire byte.
+  double repair_overhead() const {
+    const std::uint64_t media = total_wire_bytes - repair_wire_bytes;
+    return media == 0 ? 0.0
+                      : static_cast<double>(repair_wire_bytes) / static_cast<double>(media);
+  }
 };
 
 /// One scenario run: per-player metrics plus the episode ledger.

@@ -16,6 +16,8 @@ StreamClient::StreamClient(Host& host, const EncodedClip& clip, Endpoint server,
   host_.udp_bind(port_, [this](std::span<const std::uint8_t> payload, Endpoint from,
                                SimTime now) { handle_datagram(payload, from, now); });
 
+  if (config_.repair.enabled()) repair_ = std::make_unique<RepairState>(config_.repair);
+
   // With mirrors configured, Destination Unreachable about the active server
   // is a fast-fail signal: listen for it ahead of the inactivity watchdog.
   if (!config_.failover.mirrors.empty() &&
@@ -41,6 +43,10 @@ StreamClient::StreamClient(Host& host, const EncodedClip& clip, Endpoint server,
       obs_->rebuffers = obs->registry().counter(prefix + "rebuffer_events");
       obs_->failovers = obs->registry().counter(prefix + "failovers");
       obs_->unreachables = obs->registry().counter(prefix + "icmp_unreachables");
+      obs_->recovered = obs->registry().counter(prefix + "packets_recovered");
+      obs_->nacks = obs->registry().counter(prefix + "nacks_sent");
+      obs_->repair_latency =
+          obs->registry().histogram(prefix + "repair_latency_ms", 5.0, 100);
       obs::Tracer& tracer = obs->tracer();
       obs_->track = tracer.intern("player." + tag);
       obs_->retry_name = tracer.intern("play-retry");
@@ -51,6 +57,7 @@ StreamClient::StreamClient(Host& host, const EncodedClip& clip, Endpoint server,
       obs_->goodput_name = tracer.intern(prefix + "goodput_kbps");
       obs_->failover_name = tracer.intern("failover");
       obs_->unreachable_name = tracer.intern("icmp-unreachable");
+      obs_->recovered_name = tracer.intern("packet-recovered");
     }
   }
 }
@@ -58,6 +65,7 @@ StreamClient::StreamClient(Host& host, const EncodedClip& clip, Endpoint server,
 StreamClient::~StreamClient() {
   play_timer_.cancel();
   watchdog_timer_.cancel();
+  if (repair_) repair_->nack_timer.cancel();
   if (icmp_handler_installed_) host_.set_icmp_handler({});
   host_.udp_unbind(port_);
 }
@@ -126,6 +134,7 @@ void StreamClient::send_play() {
   ControlMessage play{ControlType::kPlayRequest, clip_.info().id()};
   play.offset = resume_offset_;  // nonzero only after a failover
   const auto bytes = play.encode();
+  if (repair_) repair_->play_sent_at = host_.loop().now();
   host_.udp_send(port_, server_, bytes);
   if (config_.recovery.play_retry) {
     play_timer_ = host_.loop().schedule_in(next_play_timeout_,
@@ -151,6 +160,7 @@ void StreamClient::on_play_timeout() {
     session_abandoned_ = true;
     failure_time_ = host_.loop().now();
     enter_phase(audit::SessionPhase::kAbandoned);
+    if (repair_) repair_->nack_timer.cancel();
     if (obs_) obs_instant(obs_->abandoned_name, host_.loop().now());
     return;
   }
@@ -161,6 +171,13 @@ void StreamClient::on_session_established(SimTime now) {
   play_timer_.cancel();
   current_server_answered_ = true;
   liveness_anchor_ = now;
+  if (repair_ && !repair_->rtt_known) {
+    // The PLAY -> first-response round trip seeds the NACK retry delay. A
+    // retried handshake overestimates the RTT, which only makes the retry
+    // schedule more conservative.
+    repair_->rtt_known = true;
+    repair_->nack.set_rtt(now - repair_->play_sent_at);
+  }
   if (established_time_) {
     // A mirror answered after a failover: re-enter kEstablished and re-arm
     // the watchdog against the new server's stream (it was disarmed while
@@ -190,7 +207,11 @@ void StreamClient::arm_watchdog(Duration delay) {
 }
 
 void StreamClient::on_watchdog() {
-  if (eos_received_ || stream_dead_ || session_abandoned_) return;
+  // playback_finished_ covers sessions whose end-of-stream marker was lost:
+  // the drop-late timeline still completes them, and a completed session
+  // must never be re-declared dead by a stale silence window.
+  if (eos_received_ || stream_dead_ || session_abandoned_ || playback_finished_)
+    return;
   const Duration window = config_.recovery.inactivity_timeout;
   const SimTime now = host_.loop().now();
   // Silence is measured from the last data packet, or — before any data
@@ -219,6 +240,7 @@ void StreamClient::on_watchdog() {
   failure_time_ = now;
   enter_phase(audit::SessionPhase::kDead);
   play_timer_.cancel();
+  if (repair_) repair_->nack_timer.cancel();
   if (obs_) {
     obs_->watchdog_fired.add();
     obs_instant(obs_->dead_name, now);
@@ -269,6 +291,15 @@ void StreamClient::failover(SimTime now) {
   report_window_max_seq_ = 0;
   report_window_received_ = packets_.size() + pending_app_.size();
 
+  // The mirror's sequence space is fresh: row state, gap registry and
+  // pending NACKs from the old epoch are meaningless against it.
+  if (repair_) {
+    if (repair_->decoder) repair_->decoder->reset();
+    repair_->nack.reset();
+    repair_->nack_timer.cancel();
+    repair_->missing_since.clear();
+  }
+
   unreachable_streak_ = 0;
   current_server_answered_ = false;
   play_attempts_current_ = 0;
@@ -296,10 +327,130 @@ void StreamClient::handle_datagram(std::span<const std::uint8_t> payload, Endpoi
     }
     return;
   }
+  if (repair_ && repair_->decoder) {
+    if (auto parity = ParityHeader::decode(payload)) {
+      on_parity(*parity, payload.size(), now);
+      return;
+    }
+  }
   std::size_t media_len = 0;
   if (auto header = DataHeader::decode(payload, media_len)) {
     on_data(*header, media_len, now);
   }
+}
+
+void StreamClient::on_parity(const ParityHeader& header, std::size_t wire_len,
+                             SimTime now) {
+  if (stream_dead_) return;
+  unreachable_streak_ = 0;  // parity is live traffic from the server too
+  if (!current_server_answered_) on_session_established(now);
+  last_data_ = now;
+  ++repair_->parity_packets;
+  repair_->parity_bytes += wire_len;
+  if (auto recovered = repair_->decoder->on_parity(header))
+    accept_recovered(*recovered, now);
+}
+
+void StreamClient::register_gaps(std::uint64_t from_seq, std::uint64_t to_seq,
+                                 SimTime now) {
+  // Bound the registry: a jump wider than the server's retransmission window
+  // is unrepairable history (e.g. rejoining after a long outage).
+  constexpr std::uint64_t kMaxTracked = 4096;
+  for (std::uint64_t seq = from_seq; seq < to_seq; ++seq) {
+    if (repair_->missing_since.size() >= kMaxTracked) break;
+    const auto seq32 = static_cast<std::uint32_t>(seq);
+    repair_->missing_since.emplace(seq32, now);
+    if (config_.repair.nack) repair_->nack.note_missing(seq32, now);
+  }
+  if (config_.repair.nack) schedule_nack_timer();
+}
+
+void StreamClient::record_repair_latency(std::uint32_t seq, SimTime now) {
+  Duration latency = Duration::zero();
+  if (const auto it = repair_->missing_since.find(seq);
+      it != repair_->missing_since.end()) {
+    latency = now - it->second;
+    repair_->missing_since.erase(it);
+  }
+  repair_->latencies.push_back(latency);
+  if (obs_) {
+    obs_->recovered.add();
+    obs_->repair_latency.record(latency.to_millis());
+    obs_instant(obs_->recovered_name, now, static_cast<double>(seq));
+  }
+}
+
+void StreamClient::accept_recovered(const RecoveredPacket& packet, SimTime now) {
+  if (stream_dead_) return;
+  if (seq_seen_.covers(packet.seq, std::uint64_t{packet.seq} + 1)) return;
+  seq_seen_.insert(packet.seq, std::uint64_t{packet.seq} + 1);
+  if (!any_seq_seen_ || packet.seq > max_seq_seen_) {
+    max_seq_seen_ = packet.seq;
+    any_seq_seen_ = true;
+  }
+  if (packet.flags & kFlagEndOfStream) eos_received_ = true;
+  coverage_.insert(packet.media_offset, packet.media_offset + packet.media_len);
+
+  ++repair_->recovered_by_fec;
+  record_repair_latency(packet.seq, now);
+  if (config_.repair.nack) {
+    repair_->nack.note_arrival(packet.seq);
+    schedule_nack_timer();
+  }
+
+  // The reconstruction flows to the application exactly like a received
+  // datagram (batched on MediaPlayer, immediate on RealPlayer) — recovered
+  // packets are a subset of received packets, as the paper's trackers count
+  // them. Wire-byte accounting is untouched: nothing arrived on the wire.
+  PacketEvent ev;
+  ev.network_time = now;
+  ev.seq = packet.seq;
+  ev.media_offset = packet.media_offset;
+  ev.media_len = packet.media_len;
+  ev.flags = packet.flags;
+  if (config_.kind == PlayerKind::kMediaPlayer) {
+    pending_app_.push_back(ev);
+    if (!batch_timer_armed_) {
+      batch_timer_armed_ = true;
+      host_.loop().schedule_in(config_.wm.app_batch_interval,
+                               [this] { release_app_batch(); },
+                               obs::EventCategory::kTimer);
+    }
+  } else {
+    ev.app_time = now;
+    packets_.push_back(ev);
+    app_coverage_.insert(ev.media_offset, ev.media_offset + ev.media_len);
+  }
+
+  if (!playout_start_ && first_data_) {
+    const Duration preroll = config_.kind == PlayerKind::kMediaPlayer
+                                 ? config_.wm.preroll
+                                 : config_.rm.preroll;
+    begin_playout(*first_data_ + preroll);
+  }
+}
+
+void StreamClient::schedule_nack_timer() {
+  repair_->nack_timer.cancel();
+  const auto next = repair_->nack.next_deadline();
+  if (!next || stream_dead_ || session_abandoned_) return;
+  repair_->nack_timer = host_.loop().schedule_at(*next, [this] { on_nack_timer(); },
+                                                 obs::EventCategory::kControl);
+}
+
+void StreamClient::on_nack_timer() {
+  if (stream_dead_ || session_abandoned_) return;
+  const SimTime now = host_.loop().now();
+  const auto due = repair_->nack.due(now);
+  if (!due.empty()) {
+    for (const ControlMessage& msg : make_nack_messages(clip_.info().id(), due)) {
+      const auto bytes = msg.encode();
+      host_.udp_send(port_, server_, bytes);
+      ++repair_->nacks_sent;
+      if (obs_) obs_->nacks.add();
+    }
+  }
+  schedule_nack_timer();
 }
 
 void StreamClient::on_data(const DataHeader& header, std::size_t media_len, SimTime now) {
@@ -323,11 +474,55 @@ void StreamClient::on_data(const DataHeader& header, std::size_t media_len, SimT
   wire_media_bytes_ += kDataHeaderSize + media_len;
   if (obs_) obs_goodput(kDataHeaderSize + media_len, now);
 
-  if (seq_seen_.covers(header.seq, std::uint64_t{header.seq} + 1)) {
+  const bool duplicate = seq_seen_.covers(header.seq, std::uint64_t{header.seq} + 1);
+  if (duplicate) {
+    // Late originals of already-repaired sequences land here, so a repair
+    // never double-delivers media to the application.
     ++duplicate_packets_;
   } else {
     seq_seen_.insert(header.seq, std::uint64_t{header.seq} + 1);
   }
+
+  if (repair_) {
+    if (header.flags & kFlagRetransmit) {
+      ++repair_->retx_packets;
+      repair_->retx_bytes += kDataHeaderSize + media_len;
+    }
+    if (!duplicate) {
+      // A forward jump over unseen sequence numbers is the gap detector:
+      // everything skipped becomes a repair candidate (FEC latency anchor
+      // and, when enabled, a pending NACK).
+      if (any_seq_seen_ && header.seq > max_seq_seen_ + 1)
+        register_gaps(max_seq_seen_ + 1, header.seq, now);
+      else if (!any_seq_seen_ && header.seq > 0)
+        register_gaps(0, header.seq, now);
+
+      if (header.flags & kFlagRetransmit) {
+        // A retransmission filling a gap is a repair; count it and its
+        // gap-to-fill latency.
+        ++repair_->recovered_by_retx;
+        record_repair_latency(header.seq, now);
+      } else {
+        // A late natural arrival closes the gap without being a repair.
+        repair_->missing_since.erase(header.seq);
+      }
+      if (config_.repair.nack) {
+        repair_->nack.note_arrival(header.seq);
+        schedule_nack_timer();
+      }
+      if (repair_->decoder) {
+        // Strip the retransmit bit before the XOR: the server's encoder saw
+        // the original flags.
+        const auto fec_flags =
+            static_cast<std::uint8_t>(header.flags & ~kFlagRetransmit);
+        if (auto recovered = repair_->decoder->on_data(
+                header.seq, header.media_offset,
+                static_cast<std::uint32_t>(media_len), fec_flags))
+          accept_recovered(*recovered, now);
+      }
+    }
+  }
+
   if (!any_seq_seen_ || header.seq > max_seq_seen_) {
     max_seq_seen_ = header.seq;
     any_seq_seen_ = true;

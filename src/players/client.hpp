@@ -15,6 +15,7 @@
 #include "media/encoder.hpp"
 #include "players/behavior.hpp"
 #include "players/protocol.hpp"
+#include "players/repair.hpp"
 #include "players/scaling.hpp"
 #include "sim/audit.hpp"
 #include "sim/host.hpp"
@@ -96,6 +97,10 @@ class StreamClient {
     SessionRecoveryConfig recovery;
     /// Mirror-server failover policy (empty = no failover).
     FailoverConfig failover;
+    /// Loss repair policy (FEC decode + NACK retransmission requests). Must
+    /// match the server's enable_repair configuration; the default leaves
+    /// repair off and the client byte-identical to the unrepaired baseline.
+    RepairLayerConfig repair;
   };
 
   /// The client needs the clip's frame table (in the real products this
@@ -166,6 +171,29 @@ class StreamClient {
     return stalls_;
   }
 
+  // --- Loss repair state (all zero when Config::repair is disabled) ---
+  /// App packets the repair layer delivered that the network lost: FEC
+  /// reconstructions plus NACK-triggered retransmissions that filled a gap.
+  std::uint64_t packets_recovered() const {
+    return repair_ ? repair_->recovered_by_fec + repair_->recovered_by_retx : 0;
+  }
+  std::uint64_t recovered_by_fec() const { return repair_ ? repair_->recovered_by_fec : 0; }
+  std::uint64_t recovered_by_retx() const { return repair_ ? repair_->recovered_by_retx : 0; }
+  /// NACK messages sent (each carries up to 17 missing sequences).
+  std::uint64_t nacks_sent() const { return repair_ ? repair_->nacks_sent : 0; }
+  std::uint64_t parity_packets_received() const {
+    return repair_ ? repair_->parity_packets : 0;
+  }
+  /// Wire bytes of parity traffic received (repair bandwidth overhead).
+  std::uint64_t parity_wire_bytes() const { return repair_ ? repair_->parity_bytes : 0; }
+  /// Wire bytes of retransmitted data received (repair bandwidth overhead).
+  std::uint64_t retx_wire_bytes() const { return repair_ ? repair_->retx_bytes : 0; }
+  /// Gap-to-repair delay of each recovered packet, in recovery order.
+  const std::vector<Duration>& repair_latencies() const {
+    static const std::vector<Duration> kEmpty;
+    return repair_ ? repair_->latencies : kEmpty;
+  }
+
   std::optional<SimTime> first_data_time() const { return first_data_; }
   std::optional<SimTime> last_data_time() const { return last_data_; }
   std::optional<SimTime> playout_start_time() const { return playout_start_; }
@@ -200,8 +228,12 @@ class StreamClient {
     std::uint16_t abandoned_name = 0;
     std::uint16_t rebuffer_name = 0;
     std::uint16_t goodput_name = 0;
+    obs::Counter recovered;
+    obs::Counter nacks;
+    obs::Histogram repair_latency;
     std::uint16_t failover_name = 0;
     std::uint16_t unreachable_name = 0;
+    std::uint16_t recovered_name = 0;
     std::uint64_t rebuffer_span = 0;  ///< open stall span, 0 when none
     SimTime goodput_window_start;
     std::uint64_t goodput_window_bytes = 0;
@@ -210,6 +242,14 @@ class StreamClient {
   void enter_phase(audit::SessionPhase to);
   void handle_datagram(std::span<const std::uint8_t> payload, Endpoint from, SimTime now);
   void on_data(const DataHeader& header, std::size_t media_len, SimTime now);
+  void on_parity(const ParityHeader& header, std::size_t wire_len, SimTime now);
+  /// Registers the sequences a forward jump skipped as repair candidates.
+  void register_gaps(std::uint64_t from_seq, std::uint64_t to_seq, SimTime now);
+  /// Delivers an FEC-reconstructed packet through the normal reception path.
+  void accept_recovered(const RecoveredPacket& packet, SimTime now);
+  void record_repair_latency(std::uint32_t seq, SimTime now);
+  void schedule_nack_timer();
+  void on_nack_timer();
   void obs_instant(std::uint16_t name, SimTime now, double value = 0.0);
   void obs_end_rebuffer(SimTime now);
   void obs_goodput(std::size_t bytes, SimTime now);
@@ -297,6 +337,32 @@ class StreamClient {
   // Rebuffering stall intervals (closed at stall end / session death).
   std::optional<SimTime> stall_start_;
   std::vector<std::pair<SimTime, SimTime>> stalls_;
+
+  /// Loss-repair state, allocated only when Config::repair enables a
+  /// mechanism (the baseline pays nothing, not even the branch targets).
+  struct RepairState {
+    explicit RepairState(const RepairLayerConfig& config) : nack(config) {
+      if (config.fec_enabled())
+        decoder = std::make_unique<FecDecoder>(config.effective_k(),
+                                               config.effective_stride());
+    }
+    std::unique_ptr<FecDecoder> decoder;  ///< null when FEC is off
+    NackTracker nack;
+    /// Gap-notice time per missing sequence, for repair-latency accounting.
+    std::map<std::uint32_t, SimTime> missing_since;
+    EventHandle nack_timer;
+    SimTime play_sent_at;
+    bool rtt_known = false;
+    std::uint64_t recovered_by_fec = 0;
+    std::uint64_t recovered_by_retx = 0;
+    std::uint64_t nacks_sent = 0;
+    std::uint64_t parity_packets = 0;
+    std::uint64_t parity_bytes = 0;
+    std::uint64_t retx_packets = 0;
+    std::uint64_t retx_bytes = 0;
+    std::vector<Duration> latencies;
+  };
+  std::unique_ptr<RepairState> repair_;
 
   std::unique_ptr<ObsState> obs_;
 

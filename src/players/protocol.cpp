@@ -62,4 +62,43 @@ std::optional<DataHeader> DataHeader::decode(std::span<const std::uint8_t> paylo
   return h;
 }
 
+bool ParityHeader::covers(std::uint32_t seq) const {
+  if (k == 0 || stride == 0 || seq < block_base) return false;
+  const std::uint32_t delta = seq - block_base;
+  return delta % stride == 0 && delta / stride < k;
+}
+
+std::vector<std::uint8_t> ParityHeader::make_packet(const ParityHeader& header,
+                                                    std::size_t pad_len) {
+  ByteWriter w(kParityHeaderSize + pad_len);
+  w.u16be(kParityMagic);
+  w.u8(header.k);
+  w.u8(header.stride);
+  w.u32be(header.block_base);
+  w.u32be(static_cast<std::uint32_t>(header.xor_media_offset >> 32));
+  w.u32be(static_cast<std::uint32_t>(header.xor_media_offset));
+  w.u32be(header.xor_media_len);
+  w.u8(header.xor_flags);
+  w.u8(0);  // reserved
+  for (std::size_t i = 0; i < pad_len; ++i) w.u8(0xFE);
+  return w.take();
+}
+
+std::optional<ParityHeader> ParityHeader::decode(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  if (r.u16be() != kParityMagic) return std::nullopt;
+  ParityHeader h;
+  h.k = r.u8();
+  h.stride = r.u8();
+  h.block_base = r.u32be();
+  const std::uint64_t hi = r.u32be();
+  const std::uint64_t lo = r.u32be();
+  h.xor_media_len = r.u32be();
+  h.xor_flags = r.u8();
+  r.u8();  // reserved
+  if (!r.ok()) return std::nullopt;
+  h.xor_media_offset = (hi << 32) | lo;
+  return h;
+}
+
 }  // namespace streamlab

@@ -24,7 +24,9 @@ inline constexpr std::uint16_t kMediaClientPort = 7000;
 
 inline constexpr std::uint16_t kDataMagic = 0x4454;     // "DT"
 inline constexpr std::uint16_t kControlMagic = 0x4354;  // "CT"
+inline constexpr std::uint16_t kParityMagic = 0x5052;   // "PR"
 inline constexpr std::size_t kDataHeaderSize = 16;
+inline constexpr std::size_t kParityHeaderSize = 22;
 
 enum class ControlType : std::uint8_t {
   kPlayRequest = 1,
@@ -33,6 +35,10 @@ enum class ControlType : std::uint8_t {
   /// Client-to-server loss feedback driving media scaling (value =
   /// loss fraction in per-mille over the last report interval).
   kReceiverReport = 4,
+  /// Client-to-server retransmission request (RTCP generic-NACK style):
+  /// offset = first missing sequence number (PID), value = bitmap of the 16
+  /// sequence numbers following PID (BLP; bit j set => PID+1+j also missing).
+  kNack = 5,
 };
 
 struct ControlMessage {
@@ -51,6 +57,7 @@ struct ControlMessage {
 /// Flag bits carried in data packets.
 inline constexpr std::uint8_t kFlagBufferingPhase = 0x01;  ///< server in startup burst
 inline constexpr std::uint8_t kFlagEndOfStream = 0x02;     ///< no media after this packet
+inline constexpr std::uint8_t kFlagRetransmit = 0x04;      ///< NACK-triggered resend
 
 struct DataHeader {
   std::uint32_t seq = 0;
@@ -63,6 +70,30 @@ struct DataHeader {
   /// Parses the header; returns the media byte count via `media_len`.
   static std::optional<DataHeader> decode(std::span<const std::uint8_t> payload,
                                           std::size_t& media_len);
+};
+
+/// FEC parity packet covering an interleaved row of k data packets: sequence
+/// numbers block_base, block_base + stride, ..., block_base + stride*(k-1).
+/// The XOR accumulators let the decoder reconstruct the header of any single
+/// missing packet in the row; the payload itself is deterministic from the
+/// recovered media_offset, so only the header fields travel in the parity.
+/// The packet is padded to the longest covered payload so the simulated link
+/// pays honest parity bandwidth.
+struct ParityHeader {
+  std::uint8_t k = 0;                  ///< data packets covered by this row
+  std::uint8_t stride = 1;             ///< interleave distance between seqs
+  std::uint32_t block_base = 0;        ///< first covered sequence number
+  std::uint64_t xor_media_offset = 0;  ///< XOR of covered media offsets
+  std::uint32_t xor_media_len = 0;     ///< XOR of covered payload lengths
+  std::uint8_t xor_flags = 0;          ///< XOR of covered flag bytes
+
+  /// True when `seq` is one of the k covered sequence numbers.
+  bool covers(std::uint32_t seq) const;
+
+  /// Serializes header followed by `pad_len` filler bytes (bandwidth model).
+  static std::vector<std::uint8_t> make_packet(const ParityHeader& header,
+                                               std::size_t pad_len);
+  static std::optional<ParityHeader> decode(std::span<const std::uint8_t> payload);
 };
 
 }  // namespace streamlab

@@ -1,0 +1,244 @@
+#include "players/repair.hpp"
+
+#include <algorithm>
+
+namespace streamlab {
+
+// --- FecBlockEncoder ---
+
+FecBlockEncoder::FecBlockEncoder(int k, int stride)
+    : k_(std::clamp(k, 1, 64)), stride_(std::max(stride, 1)) {}
+
+ParityOut FecBlockEncoder::close_row(Row& row) const {
+  ParityOut out;
+  out.header.k = static_cast<std::uint8_t>(row.count);
+  out.header.stride = static_cast<std::uint8_t>(stride_);
+  out.header.block_base = row.base;
+  out.header.xor_media_offset = row.xor_offset;
+  out.header.xor_media_len = row.xor_len;
+  out.header.xor_flags = row.xor_flags;
+  out.pad_len = row.max_len;
+  return out;
+}
+
+std::vector<ParityOut> FecBlockEncoder::feed(std::uint32_t seq,
+                                             std::uint64_t media_offset,
+                                             std::uint32_t media_len,
+                                             std::uint8_t flags) {
+  std::vector<ParityOut> out;
+  const std::uint32_t group = static_cast<std::uint32_t>(k_ * stride_);
+  const std::uint32_t matrix_start = seq / group * group;
+  const std::uint32_t base = matrix_start + (seq - matrix_start) % stride_;
+
+  Row& row = rows_[base];
+  if (row.count == 0) row.base = base;
+  ++row.count;
+  row.xor_offset ^= media_offset;
+  row.xor_len ^= media_len;
+  row.xor_flags ^= flags;
+  row.max_len = std::max(row.max_len, static_cast<std::size_t>(media_len));
+  if (row.count >= k_) {
+    out.push_back(close_row(row));
+    rows_.erase(base);
+  }
+  return out;
+}
+
+std::vector<ParityOut> FecBlockEncoder::flush() {
+  std::vector<ParityOut> out;
+  for (auto& [base, row] : rows_)
+    if (row.count > 0) out.push_back(close_row(row));
+  rows_.clear();
+  return out;
+}
+
+// --- FecDecoder ---
+
+FecDecoder::FecDecoder(int k, int stride)
+    : k_(std::clamp(k, 1, 64)), stride_(std::max(stride, 1)) {}
+
+std::uint32_t FecDecoder::row_base(std::uint32_t seq) const {
+  const std::uint32_t group = static_cast<std::uint32_t>(k_ * stride_);
+  const std::uint32_t matrix_start = seq / group * group;
+  return matrix_start + (seq - matrix_start) % stride_;
+}
+
+std::optional<RecoveredPacket> FecDecoder::try_recover(std::uint32_t base, Row& row) {
+  if (!row.parity) return std::nullopt;
+  const int covered = row.parity->k;
+  if (row.count >= covered) {
+    // Every covered packet arrived; the parity is redundant.
+    rows_.erase(base);
+    return std::nullopt;
+  }
+  if (row.count != covered - 1) return std::nullopt;
+  // Exactly one hole: find the unset mask bit among the covered positions.
+  int missing = -1;
+  for (int j = 0; j < covered; ++j) {
+    if ((row.mask & (std::uint64_t{1} << j)) == 0) {
+      missing = j;
+      break;
+    }
+  }
+  if (missing < 0) {
+    rows_.erase(base);
+    return std::nullopt;
+  }
+  RecoveredPacket packet;
+  packet.seq = base + static_cast<std::uint32_t>(stride_ * missing);
+  packet.media_offset = row.parity->xor_media_offset ^ row.xor_offset;
+  packet.media_len = row.parity->xor_media_len ^ row.xor_len;
+  packet.flags = row.parity->xor_flags ^ row.xor_flags;
+  rows_.erase(base);
+  return packet;
+}
+
+std::optional<RecoveredPacket> FecDecoder::on_data(std::uint32_t seq,
+                                                   std::uint64_t media_offset,
+                                                   std::uint32_t media_len,
+                                                   std::uint8_t flags) {
+  const std::uint32_t base = row_base(seq);
+  const std::uint32_t j = (seq - base) / static_cast<std::uint32_t>(stride_);
+  if (j >= 64) return std::nullopt;
+  Row& row = rows_[base];
+  const std::uint64_t bit = std::uint64_t{1} << j;
+  if (row.mask & bit) return std::nullopt;  // defensive: duplicate feed
+  row.mask |= bit;
+  ++row.count;
+  row.xor_offset ^= media_offset;
+  row.xor_len ^= media_len;
+  row.xor_flags ^= flags;
+  auto recovered = try_recover(base, row);
+  if (!recovered && !rows_.empty() && rows_.size() > 1024) {
+    // Bound memory on pathologically sparse streams: forget the oldest row.
+    rows_.erase(rows_.begin());
+  }
+  return recovered;
+}
+
+std::optional<RecoveredPacket> FecDecoder::on_parity(const ParityHeader& header) {
+  if (header.k == 0 || header.k > 64) return std::nullopt;
+  Row& row = rows_[header.block_base];
+  row.parity = header;
+  return try_recover(header.block_base, row);
+}
+
+void FecDecoder::reset() { rows_.clear(); }
+
+// --- RetransmitBuffer ---
+
+RetransmitBuffer::RetransmitBuffer(std::size_t capacity)
+    : slots_(std::max<std::size_t>(capacity, 1)) {}
+
+void RetransmitBuffer::store(std::uint32_t seq, std::uint64_t media_offset,
+                             std::uint32_t media_len, std::uint8_t flags) {
+  Slot& slot = slots_[seq % slots_.size()];
+  slot.valid = true;
+  slot.packet = RecoveredPacket{seq, media_offset, media_len, flags};
+}
+
+std::optional<RecoveredPacket> RetransmitBuffer::lookup(std::uint32_t seq) const {
+  const Slot& slot = slots_[seq % slots_.size()];
+  if (!slot.valid || slot.packet.seq != seq) return std::nullopt;
+  return slot.packet;
+}
+
+// --- TokenBucketPacer ---
+
+TokenBucketPacer::TokenBucketPacer(BitRate rate, std::size_t burst_bytes)
+    : rate_(rate),
+      capacity_(static_cast<std::int64_t>(std::max<std::size_t>(burst_bytes, 1))),
+      tokens_(capacity_) {}
+
+bool TokenBucketPacer::try_consume(SimTime now, std::size_t bytes) {
+  if (!primed_) {
+    primed_ = true;
+    last_refill_ = now;
+  } else if (now > last_refill_) {
+    tokens_ = std::min(capacity_, tokens_ + rate_.bytes_in(now - last_refill_));
+    last_refill_ = now;
+  }
+  const auto need = static_cast<std::int64_t>(bytes);
+  if (tokens_ < need) return false;
+  tokens_ -= need;
+  return true;
+}
+
+// --- NackTracker ---
+
+NackTracker::NackTracker(const RepairLayerConfig& config) : config_(config) {}
+
+void NackTracker::set_rtt(Duration rtt) {
+  if (rtt > Duration::zero()) rtt_ = rtt;
+}
+
+Duration NackTracker::delay() const {
+  const Duration scaled = rtt_.scaled(config_.nack_rtt_multiplier);
+  return std::clamp(scaled, config_.nack_min_delay, config_.nack_max_delay);
+}
+
+void NackTracker::note_missing(std::uint32_t seq, SimTime now) {
+  if (pending_.contains(seq)) return;
+  pending_.emplace(seq, Pending{now + delay(), 0});
+}
+
+void NackTracker::note_arrival(std::uint32_t seq) { pending_.erase(seq); }
+
+std::vector<std::uint32_t> NackTracker::due(SimTime now) {
+  std::vector<std::uint32_t> out;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.deadline > now) {
+      ++it;
+      continue;
+    }
+    if (it->second.retries >= config_.nack_max_retries) {
+      ++abandoned_;
+      it = pending_.erase(it);
+      continue;
+    }
+    out.push_back(it->first);
+    ++it->second.retries;
+    it->second.deadline = now + delay();
+    ++it;
+  }
+  return out;
+}
+
+std::optional<SimTime> NackTracker::next_deadline() const {
+  std::optional<SimTime> earliest;
+  for (const auto& [seq, p] : pending_)
+    if (!earliest || p.deadline < *earliest) earliest = p.deadline;
+  return earliest;
+}
+
+// --- NACK message packing ---
+
+std::vector<ControlMessage> make_nack_messages(const std::string& clip_id,
+                                               const std::vector<std::uint32_t>& seqs) {
+  std::vector<ControlMessage> out;
+  std::size_t i = 0;
+  while (i < seqs.size()) {
+    ControlMessage msg{ControlType::kNack, clip_id};
+    const std::uint32_t pid = seqs[i++];
+    msg.offset = pid;
+    std::uint16_t blp = 0;
+    while (i < seqs.size() && seqs[i] > pid && seqs[i] - pid <= 16) {
+      blp = static_cast<std::uint16_t>(blp | (1u << (seqs[i] - pid - 1)));
+      ++i;
+    }
+    msg.value = blp;
+    out.push_back(std::move(msg));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> nack_requested_seqs(const ControlMessage& msg) {
+  std::vector<std::uint32_t> out;
+  const auto pid = static_cast<std::uint32_t>(msg.offset);
+  out.push_back(pid);
+  for (int j = 0; j < 16; ++j)
+    if (msg.value & (1u << j)) out.push_back(pid + 1 + static_cast<std::uint32_t>(j));
+  return out;
+}
+
+}  // namespace streamlab

@@ -1,0 +1,242 @@
+// Loss repair layer: the two cooperating repair mechanisms the 2002-era
+// players shipped, modelled generically so either server/client pair can
+// attach them.
+//
+//  * Forward error correction: the server XORs every k-th data packet into an
+//    interleaved parity row (stride rows per matrix, so a burst of up to
+//    `stride` consecutive losses still leaves each row with at most one hole)
+//    and emits one parity packet per completed row. The client-side decoder
+//    reconstructs any single missing packet of a row from the other k-1 plus
+//    the parity. Only header fields travel in the parity — the synthetic
+//    media payload is deterministic from the recovered media offset — but the
+//    parity packet is padded to the longest covered payload so the simulated
+//    link pays honest parity bandwidth.
+//
+//  * NACK-driven retransmission: the client detects sequence gaps, batches
+//    the missing numbers into RTCP-generic-NACK-style PID+BLP messages on an
+//    RTT-scaled timer with a bounded retry budget, and the server answers
+//    from a fixed-size retransmission ring through a token-bucket pacer so
+//    repair traffic cannot starve live media.
+//
+// Everything here is deterministic: the pacer refills from simulated time,
+// the NACK timer delays derive from the measured handshake RTT, and no
+// wall-clock or entropy source is consulted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "players/protocol.hpp"
+#include "util/rate.hpp"
+#include "util/time.hpp"
+
+namespace streamlab {
+
+/// Repair policy attached to a server/client pair. Defaults leave both
+/// mechanisms off, preserving the unrepaired baseline byte for byte.
+struct RepairLayerConfig {
+  /// Data packets per FEC parity row; 0 disables FEC. Capped at 64 (the
+  /// decoder tracks row membership in a 64-bit mask).
+  int fec_k = 0;
+  /// Interleave depth: consecutive sequence numbers land in different rows,
+  /// so a loss burst of up to `fec_stride` packets is spread one-per-row.
+  int fec_stride = 1;
+  /// Enables NACK-driven retransmission.
+  bool nack = false;
+  /// First NACK fires rtt * multiplier after a gap is noticed (waiting out
+  /// plain reordering), clamped to [nack_min_delay, nack_max_delay].
+  double nack_rtt_multiplier = 1.5;
+  Duration nack_min_delay = Duration::millis(20);
+  Duration nack_max_delay = Duration::millis(500);
+  /// NACKs sent per missing packet before the client gives it up as lost.
+  int nack_max_retries = 3;
+  /// Server-side retransmission ring capacity, in packets.
+  std::size_t retx_buffer_packets = 512;
+  /// Token-bucket pacer rate as a fraction of the clip's encoded rate.
+  double pacer_rate_fraction = 0.25;
+  /// Pacer burst allowance in bytes.
+  std::size_t pacer_burst_bytes = 16 * 1024;
+
+  bool enabled() const { return fec_k > 0 || nack; }
+  bool fec_enabled() const { return fec_k > 0; }
+  /// k clamped to the decoder's 64-packet row mask.
+  int effective_k() const { return fec_k > 64 ? 64 : fec_k; }
+  int effective_stride() const { return fec_stride < 1 ? 1 : fec_stride; }
+};
+
+/// A parity packet ready to serialize: header plus the pad length that makes
+/// the wire size honest (longest covered payload).
+struct ParityOut {
+  ParityHeader header;
+  std::size_t pad_len = 0;
+};
+
+/// A data packet reconstructed by the FEC decoder. The payload does not
+/// exist client-side (it never arrived), but every field the player engine
+/// accounts — sequence, media position, length, flags — is recovered.
+struct RecoveredPacket {
+  std::uint32_t seq = 0;
+  std::uint64_t media_offset = 0;
+  std::uint32_t media_len = 0;
+  std::uint8_t flags = 0;
+};
+
+/// Server-side parity builder. Fed every outgoing data packet in sequence
+/// order; returns completed parity rows as they fill. `flush()` closes the
+/// partial rows left at end of stream (emitting parity with the reduced k
+/// actually covered — a k=1 tail row degenerates to plain replication).
+class FecBlockEncoder {
+ public:
+  FecBlockEncoder(int k, int stride);
+
+  /// Accumulates one data packet; returns any rows it completed.
+  std::vector<ParityOut> feed(std::uint32_t seq, std::uint64_t media_offset,
+                              std::uint32_t media_len, std::uint8_t flags);
+  /// Emits every partially filled row (end of stream).
+  std::vector<ParityOut> flush();
+
+ private:
+  struct Row {
+    std::uint32_t base = 0;
+    int count = 0;
+    std::uint64_t xor_offset = 0;
+    std::uint32_t xor_len = 0;
+    std::uint8_t xor_flags = 0;
+    std::size_t max_len = 0;
+  };
+
+  ParityOut close_row(Row& row) const;
+
+  int k_;
+  int stride_;
+  std::map<std::uint32_t, Row> rows_;  // block_base -> accumulating row
+};
+
+/// Client-side single-erasure decoder. Tracks per-row arrival masks and XOR
+/// accumulators; when a row holds its parity and all but one data packet,
+/// the hole is reconstructed.
+class FecDecoder {
+ public:
+  FecDecoder(int k, int stride);
+
+  /// Feeds a received data packet (originals and retransmissions alike; the
+  /// caller must not feed duplicates). May complete a row.
+  std::optional<RecoveredPacket> on_data(std::uint32_t seq, std::uint64_t media_offset,
+                                         std::uint32_t media_len, std::uint8_t flags);
+  /// Feeds a received parity packet. May complete a row immediately.
+  std::optional<RecoveredPacket> on_parity(const ParityHeader& header);
+
+  /// Drops all row state (sequence space restarted by a failover).
+  void reset();
+  std::size_t pending_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::optional<ParityHeader> parity;
+    std::uint64_t mask = 0;  // bit j set = data packet base + stride*j arrived
+    int count = 0;
+    std::uint64_t xor_offset = 0;
+    std::uint32_t xor_len = 0;
+    std::uint8_t xor_flags = 0;
+  };
+
+  std::uint32_t row_base(std::uint32_t seq) const;
+  std::optional<RecoveredPacket> try_recover(std::uint32_t base, Row& row);
+
+  int k_;
+  int stride_;
+  std::map<std::uint32_t, Row> rows_;  // block_base -> row state
+};
+
+/// Bounded server-side history of sent data packets, ring-indexed by
+/// sequence number, answering NACK lookups. Only packet *descriptions* are
+/// stored — the synthetic payload regenerates from the media offset.
+class RetransmitBuffer {
+ public:
+  explicit RetransmitBuffer(std::size_t capacity);
+
+  void store(std::uint32_t seq, std::uint64_t media_offset, std::uint32_t media_len,
+             std::uint8_t flags);
+  /// The packet, if `seq` is still within the retained window.
+  std::optional<RecoveredPacket> lookup(std::uint32_t seq) const;
+
+ private:
+  struct Slot {
+    bool valid = false;
+    RecoveredPacket packet;
+  };
+  std::vector<Slot> slots_;
+};
+
+/// Deterministic token bucket: tokens are bytes, refilled from elapsed
+/// simulated time at a fixed rate, capped at the burst allowance.
+class TokenBucketPacer {
+ public:
+  TokenBucketPacer(BitRate rate, std::size_t burst_bytes);
+
+  /// Consumes `bytes` if available after refilling to `now`; false = the
+  /// send must be dropped (the client's next NACK retry re-requests it).
+  bool try_consume(SimTime now, std::size_t bytes);
+  std::int64_t tokens() const { return tokens_; }
+
+ private:
+  BitRate rate_;
+  std::int64_t capacity_;
+  std::int64_t tokens_;
+  SimTime last_refill_;
+  bool primed_ = false;
+};
+
+/// Client-side NACK retry state machine. The client registers gaps as it
+/// notices them; `due()` returns the batch to request when the timer fires,
+/// advancing each entry's retry budget and dropping exhausted ones.
+class NackTracker {
+ public:
+  explicit NackTracker(const RepairLayerConfig& config);
+
+  /// RTT estimate from the PLAY handshake; rescales the retry delay.
+  void set_rtt(Duration rtt);
+  /// Current RTT-scaled delay between retries of one sequence.
+  Duration delay() const;
+
+  /// Registers a gap sequence; the first NACK is due one delay from `now`.
+  void note_missing(std::uint32_t seq, SimTime now);
+  /// The sequence arrived (any copy): cancel its pending retries.
+  void note_arrival(std::uint32_t seq);
+
+  /// Sequences whose NACK is due at `now`, in increasing order. Each is
+  /// rescheduled one delay out; entries that exhausted the retry budget are
+  /// dropped instead of returned.
+  std::vector<std::uint32_t> due(SimTime now);
+  /// Earliest pending deadline, if any sequence is still tracked.
+  std::optional<SimTime> next_deadline() const;
+
+  void reset() { pending_.clear(); }
+  std::size_t pending() const { return pending_.size(); }
+  /// Sequences dropped after exhausting the retry budget (given up).
+  std::uint64_t abandoned() const { return abandoned_; }
+
+ private:
+  struct Pending {
+    SimTime deadline;
+    int retries = 0;
+  };
+
+  RepairLayerConfig config_;
+  Duration rtt_ = Duration::millis(100);
+  std::map<std::uint32_t, Pending> pending_;
+  std::uint64_t abandoned_ = 0;
+};
+
+/// Packs missing sequences into RTCP-generic-NACK-style messages: each
+/// message carries PID (first missing) and BLP (bitmap of the 16 following
+/// sequences). `seqs` must be sorted ascending.
+std::vector<ControlMessage> make_nack_messages(const std::string& clip_id,
+                                               const std::vector<std::uint32_t>& seqs);
+
+/// Expands one NACK message back into the requested sequences.
+std::vector<std::uint32_t> nack_requested_seqs(const ControlMessage& msg);
+
+}  // namespace streamlab

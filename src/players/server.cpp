@@ -17,6 +17,9 @@ StreamServer::StreamServer(Host& host, EncodedClip clip, std::uint16_t port)
                               : port_ == kMediaServerPort ? "wm"
                                                           : std::to_string(port_);
       obs_->switches = obs->registry().counter("server." + tag + ".scaling_switches");
+      obs_->parity_sent = obs->registry().counter("server." + tag + ".parity_sent");
+      obs_->retx_sent = obs->registry().counter("server." + tag + ".retx_sent");
+      obs_->nacks_received = obs->registry().counter("server." + tag + ".nacks_received");
       obs::Tracer& tracer = obs->tracer();
       obs_->track = tracer.intern("server." + tag);
       obs_->switch_name = tracer.intern("scaling-switch");
@@ -43,6 +46,15 @@ std::size_t StreamServer::scaling_level_changes() const {
 
 std::uint32_t StreamServer::frames_thinned() const {
   return scaling_ ? scaling_->cursor.frames_skipped() : 0;
+}
+
+void StreamServer::enable_repair(RepairLayerConfig config) {
+  repair_ = std::make_unique<RepairState>(RepairState{
+      config,
+      FecBlockEncoder(config.effective_k(), config.effective_stride()),
+      RetransmitBuffer(config.retx_buffer_packets),
+      TokenBucketPacer(clip_.info().encoded_rate.scaled(config.pacer_rate_fraction),
+                       config.pacer_burst_bytes)});
 }
 
 void StreamServer::handle_control(std::span<const std::uint8_t> payload, Endpoint from) {
@@ -82,12 +94,53 @@ void StreamServer::handle_control(std::span<const std::uint8_t> payload, Endpoin
           on_scaling_switch();
       }
       break;
+    case ControlType::kNack:
+      if (repair_ && repair_->config.nack && started_ && from == client_)
+        handle_nack(*msg);
+      break;
     case ControlType::kTeardown:
       finish_stream();
       break;
     default:
       break;
   }
+}
+
+void StreamServer::handle_nack(const ControlMessage& msg) {
+  ++repair_->nacks_received;
+  if (obs_) obs_->nacks_received.add();
+  const SimTime now = host_.loop().now();
+  for (const std::uint32_t seq : nack_requested_seqs(msg)) {
+    const auto entry = repair_->buffer.lookup(seq);
+    if (!entry) {
+      ++repair_->retx_unavailable;
+      continue;
+    }
+    const std::size_t wire_bytes = kDataHeaderSize + entry->media_len;
+    if (!repair_->pacer.try_consume(now, wire_bytes)) {
+      // Out of tokens: drop this retransmission; the client's retry budget
+      // re-requests it after another RTT-scaled delay.
+      ++repair_->retx_suppressed;
+      continue;
+    }
+    DataHeader header;
+    header.seq = entry->seq;
+    header.media_offset = entry->media_offset;
+    header.flags = entry->flags | kFlagRetransmit;
+    const auto packet = DataHeader::make_packet(header, entry->media_len);
+    host_.udp_send(port_, client_, packet);
+    ++repair_->retx_packets;
+    repair_->retx_bytes += packet.size();
+    if (obs_) obs_->retx_sent.add();
+  }
+}
+
+void StreamServer::send_parity(const ParityOut& parity) {
+  const auto packet = ParityHeader::make_packet(parity.header, parity.pad_len);
+  host_.udp_send(port_, client_, packet);
+  ++repair_->parity_packets;
+  repair_->parity_bytes += packet.size();
+  if (obs_) obs_->parity_sent.add();
 }
 
 void StreamServer::resume_from(std::uint64_t offset) {
@@ -106,6 +159,19 @@ void StreamServer::emit(std::uint64_t offset, std::size_t media_len, std::uint8_
   host_.udp_send(port_, client_, packet);
   send_log_.push_back(
       SendEvent{host_.loop().now(), header.seq, offset, media_len, buffering_phase});
+  if (repair_) {
+    repair_->buffer.store(header.seq, offset, static_cast<std::uint32_t>(media_len),
+                          header.flags);
+    if (repair_->config.fec_enabled()) {
+      for (const ParityOut& parity : repair_->encoder.feed(
+               header.seq, offset, static_cast<std::uint32_t>(media_len), header.flags))
+        send_parity(parity);
+      // End of stream closes the partial parity rows (reduced k), so the
+      // clip tail is covered too.
+      if (header.flags & kFlagEndOfStream)
+        for (const ParityOut& parity : repair_->encoder.flush()) send_parity(parity);
+    }
+  }
 }
 
 std::size_t StreamServer::send_plain(std::size_t media_len, bool buffering_phase) {
@@ -156,6 +222,10 @@ void StreamServer::audit_transition(audit::SessionPhase to) {
 void StreamServer::finish_stream() {
   if (finished_) return;
   finished_ = true;
+  // A stream that ends without an end-of-stream data packet (teardown, zero
+  // remaining bytes) still flushes its open parity rows.
+  if (repair_ && repair_->config.fec_enabled() && started_)
+    for (const ParityOut& parity : repair_->encoder.flush()) send_parity(parity);
   // A teardown that arrives before any PLAY leaves the session in kIdle:
   // it never streamed, so there is no lifecycle transition to report.
   if (audit_phase_ == audit::SessionPhase::kStreaming)

@@ -19,6 +19,7 @@
 #include "media/encoder.hpp"
 #include "players/behavior.hpp"
 #include "players/protocol.hpp"
+#include "players/repair.hpp"
 #include "players/scaling.hpp"
 #include "sim/host.hpp"
 #include "util/rng.hpp"
@@ -62,6 +63,22 @@ class StreamServer {
   double scaling_keep_fraction() const;
   std::size_t scaling_level_changes() const;
   std::uint32_t frames_thinned() const;
+
+  /// Enables the loss repair layer (FEC parity emission and/or NACK
+  /// retransmission service). Call before the PLAY arrives.
+  void enable_repair(RepairLayerConfig config);
+  bool repair_enabled() const { return repair_ != nullptr; }
+
+  // --- Repair-side statistics (zero when repair is off) ---
+  std::uint64_t parity_packets_sent() const { return repair_ ? repair_->parity_packets : 0; }
+  std::uint64_t parity_bytes_sent() const { return repair_ ? repair_->parity_bytes : 0; }
+  std::uint64_t nacks_received() const { return repair_ ? repair_->nacks_received : 0; }
+  std::uint64_t retransmissions_sent() const { return repair_ ? repair_->retx_packets : 0; }
+  std::uint64_t retx_bytes_sent() const { return repair_ ? repair_->retx_bytes : 0; }
+  /// Retransmissions suppressed because the pacer was out of tokens.
+  std::uint64_t retx_suppressed_pacer() const { return repair_ ? repair_->retx_suppressed : 0; }
+  /// NACKed sequences that had already left the retransmission ring.
+  std::uint64_t retx_unavailable() const { return repair_ ? repair_->retx_unavailable : 0; }
 
  protected:
   /// Invoked when a PLAY request arrives; implementations start their send
@@ -118,11 +135,33 @@ class StreamServer {
   };
   std::unique_ptr<ScalingState> scaling_;
 
+  /// Loss-repair state, allocated by enable_repair.
+  struct RepairState {
+    RepairLayerConfig config;
+    FecBlockEncoder encoder;
+    RetransmitBuffer buffer;
+    TokenBucketPacer pacer;
+    std::uint64_t parity_packets = 0;
+    std::uint64_t parity_bytes = 0;
+    std::uint64_t nacks_received = 0;
+    std::uint64_t retx_packets = 0;
+    std::uint64_t retx_bytes = 0;
+    std::uint64_t retx_suppressed = 0;
+    std::uint64_t retx_unavailable = 0;
+  };
+  std::unique_ptr<RepairState> repair_;
+
+  void send_parity(const ParityOut& parity);
+  void handle_nack(const ControlMessage& msg);
+
   /// Scaling-switch instrumentation, allocated only when an observability
   /// context is attached to the loop (see obs/obs.hpp).
   struct ObsState {
     obs::Obs* obs = nullptr;
     obs::Counter switches;
+    obs::Counter parity_sent;
+    obs::Counter retx_sent;
+    obs::Counter nacks_received;
     std::uint16_t track = 0;
     std::uint16_t switch_name = 0;
     std::uint16_t keep_name = 0;

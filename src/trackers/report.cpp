@@ -6,12 +6,14 @@ namespace streamlab {
 
 std::string TrackerReport::to_csv() const {
   std::string out =
-      "time_s,frame_rate_fps,playback_kbps,packets_received,packets_lost,buffering\n";
+      "time_s,frame_rate_fps,playback_kbps,packets_received,packets_lost,"
+      "packets_recovered,buffering\n";
   for (const auto& s : samples) {
     out += fmt_double(s.time.to_seconds(), 3) + "," + fmt_double(s.frame_rate_fps, 2) +
            "," + fmt_double(s.playback_bandwidth.to_kbps(), 1) + "," +
            std::to_string(s.packets_received) + "," + std::to_string(s.packets_lost) +
-           "," + (s.buffering ? "1" : "0") + "\n";
+           "," + std::to_string(s.packets_recovered) + "," + (s.buffering ? "1" : "0") +
+           "\n";
   }
   return out;
 }

@@ -16,9 +16,10 @@ struct TrackerSample {
   SimTime time;
   double frame_rate_fps = 0.0;       ///< frames rendered over the last interval
   BitRate playback_bandwidth;        ///< bits received over the last interval
-  std::uint64_t packets_received = 0;  ///< cumulative
-  std::uint64_t packets_lost = 0;      ///< cumulative
-  bool buffering = false;              ///< playout has not begun yet
+  std::uint64_t packets_received = 0;   ///< cumulative
+  std::uint64_t packets_lost = 0;       ///< cumulative
+  std::uint64_t packets_recovered = 0;  ///< cumulative (error repair, §2.B)
+  bool buffering = false;               ///< playout has not begun yet
 };
 
 /// A full tracker session for one clip.
@@ -35,16 +36,21 @@ struct TrackerReport {
   double average_frame_rate = 0.0;     ///< over the playing phase
   std::uint64_t total_packets = 0;
   std::uint64_t total_lost = 0;
+  std::uint64_t total_recovered = 0;  ///< packets the repair layer delivered
   std::uint32_t frames_rendered = 0;
   std::uint32_t frames_dropped = 0;
   Duration startup_delay;              ///< PLAY to first rendered frame
   Duration streaming_duration;         ///< first to last data packet
 
   /// Reception quality as the products reported it: percentage of frames
-  /// delivered on time.
+  /// delivered on time. The counts are summed in 64-bit integer space first
+  /// (not via double conversion of each operand) so the all-dropped and
+  /// zero-frame boundary cases divide exactly.
   double reception_quality() const {
-    const double total = static_cast<double>(frames_rendered) + frames_dropped;
-    return total == 0.0 ? 0.0 : 100.0 * static_cast<double>(frames_rendered) / total;
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(frames_rendered) + static_cast<std::uint64_t>(frames_dropped);
+    if (total == 0) return 0.0;
+    return 100.0 * static_cast<double>(frames_rendered) / static_cast<double>(total);
   }
 
   /// Serializes samples as CSV (one row per poll), with a header line.

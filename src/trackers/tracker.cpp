@@ -27,6 +27,7 @@ void PlayerTracker::poll() {
 
   s.packets_received = client_.packets_received();
   s.packets_lost = client_.packets_lost();
+  s.packets_recovered = client_.packets_recovered();
   s.buffering = !client_.playback_started() ||
                 loop.now() < client_.playout_start_time().value_or(SimTime::max());
   samples_.push_back(s);
@@ -47,6 +48,7 @@ TrackerReport PlayerTracker::report() const {
   r.average_playback_bandwidth = client_.average_playback_rate();
   r.total_packets = client_.packets_received();
   r.total_lost = client_.packets_lost();
+  r.total_recovered = client_.packets_recovered();
   r.frames_rendered = client_.frames_rendered();
   r.frames_dropped = client_.frames_dropped();
 

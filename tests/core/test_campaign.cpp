@@ -356,6 +356,111 @@ TEST(CampaignParallel, DefaultWorkerCountProducesSameResults) {
   EXPECT_EQ(result.aggregate.frames_rendered, ref.aggregate.frames_rendered);
 }
 
+// --- Campaigns with the loss repair layer active. The CampaignRepair suite
+// also runs under TSan in CI (parity/NACK traffic crossing the worker pool
+// must stay race-free). ---
+
+CampaignConfig repair_campaign(std::size_t trials) {
+  CampaignConfig config = tiny_campaign(trials);
+  // Swap the outage for a burst-loss epoch: repair needs loss to repair.
+  // The tiny 33 kbps clip carries few packets, so the epoch spans the whole
+  // trial and keeps both GE states lossy — every seed sees losses to repair.
+  config.scenario.episodes.clear();
+  FaultEpisode burst;
+  burst.kind = FaultKind::kBurstLoss;
+  burst.start = SimTime::from_seconds(0.2);
+  burst.duration = Duration::seconds(12);
+  burst.gilbert = GilbertElliottConfig{0.3, 0.25, 0.1, 0.6};
+  burst.label = "burst-loss";
+  config.scenario.episodes.push_back(burst);
+  config.scenario.repair_layer.fec_k = 8;
+  config.scenario.repair_layer.fec_stride = 4;
+  config.scenario.repair_layer.nack = true;
+  return config;
+}
+
+TEST(CampaignRepair, SalvagesRecoveryMetricsIntoAggregate) {
+  const CampaignResult result = run_campaign(repair_campaign(3));
+  EXPECT_EQ(result.completed, 3u);
+  EXPECT_TRUE(result.ok());
+  EXPECT_GT(result.aggregate.packets_recovered, 0u);
+  EXPECT_GT(result.aggregate.parity_packets, 0u);
+  for (const TrialOutcome& t : result.trials) {
+    EXPECT_GT(t.packets_recovered, 0u) << "trial " << t.index;
+    ASSERT_TRUE(t.result.has_value());
+  }
+}
+
+TEST(CampaignRepair, ManifestRoundTripKeepsRecoveryFields) {
+  CampaignConfig config = repair_campaign(3);
+  config.manifest_path = temp_manifest("repair_round_trip");
+  const CampaignResult first = run_campaign(config);
+  ASSERT_EQ(first.completed, 3u);
+
+  const CampaignResult second = run_campaign(config);
+  EXPECT_EQ(second.resumed, 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(second.trials[i].packets_recovered, first.trials[i].packets_recovered);
+    EXPECT_EQ(second.trials[i].nacks_sent, first.trials[i].nacks_sent);
+    EXPECT_EQ(second.trials[i].retransmissions_sent,
+              first.trials[i].retransmissions_sent);
+    EXPECT_EQ(second.trials[i].parity_packets, first.trials[i].parity_packets);
+  }
+  EXPECT_EQ(second.aggregate.packets_recovered, first.aggregate.packets_recovered);
+  EXPECT_EQ(second.aggregate.nacks_sent, first.aggregate.nacks_sent);
+  EXPECT_EQ(second.aggregate.retransmissions_sent,
+            first.aggregate.retransmissions_sent);
+  EXPECT_EQ(second.aggregate.parity_packets, first.aggregate.parity_packets);
+}
+
+TEST(CampaignRepair, ManifestBytesIdenticalToSerialWithRepair) {
+  CampaignConfig serial = repair_campaign(8);
+  serial.workers = 1;
+  serial.manifest_path = temp_manifest("repair_serial");
+  const CampaignResult ref = run_campaign(serial);
+  ASSERT_EQ(ref.completed, 8u);
+  EXPECT_GT(ref.aggregate.packets_recovered, 0u);
+
+  CampaignConfig parallel = repair_campaign(8);
+  parallel.workers = 4;
+  parallel.manifest_path = temp_manifest("repair_parallel");
+  const CampaignResult par = run_campaign(parallel);
+  ASSERT_EQ(par.completed, 8u);
+
+  EXPECT_EQ(slurp(serial.manifest_path), slurp(parallel.manifest_path));
+  for (std::size_t i = 0; i < ref.trials.size(); ++i) {
+    EXPECT_EQ(par.trials[i].digest, ref.trials[i].digest) << "trial " << i;
+    EXPECT_EQ(par.trials[i].packets_recovered, ref.trials[i].packets_recovered);
+  }
+  EXPECT_EQ(par.aggregate.packets_recovered, ref.aggregate.packets_recovered);
+  EXPECT_EQ(par.aggregate.nacks_sent, ref.aggregate.nacks_sent);
+  EXPECT_EQ(par.aggregate.retransmissions_sent, ref.aggregate.retransmissions_sent);
+  EXPECT_EQ(par.aggregate.parity_packets, ref.aggregate.parity_packets);
+}
+
+TEST(CampaignRepair, VerifyDeterminismPassesWithRepairActive) {
+  CampaignConfig config = repair_campaign(4);
+  config.workers = 4;
+  config.verify_determinism = true;
+  const CampaignResult result = run_campaign(config);
+  EXPECT_EQ(result.completed, 4u);
+  EXPECT_TRUE(result.ok());
+  for (const TrialOutcome& t : result.trials)
+    EXPECT_FALSE(t.divergence.has_value());
+}
+
+TEST(CampaignRepair, RepairConfigIsPartOfTheDigest) {
+  const CampaignConfig config = repair_campaign(2);
+  CampaignConfig same = repair_campaign(2);
+  EXPECT_EQ(campaign_config_digest(config), campaign_config_digest(same));
+  CampaignConfig different_k = repair_campaign(2);
+  different_k.scenario.repair_layer.fec_k = 16;
+  EXPECT_NE(campaign_config_digest(config), campaign_config_digest(different_k));
+  CampaignConfig no_nack = repair_campaign(2);
+  no_nack.scenario.repair_layer.nack = false;
+  EXPECT_NE(campaign_config_digest(config), campaign_config_digest(no_nack));
+}
+
 TEST(Campaign, ThrowingTrialIsQuarantinedOthersSalvaged) {
   CampaignConfig config = tiny_campaign(3);
   config.fault_hook = [](audit::Auditor&, std::size_t index, std::uint64_t) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -96,6 +97,42 @@ TEST(GilbertElliott, LossesArriveInBurstsUnlikeBernoulli) {
   EXPECT_GT(conditional, 5.0 * mean);
   // Theory: P(loss|loss) = p_stay_bad * loss_bad = 0.75 * 0.8 = 0.6.
   EXPECT_NEAR(conditional, 0.6, 0.05);
+}
+
+TEST(GilbertElliott, EmpiricalLossConvergesToStationaryWeightedRate) {
+  // Stationarity: the chain's empirical loss rate converges to the
+  // transition-weighted mixture pi_good * loss_good + pi_bad * loss_bad,
+  // with pi_bad = p_g2b / (p_g2b + p_b2g). Unlike the test above, both
+  // states lose here, so the weighting of *each* term is checked — a chain
+  // that got the stationary split wrong could not land on this mixture.
+  GilbertElliottConfig cfg;
+  cfg.p_good_to_bad = 0.05;
+  cfg.p_bad_to_good = 0.25;
+  cfg.loss_good = 0.01;
+  cfg.loss_bad = 0.6;
+  const double pi_bad = cfg.p_good_to_bad / (cfg.p_good_to_bad + cfg.p_bad_to_good);
+  const double expected = (1.0 - pi_bad) * cfg.loss_good + pi_bad * cfg.loss_bad;
+  EXPECT_NEAR(cfg.stationary_bad(), pi_bad, 1e-12);
+  EXPECT_NEAR(cfg.mean_loss(), expected, 1e-12);
+
+  // Fixed seed; error must shrink as the sample grows (convergence), and
+  // the largest sample must sit within a 3-sigma-ish band of the mixture.
+  GilbertElliottLoss chain(cfg);
+  Rng rng(2002);
+  int drops = 0, sampled = 0;
+  double error_small = 0.0, error_large = 0.0;
+  const int kSmall = 2000, kLarge = 500000;
+  for (; sampled < kLarge; ++sampled) {
+    if (sampled == kSmall)
+      error_small =
+          std::abs(static_cast<double>(drops) / kSmall - expected);
+    if (chain.drop(rng)) ++drops;
+  }
+  error_large = std::abs(static_cast<double>(drops) / kLarge - expected);
+  EXPECT_LT(error_large, error_small + 1e-9);
+  // Bursty samples are correlated, so the variance of the mean is inflated
+  // well past the Bernoulli sigma; 0.005 absolute is ~6x that sigma.
+  EXPECT_NEAR(static_cast<double>(drops) / kLarge, expected, 0.005);
 }
 
 TEST(GilbertElliott, DeterministicAcrossRuns) {

@@ -102,6 +102,103 @@ TEST(PlayerTracker, BandwidthSamplesTrackStreaming) {
   EXPECT_LT(samples.back().playback_bandwidth.to_kbps(), 10.0);
 }
 
+// --- reception_quality() boundary semantics ---
+
+TEST(TrackerReport, ReceptionQualityZeroFramesIsZeroNotNan) {
+  TrackerReport r;
+  EXPECT_EQ(r.reception_quality(), 0.0);
+}
+
+TEST(TrackerReport, ReceptionQualityAllDroppedIsExactlyZero) {
+  TrackerReport r;
+  r.frames_dropped = 1234;
+  EXPECT_EQ(r.reception_quality(), 0.0);
+  r.frames_rendered = 1234;
+  r.frames_dropped = 0;
+  EXPECT_EQ(r.reception_quality(), 100.0);
+}
+
+TEST(TrackerReport, ReceptionQualitySumsInWideIntegerSpace) {
+  // rendered + dropped would wrap a 32-bit sum (8e9 > 2^32); the 64-bit
+  // widened total must yield exactly 50%.
+  TrackerReport r;
+  r.frames_rendered = 4'000'000'000u;
+  r.frames_dropped = 4'000'000'000u;
+  EXPECT_EQ(r.reception_quality(), 50.0);
+}
+
+// --- recovered-packet column ---
+
+/// A lossy session with the FEC+NACK repair layer attached to both ends, so
+/// the tracker has recoveries to record.
+struct RepairedTrackedSession {
+  Network net;
+  Host& server_host;
+  EncodedClip encoded;
+  std::unique_ptr<StreamServer> server;
+  std::unique_ptr<StreamClient> client;
+  std::unique_ptr<PlayerTracker> tracker;
+
+  explicit RepairedTrackedSession(const ClipInfo& clip, double loss)
+      : net([&] {
+          PathConfig path = testutil::fast_path();
+          path.loss_probability = loss;
+          return path;
+        }()),
+        server_host(net.add_server("srv")),
+        encoded(encode_clip(clip, 7)) {
+    RepairLayerConfig repair;
+    repair.fec_k = 8;
+    repair.fec_stride = 1;
+    repair.nack = true;
+    server = std::make_unique<WmServer>(server_host, encoded, WmBehavior{},
+                                        kMediaServerPort);
+    server->enable_repair(repair);
+    StreamClient::Config cc;
+    cc.kind = clip.player;
+    cc.repair = repair;
+    client = std::make_unique<StreamClient>(
+        net.client(), server->clip(),
+        Endpoint{server_host.address(), kMediaServerPort}, cc);
+    tracker = std::make_unique<PlayerTracker>(*client);
+  }
+
+  void run_tracked() {
+    client->start();
+    tracker->start();
+    net.loop().run_until(net.loop().now() + encoded.info().length +
+                         Duration::seconds(30));
+  }
+};
+
+TEST(PlayerTracker, RecoveredColumnTracksRepairLayer) {
+  RepairedTrackedSession s(short_clip(PlayerKind::kMediaPlayer, 150, 15), 0.05);
+  s.run_tracked();
+  const TrackerReport report = s.tracker->report();
+  EXPECT_GT(s.client->packets_recovered(), 0u);
+  EXPECT_EQ(report.total_recovered, s.client->packets_recovered());
+  // Samples accumulate monotonically up to the session total.
+  std::uint64_t prev = 0;
+  for (const auto& smp : s.tracker->samples()) {
+    EXPECT_GE(smp.packets_recovered, prev);
+    prev = smp.packets_recovered;
+  }
+  EXPECT_EQ(prev, report.total_recovered);
+  const std::string csv = report.to_csv();
+  EXPECT_NE(csv.find("packets_received,packets_lost,packets_recovered,buffering"),
+            std::string::npos);
+  EXPECT_NE(csv.find("," + std::to_string(report.total_recovered) + ","),
+            std::string::npos);
+}
+
+TEST(PlayerTracker, RecoveredColumnStaysZeroWithoutRepair) {
+  TrackedSession s(short_clip(PlayerKind::kMediaPlayer, 100, 10));
+  s.run_tracked();
+  const TrackerReport report = s.tracker.report();
+  EXPECT_EQ(report.total_recovered, 0u);
+  for (const auto& smp : s.tracker.samples()) EXPECT_EQ(smp.packets_recovered, 0u);
+}
+
 TEST(PlayerTracker, CsvExportShape) {
   TrackedSession s(short_clip(PlayerKind::kMediaPlayer, 100, 10));
   s.run_tracked();
