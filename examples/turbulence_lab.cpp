@@ -10,6 +10,7 @@
 //                       [--trace <dir>] [--chaos] [--fec <k>] [--nack]
 //                       [--campaign <N>] [--workers <N>] [--verify-determinism]
 //                       [--manifest <path>] [--seed <base>]
+//                       [--progress-every <n>] [--plant-quarantine <index>]
 //
 // With --chaos the lab runs the self-healing scenarios instead of the link
 // impairment set: a mid-stream router failure on a path with a detour
@@ -41,6 +42,15 @@
 // count; each campaign prints its trials/sec wall-clock throughput. Add
 // --verify-determinism to run every trial twice and compare replay digests.
 // Exits nonzero when any trial was quarantined.
+//
+// With --progress-every n the campaign prints a progress/health line every n
+// committed trials (trials/sec, ETA, quarantine rate, worker utilization)
+// plus a final cross-trial distribution digest; without the flag the output
+// is byte-identical to earlier releases, so smoke-test diffs stay valid.
+// Quarantined trials leave a flight-recorder post-mortem
+// (<manifest>.postmortem-<seed>.ndjson) whose path is printed;
+// --plant-quarantine <index> forces an audit violation in that trial to
+// exercise the path deliberately.
 //
 // A scenario run that dies mid-flight still flushes the CSV rows of every
 // scenario finished so far before exiting nonzero, so a crashed lab leaves
@@ -181,7 +191,8 @@ void describe(const char* name, const TurbulenceRunResult& run) {
 int run_campaign_mode(const ClipSet& set, RateTier tier, std::size_t trials,
                       std::uint64_t base_seed, bool verify_determinism,
                       const std::string& manifest_path, std::size_t workers,
-                      bool chaos) {
+                      bool chaos, std::size_t progress_every,
+                      long long plant_quarantine) {
   const auto [real_clip, media_clip] = *set.pair(tier);
   int exit_code = 0;
   for (const ClipInfo* clip : {&real_clip, &media_clip}) {
@@ -211,6 +222,26 @@ int run_campaign_mode(const ClipSet& set, RateTier tier, std::size_t trials,
     cfg.scenario.max_wall_time = std::chrono::seconds(120);
     const char* player = clip->player == PlayerKind::kMediaPlayer ? "media" : "real";
     if (!manifest_path.empty()) cfg.manifest_path = manifest_path + "." + player;
+    if (plant_quarantine >= 0) {
+      cfg.fault_hook = [plant_quarantine](audit::Auditor& auditor, std::size_t index,
+                                          std::uint64_t) {
+        if (index == static_cast<std::size_t>(plant_quarantine))
+          auditor.force_violation("planted by --plant-quarantine");
+      };
+    }
+    if (progress_every > 0) {
+      cfg.progress_every = progress_every;
+      cfg.progress_hook = [](const CampaignProgress& p) {
+        std::printf(
+            "  progress: %zu/%zu trials | %.2f trials/sec | eta %.1fs | "
+            "quarantine %.1f%% | util %.0f%% | workers %zu\n",
+            p.trials_done, p.trials_total, p.trials_per_sec, p.eta_seconds,
+            p.trials_done > 0
+                ? 100.0 * static_cast<double>(p.quarantined) / static_cast<double>(p.trials_done)
+                : 0.0,
+            100.0 * p.worker_utilization, p.workers);
+      };
+    }
 
     std::printf("campaign: %s  %zu trials  seeds %llu..%llu%s\n", clip->id().c_str(),
                 trials, static_cast<unsigned long long>(base_seed),
@@ -270,6 +301,26 @@ int run_campaign_mode(const ClipSet& set, RateTier tier, std::size_t trials,
       std::printf("  throughput: %zu trials in %.2fs wall = %.2f trials/sec (workers=%zu)\n",
                   ran, wall_seconds, static_cast<double>(ran) / wall_seconds, workers);
     }
+    {
+      // Cross-trial distribution digest (deterministic: folded in commit
+      // order from integer-count sketches, identical at any worker count;
+      // resumed trials re-fold from the manifest, so a fully-resumed run
+      // prints the same digest the original did).
+      const std::string digest = result.telemetry.summary();
+      if (!digest.empty()) {
+        std::printf("  telemetry (%llu trials folded):\n",
+                    static_cast<unsigned long long>(result.telemetry.trials_folded()));
+        std::size_t start = 0;
+        while (start < digest.size()) {
+          const std::size_t end = digest.find('\n', start);
+          std::printf("    %s\n", digest.substr(start, end - start).c_str());
+          if (end == std::string::npos) break;
+          start = end + 1;
+        }
+      }
+    }
+    for (const std::string& path : result.postmortem_paths)
+      std::printf("  post-mortem: %s\n", path.c_str());
     if (!result.ok()) {
       exit_code = 1;
       std::printf("  quarantined seeds:");
@@ -289,6 +340,8 @@ int main(int argc, char** argv) {
   std::size_t campaign_trials = 0;
   std::size_t campaign_workers = 0;  // 0 = one per hardware thread
   std::uint64_t base_seed = 1;
+  std::size_t progress_every = 0;
+  long long plant_quarantine = -1;
   bool verify_determinism = false;
   bool chaos = false;
   std::vector<const char*> positional;
@@ -310,6 +363,10 @@ int main(int argc, char** argv) {
       manifest_path = flag_value("--manifest");
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       base_seed = static_cast<std::uint64_t>(std::atoll(flag_value("--seed")));
+    } else if (std::strcmp(argv[i], "--progress-every") == 0) {
+      progress_every = static_cast<std::size_t>(std::atoll(flag_value("--progress-every")));
+    } else if (std::strcmp(argv[i], "--plant-quarantine") == 0) {
+      plant_quarantine = std::atoll(flag_value("--plant-quarantine"));
     } else if (std::strcmp(argv[i], "--fec") == 0) {
       const int k = std::atoi(flag_value("--fec"));
       if (k < 1 || k > 64) {
@@ -346,7 +403,8 @@ int main(int argc, char** argv) {
 
   if (campaign_trials > 0)
     return run_campaign_mode(set, tier, campaign_trials, base_seed, verify_determinism,
-                             manifest_path, campaign_workers, chaos);
+                             manifest_path, campaign_workers, chaos, progress_every,
+                             plant_quarantine);
 
   std::vector<std::pair<std::string, TurbulenceRunResult>> runs;
 

@@ -1,13 +1,31 @@
 #!/usr/bin/env bash
 # Records the benchmark JSON artifacts (BENCH_CAMPAIGN.json, BENCH_OBS.json,
-# BENCH_REPAIR.json) from a Release build — and refuses anything else. Numbers measured from a
-# debug or sanitized tree are not comparable to the committed baselines, so
-# this script is the only sanctioned way to refresh them.
-# Usage: scripts/bench.sh [build-dir]   (default: build-release, configured
-#        with -DCMAKE_BUILD_TYPE=Release if it does not exist yet)
+# BENCH_REPAIR.json, BENCH_TELEMETRY.json) from a Release build — and refuses
+# anything else. Numbers measured from a debug or sanitized tree are not
+# comparable to the committed baselines, so this script is the only
+# sanctioned way to refresh them.
+#
+# Usage: scripts/bench.sh [build-dir]
+#            record the artifacts (default build-dir: build-release,
+#            configured with -DCMAKE_BUILD_TYPE=Release if absent)
+#        scripts/bench.sh gate [--report-only] [build-dir]
+#            re-run the same benchmarks into a scratch directory and compare
+#            against the committed artifacts with scripts/bench_gate.py;
+#            exits nonzero on regression (unless --report-only)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+MODE=record
+REPORT_ONLY=""
+if [[ "${1:-}" == "gate" ]]; then
+  MODE=gate
+  shift
+  if [[ "${1:-}" == "--report-only" ]]; then
+    REPORT_ONLY="--report-only"
+    shift
+  fi
+fi
 
 BUILD_DIR="${1:-build-release}"
 
@@ -35,26 +53,49 @@ if [[ -n "$SANITIZE" ]]; then
   exit 1
 fi
 
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_campaign bench_micro bench_repair
+# benchmark binary -> artifact basename; one committed JSON per binary.
+BINARIES=(bench_campaign bench_micro bench_repair bench_telemetry)
+ARTIFACTS=(BENCH_CAMPAIGN.json BENCH_OBS.json BENCH_REPAIR.json BENCH_TELEMETRY.json)
 
-"$BUILD_DIR/bench/bench_campaign" \
-  --benchmark_out=BENCH_CAMPAIGN.json --benchmark_out_format=json \
-  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BINARIES[@]}"
 
-"$BUILD_DIR/bench/bench_micro" \
-  --benchmark_out=BENCH_OBS.json --benchmark_out_format=json \
-  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+if [[ "$MODE" == gate ]]; then
+  OUT_DIR="$BUILD_DIR/bench-gate"
+else
+  OUT_DIR=.
+fi
+mkdir -p "$OUT_DIR"
 
-"$BUILD_DIR/bench/bench_repair" \
-  --benchmark_out=BENCH_REPAIR.json --benchmark_out_format=json \
-  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+for i in "${!BINARIES[@]}"; do
+  "$BUILD_DIR/bench/${BINARIES[$i]}" \
+    --benchmark_out="$OUT_DIR/${ARTIFACTS[$i]}" --benchmark_out_format=json \
+    --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+done
+
+if [[ "$MODE" == gate ]]; then
+  GATE_ARGS=()
+  for artifact in "${ARTIFACTS[@]}"; do
+    if [[ ! -f "$artifact" ]]; then
+      echo "bench.sh: no committed baseline $artifact; skipping" >&2
+      continue
+    fi
+    GATE_ARGS+=("$artifact" "$OUT_DIR/$artifact")
+  done
+  if [[ ${#GATE_ARGS[@]} -eq 0 ]]; then
+    echo "bench.sh: no committed baselines to gate against" >&2
+    exit 2
+  fi
+  python3 scripts/bench_gate.py $REPORT_ONLY "${GATE_ARGS[@]}"
+  exit $?
+fi
 
 # google-benchmark's context.library_build_type describes the *benchmark
 # library* shipped with the toolchain, not our binaries — stamp the build
 # type this script just verified so the artifact is self-describing.
 python3 - <<'EOF'
 import json
-for path in ("BENCH_CAMPAIGN.json", "BENCH_OBS.json", "BENCH_REPAIR.json"):
+for path in ("BENCH_CAMPAIGN.json", "BENCH_OBS.json", "BENCH_REPAIR.json",
+             "BENCH_TELEMETRY.json"):
     with open(path) as f:
         d = json.load(f)
     d["context"]["streamlab_build_type"] = "Release"
@@ -68,4 +109,4 @@ for path in ("BENCH_CAMPAIGN.json", "BENCH_OBS.json", "BENCH_REPAIR.json"):
         f.write("\n")
 EOF
 
-echo "bench.sh: wrote BENCH_CAMPAIGN.json, BENCH_OBS.json and BENCH_REPAIR.json (Release, unsanitized)"
+echo "bench.sh: wrote ${ARTIFACTS[*]} (Release, unsanitized)"

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <bit>
+#include <chrono>
+#include <cstdlib>
 #include <condition_variable>
 #include <cstdio>
 #include <fstream>
@@ -10,6 +12,9 @@
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "core/flightrec.hpp"
+#include "obs/obs.hpp"
 
 namespace streamlab {
 namespace {
@@ -151,7 +156,12 @@ std::string manifest_line(const TrialOutcome& t, const std::string& config_hex) 
   num("retx_sent", t.retransmissions_sent);
   num("parity_packets", t.parity_packets);
   line += "\"router_down_stall_ns\":" + std::to_string(t.router_down_stall.ns()) + ",";
-  line += "\"stall_ns\":" + std::to_string(t.stall_time.ns()) + "}";
+  line += "\"stall_ns\":" + std::to_string(t.stall_time.ns());
+  // Optional trailing field so manifests from pre-telemetry builds (and
+  // collect_telemetry=false runs) parse identically.
+  if (t.telemetry && !t.telemetry->empty())
+    line += ",\"telemetry\":\"" + json_escape(t.telemetry->serialize()) + "\"";
+  line += "}";
   return line;
 }
 
@@ -206,6 +216,11 @@ TrialOutcome parse_manifest_line(const std::string& line, const std::string& con
   t.parity_packets = json_u64(line, "parity_packets");
   t.router_down_stall = Duration::nanos(json_i64(line, "router_down_stall_ns"));
   t.stall_time = Duration::nanos(json_i64(line, "stall_ns"));
+  if (const auto telemetry = json_value(line, "telemetry"); telemetry && !telemetry->empty()) {
+    auto parsed = obs::TrialTelemetry::parse(*telemetry);
+    if (!parsed) fail("unparseable telemetry snapshot");
+    t.telemetry = std::move(*parsed);
+  }
   return t;
 }
 
@@ -239,19 +254,80 @@ void fill_salvage(TrialOutcome& t) {
   t.route_restores = t.result->route_restores;
 }
 
-TrialOutcome run_trial(const CampaignConfig& config, std::size_t index) {
+/// Derives the per-trial scalar samples/tallies the cross-trial
+/// distributions track, then folds in the rolled-up registry snapshot.
+obs::TrialTelemetry snapshot_trial(const TrialOutcome& t, const ClipInfo& clip,
+                                   const obs::Obs* trial_obs) {
+  obs::TrialTelemetry out;
+  if (trial_obs != nullptr) out = obs::TrialTelemetry::from_registry(trial_obs->registry());
+  if (t.result) {
+    std::uint64_t wire_bytes = 0;
+    double latency_sum = 0.0;
+    std::size_t latency_sessions = 0;
+    const auto scan = [&](const std::optional<SessionRecoveryMetrics>& m) {
+      if (!m) return;
+      wire_bytes += m->total_wire_bytes;
+      if (m->packets_recovered > 0) {
+        latency_sum += m->repair_latency_mean_ms;
+        ++latency_sessions;
+      }
+    };
+    scan(t.result->real);
+    scan(t.result->media);
+    if (clip.length.ns() > 0)
+      out.set_sample("trial.goodput_kbps",
+                     static_cast<double>(wire_bytes) * 8.0 / 1000.0 / clip.length.to_seconds());
+    out.set_sample("trial.stall_ms", t.stall_time.to_millis());
+    const std::uint64_t loss_denominator = t.packets_lost + t.packets_recovered;
+    out.set_sample("trial.recovery_ratio",
+                   loss_denominator > 0
+                       ? static_cast<double>(t.packets_recovered) / static_cast<double>(loss_denominator)
+                       : 0.0);
+    if (latency_sessions > 0)
+      out.set_sample("trial.repair_latency_ms", latency_sum / static_cast<double>(latency_sessions));
+    out.set_tally("trial.sim_events", t.sim_events);
+    out.set_tally("trial.packets_lost", t.packets_lost);
+    out.set_tally("trial.rebuffers", t.rebuffer_events);
+    out.set_tally("trial.reroutes", t.reroutes);
+  }
+  return out;
+}
+
+/// Shared shape for the per-worker scratch Obs (see run_trial).
+obs::Obs::Config trial_obs_config(const CampaignConfig& config) {
+  obs::Obs::Config obs_config;
+  obs_config.trace_capacity =
+      config.flight_recorder_records > 0 ? config.flight_recorder_records : 1;
+  return obs_config;
+}
+
+TrialOutcome run_trial(const CampaignConfig& config, std::size_t index,
+                       const std::string& config_hex, obs::Obs* scratch_obs) {
   TrialOutcome t;
   t.index = index;
   t.seed = config.base_seed + index;
+  const auto wall_start = std::chrono::steady_clock::now();
 
   audit::Auditor auditor;
   audit::DeterminismProbe probe;
   probe.enable_recording(config.verify_determinism);
 
+  // Scratch Obs: metric snapshot source + flight-recorder tail. Each worker
+  // owns one and resets it between trials, so registry maps and the intern
+  // table are built once per worker, not once per trial — the reset restores
+  // the exact just-constructed state, keeping trial output byte-identical to
+  // a fresh Obs. Runs that pass their own scenario.obs keep the legacy
+  // single-run contract.
+  const bool collect = config.collect_telemetry &&
+                       config.scenario.obs == nullptr && scratch_obs != nullptr;
+  obs::Obs* trial_obs = collect ? scratch_obs : nullptr;
+  if (collect) trial_obs->reset_for_reuse();
+
   TurbulenceScenarioConfig scenario = config.scenario;
   scenario.seed = t.seed;
   scenario.auditor = &auditor;
   scenario.probe = &probe;
+  if (collect) scenario.obs = trial_obs;
 
   try {
     TurbulenceRunResult run = run_turbulence_clip(config.clip, scenario);
@@ -268,6 +344,10 @@ TrialOutcome run_trial(const CampaignConfig& config, std::size_t index) {
       replay.seed = t.seed + config.verify_seed_skew;
       replay.auditor = &replay_auditor;
       replay.probe = &replay_probe;
+      // The replay must not pollute the primary run's Obs (rate-limiter
+      // state, double-counted metrics); divergence detection needs only the
+      // probes.
+      replay.obs = nullptr;
       run_turbulence_clip(config.clip, replay);
       if (probe.digest() != replay_probe.digest() ||
           probe.events() != replay_probe.events())
@@ -297,6 +377,26 @@ TrialOutcome run_trial(const CampaignConfig& config, std::size_t index) {
     }
   }
   if (t.status == TrialStatus::kCompleted) fill_salvage(t);
+
+  if (collect) t.telemetry = snapshot_trial(t, config.clip, trial_obs);
+  if (t.status == TrialStatus::kQuarantined) {
+    // Render the flight-recorder document here, while the evidence (Obs
+    // ring, audit report) is still alive; the coordinator only writes the
+    // bytes to disk.
+    PostmortemContext context;
+    context.trial_index = t.index;
+    context.seed = t.seed;
+    context.reason = t.reason;
+    context.config_hex = config_hex;
+    context.sim_events = t.sim_events;
+    context.budget_exhausted = t.budget_exhausted;
+    t.postmortem = render_postmortem(context, auditor.report(), trial_obs,
+                                     t.telemetry ? &*t.telemetry : nullptr,
+                                     config.flight_recorder_records);
+  }
+  t.wall_ns = static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                             std::chrono::steady_clock::now() - wall_start)
+                                             .count());
   return t;
 }
 
@@ -466,12 +566,19 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   std::mutex mu;
   std::condition_variable trial_done;
   std::atomic<std::size_t> next_claim{0};
+  const bool want_scratch_obs =
+      config.collect_telemetry && config.scenario.obs == nullptr;
   const auto worker_body = [&] {
+    // One reusable Obs per worker thread: registry maps and the intern table
+    // are built on the first trial, later trials only reset values.
+    std::optional<obs::Obs> scratch;
+    if (want_scratch_obs) scratch.emplace(trial_obs_config(config));
     while (true) {
       const std::size_t k = next_claim.fetch_add(1, std::memory_order_relaxed);
       if (k >= pending.size()) return;
       const std::size_t index = pending[k];
-      TrialOutcome outcome = run_trial(config, index);
+      TrialOutcome outcome =
+          run_trial(config, index, config_hex, scratch ? &*scratch : nullptr);
       {
         std::lock_guard<std::mutex> lock(mu);
         finished[index] = std::move(outcome);
@@ -486,6 +593,21 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker_body);
   }
 
+  // Flight-recorder destination: next to the manifest unless overridden.
+  std::string postmortem_prefix = config.postmortem_prefix;
+  if (postmortem_prefix.empty() && !config.manifest_path.empty())
+    postmortem_prefix = config.manifest_path + ".postmortem-";
+
+  const auto campaign_start = std::chrono::steady_clock::now();
+  std::uint64_t busy_ns = 0;       // wall time spent inside trials this run
+  std::size_t fresh_done = 0;      // committed trials actually run (not resumed)
+
+  // The serial path runs trials on this thread; it gets the same reusable
+  // scratch Obs a pool worker would.
+  std::optional<obs::Obs> serial_scratch;
+  if (workers <= 1 && want_scratch_obs)
+    serial_scratch.emplace(trial_obs_config(config));
+
   CampaignResult result;
   for (std::size_t i = 0; i < config.trials; ++i) {
     TrialOutcome outcome;
@@ -499,7 +621,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         outcome = std::move(*finished[i]);
         finished[i].reset();
       } else {
-        outcome = run_trial(config, i);
+        outcome = run_trial(config, i, config_hex,
+                            serial_scratch ? &*serial_scratch : nullptr);
       }
       if (manifest.is_open()) {
         // One line per finished trial, flushed as soon as every *earlier*
@@ -507,14 +630,53 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         // first trial with no line, and lines never appear out of order.
         manifest << manifest_line(outcome, config_hex) << '\n' << std::flush;
       }
+      busy_ns += outcome.wall_ns;
+      ++fresh_done;
     }
     if (outcome.status == TrialStatus::kCompleted) {
       ++result.completed;
       result.aggregate.fold(outcome);
+      result.telemetry.add_counter("trials.completed");
+      // Distributions fold only completed trials — quarantined metrics are
+      // evidence (flight recorder), not population data.
+      if (outcome.telemetry) result.telemetry.fold(*outcome.telemetry);
     } else {
       ++result.quarantined;
+      result.telemetry.add_counter("trials.quarantined");
+      if (!outcome.postmortem.empty() && !postmortem_prefix.empty()) {
+        const std::string path = postmortem_prefix + std::to_string(outcome.seed) + ".ndjson";
+        if (std::ofstream out(path); out) {
+          out << outcome.postmortem;
+          if (out) result.postmortem_paths.push_back(path);
+        }
+      }
     }
     result.trials.push_back(std::move(outcome));
+
+    const std::size_t done = i + 1;
+    if (config.progress_hook && config.progress_every > 0 &&
+        (done % config.progress_every == 0 || done == config.trials)) {
+      CampaignProgress p;
+      p.trials_total = config.trials;
+      p.trials_done = done;
+      p.completed = result.completed;
+      p.quarantined = result.quarantined;
+      p.resumed = result.resumed;
+      p.workers = workers;
+      const auto elapsed = std::chrono::steady_clock::now() - campaign_start;
+      const double elapsed_ns =
+          static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+      p.wall_seconds = elapsed_ns / 1e9;
+      if (fresh_done > 0 && elapsed_ns > 0.0) {
+        p.trials_per_sec = static_cast<double>(fresh_done) / p.wall_seconds;
+        p.eta_seconds = static_cast<double>(config.trials - done) / p.trials_per_sec;
+        p.worker_utilization =
+            static_cast<double>(busy_ns) / (elapsed_ns * static_cast<double>(workers));
+        if (p.worker_utilization > 1.0) p.worker_utilization = 1.0;
+      }
+      p.telemetry = &result.telemetry;
+      config.progress_hook(p);
+    }
   }
 
   for (std::thread& t : pool) t.join();

@@ -32,8 +32,11 @@
 #include <vector>
 
 #include "core/turbulence.hpp"
+#include "obs/telemetry.hpp"
 
 namespace streamlab {
+
+struct CampaignProgress;
 
 struct CampaignConfig {
   /// Scenario template. `seed`, `auditor` and `probe` are overwritten for
@@ -63,6 +66,49 @@ struct CampaignConfig {
   /// how tests plant exactly one violating trial in a healthy campaign.
   std::function<void(audit::Auditor&, std::size_t index, std::uint64_t seed)>
       fault_hook;
+
+  // --- Telemetry plane (observability; none of it enters the config digest
+  // or perturbs the simulation, so manifests resume across these knobs) ---
+
+  /// Give each trial its own Obs (metrics registry + small trace ring),
+  /// snapshot the registry into TrialOutcome::telemetry at trial end, and
+  /// fold cross-trial distributions at the coordinator. Ignored (treated as
+  /// false) when `scenario.obs` is set — an external Obs keeps the legacy
+  /// single-run contract.
+  bool collect_telemetry = true;
+  /// Trace ring capacity for per-trial Obs — also the last-K tail dumped to
+  /// a quarantine post-mortem. Small by design: the ring only exists to
+  /// feed the flight recorder.
+  std::size_t flight_recorder_records = 256;
+  /// Where quarantine post-mortems are written: `<prefix><seed>.ndjson`.
+  /// Empty derives "<manifest_path>.postmortem-" when a manifest is set,
+  /// otherwise post-mortems are skipped.
+  std::string postmortem_prefix;
+  /// Invoke `progress_hook` after every this-many trial commits (and once
+  /// at campaign end). 0 disables progress reporting.
+  std::size_t progress_every = 0;
+  /// Rate-limited progress/health reporter, called on the coordinator
+  /// thread in commit order.
+  std::function<void(const CampaignProgress&)> progress_hook;
+};
+
+/// Snapshot handed to CampaignConfig::progress_hook. Wall-clock rates are
+/// measured, not simulated — they vary run to run and never enter the
+/// manifest or the telemetry fold.
+struct CampaignProgress {
+  std::size_t trials_total = 0;
+  std::size_t trials_done = 0;  ///< committed so far (completed + quarantined)
+  std::size_t completed = 0;
+  std::size_t quarantined = 0;
+  std::size_t resumed = 0;
+  std::size_t workers = 0;
+  double wall_seconds = 0.0;
+  double trials_per_sec = 0.0;  ///< committed non-resumed trials / wall time
+  double eta_seconds = 0.0;     ///< remaining trials at the current rate
+  /// Fraction of worker wall-capacity spent inside trials; 0 when unknown.
+  double worker_utilization = 0.0;
+  /// Live cross-trial fold; null when telemetry collection is off.
+  const obs::CampaignTelemetry* telemetry = nullptr;
 };
 
 enum class TrialStatus : std::uint8_t { kCompleted, kQuarantined };
@@ -108,6 +154,18 @@ struct TrialOutcome {
   std::uint64_t nacks_sent = 0;         ///< client NACK messages
   std::uint64_t retransmissions_sent = 0;  ///< server retx answered
   std::uint64_t parity_packets = 0;     ///< parity packets received
+
+  /// Metric snapshot folded into the campaign telemetry; survives the
+  /// manifest round-trip. Absent when collection is off (or the manifest
+  /// line predates telemetry).
+  std::optional<obs::TrialTelemetry> telemetry;
+  /// Rendered flight-recorder document (quarantined live trials only);
+  /// written out by the coordinator, never stored in the manifest.
+  std::string postmortem;
+  /// Wall-clock nanoseconds the trial spent on its worker. Feeds the
+  /// utilization figure in CampaignProgress only — never serialized
+  /// (wall time is nondeterministic and would break manifest parity).
+  std::uint64_t wall_ns = 0;
 };
 
 /// Study-level totals over every *completed* trial, live or restored.
@@ -140,6 +198,12 @@ struct CampaignResult {
   std::size_t completed = 0;
   std::size_t quarantined = 0;
   std::size_t resumed = 0;  ///< trials restored from the manifest
+  /// Cross-trial distributions + health counters, folded in commit order;
+  /// byte-identical (serialize()) at any worker count. Counts trials even
+  /// when per-trial telemetry is disabled.
+  obs::CampaignTelemetry telemetry;
+  /// Flight-recorder files written this run, in trial order.
+  std::vector<std::string> postmortem_paths;
   bool ok() const { return quarantined == 0; }
   /// Seeds of every quarantined trial (the campaign's repro handles).
   std::vector<std::uint64_t> quarantined_seeds() const;

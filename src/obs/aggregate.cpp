@@ -1,0 +1,299 @@
+#include "obs/aggregate.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace streamlab::obs {
+namespace {
+
+// Serialization helpers shared by both aggregates. The formats are
+// line-internal (';'-separated key=value fields, ','-separated bucket
+// lists) so a whole aggregate embeds in one manifest JSON string.
+
+bool take_field(std::string_view& text, std::string_view key, std::string_view& value) {
+  if (text.substr(0, key.size()) != key) return false;
+  std::string_view rest = text.substr(key.size());
+  if (rest.empty() || rest.front() != '=') return false;
+  rest.remove_prefix(1);
+  const std::size_t end = rest.find(';');
+  value = rest.substr(0, end);
+  text = end == std::string_view::npos ? std::string_view{} : rest.substr(end + 1);
+  return true;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+bool parse_i32(std::string_view text, std::int32_t& out) {
+  bool neg = false;
+  if (!text.empty() && text.front() == '-') {
+    neg = true;
+    text.remove_prefix(1);
+  }
+  std::uint64_t v = 0;
+  if (!parse_u64(text, v) || v > 0x7fffffffull) return false;
+  out = neg ? -static_cast<std::int32_t>(v) : static_cast<std::int32_t>(v);
+  return true;
+}
+
+bool parse_double(std::string_view text, double& out) {
+  char buf[64];
+  if (text.empty() || text.size() >= sizeof(buf)) return false;
+  std::copy(text.begin(), text.end(), buf);
+  buf[text.size()] = '\0';
+  char* end = nullptr;
+  out = std::strtod(buf, &end);
+  return end == buf + text.size();
+}
+
+std::string fmt_g17(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LogHistogram
+
+LogHistogram::LogHistogram(unsigned sub_bucket_bits) : bits_(sub_bucket_bits) {
+  if (bits_ == 0 || bits_ > 16) throw std::invalid_argument("LogHistogram: sub_bucket_bits out of range");
+}
+
+std::size_t LogHistogram::bucket_index(std::uint64_t value, unsigned bits) {
+  const std::uint64_t sub = 1ull << bits;
+  if (value < sub) return static_cast<std::size_t>(value);
+  // Octave `e` holds [2^e, 2^(e+1)); its 2^bits sub-buckets are addressed by
+  // the mantissa bits directly below the leading one.
+  const unsigned e = 63u - static_cast<unsigned>(std::countl_zero(value));
+  const std::uint64_t mantissa = (value >> (e - bits)) & (sub - 1);
+  return static_cast<std::size_t>(((static_cast<std::uint64_t>(e) - bits + 1) << bits) + mantissa);
+}
+
+std::uint64_t LogHistogram::bucket_floor(std::size_t index, unsigned bits) {
+  const std::uint64_t sub = 1ull << bits;
+  if (index < sub) return index;
+  const std::uint64_t block = static_cast<std::uint64_t>(index) >> bits;
+  const std::uint64_t mantissa = index & (sub - 1);
+  const unsigned e = static_cast<unsigned>(block) + bits - 1;
+  // One past the top octave (asked for the ceiling of the last bucket).
+  if (e >= 64) return ~0ull;
+  return (1ull << e) | (mantissa << (e - bits));
+}
+
+void LogHistogram::record_n(std::uint64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  const std::size_t idx = bucket_index(value, bits_);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += n;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ += n;
+  sum_ += value * n;
+}
+
+double LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min_);
+  if (q >= 1.0) return static_cast<double>(max_);
+  const double target = q * static_cast<double>(count_ - 1);
+  std::uint64_t cum = 0;
+  for (std::size_t idx = 0; idx < counts_.size(); ++idx) {
+    if (counts_[idx] == 0) continue;
+    cum += counts_[idx];
+    if (static_cast<double>(cum) > target) {
+      const std::uint64_t lo = bucket_floor(idx, bits_);
+      const std::uint64_t next_lo = bucket_floor(idx + 1, bits_);
+      // Exact (unit-width) buckets report their value; wider buckets their
+      // midpoint, in double space to dodge overflow in the top octave.
+      const double mid = next_lo > lo + 1
+                             ? (static_cast<double>(lo) + static_cast<double>(next_lo)) / 2.0
+                             : static_cast<double>(lo);
+      return std::clamp(mid, static_cast<double>(min_), static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.bits_ != bits_) throw std::invalid_argument("LogHistogram::merge: bucket geometry mismatch");
+  if (other.count_ == 0) return;
+  if (other.counts_.size() > counts_.size()) counts_.resize(other.counts_.size(), 0);
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::string LogHistogram::serialize() const {
+  std::string out = "logh1;bits=" + std::to_string(bits_) + ";n=" + std::to_string(count_) +
+                    ";sum=" + std::to_string(sum_) + ";min=" + std::to_string(min()) +
+                    ";max=" + std::to_string(max_) + ";b=";
+  bool first = true;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += std::to_string(i);
+    out += ':';
+    out += std::to_string(counts_[i]);
+  }
+  return out;
+}
+
+std::optional<LogHistogram> LogHistogram::parse(std::string_view text) {
+  if (text.substr(0, 6) != "logh1;") return std::nullopt;
+  text.remove_prefix(6);
+  std::string_view bits, n, sum, min, max, buckets;
+  if (!take_field(text, "bits", bits) || !take_field(text, "n", n) || !take_field(text, "sum", sum) ||
+      !take_field(text, "min", min) || !take_field(text, "max", max) || !take_field(text, "b", buckets)) {
+    return std::nullopt;
+  }
+  std::uint64_t bits_v = 0, n_v = 0, sum_v = 0, min_v = 0, max_v = 0;
+  if (!parse_u64(bits, bits_v) || bits_v == 0 || bits_v > 16 || !parse_u64(n, n_v) || !parse_u64(sum, sum_v) ||
+      !parse_u64(min, min_v) || !parse_u64(max, max_v)) {
+    return std::nullopt;
+  }
+  LogHistogram h(static_cast<unsigned>(bits_v));
+  std::uint64_t check = 0;
+  while (!buckets.empty()) {
+    const std::size_t comma = buckets.find(',');
+    std::string_view entry = buckets.substr(0, comma);
+    buckets = comma == std::string_view::npos ? std::string_view{} : buckets.substr(comma + 1);
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    std::uint64_t idx = 0, cnt = 0;
+    if (!parse_u64(entry.substr(0, colon), idx) || !parse_u64(entry.substr(colon + 1), cnt) || cnt == 0 ||
+        idx > (64ull << bits_v)) {
+      return std::nullopt;
+    }
+    if (idx >= h.counts_.size()) h.counts_.resize(idx + 1, 0);
+    h.counts_[static_cast<std::size_t>(idx)] += cnt;
+    check += cnt;
+  }
+  if (check != n_v) return std::nullopt;
+  h.count_ = n_v;
+  h.sum_ = sum_v;
+  h.min_ = min_v;
+  h.max_ = max_v;
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// QuantileSketch
+
+namespace {
+constexpr double kMinTrackable = 1e-9;
+}
+
+QuantileSketch::QuantileSketch(double relative_accuracy) : alpha_(relative_accuracy) {
+  if (!(alpha_ > 0.0) || !(alpha_ < 1.0)) throw std::invalid_argument("QuantileSketch: accuracy out of (0,1)");
+  gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+  log_gamma_ = std::log(gamma_);
+}
+
+std::int32_t QuantileSketch::key_of(double value) const {
+  return static_cast<std::int32_t>(std::ceil(std::log(value) / log_gamma_));
+}
+
+double QuantileSketch::value_of(std::int32_t key) const {
+  // Midpoint (in relative terms) of bucket (gamma^(k-1), gamma^k].
+  return 2.0 * std::pow(gamma_, static_cast<double>(key)) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::record_n(double value, std::uint64_t n) {
+  if (n == 0) return;
+  if (!(value > kMinTrackable)) {
+    // Negative, NaN, and sub-resolution values all land in the zero bucket;
+    // the sketch tracks magnitudes, and campaign metrics are non-negative.
+    zero_count_ += n;
+  } else {
+    buckets_[key_of(value)] += n;
+  }
+  count_ += n;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_ - 1);
+  std::uint64_t cum = zero_count_;
+  if (static_cast<double>(cum) > target) return 0.0;
+  for (const auto& [key, cnt] : buckets_) {
+    cum += cnt;
+    if (static_cast<double>(cum) > target) return value_of(key);
+  }
+  return buckets_.empty() ? 0.0 : value_of(buckets_.rbegin()->first);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.alpha_ != alpha_) throw std::invalid_argument("QuantileSketch::merge: accuracy mismatch");
+  zero_count_ += other.zero_count_;
+  count_ += other.count_;
+  for (const auto& [key, cnt] : other.buckets_) buckets_[key] += cnt;
+}
+
+std::string QuantileSketch::serialize() const {
+  std::string out = "qsk1;a=" + fmt_g17(alpha_) + ";n=" + std::to_string(count_) +
+                    ";z=" + std::to_string(zero_count_) + ";b=";
+  bool first = true;
+  for (const auto& [key, cnt] : buckets_) {
+    if (!first) out += ',';
+    first = false;
+    out += std::to_string(key);
+    out += ':';
+    out += std::to_string(cnt);
+  }
+  return out;
+}
+
+std::optional<QuantileSketch> QuantileSketch::parse(std::string_view text) {
+  if (text.substr(0, 5) != "qsk1;") return std::nullopt;
+  text.remove_prefix(5);
+  std::string_view a, n, z, buckets;
+  if (!take_field(text, "a", a) || !take_field(text, "n", n) || !take_field(text, "z", z) ||
+      !take_field(text, "b", buckets)) {
+    return std::nullopt;
+  }
+  double alpha = 0.0;
+  std::uint64_t n_v = 0, z_v = 0;
+  if (!parse_double(a, alpha) || !(alpha > 0.0) || !(alpha < 1.0) || !parse_u64(n, n_v) || !parse_u64(z, z_v)) {
+    return std::nullopt;
+  }
+  QuantileSketch s(alpha);
+  std::uint64_t check = z_v;
+  while (!buckets.empty()) {
+    const std::size_t comma = buckets.find(',');
+    std::string_view entry = buckets.substr(0, comma);
+    buckets = comma == std::string_view::npos ? std::string_view{} : buckets.substr(comma + 1);
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    std::int32_t key = 0;
+    std::uint64_t cnt = 0;
+    if (!parse_i32(entry.substr(0, colon), key) || !parse_u64(entry.substr(colon + 1), cnt) || cnt == 0) {
+      return std::nullopt;
+    }
+    s.buckets_[key] += cnt;
+    check += cnt;
+  }
+  if (check != n_v) return std::nullopt;
+  s.count_ = n_v;
+  s.zero_count_ = z_v;
+  return s;
+}
+
+}  // namespace streamlab::obs

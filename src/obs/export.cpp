@@ -54,7 +54,10 @@ void write_chrome_trace(const Obs& obs, std::ostream& out) {
     if (r.kind != RecordKind::kCounter) tracks.insert(r.track);
   });
 
-  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // traceRetained/traceDropped surface ring truncation: a wrapped ring would
+  // otherwise read as a complete timeline of the run.
+  out << "{\"displayTimeUnit\":\"ms\",\"traceRetained\":" << tracer.size()
+      << ",\"traceDropped\":" << tracer.dropped() << ",\"traceEvents\":[";
   bool first = true;
   const auto sep = [&] {
     if (!first) out << ",";
@@ -101,6 +104,8 @@ void write_chrome_trace(const Obs& obs, std::ostream& out) {
 
 void write_ndjson(const Obs& obs, std::ostream& out) {
   const Tracer& tracer = obs.tracer();
+  out << "{\"header\":\"streamlab-trace-v1\",\"records\":" << tracer.size()
+      << ",\"dropped\":" << tracer.dropped() << "}\n";
   tracer.for_each([&](const TraceRecord& r) {
     out << "{\"t\":" << ts_seconds(r.time) << ",\"kind\":\"" << to_string(r.kind)
         << "\",\"name\":\"" << json_escape(tracer.string(r.name)) << "\"";

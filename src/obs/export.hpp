@@ -25,7 +25,8 @@ namespace streamlab::obs {
 /// without ends, which viewers render as running to the end of the trace.
 void write_chrome_trace(const Obs& obs, std::ostream& out);
 
-/// One JSON object per line: {"t":<s>,"kind":...,"name":...,...}.
+/// One JSON object per line: a header line carrying retained/dropped record
+/// counts, then {"t":<s>,"kind":...,"name":...,...} per record.
 void write_ndjson(const Obs& obs, std::ostream& out);
 
 /// Counter samples only, long form: time_s,metric,value (time-ordered).

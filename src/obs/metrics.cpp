@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+
 namespace streamlab::obs {
 
 Counter Registry::counter(std::string_view name) {
@@ -50,6 +52,16 @@ std::vector<std::pair<std::string, std::int64_t>> Registry::gauges() const {
   for (const auto& [name, idx] : gauge_index_)
     out.emplace_back(name, gauge_values_[idx]);
   return out;
+}
+
+void Registry::reset_values() {
+  for (auto& v : counter_values_) v = 0;
+  for (auto& v : gauge_values_) v = 0;
+  for (auto& h : histogram_values_) {
+    std::fill(h.buckets.begin(), h.buckets.end(), 0);
+    h.total = 0;
+    h.sum = 0.0;
+  }
 }
 
 std::vector<std::pair<std::string, const HistogramData*>> Registry::histograms() const {

@@ -136,6 +136,22 @@ class Registry {
   std::vector<std::pair<std::string, std::int64_t>> gauges() const;
   std::vector<std::pair<std::string, const HistogramData*>> histograms() const;
 
+  // --- Copy-free visitors (per-trial snapshot path; names stay borrowed) ---
+  template <typename Fn>
+  void visit_counters(Fn&& fn) const {
+    for (const auto& [name, idx] : counter_index_) fn(name, counter_values_[idx]);
+  }
+  template <typename Fn>
+  void visit_histograms(Fn&& fn) const {
+    for (const auto& [name, idx] : histogram_index_) fn(name, histogram_values_[idx]);
+  }
+
+  /// Zeroes every value while keeping names, storage and handed-out handles
+  /// valid. Re-registering after a reset is a map hit, not an allocation —
+  /// the campaign runner reuses one registry across trials so per-trial
+  /// metric setup does not tax the hot loop.
+  void reset_values();
+
  private:
   bool enabled_;
   // Values live in deques: push_back never moves existing elements, so the

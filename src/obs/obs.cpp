@@ -26,6 +26,7 @@ Obs::Obs(Config config)
     fired_by_category_[i] = registry_.counter(
         std::string("loop.fired.") + to_string(static_cast<EventCategory>(i)));
   queue_depth_name_ = tracer_.intern("loop.queue_depth");
+  tracer_.set_dropped_counter(registry_.counter("trace.records_dropped"));
 }
 
 }  // namespace streamlab::obs

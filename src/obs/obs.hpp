@@ -50,6 +50,16 @@ class Obs {
   const Tracer& tracer() const { return tracer_; }
   bool tracing() const { return tracer_.enabled(); }
 
+  /// Returns the context to its just-constructed state without discarding
+  /// interned names, metric storage or handed-out handles. The campaign
+  /// runner keeps one Obs per worker and resets it between trials — the
+  /// per-trial cost becomes a few memset-sized loops instead of rebuilding
+  /// every registry map and intern table from scratch.
+  void reset_for_reuse() {
+    registry_.reset_values();
+    tracer_.reset_keep_interned();
+  }
+
   /// EventLoop hook, called once per fired event: bumps the total and
   /// per-category counters and samples the live queue depth into the trace
   /// at the configured cadence.

@@ -1,12 +1,9 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <limits>
 
 namespace streamlab::obs {
-
-namespace {
-constexpr SimTime kNeverSampled = SimTime(std::numeric_limits<std::int64_t>::min());
-}  // namespace
 
 const char* to_string(RecordKind kind) {
   switch (kind) {
@@ -38,6 +35,15 @@ std::uint16_t Tracer::intern(std::string_view s) {
   return id;
 }
 
+void Tracer::reset_keep_interned() {
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+  next_span_id_ = 1;
+  open_spans_.clear();
+  std::fill(last_sample_.begin(), last_sample_.end(), kNeverSampled);
+}
+
 void Tracer::push(const TraceRecord& rec) {
   if (ring_.size() < capacity_) {
     ring_.push_back(rec);
@@ -46,6 +52,7 @@ void Tracer::push(const TraceRecord& rec) {
   ring_[head_] = rec;
   head_ = (head_ + 1) % capacity_;
   ++dropped_;
+  dropped_counter_.add();
 }
 
 void Tracer::instant(std::uint16_t name, std::uint16_t track, SimTime now,
@@ -71,13 +78,9 @@ void Tracer::end_span(std::uint64_t span_id, SimTime now) {
   open_spans_.erase(it);
 }
 
-bool Tracer::sample(std::uint16_t name, SimTime now, double value) {
-  if (!enabled_) return false;
-  SimTime& last = last_sample_[name];
-  if (last != kNeverSampled && now - last < sample_interval_) return false;
-  last = now;
+void Tracer::sample_admit(std::uint16_t name, SimTime now, double value) {
+  last_sample_[name] = now;
   push(TraceRecord{now, RecordKind::kCounter, name, 0, 0, value});
-  return true;
 }
 
 void Tracer::sample_always(std::uint16_t name, SimTime now, double value) {
@@ -94,6 +97,22 @@ void Tracer::for_each(const std::function<void(const TraceRecord&)>& fn) const {
   // Full ring: head_ is the oldest record.
   for (std::size_t i = 0; i < ring_.size(); ++i)
     fn(ring_[(head_ + i) % capacity_]);
+}
+
+std::vector<TraceRecord> Tracer::last(std::size_t k) const {
+  std::vector<TraceRecord> out;
+  const std::size_t total = ring_.size();
+  const std::size_t take = total < k ? total : k;
+  out.reserve(take);
+  std::size_t skip = total - take;
+  for_each([&](const TraceRecord& r) {
+    if (skip > 0) {
+      --skip;
+      return;
+    }
+    out.push_back(r);
+  });
+  return out;
 }
 
 }  // namespace streamlab::obs

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <string>
 #include <string_view>
@@ -72,8 +73,16 @@ class Tracer {
   void end_span(std::uint64_t span_id, SimTime now);
 
   /// Rate-limited counter sample (per `Config::sample_interval`, keyed by
-  /// name). Returns whether a record was written.
-  bool sample(std::uint16_t name, SimTime now, double value);
+  /// name). Returns whether a record was written. The reject path is inline
+  /// — it runs once per loop event and per link operation, so a function
+  /// call per rejected sample would tax every uninstrumented-feeling run.
+  bool sample(std::uint16_t name, SimTime now, double value) {
+    if (!enabled_) return false;
+    const SimTime last = last_sample_[name];
+    if (last != kNeverSampled && now - last < sample_interval_) return false;
+    sample_admit(name, now, value);
+    return true;
+  }
   /// Unconditional counter sample.
   void sample_always(std::uint16_t name, SimTime now, double value);
 
@@ -81,9 +90,21 @@ class Tracer {
   std::size_t capacity() const { return capacity_; }
   /// Records overwritten because the ring was full.
   std::uint64_t dropped() const { return dropped_; }
+  /// Mirrors each overwrite into a registry counter (trace.records_dropped)
+  /// so a wrapped ring is visible in metrics, not just in trace exports.
+  void set_dropped_counter(Counter counter) { dropped_counter_ = counter; }
+
+  /// Empties the ring and resets span ids, rate-limiter windows and the
+  /// dropped count while keeping the intern table (ids stay stable, repeat
+  /// interning is a map hit). A reused tracer starts each trial in the same
+  /// state a fresh one would, so trial output stays byte-deterministic.
+  void reset_keep_interned();
 
   /// Visits retained records oldest-first.
   void for_each(const std::function<void(const TraceRecord&)>& fn) const;
+  /// The most recent `k` retained records, oldest-first — the flight
+  /// recorder's tail read.
+  std::vector<TraceRecord> last(std::size_t k) const;
   std::size_t string_count() const { return strings_.size(); }
 
  private:
@@ -92,7 +113,12 @@ class Tracer {
     std::uint16_t track;
   };
 
+  static constexpr SimTime kNeverSampled =
+      SimTime(std::numeric_limits<std::int64_t>::min());
+
   void push(const TraceRecord& rec);
+  /// Slow path of sample(): stamps the window and writes the record.
+  void sample_admit(std::uint16_t name, SimTime now, double value);
 
   bool enabled_;
   std::size_t capacity_;
@@ -100,6 +126,7 @@ class Tracer {
   std::vector<TraceRecord> ring_;
   std::size_t head_ = 0;  ///< next overwrite position once full
   std::uint64_t dropped_ = 0;
+  Counter dropped_counter_;
   std::uint64_t next_span_id_ = 1;
   std::map<std::uint64_t, OpenSpan> open_spans_;
   std::vector<std::string> strings_;

@@ -461,6 +461,124 @@ TEST(CampaignRepair, RepairConfigIsPartOfTheDigest) {
   EXPECT_NE(campaign_config_digest(config), campaign_config_digest(no_nack));
 }
 
+// --- Campaign telemetry plane: cross-trial fold, manifest round trip,
+// quarantine flight recorder, and the live progress hook. ---
+
+/// The determinism contract extends to telemetry: the cross-trial fold is
+/// byte-identical between workers=1 and workers=4 because outcomes commit in
+/// trial-index order regardless of which worker finished first.
+TEST(CampaignTelemetry, FoldIsByteIdenticalSerialVsFourWorkers) {
+  CampaignConfig serial = tiny_campaign(8);
+  serial.workers = 1;
+  const CampaignResult ref = run_campaign(serial);
+  ASSERT_EQ(ref.completed, 8u);
+
+  CampaignConfig parallel = tiny_campaign(8);
+  parallel.workers = 4;
+  const CampaignResult par = run_campaign(parallel);
+  ASSERT_EQ(par.completed, 8u);
+
+  EXPECT_EQ(ref.telemetry.trials_folded(), 8u);
+  EXPECT_EQ(ref.telemetry.counter("trials.completed"), 8u);
+  ASSERT_NE(ref.telemetry.sketch("trial.goodput_kbps"), nullptr);
+  EXPECT_EQ(ref.telemetry.sketch("trial.goodput_kbps")->count(), 8u);
+  ASSERT_NE(ref.telemetry.tally("trial.sim_events"), nullptr);
+  EXPECT_EQ(par.telemetry.serialize(), ref.telemetry.serialize());
+}
+
+/// Telemetry snapshots ride the manifest: a resumed campaign rebuilds the
+/// exact same fold from disk that the fresh run built live.
+TEST(CampaignTelemetry, ManifestRoundTripRestoresTheFold) {
+  CampaignConfig config = tiny_campaign(4);
+  config.manifest_path = temp_manifest("telemetry_round_trip");
+  const CampaignResult first = run_campaign(config);
+  ASSERT_EQ(first.completed, 4u);
+  EXPECT_NE(slurp(config.manifest_path).find("\"telemetry\":\"tt1|"),
+            std::string::npos);
+
+  const CampaignResult second = run_campaign(config);
+  EXPECT_EQ(second.resumed, 4u);
+  for (const TrialOutcome& t : second.trials) {
+    EXPECT_TRUE(t.from_manifest);
+    ASSERT_TRUE(t.telemetry.has_value());
+  }
+  EXPECT_EQ(second.telemetry.serialize(), first.telemetry.serialize());
+}
+
+/// Turning collection off removes the snapshot from the manifest bytes but
+/// keeps the cheap trial-status counters, so dashboards degrade gracefully.
+TEST(CampaignTelemetry, DisabledCollectionStillCountsTrials) {
+  CampaignConfig config = tiny_campaign(3);
+  config.collect_telemetry = false;
+  config.manifest_path = temp_manifest("telemetry_off");
+  const CampaignResult result = run_campaign(config);
+  EXPECT_EQ(result.completed, 3u);
+  EXPECT_EQ(result.telemetry.trials_folded(), 0u);
+  EXPECT_EQ(result.telemetry.counter("trials.completed"), 3u);
+  EXPECT_EQ(result.telemetry.sketch("trial.goodput_kbps"), nullptr);
+  for (const TrialOutcome& t : result.trials)
+    EXPECT_FALSE(t.telemetry.has_value());
+  EXPECT_EQ(slurp(config.manifest_path).find("\"telemetry\""),
+            std::string::npos);
+}
+
+/// A quarantined seed leaves a parseable post-mortem next to the manifest:
+/// header + audit report + the planted violation + a bounded trace tail.
+TEST(CampaignTelemetry, QuarantineWritesPostmortemFlightRecord) {
+  CampaignConfig config = tiny_campaign(4);
+  config.manifest_path = temp_manifest("flight_recorder");
+  config.flight_recorder_records = 32;
+  config.fault_hook = [](audit::Auditor& auditor, std::size_t index, std::uint64_t) {
+    if (index == 2) auditor.force_violation("planted by test");
+  };
+  const CampaignResult result = run_campaign(config);
+  EXPECT_EQ(result.quarantined, 1u);
+  EXPECT_EQ(result.telemetry.counter("trials.quarantined"), 1u);
+  ASSERT_EQ(result.postmortem_paths.size(), 1u);
+  EXPECT_EQ(result.postmortem_paths[0],
+            config.manifest_path + ".postmortem-102.ndjson");
+
+  const std::string body = slurp(result.postmortem_paths[0]);
+  ASSERT_FALSE(body.empty());
+  EXPECT_NE(body.find("\"record\":\"header\""), std::string::npos);
+  EXPECT_NE(body.find("\"record\":\"audit\""), std::string::npos);
+  EXPECT_NE(body.find("\"record\":\"violation\""), std::string::npos);
+  EXPECT_NE(body.find("planted by test"), std::string::npos);
+  EXPECT_NE(body.find("\"seed\":102"), std::string::npos);
+  // Every line is a {...} object and the trace tail respects the record cap.
+  std::size_t trace_lines = 0;
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    if (line.find("\"record\":\"trace\"") != std::string::npos) ++trace_lines;
+  }
+  EXPECT_GT(trace_lines, 0u);
+  EXPECT_LE(trace_lines, 32u);
+}
+
+/// The progress hook fires every `progress_every` commits plus once at the
+/// end, with a monotone trial count and a live telemetry pointer.
+TEST(CampaignTelemetry, ProgressHookFiresOnCadenceAndAtCompletion) {
+  CampaignConfig config = tiny_campaign(5);
+  config.progress_every = 2;
+  std::vector<std::size_t> done_at_call;
+  std::vector<std::uint64_t> folded_at_call;
+  config.progress_hook = [&](const CampaignProgress& p) {
+    EXPECT_EQ(p.trials_total, 5u);
+    EXPECT_EQ(p.workers, 1u);
+    ASSERT_NE(p.telemetry, nullptr);
+    done_at_call.push_back(p.trials_done);
+    folded_at_call.push_back(p.telemetry->trials_folded());
+  };
+  const CampaignResult result = run_campaign(config);
+  EXPECT_EQ(result.completed, 5u);
+  EXPECT_EQ(done_at_call, (std::vector<std::size_t>{2, 4, 5}));
+  EXPECT_EQ(folded_at_call, (std::vector<std::uint64_t>{2, 4, 5}));
+}
+
 TEST(Campaign, ThrowingTrialIsQuarantinedOthersSalvaged) {
   CampaignConfig config = tiny_campaign(3);
   config.fault_hook = [](audit::Auditor&, std::size_t index, std::uint64_t) {

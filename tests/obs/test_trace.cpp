@@ -97,6 +97,44 @@ TEST(Trace, RingOverwritesOldestAndCountsDropped) {
   for (int i = 0; i < 4; ++i) EXPECT_EQ(recs[static_cast<std::size_t>(i)].value, i + 2.0);
 }
 
+TEST(Trace, DroppedCounterMirrorsRingOverflow) {
+  Registry registry;
+  Tracer::Config cfg;
+  cfg.capacity = 4;
+  Tracer tracer(cfg);
+  tracer.set_dropped_counter(registry.counter("trace.records_dropped"));
+  const std::uint16_t name = tracer.intern("tick");
+  for (int i = 0; i < 4; ++i) tracer.instant(name, 0, SimTime(i), 0.0);
+  EXPECT_EQ(registry.counter("trace.records_dropped").value(), 0u);  // ring just full
+  for (int i = 0; i < 3; ++i) tracer.instant(name, 0, SimTime(i), 0.0);
+  EXPECT_EQ(tracer.dropped(), 3u);
+  EXPECT_EQ(registry.counter("trace.records_dropped").value(), 3u);
+}
+
+TEST(Trace, LastReturnsTailOldestFirst) {
+  Tracer::Config cfg;
+  cfg.capacity = 4;
+  Tracer tracer(cfg);
+  const std::uint16_t name = tracer.intern("tick");
+  for (int i = 0; i < 6; ++i)
+    tracer.instant(name, 0, SimTime(i * 1000), static_cast<double>(i));
+  const auto tail = tracer.last(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].value, 4.0);
+  EXPECT_EQ(tail[1].value, 5.0);
+  // Asking for more than retained returns everything retained.
+  EXPECT_EQ(tracer.last(100).size(), 4u);
+}
+
+TEST(Trace, ObsWiresDroppedCounterIntoRegistry) {
+  Obs::Config cfg;
+  cfg.trace_capacity = 2;
+  Obs obs(cfg);
+  const std::uint16_t name = obs.tracer().intern("tick");
+  for (int i = 0; i < 5; ++i) obs.tracer().instant(name, 0, SimTime(i), 0.0);
+  EXPECT_EQ(obs.registry().counter("trace.records_dropped").value(), 3u);
+}
+
 TEST(Trace, DisabledTracerRecordsNothing) {
   Tracer::Config cfg;
   cfg.enabled = false;
@@ -152,6 +190,9 @@ TEST(TraceExport, ChromeTraceIsValidJsonWithExpectedEvents) {
   EXPECT_NE(json.find("fault:outage:short"), std::string::npos);
   // The quote in the track name must arrive escaped.
   EXPECT_NE(json.find("demo \\\"track\\\""), std::string::npos);
+  // Ring-truncation honesty header: retained + dropped counts up front.
+  EXPECT_NE(json.find("\"traceRetained\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"traceDropped\":0"), std::string::npos);
 }
 
 TEST(TraceExport, NdjsonLinesAreEachValidJson) {
@@ -163,7 +204,9 @@ TEST(TraceExport, NdjsonLinesAreEachValidJson) {
     ++lines;
     EXPECT_EQ(testjson::json_validate(line), "") << line;
   }
-  EXPECT_EQ(lines, 5u);  // span begin + instant + 2 samples + span end
+  EXPECT_EQ(lines, 6u);  // header + span begin + instant + 2 samples + span end
+  // First line is the truncation-honesty header.
+  EXPECT_EQ(out.str().rfind("{\"header\":\"streamlab-trace-v1\",\"records\":5,\"dropped\":0}", 0), 0u);
 }
 
 TEST(TraceExport, TimeseriesCsvRoundTripsMonotone) {
