@@ -1,0 +1,108 @@
+// Distributed campaign execution benchmarks (results recorded in
+// BENCH_DISTRIB.json; see scripts/bench.sh).
+//
+// Two questions:
+//  1. Campaign throughput (trials/sec) across 1/2/4 worker processes,
+//     against the in-process serial loop as the zero-IPC baseline — what
+//     the fork/exec + pipe-protocol overhead costs and when the process
+//     fan-out pays for itself.
+//  2. The price of a crash: wall time of a study with a planted worker
+//     kill, plus the measured mean reassignment latency (kill detection +
+//     backoff + re-dispatch) the coordinator reports.
+//
+// The worker binary path is baked in at build time (STREAMLAB_DISTRIB_WORKER,
+// see bench/CMakeLists.txt); both sides build the same config from
+// distrib_common.hpp so the hello digest handshake accepts the fleet.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/distributed.hpp"
+#include "core/campaign.hpp"
+#include "distrib_common.hpp"
+
+namespace {
+
+using namespace streamlab;
+
+constexpr std::size_t kTrials = 64;
+
+campaign::DistributedOptions fleet_options(std::size_t workers) {
+  campaign::DistributedOptions options;
+  options.worker_argv = {STREAMLAB_DISTRIB_WORKER, std::to_string(kTrials)};
+  options.workers = workers;
+  return options;
+}
+
+/// Zero-IPC baseline: the ordinary in-process serial loop over the same
+/// trials. Distributed numbers are only meaningful against this.
+void BM_InProcessCampaign(benchmark::State& state) {
+  for (auto _ : state) {
+    const CampaignResult result =
+        run_campaign(bench_distrib::campaign_config(kTrials));
+    if (result.completed != kTrials) state.SkipWithError("trial quarantined");
+    benchmark::DoNotOptimize(result.aggregate.trials);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kTrials);
+  state.counters["trials_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kTrials), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InProcessCampaign)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Trials/sec at 1, 2 and 4 worker processes. Each iteration pays the full
+/// fleet lifecycle — spawn, hello handshake, trial stream, shutdown reap —
+/// because that is what a CLI `--distributed` study pays.
+void BM_DistributedCampaign(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const CampaignResult result = campaign::run_distributed_campaign(
+        bench_distrib::campaign_config(kTrials), fleet_options(workers));
+    if (result.completed != kTrials) state.SkipWithError("trial quarantined");
+    if (result.degraded_to_in_process) state.SkipWithError("fleet degraded");
+    benchmark::DoNotOptimize(result.aggregate.trials);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kTrials);
+  state.counters["trials_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kTrials), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DistributedCampaign)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Crash recovery cost: slot 0 is SIGKILLed mid-study (the same planted
+/// fault the CI smoke uses), its in-flight trial reassigned. Reports the
+/// coordinator-measured mean reassignment latency — time from the failure
+/// being recorded to the trial running again on another worker, including
+/// the exponential backoff.
+void BM_ReassignmentLatency(benchmark::State& state) {
+  double latency_ms_sum = 0.0;
+  std::uint64_t reassigned = 0;
+  for (auto _ : state) {
+    campaign::DistributedOptions options = fleet_options(2);
+    options.kill_worker_after = 2;
+    options.max_worker_restarts = 1;
+    options.max_trial_attempts = 4;
+    const CampaignResult result = campaign::run_distributed_campaign(
+        bench_distrib::campaign_config(kTrials), options);
+    if (result.completed != kTrials) state.SkipWithError("trial lost");
+    if (result.reassigned_trials > 0) {
+      latency_ms_sum += static_cast<double>(result.reassignment_latency_ns) /
+                        static_cast<double>(result.reassigned_trials) / 1e6;
+      ++reassigned;
+    }
+    benchmark::DoNotOptimize(result.workers_lost);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kTrials);
+  state.counters["trials_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kTrials), benchmark::Counter::kIsRate);
+  if (reassigned > 0)
+    state.counters["reassign_latency_ms"] =
+        latency_ms_sum / static_cast<double>(reassigned);
+}
+BENCHMARK(BM_ReassignmentLatency)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

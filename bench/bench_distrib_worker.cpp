@@ -1,0 +1,12 @@
+// Worker child binary for bench_distrib. Usage: bench_distrib_worker <trials>
+#include <cstdlib>
+
+#include "campaign/worker.hpp"
+#include "distrib_common.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t trials =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 64;
+  return streamlab::campaign::run_campaign_worker(
+      streamlab::bench_distrib::campaign_config(trials));
+}

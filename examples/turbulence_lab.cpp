@@ -11,6 +11,20 @@
 //                       [--campaign <N>] [--workers <N>] [--verify-determinism]
 //                       [--manifest <path>] [--seed <base>]
 //                       [--progress-every <n>] [--plant-quarantine <index>]
+//                       [--distributed] [--max-worker-restarts <n>]
+//                       [--kill-worker-after <n>]
+//
+// With --distributed the campaign trials run on separate worker *processes*
+// (this binary re-exec'd with the hidden --worker flag) under the
+// crash-tolerant coordinator: heartbeats and per-trial deadlines detect
+// dead/hung workers, their in-flight trials are reassigned (capped retries,
+// exponential backoff, poison quarantine), dead slots respawn up to
+// --max-worker-restarts times, and a fully-dead fleet degrades to the
+// in-process pool. Results stay byte-identical with a serial run.
+// --kill-worker-after <n> SIGKILLs worker 0 after n results as a
+// deterministic fault-injection demo. SIGINT/SIGTERM during any campaign
+// mode flushes the partial manifest + aggregate before exiting nonzero, so
+// an interrupted study resumes cleanly.
 //
 // With --chaos the lab runs the self-healing scenarios instead of the link
 // impairment set: a mid-stream router failure on a path with a detour
@@ -55,7 +69,9 @@
 // A scenario run that dies mid-flight still flushes the CSV rows of every
 // scenario finished so far before exiting nonzero, so a crashed lab leaves
 // salvageable partial exports rather than nothing.
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -64,6 +80,10 @@
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
+#include "campaign/distributed.hpp"
+#include "campaign/worker.hpp"
 #include "core/campaign.hpp"
 #include "core/export.hpp"
 #include "core/turbulence.hpp"
@@ -186,49 +206,80 @@ void describe(const char* name, const TurbulenceRunResult& run) {
   std::printf("  sessions failed: %d\n\n", run.sessions_abandoned());
 }
 
+/// Cooperative stop flag: SIGINT/SIGTERM set it, the campaign loops check
+/// it between trials and flush everything committed so far before the
+/// process exits nonzero. std::atomic<bool> is lock-free here, so the
+/// handler is async-signal-safe.
+std::atomic<bool> g_cancel{false};
+
+extern "C" void handle_stop_signal(int) { g_cancel.store(true); }
+
+/// The trial-shaping half of a campaign config — everything that feeds the
+/// config digest. Coordinator and re-exec'd --worker processes must build
+/// this identically (the distributed hello handshake verifies it).
+CampaignConfig build_campaign_config(const ClipInfo& clip, std::size_t trials,
+                                     std::uint64_t base_seed, bool verify_determinism,
+                                     bool chaos, long long plant_quarantine) {
+  CampaignConfig cfg;
+  cfg.clip = clip;
+  cfg.trials = trials;
+  cfg.base_seed = base_seed;
+  cfg.verify_determinism = verify_determinism;
+  if (chaos) {
+    // Self-healing trials: router failure + detour reroute (mirror armed
+    // as backstop), audited and replay-verified like any other campaign.
+    cfg.scenario = chaos_reroute_config();
+  } else {
+    cfg.scenario = base_config();
+    FaultEpisode burst;
+    burst.kind = FaultKind::kBurstLoss;
+    burst.start = SimTime::from_seconds(20.0);
+    burst.duration = Duration::seconds(25);
+    burst.gilbert = GilbertElliottConfig{0.05, 0.25, 0.0, 0.6};
+    burst.label = "burst-loss";
+    cfg.scenario.episodes.push_back(burst);
+  }
+  // Budgets: generous enough that healthy trials never hit them, tight
+  // enough that a runaway trial is truncated instead of hanging the lab.
+  cfg.scenario.max_sim_events = 50'000'000;
+  cfg.scenario.max_wall_time = std::chrono::seconds(120);
+  if (plant_quarantine >= 0) {
+    cfg.fault_hook = [plant_quarantine](audit::Auditor& auditor, std::size_t index,
+                                        std::uint64_t) {
+      if (index == static_cast<std::size_t>(plant_quarantine))
+        auditor.force_violation("planted by --plant-quarantine");
+    };
+  }
+  return cfg;
+}
+
+/// --distributed knobs gathered from the CLI, plus the worker command line
+/// (this binary + the digest-relevant flags, minus the per-player
+/// --worker selector appended in run_campaign_mode).
+struct DistributedCli {
+  bool enabled = false;
+  std::size_t max_worker_restarts = 2;
+  std::size_t kill_worker_after = 0;
+  std::vector<std::string> worker_argv_base;
+};
+
 /// Campaign mode: N audited trials of the burst-loss scenario per player.
 /// Returns the process exit code (nonzero when any trial was quarantined).
 int run_campaign_mode(const ClipSet& set, RateTier tier, std::size_t trials,
                       std::uint64_t base_seed, bool verify_determinism,
                       const std::string& manifest_path, std::size_t workers,
                       bool chaos, std::size_t progress_every,
-                      long long plant_quarantine) {
+                      long long plant_quarantine, const DistributedCli& distrib) {
   const auto [real_clip, media_clip] = *set.pair(tier);
   int exit_code = 0;
   for (const ClipInfo* clip : {&real_clip, &media_clip}) {
-    CampaignConfig cfg;
-    cfg.clip = *clip;
-    cfg.trials = trials;
-    cfg.base_seed = base_seed;
+    CampaignConfig cfg = build_campaign_config(*clip, trials, base_seed,
+                                               verify_determinism, chaos,
+                                               plant_quarantine);
     cfg.workers = workers;
-    cfg.verify_determinism = verify_determinism;
-    if (chaos) {
-      // Self-healing trials: router failure + detour reroute (mirror armed
-      // as backstop), audited and replay-verified like any other campaign.
-      cfg.scenario = chaos_reroute_config();
-    } else {
-      cfg.scenario = base_config();
-      FaultEpisode burst;
-      burst.kind = FaultKind::kBurstLoss;
-      burst.start = SimTime::from_seconds(20.0);
-      burst.duration = Duration::seconds(25);
-      burst.gilbert = GilbertElliottConfig{0.05, 0.25, 0.0, 0.6};
-      burst.label = "burst-loss";
-      cfg.scenario.episodes.push_back(burst);
-    }
-    // Budgets: generous enough that healthy trials never hit them, tight
-    // enough that a runaway trial is truncated instead of hanging the lab.
-    cfg.scenario.max_sim_events = 50'000'000;
-    cfg.scenario.max_wall_time = std::chrono::seconds(120);
+    cfg.cancel = &g_cancel;
     const char* player = clip->player == PlayerKind::kMediaPlayer ? "media" : "real";
     if (!manifest_path.empty()) cfg.manifest_path = manifest_path + "." + player;
-    if (plant_quarantine >= 0) {
-      cfg.fault_hook = [plant_quarantine](audit::Auditor& auditor, std::size_t index,
-                                          std::uint64_t) {
-        if (index == static_cast<std::size_t>(plant_quarantine))
-          auditor.force_violation("planted by --plant-quarantine");
-      };
-    }
     if (progress_every > 0) {
       cfg.progress_every = progress_every;
       cfg.progress_hook = [](const CampaignProgress& p) {
@@ -243,14 +294,31 @@ int run_campaign_mode(const ClipSet& set, RateTier tier, std::size_t trials,
       };
     }
 
-    std::printf("campaign: %s  %zu trials  seeds %llu..%llu%s\n", clip->id().c_str(),
+    std::printf("campaign: %s  %zu trials  seeds %llu..%llu%s%s\n", clip->id().c_str(),
                 trials, static_cast<unsigned long long>(base_seed),
                 static_cast<unsigned long long>(base_seed + trials - 1),
-                verify_determinism ? "  (verifying determinism)" : "");
+                verify_determinism ? "  (verifying determinism)" : "",
+                distrib.enabled ? "  (distributed)" : "");
     CampaignResult result;
     const auto wall_start = std::chrono::steady_clock::now();
     try {
-      result = run_campaign(cfg);
+      if (distrib.enabled) {
+        campaign::DistributedOptions opts;
+        opts.worker_argv = distrib.worker_argv_base;
+        opts.worker_argv.push_back("--worker");
+        opts.worker_argv.push_back(player);
+        // --workers 0 means "one per hardware thread" for the in-process
+        // pool; for process workers default to the CI smoke's fleet of 4.
+        opts.workers = workers > 0 ? workers : 4;
+        opts.max_worker_restarts = distrib.max_worker_restarts;
+        opts.kill_worker_after = distrib.kill_worker_after;
+        // A healthy trial finishes far inside the 120 s wall budget; a
+        // worker that sits on one for longer is hung, not slow.
+        opts.trial_deadline = std::chrono::milliseconds(150'000);
+        result = campaign::run_distributed_campaign(cfg, opts);
+      } else {
+        result = run_campaign(cfg);
+      }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "campaign %s failed: %s\n", player, e.what());
       return 1;
@@ -301,6 +369,28 @@ int run_campaign_mode(const ClipSet& set, RateTier tier, std::size_t trials,
       std::printf("  throughput: %zu trials in %.2fs wall = %.2f trials/sec (workers=%zu)\n",
                   ran, wall_seconds, static_cast<double>(ran) / wall_seconds, workers);
     }
+    if (result.manifest_torn_lines > 0)
+      std::printf("  manifest: tolerated %zu torn trailing line(s) from an earlier crash\n",
+                  result.manifest_torn_lines);
+    if (distrib.enabled) {
+      std::printf("  fleet: %zu worker(s) lost, %zu restart(s), %zu trial(s) reassigned",
+                  result.workers_lost, result.worker_restarts, result.reassigned_trials);
+      if (result.reassigned_trials > 0)
+        std::printf(" (%.1f ms mean reassignment latency)",
+                    static_cast<double>(result.reassignment_latency_ns) / 1e6 /
+                        static_cast<double>(result.reassigned_trials));
+      if (result.degraded_to_in_process)
+        std::printf(" — fleet died, degraded to in-process execution");
+      std::printf("\n");
+    }
+    if (result.interrupted) {
+      // The manifest already holds every committed trial (flushed line by
+      // line) and the aggregate above folded them; a re-run with the same
+      // --manifest resumes exactly where this stopped.
+      std::printf("  interrupted: %zu/%zu trials committed; manifest is resume-clean\n",
+                  result.trials.size(), trials);
+      return 130;
+    }
     {
       // Cross-trial distribution digest (deterministic: folded in commit
       // order from integer-count sketches, identical at any worker count;
@@ -344,6 +434,8 @@ int main(int argc, char** argv) {
   long long plant_quarantine = -1;
   bool verify_determinism = false;
   bool chaos = false;
+  DistributedCli distrib;
+  std::string worker_player;  // hidden --worker <media|real>: run as a child
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const auto flag_value = [&](const char* flag) -> const char* {
@@ -383,6 +475,16 @@ int main(int argc, char** argv) {
       verify_determinism = true;
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       chaos = true;
+    } else if (std::strcmp(argv[i], "--distributed") == 0) {
+      distrib.enabled = true;
+    } else if (std::strcmp(argv[i], "--max-worker-restarts") == 0) {
+      distrib.max_worker_restarts =
+          static_cast<std::size_t>(std::atoll(flag_value("--max-worker-restarts")));
+    } else if (std::strcmp(argv[i], "--kill-worker-after") == 0) {
+      distrib.kill_worker_after =
+          static_cast<std::size_t>(std::atoll(flag_value("--kill-worker-after")));
+    } else if (std::strcmp(argv[i], "--worker") == 0) {
+      worker_player = flag_value("--worker");
     } else {
       positional.push_back(argv[i]);
     }
@@ -401,10 +503,59 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (campaign_trials > 0)
+  // Hidden worker mode: we are a child of a --distributed coordinator.
+  // Build the identical trial-shaping config (the hello handshake verifies
+  // the digest) and speak the pipe protocol until shutdown.
+  if (!worker_player.empty()) {
+    if (campaign_trials == 0) {
+      std::fprintf(stderr, "--worker requires --campaign\n");
+      return 1;
+    }
+    const auto [real_clip, media_clip] = *set.pair(tier);
+    const ClipInfo& clip = worker_player == "media" ? media_clip : real_clip;
+    const CampaignConfig cfg = build_campaign_config(
+        clip, campaign_trials, base_seed, verify_determinism, chaos, plant_quarantine);
+    return campaign::run_campaign_worker(cfg);
+  }
+
+  if (campaign_trials > 0) {
+    // An interrupted study must keep its committed trials: the cooperative
+    // cancel flag lets the campaign flush the manifest + aggregate and
+    // exit nonzero instead of dying mid-write.
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    if (distrib.enabled) {
+      // Worker command line: this binary re-exec'd with every
+      // digest-relevant flag; run_campaign_mode appends --worker <player>.
+      char exe[4096];
+      const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+      std::string exe_path;
+      if (n > 0) {
+        exe[n] = '\0';
+        exe_path = exe;
+      } else {
+        exe_path = argv[0];
+      }
+      distrib.worker_argv_base = {exe_path, std::to_string(set_id),
+                                  positional.size() > 1 ? positional[1] : "low",
+                                  "--campaign", std::to_string(campaign_trials),
+                                  "--seed", std::to_string(base_seed)};
+      if (verify_determinism) distrib.worker_argv_base.push_back("--verify-determinism");
+      if (chaos) distrib.worker_argv_base.push_back("--chaos");
+      if (g_repair.fec_k > 0) {
+        distrib.worker_argv_base.push_back("--fec");
+        distrib.worker_argv_base.push_back(std::to_string(g_repair.fec_k));
+      }
+      if (g_repair.nack) distrib.worker_argv_base.push_back("--nack");
+      if (plant_quarantine >= 0) {
+        distrib.worker_argv_base.push_back("--plant-quarantine");
+        distrib.worker_argv_base.push_back(std::to_string(plant_quarantine));
+      }
+    }
     return run_campaign_mode(set, tier, campaign_trials, base_seed, verify_determinism,
                              manifest_path, campaign_workers, chaos, progress_every,
-                             plant_quarantine);
+                             plant_quarantine, distrib);
+  }
 
   std::vector<std::pair<std::string, TurbulenceRunResult>> runs;
 

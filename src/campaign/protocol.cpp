@@ -1,0 +1,113 @@
+#include "campaign/protocol.hpp"
+
+#include <cstring>
+
+namespace streamlab::campaign {
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) | (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t get_u64(const char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+bool known_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint8_t>(FrameType::kShutdown);
+}
+
+}  // namespace
+
+std::string encode_frame(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(5 + payload.size());
+  out.push_back(static_cast<char>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+  return out;
+}
+
+std::string encode_result(const ResultMsg& msg) {
+  std::string out;
+  out.reserve(16 + msg.manifest_line.size() + msg.postmortem.size());
+  put_u64(out, msg.index);
+  put_u32(out, static_cast<std::uint32_t>(msg.manifest_line.size()));
+  out += msg.manifest_line;
+  put_u32(out, static_cast<std::uint32_t>(msg.postmortem.size()));
+  out += msg.postmortem;
+  return out;
+}
+
+bool decode_result(const std::string& payload, ResultMsg& out) {
+  if (payload.size() < 16) return false;
+  const char* p = payload.data();
+  const std::uint64_t index = get_u64(p);
+  const std::uint32_t line_len = get_u32(p + 8);
+  if (payload.size() < 16 + static_cast<std::size_t>(line_len)) return false;
+  const std::uint32_t pm_len = get_u32(p + 12 + line_len);
+  if (payload.size() != 16 + static_cast<std::size_t>(line_len) + pm_len) return false;
+  out.index = index;
+  out.manifest_line.assign(p + 12, line_len);
+  out.postmortem.assign(p + 16 + line_len, pm_len);
+  return true;
+}
+
+std::string encode_assign(std::uint64_t trial_index) {
+  std::string out;
+  put_u64(out, trial_index);
+  return out;
+}
+
+bool decode_assign(const std::string& payload, std::uint64_t& trial_index) {
+  if (payload.size() != 8) return false;
+  trial_index = get_u64(payload.data());
+  return true;
+}
+
+void FrameReader::feed(const char* data, std::size_t len) {
+  if (corrupt_) return;
+  buffer_.append(data, len);
+}
+
+bool FrameReader::next(Frame& out) {
+  if (corrupt_) return false;
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < 5) return false;
+  const char* p = buffer_.data() + consumed_;
+  const std::uint8_t type = static_cast<std::uint8_t>(p[0]);
+  const std::uint32_t len = get_u32(p + 1);
+  if (!known_type(type) || len > kMaxFramePayload) {
+    corrupt_ = true;
+    return false;
+  }
+  if (avail < 5 + static_cast<std::size_t>(len)) return false;
+  out.type = static_cast<FrameType>(type);
+  out.payload.assign(p + 5, len);
+  consumed_ += 5 + len;
+  // Compact once the dead prefix dominates, so a long-lived stream doesn't
+  // grow without bound.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  return true;
+}
+
+}  // namespace streamlab::campaign

@@ -1,0 +1,95 @@
+// Coordinator <-> worker wire protocol for distributed campaigns.
+//
+// Workers are separate child processes fed trial assignments over their
+// stdin and answering over their stdout; both directions carry the same
+// length-prefixed frame format:
+//
+//   [ type : u8 ][ payload length : u32 little-endian ][ payload ... ]
+//
+// Frame types (payload shapes):
+//   kHello      worker -> coordinator, once at startup. Payload is the
+//               worker's 16-digit campaign config digest hex; the
+//               coordinator rejects a worker whose digest differs from its
+//               own (a worker built from different flags would silently
+//               break byte-parity with the serial path).
+//   kAssign     coordinator -> worker. Payload is the trial index (u64 LE).
+//   kResult     worker -> coordinator. Payload is
+//                 [ index : u64 LE ]
+//                 [ line length : u32 LE ][ manifest line bytes ]
+//                 [ postmortem length : u32 LE ][ postmortem bytes ]
+//               The manifest line is the worker's own serialization — the
+//               coordinator writes those bytes verbatim for completed
+//               trials, which is what keeps the distributed manifest
+//               byte-identical with the serial path.
+//   kHeartbeat  worker -> coordinator, periodic liveness. Empty payload.
+//   kShutdown   coordinator -> worker: finish up and exit 0. Empty payload.
+//
+// Anything else — unknown type, oversized length, short payload — marks
+// the stream corrupt. A corrupt stream is indistinguishable from a worker
+// writing garbage (a real failure mode, and an injectable one), so the
+// coordinator treats it as a worker death: kill, reap, reassign.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace streamlab::campaign {
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kAssign = 2,
+  kResult = 3,
+  kHeartbeat = 4,
+  kShutdown = 5,
+};
+
+/// Hard ceiling on one frame's payload. A manifest line plus a bounded
+/// post-mortem document is well under 1 MiB; anything claiming more is
+/// garbage, not data.
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::string payload;
+};
+
+/// Serializes one frame (header + payload) ready for write().
+std::string encode_frame(FrameType type, const std::string& payload);
+
+/// Result-frame payload codec.
+struct ResultMsg {
+  std::uint64_t index = 0;
+  std::string manifest_line;  ///< worker-serialized, no trailing newline
+  std::string postmortem;     ///< empty unless the trial quarantined
+};
+std::string encode_result(const ResultMsg& msg);
+/// Returns false (without touching `out`) on a malformed payload.
+bool decode_result(const std::string& payload, ResultMsg& out);
+
+std::string encode_assign(std::uint64_t trial_index);
+bool decode_assign(const std::string& payload, std::uint64_t& trial_index);
+
+/// Incremental frame decoder: feed() arbitrary byte chunks, poll next().
+/// Once corrupt() the reader stays corrupt and next() never yields again.
+class FrameReader {
+ public:
+  /// Appends raw bytes from the pipe.
+  void feed(const char* data, std::size_t len);
+
+  /// Extracts the next complete frame, if one is buffered.
+  bool next(Frame& out);
+
+  /// Stream violated the framing rules (unknown type / oversized length).
+  bool corrupt() const { return corrupt_; }
+
+  /// Bytes buffered but not yet consumed (diagnostics).
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  bool corrupt_ = false;
+};
+
+}  // namespace streamlab::campaign

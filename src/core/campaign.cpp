@@ -6,10 +6,13 @@
 #include <cstdlib>
 #include <condition_variable>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <mutex>
 #include <stdexcept>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -122,6 +125,14 @@ std::int64_t json_i64(const std::string& line, const std::string& key,
   return std::stoll(*v);
 }
 
+}  // namespace
+
+namespace campaign_detail {
+
+std::string config_hex(const CampaignConfig& config) {
+  return hex64(campaign_config_digest(config));
+}
+
 std::string manifest_line(const TrialOutcome& t, const std::string& config_hex) {
   std::string line = "{";
   const auto num = [&line](const char* key, std::uint64_t v) {
@@ -157,6 +168,14 @@ std::string manifest_line(const TrialOutcome& t, const std::string& config_hex) 
   num("parity_packets", t.parity_packets);
   line += "\"router_down_stall_ns\":" + std::to_string(t.router_down_stall.ns()) + ",";
   line += "\"stall_ns\":" + std::to_string(t.stall_time.ns());
+  if (t.status == TrialStatus::kQuarantined) {
+    // Worker post-mortem evidence rides quarantined records only: completed
+    // lines must stay byte-identical with the serial path no matter how
+    // many process-worker reassignments the trial survived.
+    line += ",\"attempts\":" + std::to_string(t.attempts);
+    line += ",\"worker_exit_status\":" + std::to_string(t.worker_exit_status);
+    line += ",\"stderr_tail\":\"" + json_escape(t.stderr_tail) + "\"";
+  }
   // Optional trailing field so manifests from pre-telemetry builds (and
   // collect_telemetry=false runs) parse identically.
   if (t.telemetry && !t.telemetry->empty())
@@ -216,6 +235,11 @@ TrialOutcome parse_manifest_line(const std::string& line, const std::string& con
   t.parity_packets = json_u64(line, "parity_packets");
   t.router_down_stall = Duration::nanos(json_i64(line, "router_down_stall_ns"));
   t.stall_time = Duration::nanos(json_i64(line, "stall_ns"));
+  if (t.status == TrialStatus::kQuarantined) {
+    t.attempts = static_cast<std::uint32_t>(json_u64(line, "attempts"));
+    t.worker_exit_status = static_cast<int>(json_i64(line, "worker_exit_status"));
+    t.stderr_tail = json_value(line, "stderr_tail").value_or("");
+  }
   if (const auto telemetry = json_value(line, "telemetry"); telemetry && !telemetry->empty()) {
     auto parsed = obs::TrialTelemetry::parse(*telemetry);
     if (!parsed) fail("unparseable telemetry snapshot");
@@ -223,6 +247,10 @@ TrialOutcome parse_manifest_line(const std::string& line, const std::string& con
   }
   return t;
 }
+
+}  // namespace campaign_detail
+
+namespace {
 
 // --- Trial execution ---
 
@@ -293,7 +321,10 @@ obs::TrialTelemetry snapshot_trial(const TrialOutcome& t, const ClipInfo& clip,
   return out;
 }
 
-/// Shared shape for the per-worker scratch Obs (see run_trial).
+}  // namespace
+
+namespace campaign_detail {
+
 obs::Obs::Config trial_obs_config(const CampaignConfig& config) {
   obs::Obs::Config obs_config;
   obs_config.trace_capacity =
@@ -400,7 +431,162 @@ TrialOutcome run_trial(const CampaignConfig& config, std::size_t index,
   return t;
 }
 
-}  // namespace
+ManifestRead read_resume_manifest(const std::string& path, const std::string& config_hex,
+                                  std::size_t max_trials, bool repair_in_place) {
+  ManifestRead out;
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return out;  // no manifest yet: nothing to resume
+    content.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+
+  // `good_end` tracks the byte offset just past the last intact line, so a
+  // torn tail can be truncated away before the campaign appends new lines.
+  std::size_t pos = 0, line_no = 0, good_end = 0;
+  bool torn = false, missing_final_newline = false;
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    const bool has_newline = nl != std::string::npos;
+    const std::size_t end = has_newline ? nl : content.size();
+    const std::size_t next = has_newline ? nl + 1 : content.size();
+    std::string line = content.substr(pos, end - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    ++line_no;
+    if (line.empty()) {
+      good_end = next;
+      pos = next;
+      continue;
+    }
+    try {
+      TrialOutcome t = parse_manifest_line(line, config_hex, line_no);
+      if (t.index < max_trials) out.restored.insert_or_assign(t.index, std::move(t));
+      good_end = next;
+      missing_final_newline = !has_newline;
+    } catch (const std::exception& e) {
+      // A crash mid-`write(2)` leaves a structurally truncated final line:
+      // no trailing newline, or a line that never reached its closing
+      // brace. Tolerate exactly that shape — drop the bytes, warn, and let
+      // the trial re-run. A *complete* final line that fails to parse (or
+      // carries a foreign config digest) is still a hard error: that is
+      // corruption or a different study, not a torn write.
+      const bool structurally_torn = !has_newline || line.back() != '}';
+      if (next >= content.size() && structurally_torn) {
+        ++out.torn_lines;
+        torn = true;
+        std::fprintf(stderr,
+                     "campaign: resume manifest %s line %zu is torn "
+                     "(mid-write crash?); dropping it and re-running the trial: %s\n",
+                     path.c_str(), line_no, e.what());
+      } else {
+        throw;
+      }
+    }
+    pos = next;
+  }
+
+  if (repair_in_place) {
+    if (torn) {
+      // Cut the torn bytes so the append stream starts on a line boundary;
+      // leaving them would glue the next manifest line onto the stump.
+      std::error_code ec;
+      std::filesystem::resize_file(path, good_end, ec);
+      if (ec)
+        throw std::runtime_error("cannot truncate torn resume manifest " + path + ": " +
+                                 ec.message());
+    } else if (missing_final_newline) {
+      // Intact data, lost newline (killed between the two writes): restore
+      // the separator so appended lines stay well-formed.
+      std::ofstream fix(path, std::ios::app | std::ios::binary);
+      fix << '\n';
+    }
+  }
+  return out;
+}
+
+Committer::Committer(const CampaignConfig& config, std::string config_hex,
+                     std::size_t workers)
+    : config_(config),
+      config_hex_(std::move(config_hex)),
+      workers_(workers),
+      start_(std::chrono::steady_clock::now()) {
+  if (!config_.manifest_path.empty()) {
+    manifest_.open(config_.manifest_path, std::ios::app);
+    if (!manifest_)
+      throw std::runtime_error("cannot open resume manifest for append: " +
+                               config_.manifest_path);
+  }
+  postmortem_prefix_ = config_.postmortem_prefix;
+  if (postmortem_prefix_.empty() && !config_.manifest_path.empty())
+    postmortem_prefix_ = config_.manifest_path + ".postmortem-";
+}
+
+void Committer::commit(TrialOutcome outcome, const std::string* wire_line) {
+  if (outcome.from_manifest) {
+    ++result_.resumed;
+  } else {
+    if (manifest_.is_open()) {
+      // One line per finished trial, flushed as soon as every *earlier*
+      // trial's line is down: a campaign killed mid-run resumes from the
+      // first trial with no line, and lines never appear out of order.
+      manifest_ << (wire_line != nullptr ? *wire_line : manifest_line(outcome, config_hex_))
+                << '\n'
+                << std::flush;
+    }
+    busy_ns_ += outcome.wall_ns;
+    ++fresh_done_;
+  }
+  if (outcome.status == TrialStatus::kCompleted) {
+    ++result_.completed;
+    result_.aggregate.fold(outcome);
+    result_.telemetry.add_counter("trials.completed");
+    // Distributions fold only completed trials — quarantined metrics are
+    // evidence (flight recorder), not population data.
+    if (outcome.telemetry) result_.telemetry.fold(*outcome.telemetry);
+  } else {
+    ++result_.quarantined;
+    result_.telemetry.add_counter("trials.quarantined");
+    if (!outcome.postmortem.empty() && !postmortem_prefix_.empty()) {
+      const std::string path =
+          postmortem_prefix_ + std::to_string(outcome.seed) + ".ndjson";
+      if (std::ofstream out(path); out) {
+        out << outcome.postmortem;
+        if (out) result_.postmortem_paths.push_back(path);
+      }
+    }
+  }
+  result_.trials.push_back(std::move(outcome));
+  ++committed_;
+
+  const std::size_t done = committed_;
+  if (config_.progress_hook && config_.progress_every > 0 &&
+      (done % config_.progress_every == 0 || done == config_.trials)) {
+    CampaignProgress p;
+    p.trials_total = config_.trials;
+    p.trials_done = done;
+    p.completed = result_.completed;
+    p.quarantined = result_.quarantined;
+    p.resumed = result_.resumed;
+    p.workers = workers_;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const double elapsed_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    p.wall_seconds = elapsed_ns / 1e9;
+    if (fresh_done_ > 0 && elapsed_ns > 0.0) {
+      p.trials_per_sec = static_cast<double>(fresh_done_) / p.wall_seconds;
+      p.eta_seconds = static_cast<double>(config_.trials - done) / p.trials_per_sec;
+      p.worker_utilization =
+          static_cast<double>(busy_ns_) / (elapsed_ns * static_cast<double>(workers_));
+      if (p.worker_utilization > 1.0) p.worker_utilization = 1.0;
+    }
+    p.telemetry = &result_.telemetry;
+    config_.progress_hook(p);
+  }
+}
+
+CampaignResult Committer::finish() { return std::move(result_); }
+
+}  // namespace campaign_detail
 
 const char* to_string(TrialStatus status) {
   return status == TrialStatus::kCompleted ? "completed" : "quarantined";
@@ -516,21 +702,17 @@ std::size_t resolve_workers(const CampaignConfig& config, std::size_t pending) {
 
 CampaignResult run_campaign(const CampaignConfig& config) {
   const std::string config_hex = hex64(campaign_config_digest(config));
+  const auto is_cancelled = [&config] {
+    return config.cancel != nullptr && config.cancel->load(std::memory_order_relaxed);
+  };
 
-  // Restore finished trials from an existing manifest (resume).
-  std::map<std::size_t, TrialOutcome> restored;
-  if (!config.manifest_path.empty()) {
-    if (std::ifstream in(config.manifest_path); in) {
-      std::string line;
-      std::size_t line_no = 0;
-      while (std::getline(in, line)) {
-        ++line_no;
-        if (line.empty()) continue;
-        TrialOutcome t = parse_manifest_line(line, config_hex, line_no);
-        if (t.index < config.trials) restored.insert_or_assign(t.index, std::move(t));
-      }
-    }
-  }
+  // Restore finished trials from an existing manifest (resume), tolerating
+  // — and truncating away — a torn trailing line from a mid-write crash.
+  campaign_detail::ManifestRead manifest_read;
+  if (!config.manifest_path.empty())
+    manifest_read = campaign_detail::read_resume_manifest(config.manifest_path,
+                                                          config_hex, config.trials);
+  std::map<std::size_t, TrialOutcome>& restored = manifest_read.restored;
 
   // Trials still to run, in index order (the claim order of the pool).
   std::vector<std::size_t> pending;
@@ -548,13 +730,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         "campaign: scenario.obs cannot be shared across concurrent trials; "
         "run with workers=1 or leave obs unset");
 
-  std::ofstream manifest;
-  if (!config.manifest_path.empty()) {
-    manifest.open(config.manifest_path, std::ios::app);
-    if (!manifest)
-      throw std::runtime_error("cannot open resume manifest for append: " +
-                               config.manifest_path);
-  }
+  campaign_detail::Committer committer(config, config_hex, workers);
 
   // Worker pool. Each worker claims the next pending index, runs the trial
   // entirely on its own thread (run_trial contains every exception inside
@@ -566,120 +742,84 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   std::mutex mu;
   std::condition_variable trial_done;
   std::atomic<std::size_t> next_claim{0};
+  std::size_t workers_alive = 0;  // guarded by mu
   const bool want_scratch_obs =
       config.collect_telemetry && config.scenario.obs == nullptr;
   const auto worker_body = [&] {
     // One reusable Obs per worker thread: registry maps and the intern table
     // are built on the first trial, later trials only reset values.
     std::optional<obs::Obs> scratch;
-    if (want_scratch_obs) scratch.emplace(trial_obs_config(config));
-    while (true) {
+    if (want_scratch_obs) scratch.emplace(campaign_detail::trial_obs_config(config));
+    while (!is_cancelled()) {
       const std::size_t k = next_claim.fetch_add(1, std::memory_order_relaxed);
-      if (k >= pending.size()) return;
+      if (k >= pending.size()) break;
       const std::size_t index = pending[k];
-      TrialOutcome outcome =
-          run_trial(config, index, config_hex, scratch ? &*scratch : nullptr);
+      TrialOutcome outcome = campaign_detail::run_trial(config, index, config_hex,
+                                                        scratch ? &*scratch : nullptr);
       {
         std::lock_guard<std::mutex> lock(mu);
         finished[index] = std::move(outcome);
       }
-      trial_done.notify_one();
+      trial_done.notify_all();
     }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      --workers_alive;
+    }
+    // The coordinator's cancellation predicate watches workers_alive.
+    trial_done.notify_all();
   };
 
   std::vector<std::thread> pool;
   if (workers > 1) {
+    workers_alive = workers;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker_body);
   }
-
-  // Flight-recorder destination: next to the manifest unless overridden.
-  std::string postmortem_prefix = config.postmortem_prefix;
-  if (postmortem_prefix.empty() && !config.manifest_path.empty())
-    postmortem_prefix = config.manifest_path + ".postmortem-";
-
-  const auto campaign_start = std::chrono::steady_clock::now();
-  std::uint64_t busy_ns = 0;       // wall time spent inside trials this run
-  std::size_t fresh_done = 0;      // committed trials actually run (not resumed)
 
   // The serial path runs trials on this thread; it gets the same reusable
   // scratch Obs a pool worker would.
   std::optional<obs::Obs> serial_scratch;
   if (workers <= 1 && want_scratch_obs)
-    serial_scratch.emplace(trial_obs_config(config));
+    serial_scratch.emplace(campaign_detail::trial_obs_config(config));
 
-  CampaignResult result;
+  bool interrupted = false;
   for (std::size_t i = 0; i < config.trials; ++i) {
-    TrialOutcome outcome;
     if (auto it = restored.find(i); it != restored.end()) {
-      outcome = std::move(it->second);
-      ++result.resumed;
+      committer.commit(std::move(it->second));
+      continue;
+    }
+    TrialOutcome outcome;
+    if (workers > 1) {
+      std::unique_lock<std::mutex> lock(mu);
+      // A cancelled pool stops claiming; once every worker has parked, a
+      // trial with no outcome will never get one — that is where the
+      // interrupted campaign's manifest ends. Everything that did finish
+      // in contiguous order is still committed below.
+      trial_done.wait(lock, [&] {
+        return finished[i].has_value() || (is_cancelled() && workers_alive == 0);
+      });
+      if (!finished[i].has_value()) {
+        interrupted = true;
+        break;
+      }
+      outcome = std::move(*finished[i]);
+      finished[i].reset();
     } else {
-      if (workers > 1) {
-        std::unique_lock<std::mutex> lock(mu);
-        trial_done.wait(lock, [&] { return finished[i].has_value(); });
-        outcome = std::move(*finished[i]);
-        finished[i].reset();
-      } else {
-        outcome = run_trial(config, i, config_hex,
-                            serial_scratch ? &*serial_scratch : nullptr);
+      if (is_cancelled()) {
+        interrupted = true;
+        break;
       }
-      if (manifest.is_open()) {
-        // One line per finished trial, flushed as soon as every *earlier*
-        // trial's line is down: a campaign killed mid-run resumes from the
-        // first trial with no line, and lines never appear out of order.
-        manifest << manifest_line(outcome, config_hex) << '\n' << std::flush;
-      }
-      busy_ns += outcome.wall_ns;
-      ++fresh_done;
+      outcome = campaign_detail::run_trial(config, i, config_hex,
+                                           serial_scratch ? &*serial_scratch : nullptr);
     }
-    if (outcome.status == TrialStatus::kCompleted) {
-      ++result.completed;
-      result.aggregate.fold(outcome);
-      result.telemetry.add_counter("trials.completed");
-      // Distributions fold only completed trials — quarantined metrics are
-      // evidence (flight recorder), not population data.
-      if (outcome.telemetry) result.telemetry.fold(*outcome.telemetry);
-    } else {
-      ++result.quarantined;
-      result.telemetry.add_counter("trials.quarantined");
-      if (!outcome.postmortem.empty() && !postmortem_prefix.empty()) {
-        const std::string path = postmortem_prefix + std::to_string(outcome.seed) + ".ndjson";
-        if (std::ofstream out(path); out) {
-          out << outcome.postmortem;
-          if (out) result.postmortem_paths.push_back(path);
-        }
-      }
-    }
-    result.trials.push_back(std::move(outcome));
-
-    const std::size_t done = i + 1;
-    if (config.progress_hook && config.progress_every > 0 &&
-        (done % config.progress_every == 0 || done == config.trials)) {
-      CampaignProgress p;
-      p.trials_total = config.trials;
-      p.trials_done = done;
-      p.completed = result.completed;
-      p.quarantined = result.quarantined;
-      p.resumed = result.resumed;
-      p.workers = workers;
-      const auto elapsed = std::chrono::steady_clock::now() - campaign_start;
-      const double elapsed_ns =
-          static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
-      p.wall_seconds = elapsed_ns / 1e9;
-      if (fresh_done > 0 && elapsed_ns > 0.0) {
-        p.trials_per_sec = static_cast<double>(fresh_done) / p.wall_seconds;
-        p.eta_seconds = static_cast<double>(config.trials - done) / p.trials_per_sec;
-        p.worker_utilization =
-            static_cast<double>(busy_ns) / (elapsed_ns * static_cast<double>(workers));
-        if (p.worker_utilization > 1.0) p.worker_utilization = 1.0;
-      }
-      p.telemetry = &result.telemetry;
-      config.progress_hook(p);
-    }
+    committer.commit(std::move(outcome));
   }
 
   for (std::thread& t : pool) t.join();
+  CampaignResult result = committer.finish();
+  result.interrupted = interrupted;
+  result.manifest_torn_lines = manifest_read.torn_lines;
   return result;
 }
 

@@ -23,10 +23,20 @@
 // aggregate stats and quarantine records of a `workers=N` run are identical
 // to a `workers=1` run of the same config. See DESIGN.md §10 for the
 // isolation argument.
+//
+// The campaign_detail namespace at the bottom exposes the trial runner,
+// manifest codec and ordered-commit sink to the distributed
+// coordinator/worker layer (src/campaign/, DESIGN.md §14), which shards the
+// same trials across child *processes* while preserving the byte-identical
+// manifest contract.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -90,6 +100,15 @@ struct CampaignConfig {
   /// Rate-limited progress/health reporter, called on the coordinator
   /// thread in commit order.
   std::function<void(const CampaignProgress&)> progress_hook;
+
+  /// Cooperative cancellation (SIGINT/SIGTERM): when the pointed-at flag
+  /// becomes true, no new trials are claimed, in-flight trials finish and
+  /// commit (manifest line flushed, aggregate folded), and the campaign
+  /// returns early with CampaignResult::interrupted set — so an interrupted
+  /// study resumes from its manifest instead of losing completed trials.
+  /// Null = never cancelled. The flag is only ever read; a signal handler
+  /// may set it.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Snapshot handed to CampaignConfig::progress_hook. Wall-clock rates are
@@ -155,6 +174,18 @@ struct TrialOutcome {
   std::uint64_t retransmissions_sent = 0;  ///< server retx answered
   std::uint64_t parity_packets = 0;     ///< parity packets received
 
+  // Worker post-mortem evidence (distributed campaigns; see
+  // src/campaign/distributed.hpp). Zero/empty for in-process trials, so a
+  // flight-recorder reader can distinguish "trial is bad" (attempts==0 or
+  // exit_status==0: the trial itself was judged) from "worker died"
+  // (attempts>0 with a nonzero exit status: the process running it was
+  // lost). Serialized into the manifest for quarantined records only —
+  // completed lines stay byte-identical with the serial path regardless of
+  // how many reassignments a trial survived.
+  std::uint32_t attempts = 0;     ///< process-worker assignments consumed
+  int worker_exit_status = 0;     ///< last worker's exit code, or 128+signal
+  std::string stderr_tail;        ///< last bytes of the dead worker's stderr
+
   /// Metric snapshot folded into the campaign telemetry; survives the
   /// manifest round-trip. Absent when collection is off (or the manifest
   /// line predates telemetry).
@@ -204,6 +235,29 @@ struct CampaignResult {
   obs::CampaignTelemetry telemetry;
   /// Flight-recorder files written this run, in trial order.
   std::vector<std::string> postmortem_paths;
+  /// Cancelled via CampaignConfig::cancel before every trial committed.
+  /// Whatever finished is flushed; re-running with the same manifest
+  /// resumes from the first missing trial.
+  bool interrupted = false;
+  /// Torn trailing manifest lines tolerated during resume (0 or 1): a
+  /// campaign killed mid-write leaves a truncated final NDJSON line, which
+  /// is dropped with a warning and its trial re-run.
+  std::size_t manifest_torn_lines = 0;
+
+  // --- Distributed-execution health (filled by run_distributed_campaign;
+  // all zero for in-process campaigns). Operational evidence only — none
+  // of it enters the manifest for completed trials, so the determinism
+  // contract is unaffected. ---
+  std::size_t workers_lost = 0;      ///< worker processes that died/hung
+  std::size_t worker_restarts = 0;   ///< replacement workers spawned
+  std::size_t reassigned_trials = 0; ///< assignments redone on a new worker
+  /// Total wall-clock ns between detecting a worker failure and committing
+  /// the affected trial's reassigned result (mean = / reassigned_trials).
+  std::uint64_t reassignment_latency_ns = 0;
+  /// The whole fleet was lost and the remaining trials ran on the
+  /// coordinator's in-process pool instead of aborting the study.
+  bool degraded_to_in_process = false;
+
   bool ok() const { return quarantined == 0; }
   /// Seeds of every quarantined trial (the campaign's repro handles).
   std::vector<std::uint64_t> quarantined_seeds() const;
@@ -219,5 +273,88 @@ std::uint64_t campaign_config_digest(const CampaignConfig& config);
 /// would run concurrently (an Obs is single-threaded and single-run; a
 /// shared one across parallel trials would be a silent data race).
 CampaignResult run_campaign(const CampaignConfig& config);
+
+/// Shared internals of the campaign engine, exposed for the distributed
+/// coordinator/worker split (src/campaign/). Everything here is the *same
+/// code path* the in-process pool runs — that identity is what makes a
+/// distributed campaign's manifest byte-identical to a serial run.
+namespace campaign_detail {
+
+/// Formats campaign_config_digest(config) as the 16-digit lower-case hex
+/// string used in manifest lines and the worker hello handshake.
+std::string config_hex(const CampaignConfig& config);
+
+/// Serializes one trial outcome as its resume-manifest NDJSON line (no
+/// trailing newline). Worker evidence fields (attempts, exit status,
+/// stderr tail) are emitted for quarantined records only.
+std::string manifest_line(const TrialOutcome& trial, const std::string& config_hex);
+
+/// Parses one manifest line; throws std::runtime_error (tagged with
+/// line_no) on malformed input or a config-digest mismatch. The returned
+/// outcome has from_manifest=true.
+TrialOutcome parse_manifest_line(const std::string& line, const std::string& config_hex,
+                                 std::size_t line_no);
+
+/// Runs trial `index` exactly as a pool worker would: fresh auditor +
+/// determinism probe, quarantine judgment, salvage fold, telemetry
+/// snapshot, post-mortem rendering. `scratch_obs` may be null (telemetry
+/// off) or a reusable per-worker Obs shaped by trial_obs_config().
+TrialOutcome run_trial(const CampaignConfig& config, std::size_t index,
+                       const std::string& config_hex, obs::Obs* scratch_obs);
+
+/// Shape of the reusable per-worker scratch Obs (trace ring sized for the
+/// flight recorder).
+obs::Obs::Config trial_obs_config(const CampaignConfig& config);
+
+struct ManifestRead {
+  std::map<std::size_t, TrialOutcome> restored;
+  /// Torn trailing lines tolerated (0 or 1). A mid-write crash leaves a
+  /// structurally truncated final line; it is dropped with a warning and
+  /// the trial re-runs. Complete-but-wrong lines still throw.
+  std::size_t torn_lines = 0;
+};
+
+/// Reads a resume manifest, tolerating a torn trailing NDJSON line. With
+/// `repair_in_place` (the default) the torn bytes are truncated away — and
+/// a missing final newline restored — so subsequent appends produce a
+/// well-formed file. A missing file yields an empty result.
+ManifestRead read_resume_manifest(const std::string& path, const std::string& config_hex,
+                                  std::size_t max_trials, bool repair_in_place = true);
+
+/// Ordered-commit sink shared by the in-process pool and the distributed
+/// coordinator: opens the manifest for append, writes one line per fresh
+/// outcome (flushed immediately), folds the aggregate + telemetry, writes
+/// quarantine post-mortems, and drives the progress hook — all in strict
+/// trial-index order. Feed it outcome 0, 1, 2, ... exactly once each.
+class Committer {
+ public:
+  /// Throws when the manifest cannot be opened for append. `workers` is
+  /// only reported through CampaignProgress.
+  Committer(const CampaignConfig& config, std::string config_hex, std::size_t workers);
+
+  /// Commits the next trial in index order. `wire_line` supplies literal
+  /// manifest bytes to write instead of re-serializing `outcome` — the
+  /// distributed coordinator passes the worker's own line through verbatim.
+  /// Restored outcomes (from_manifest) fold without touching the manifest.
+  void commit(TrialOutcome outcome, const std::string* wire_line = nullptr);
+
+  std::size_t committed() const { return committed_; }
+  /// Hands the accumulated result over; the committer is spent afterwards.
+  CampaignResult finish();
+
+ private:
+  const CampaignConfig& config_;
+  std::string config_hex_;
+  std::size_t workers_;
+  std::ofstream manifest_;
+  std::string postmortem_prefix_;
+  CampaignResult result_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t busy_ns_ = 0;
+  std::size_t fresh_done_ = 0;
+  std::size_t committed_ = 0;
+};
+
+}  // namespace campaign_detail
 
 }  // namespace streamlab

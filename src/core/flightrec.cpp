@@ -33,6 +33,12 @@ std::string render_postmortem(const PostmortemContext& context,
          ",\"trace_retained\":" + std::to_string(retained) +
          ",\"trace_dropped\":" + std::to_string(dropped) + "}\n";
 
+  if (context.attempts > 0) {
+    out += "{\"record\":\"worker\",\"attempts\":" + std::to_string(context.attempts) +
+           ",\"exit_status\":" + std::to_string(context.worker_exit_status) +
+           ",\"stderr_tail\":\"" + json_escape(context.stderr_tail) + "\"}\n";
+  }
+
   out += "{\"record\":\"audit\",\"checks\":" + std::to_string(report.checks_performed) +
          ",\"violations\":" + std::to_string(report.total_violations) + ",\"summary\":\"" +
          json_escape(report.summary()) + "\"}\n";

@@ -33,6 +33,14 @@ struct PostmortemContext {
   std::string config_hex;   ///< campaign config digest (hex64)
   std::uint64_t sim_events = 0;
   bool budget_exhausted = false;
+  // Distributed-worker evidence (zero/empty for in-process trials). When
+  // attempts > 0 the post-mortem gains a "worker" record distinguishing
+  // "trial is bad" from "worker died": how many process attempts the trial
+  // consumed, the last worker's wait status (exit code, or 128+signal),
+  // and the tail of its stderr.
+  std::uint32_t attempts = 0;
+  int worker_exit_status = 0;
+  std::string stderr_tail;
 };
 
 /// Renders the post-mortem document. `obs` and `telemetry` may be null

@@ -1,0 +1,109 @@
+#include "campaign/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace streamlab::campaign {
+namespace {
+
+TEST(Protocol, FrameRoundTrip) {
+  const std::string wire = encode_frame(FrameType::kHello, "deadbeefcafef00d");
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.type, FrameType::kHello);
+  EXPECT_EQ(frame.payload, "deadbeefcafef00d");
+  EXPECT_FALSE(reader.next(frame));
+  EXPECT_FALSE(reader.corrupt());
+}
+
+TEST(Protocol, ByteAtATimeFeedingReassembles) {
+  const std::string wire = encode_frame(FrameType::kAssign, encode_assign(42)) +
+                           encode_frame(FrameType::kHeartbeat, std::string());
+  FrameReader reader;
+  Frame frame;
+  int frames = 0;
+  for (char c : wire) {
+    reader.feed(&c, 1);
+    while (reader.next(frame)) {
+      ++frames;
+      if (frames == 1) {
+        EXPECT_EQ(frame.type, FrameType::kAssign);
+        std::uint64_t index = 0;
+        ASSERT_TRUE(decode_assign(frame.payload, index));
+        EXPECT_EQ(index, 42u);
+      } else {
+        EXPECT_EQ(frame.type, FrameType::kHeartbeat);
+        EXPECT_TRUE(frame.payload.empty());
+      }
+    }
+  }
+  EXPECT_EQ(frames, 2);
+}
+
+TEST(Protocol, UnknownTypeMarksStreamCorrupt) {
+  FrameReader reader;
+  const char garbage[] = "\xff\x01\x00\x00\x00x";
+  reader.feed(garbage, sizeof(garbage) - 1);
+  Frame frame;
+  EXPECT_FALSE(reader.next(frame));
+  EXPECT_TRUE(reader.corrupt());
+  // Corrupt is sticky: later valid bytes do not resurrect the stream.
+  const std::string good = encode_frame(FrameType::kHeartbeat, std::string());
+  reader.feed(good.data(), good.size());
+  EXPECT_FALSE(reader.next(frame));
+  EXPECT_TRUE(reader.corrupt());
+}
+
+TEST(Protocol, OversizedLengthMarksStreamCorrupt) {
+  FrameReader reader;
+  std::string wire;
+  wire.push_back(static_cast<char>(FrameType::kResult));
+  // Length far past kMaxFramePayload.
+  wire += std::string("\xff\xff\xff\x7f", 4);
+  reader.feed(wire.data(), wire.size());
+  Frame frame;
+  EXPECT_FALSE(reader.next(frame));
+  EXPECT_TRUE(reader.corrupt());
+}
+
+TEST(Protocol, ResultCodecRoundTrip) {
+  ResultMsg msg;
+  msg.index = 7;
+  msg.manifest_line = "{\"trial\":7,\"status\":\"completed\"}";
+  msg.postmortem = "{\"record\":\"header\"}\n";
+  ResultMsg back;
+  ASSERT_TRUE(decode_result(encode_result(msg), back));
+  EXPECT_EQ(back.index, 7u);
+  EXPECT_EQ(back.manifest_line, msg.manifest_line);
+  EXPECT_EQ(back.postmortem, msg.postmortem);
+}
+
+TEST(Protocol, ResultCodecRejectsTruncation) {
+  ResultMsg msg;
+  msg.index = 3;
+  msg.manifest_line = "line";
+  msg.postmortem = "pm";
+  const std::string wire = encode_result(msg);
+  ResultMsg back;
+  for (std::size_t cut = 0; cut < wire.size(); ++cut)
+    EXPECT_FALSE(decode_result(wire.substr(0, cut), back)) << "cut=" << cut;
+  EXPECT_FALSE(decode_result(wire + "extra", back));
+  EXPECT_TRUE(decode_result(wire, back));
+}
+
+TEST(Protocol, EmptyPayloadFrames) {
+  FrameReader reader;
+  const std::string wire = encode_frame(FrameType::kShutdown, std::string());
+  reader.feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.type, FrameType::kShutdown);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace streamlab::campaign

@@ -1,0 +1,19 @@
+// campaign_worker_testbed: the child-process half of the distributed
+// campaign tests. Usage: campaign_worker_testbed <trials>
+//
+// Builds the shared tiny campaign config for <trials> trials and runs the
+// worker protocol loop over stdin/stdout. Fault behavior is driven by the
+// STREAMLAB_WORKER_FAULT environment variable planted per slot by the
+// coordinator under test (see src/campaign/worker.hpp).
+#include <cstdlib>
+
+#include "campaign/worker.hpp"
+#include "tiny_campaign.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t trials =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 4;
+  const streamlab::CampaignConfig config =
+      streamlab::campaign_test::tiny_campaign(trials);
+  return streamlab::campaign::run_campaign_worker(config);
+}

@@ -4,10 +4,13 @@
 
 #include "obs/obs.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace streamlab {
@@ -590,6 +593,160 @@ TEST(Campaign, ThrowingTrialIsQuarantinedOthersSalvaged) {
   EXPECT_EQ(result.trials[1].status, TrialStatus::kQuarantined);
   EXPECT_NE(result.trials[1].reason.find("trial exploded"), std::string::npos);
   EXPECT_EQ(result.aggregate.trials, 2u);
+}
+
+// --- Crash tolerance: torn manifests, cooperative cancellation, worker
+// --- evidence fields (PR 8 satellites) ---
+
+TEST(CampaignCrash, TornTrailingManifestLineToleratedAndRepaired) {
+  CampaignConfig config = tiny_campaign(3);
+  config.manifest_path = temp_manifest("torn_tail");
+  const CampaignResult first = run_campaign(config);
+  ASSERT_EQ(first.completed, 3u);
+  const std::string whole = slurp(config.manifest_path);
+
+  // A coordinator killed mid-write leaves the final line truncated. The
+  // resume must keep trials 0-1, count one torn line, re-run trial 2, and
+  // leave the repaired manifest byte-identical to the uninterrupted one.
+  {
+    std::ofstream out(config.manifest_path, std::ios::binary | std::ios::trunc);
+    out << whole.substr(0, whole.size() - 9);
+  }
+  const CampaignResult second = run_campaign(config);
+  EXPECT_EQ(second.manifest_torn_lines, 1u);
+  EXPECT_EQ(second.resumed, 2u);
+  EXPECT_EQ(second.completed, 3u);
+  EXPECT_TRUE(second.ok());
+  EXPECT_EQ(second.trials[2].digest, first.trials[2].digest);
+  EXPECT_FALSE(second.trials[2].from_manifest);
+  EXPECT_EQ(slurp(config.manifest_path), whole);
+}
+
+TEST(CampaignCrash, MissingFinalNewlineRestoredWithoutRerun) {
+  CampaignConfig config = tiny_campaign(2);
+  config.manifest_path = temp_manifest("no_newline");
+  run_campaign(config);
+  const std::string whole = slurp(config.manifest_path);
+
+  // Only the trailing '\n' is lost: the line itself is complete, so the
+  // trial is restored (no torn-line count) and the newline re-appended.
+  {
+    std::ofstream out(config.manifest_path, std::ios::binary | std::ios::trunc);
+    out << whole.substr(0, whole.size() - 1);
+  }
+  const CampaignResult second = run_campaign(config);
+  EXPECT_EQ(second.manifest_torn_lines, 0u);
+  EXPECT_EQ(second.resumed, 2u);
+  EXPECT_EQ(slurp(config.manifest_path), whole);
+}
+
+TEST(CampaignCrash, CompleteButForeignFinalLineStillRejected) {
+  CampaignConfig config = tiny_campaign(2);
+  config.manifest_path = temp_manifest("foreign_tail");
+  run_campaign(config);
+
+  // A structurally complete final line that doesn't parse is corruption,
+  // not a mid-write crash — resuming over it must refuse loudly.
+  {
+    std::ofstream out(config.manifest_path, std::ios::binary | std::ios::app);
+    out << "{\"bogus\":true}\n";
+  }
+  EXPECT_THROW(run_campaign(config), std::runtime_error);
+}
+
+TEST(CampaignCrash, InProcessQuarantineRecordsEmptyWorkerEvidence) {
+  CampaignConfig config = tiny_campaign(3);
+  config.manifest_path = temp_manifest("evidence");
+  config.fault_hook = [](audit::Auditor& auditor, std::size_t index, std::uint64_t) {
+    if (index == 1) auditor.force_violation("planted by test");
+  };
+  const CampaignResult result = run_campaign(config);
+  ASSERT_EQ(result.quarantined, 1u);
+  EXPECT_EQ(result.trials[1].attempts, 0u);
+  EXPECT_EQ(result.trials[1].worker_exit_status, 0);
+  EXPECT_TRUE(result.trials[1].stderr_tail.empty());
+
+  // The quarantine line carries the (zeroed) worker-evidence fields so
+  // post-mortems can tell "trial is bad" from "worker died"; completed
+  // lines stay evidence-free and thus byte-identical to older manifests.
+  const std::string manifest = slurp(config.manifest_path);
+  EXPECT_NE(manifest.find("\"attempts\":0,\"worker_exit_status\":0,\"stderr_tail\":\"\""),
+            std::string::npos);
+  EXPECT_EQ(manifest.find("\"attempts\":"), manifest.rfind("\"attempts\":"));
+
+  const CampaignResult resumed = run_campaign(config);
+  EXPECT_EQ(resumed.resumed, 3u);
+  EXPECT_EQ(resumed.trials[1].attempts, 0u);
+  EXPECT_EQ(resumed.trials[1].worker_exit_status, 0);
+}
+
+TEST(CampaignCrash, CancelFlagFlushesCommittedPrefixAndResumes) {
+  std::atomic<bool> cancel{false};
+  CampaignConfig config = tiny_campaign(6);
+  config.manifest_path = temp_manifest("cancel_serial");
+  config.cancel = &cancel;
+  config.progress_every = 1;
+  config.progress_hook = [&cancel](const CampaignProgress& p) {
+    if (p.trials_done == 2) cancel.store(true);
+  };
+  const CampaignResult stopped = run_campaign(config);
+  EXPECT_TRUE(stopped.interrupted);
+  EXPECT_EQ(stopped.trials.size(), 2u);
+  EXPECT_EQ(stopped.completed, 2u);
+
+  // Everything committed before the stop is already flushed: clearing the
+  // flag resumes exactly from trial 2.
+  cancel.store(false);
+  config.progress_hook = nullptr;
+  const CampaignResult resumed = run_campaign(config);
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.resumed, 2u);
+  EXPECT_EQ(resumed.completed, 6u);
+}
+
+TEST(CampaignCrash, CancelUnderParallelPoolCommitsContiguousPrefix) {
+  std::atomic<bool> cancel{false};
+  CampaignConfig config = tiny_campaign(24);
+  config.workers = 4;
+  config.manifest_path = temp_manifest("cancel_parallel");
+  config.cancel = &cancel;
+  config.progress_every = 1;
+  // Tiny trials finish faster than the cancel flag can land, so pace each
+  // trial: by the time trial 2 commits and flips the flag, at most a few
+  // more are claimed — the stop is guaranteed to be mid-study. The sleep
+  // lives in the test-only hook and never affects trial results.
+  config.fault_hook = [](audit::Auditor&, std::size_t, std::uint64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  };
+  config.progress_hook = [&cancel](const CampaignProgress& p) {
+    if (p.trials_done == 2) cancel.store(true);
+  };
+  const CampaignResult stopped = run_campaign(config);
+  EXPECT_TRUE(stopped.interrupted);
+  EXPECT_GE(stopped.trials.size(), 2u);
+  EXPECT_LT(stopped.trials.size(), 24u);
+
+  // The manifest holds exactly the committed contiguous prefix — workers
+  // that finished later trials before parking don't leave gapped lines.
+  std::ifstream in(config.manifest_path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line))
+    if (!line.empty()) ++lines;
+  EXPECT_EQ(lines, stopped.trials.size());
+
+  // Resuming finishes the study, and the final manifest is byte-identical
+  // to an uninterrupted serial run's.
+  cancel.store(false);
+  config.progress_hook = nullptr;
+  config.fault_hook = nullptr;
+  const CampaignResult resumed = run_campaign(config);
+  EXPECT_EQ(resumed.completed, 24u);
+  CampaignConfig reference = tiny_campaign(24);
+  reference.workers = 1;
+  reference.manifest_path = temp_manifest("cancel_reference");
+  run_campaign(reference);
+  EXPECT_EQ(slurp(config.manifest_path), slurp(reference.manifest_path));
 }
 
 }  // namespace
