@@ -13,6 +13,19 @@
 //                       [--progress-every <n>] [--plant-quarantine <index>]
 //                       [--distributed] [--max-worker-restarts <n>]
 //                       [--kill-worker-after <n>]
+//                       [--fleet <N>] [--scheduler wheel|heap]
+//
+// With --fleet N the lab switches to the city-scale trial: N flyweight
+// sessions (a struct-of-arrays table, ~26 bytes/session, zero allocations
+// per event in steady state) stream a WM-profile CBR clip through a shared
+// Gilbert–Elliott turbulence window on one deterministic event loop. The
+// run prints sessions/sec and events/sec wall-clock throughput, delivery /
+// loss / rebuffer statistics and the order-sensitive delivery digest. An
+// audit::Auditor rides along (monotone event dispatch + fleet-wide packet
+// conservation); any violation fails the run. --verify-determinism runs
+// the fleet twice and exits nonzero when the digests differ. --scheduler
+// selects the event-loop backend (default: the timing wheel; `heap` is the
+// reference binary-heap queue) for every mode, fleet or not.
 //
 // With --distributed the campaign trials run on separate worker *processes*
 // (this binary re-exec'd with the hidden --worker flag) under the
@@ -86,6 +99,7 @@
 #include "campaign/worker.hpp"
 #include "core/campaign.hpp"
 #include "core/export.hpp"
+#include "core/fleet.hpp"
 #include "core/turbulence.hpp"
 #include "obs/export.hpp"
 #include "util/strings.hpp"
@@ -422,6 +436,70 @@ int run_campaign_mode(const ClipSet& set, RateTier tier, std::size_t trials,
   return exit_code;
 }
 
+// --fleet N: the city-scale flyweight trial. Prints wall-clock throughput
+// (the numbers BENCH_FLEET.json records via bench_fleet) plus the turbulence
+// statistics; runs fully audited and, with --verify-determinism, twice.
+int run_fleet_mode(std::size_t sessions, std::uint64_t seed,
+                   bool verify_determinism) {
+  FleetConfig config;
+  config.sessions = sessions;
+  config.seed = seed;
+
+  audit::Auditor auditor;
+  config.auditor = &auditor;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const FleetResult r = run_fleet(config);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  const char* backend =
+      config.scheduler == EventLoop::Scheduler::kWheel ? "wheel" : "heap";
+  std::printf("fleet: %llu sessions, scheduler=%s, seed=%llu\n",
+              static_cast<unsigned long long>(r.sessions), backend,
+              static_cast<unsigned long long>(seed));
+  std::printf("  sim time      %.2f s   wall %.3f s\n", r.sim_seconds,
+              wall_seconds);
+  std::printf("  throughput    %.0f sessions/s   %.0f events/s\n",
+              wall_seconds > 0 ? static_cast<double>(r.sessions) / wall_seconds : 0.0,
+              wall_seconds > 0 ? static_cast<double>(r.events_executed) / wall_seconds
+                               : 0.0);
+  std::printf("  events        %llu executed\n",
+              static_cast<unsigned long long>(r.events_executed));
+  std::printf("  packets       %llu sent, %llu delivered, %llu lost (%.2f%% delivered)\n",
+              static_cast<unsigned long long>(r.packets_sent),
+              static_cast<unsigned long long>(r.packets_delivered),
+              static_cast<unsigned long long>(r.packets_lost),
+              100.0 * r.delivery_ratio);
+  std::printf("  rebuffering   %llu events across %llu sessions\n",
+              static_cast<unsigned long long>(r.rebuffer_events),
+              static_cast<unsigned long long>(r.sessions_rebuffered));
+  std::printf("  table         %llu bytes (%.1f bytes/session)\n",
+              static_cast<unsigned long long>(r.table_bytes), r.bytes_per_session);
+  std::printf("  digest        %016llx\n",
+              static_cast<unsigned long long>(r.digest));
+
+  if (!auditor.report().clean()) {
+    std::printf("  AUDIT VIOLATIONS:\n%s\n", auditor.report().summary().c_str());
+    return 1;
+  }
+  std::printf("  audit         clean (%llu checks)\n",
+              static_cast<unsigned long long>(auditor.report().checks_performed));
+
+  if (verify_determinism) {
+    const FleetResult replay = run_fleet(config);
+    if (replay.digest != r.digest || replay.events_executed != r.events_executed) {
+      std::printf("  DETERMINISM VIOLATION: replay digest %016llx != %016llx\n",
+                  static_cast<unsigned long long>(replay.digest),
+                  static_cast<unsigned long long>(r.digest));
+      return 1;
+    }
+    std::printf("  determinism   verified (replay digest matches)\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -429,6 +507,7 @@ int main(int argc, char** argv) {
   std::string manifest_path;
   std::size_t campaign_trials = 0;
   std::size_t campaign_workers = 0;  // 0 = one per hardware thread
+  std::size_t fleet_sessions = 0;
   std::uint64_t base_seed = 1;
   std::size_t progress_every = 0;
   long long plant_quarantine = -1;
@@ -451,6 +530,22 @@ int main(int argc, char** argv) {
       campaign_trials = static_cast<std::size_t>(std::atoll(flag_value("--campaign")));
     } else if (std::strcmp(argv[i], "--workers") == 0) {
       campaign_workers = static_cast<std::size_t>(std::atoll(flag_value("--workers")));
+    } else if (std::strcmp(argv[i], "--fleet") == 0) {
+      fleet_sessions = static_cast<std::size_t>(std::atoll(flag_value("--fleet")));
+      if (fleet_sessions == 0) {
+        std::fprintf(stderr, "--fleet needs a positive session count\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--scheduler") == 0) {
+      const char* which = flag_value("--scheduler");
+      if (std::strcmp(which, "wheel") == 0) {
+        EventLoop::set_default_scheduler(EventLoop::Scheduler::kWheel);
+      } else if (std::strcmp(which, "heap") == 0) {
+        EventLoop::set_default_scheduler(EventLoop::Scheduler::kHeap);
+      } else {
+        std::fprintf(stderr, "--scheduler must be wheel or heap\n");
+        return 1;
+      }
     } else if (std::strcmp(argv[i], "--manifest") == 0) {
       manifest_path = flag_value("--manifest");
     } else if (std::strcmp(argv[i], "--seed") == 0) {
@@ -489,6 +584,11 @@ int main(int argc, char** argv) {
       positional.push_back(argv[i]);
     }
   }
+  // Fleet mode stands alone: no clip catalog, no export dir — one loop,
+  // N flyweight sessions.
+  if (fleet_sessions > 0)
+    return run_fleet_mode(fleet_sessions, base_seed, verify_determinism);
+
   const int set_id = positional.size() > 0 ? std::atoi(positional[0]) : 1;
   const RateTier tier = positional.size() > 1 ? parse_tier(positional[1]) : RateTier::kLow;
   const std::string export_dir =

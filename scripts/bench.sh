@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Records the benchmark JSON artifacts (BENCH_CAMPAIGN.json, BENCH_OBS.json,
-# BENCH_REPAIR.json, BENCH_TELEMETRY.json, BENCH_DISTRIB.json) from a Release
-# build — and refuses anything else.
+# BENCH_REPAIR.json, BENCH_TELEMETRY.json, BENCH_DISTRIB.json,
+# BENCH_FLEET.json) from a Release build — and refuses anything else.
 # Numbers measured from a debug or sanitized tree are not
 # comparable to the committed baselines, so this script is the only
 # sanctioned way to refresh them.
@@ -55,8 +55,8 @@ if [[ -n "$SANITIZE" ]]; then
 fi
 
 # benchmark binary -> artifact basename; one committed JSON per binary.
-BINARIES=(bench_campaign bench_micro bench_repair bench_telemetry bench_distrib)
-ARTIFACTS=(BENCH_CAMPAIGN.json BENCH_OBS.json BENCH_REPAIR.json BENCH_TELEMETRY.json BENCH_DISTRIB.json)
+BINARIES=(bench_campaign bench_micro bench_repair bench_telemetry bench_distrib bench_fleet)
+ARTIFACTS=(BENCH_CAMPAIGN.json BENCH_OBS.json BENCH_REPAIR.json BENCH_TELEMETRY.json BENCH_DISTRIB.json BENCH_FLEET.json)
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BINARIES[@]}"
 
@@ -67,10 +67,22 @@ else
 fi
 mkdir -p "$OUT_DIR"
 
+# Each binary gets a wall-clock line, and its artifact is removed up front so
+# a bench that crashes (or silently writes nothing) fails loudly here instead
+# of the gate comparing a stale file from the previous run.
 for i in "${!BINARIES[@]}"; do
+  out="$OUT_DIR/${ARTIFACTS[$i]}"
+  rm -f "$out"
+  start=$SECONDS
   "$BUILD_DIR/bench/${BINARIES[$i]}" \
-    --benchmark_out="$OUT_DIR/${ARTIFACTS[$i]}" --benchmark_out_format=json \
+    --benchmark_out="$out" --benchmark_out_format=json \
     --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+  elapsed=$((SECONDS - start))
+  if [[ ! -s "$out" ]]; then
+    echo "bench.sh: ${BINARIES[$i]} exited 0 but left $out missing/empty" >&2
+    exit 1
+  fi
+  echo "bench.sh: ${BINARIES[$i]} -> ${ARTIFACTS[$i]} in ${elapsed}s"
 done
 
 if [[ "$MODE" == gate ]]; then
@@ -96,7 +108,7 @@ fi
 python3 - <<'EOF'
 import json
 for path in ("BENCH_CAMPAIGN.json", "BENCH_OBS.json", "BENCH_REPAIR.json",
-             "BENCH_TELEMETRY.json", "BENCH_DISTRIB.json"):
+             "BENCH_TELEMETRY.json", "BENCH_DISTRIB.json", "BENCH_FLEET.json"):
     with open(path) as f:
         d = json.load(f)
     d["context"]["streamlab_build_type"] = "Release"

@@ -58,9 +58,9 @@ FriendlinessResult run_friendliness_experiment(const ClipInfo& clip,
   std::vector<std::pair<SimTime, std::uint64_t>> tcp_progress;
   std::function<void()> sample = [&] {
     tcp_progress.emplace_back(net.loop().now(), tcp_sink.bytes_received());
-    net.loop().schedule_in(Duration::seconds(1), sample);
+    net.loop().post_in(Duration::seconds(1), sample);
   };
-  net.loop().schedule_in(Duration::seconds(1), sample);
+  net.loop().post_in(Duration::seconds(1), sample);
 
   tcp_sender.start();
   media_client.start();

@@ -412,8 +412,8 @@ void StreamClient::accept_recovered(const RecoveredPacket& packet, SimTime now) 
     pending_app_.push_back(ev);
     if (!batch_timer_armed_) {
       batch_timer_armed_ = true;
-      host_.loop().schedule_in(config_.wm.app_batch_interval,
-                               [this] { release_app_batch(); },
+      host_.loop().post_in(config_.wm.app_batch_interval,
+                           [this] { release_app_batch(); },
                                obs::EventCategory::kTimer);
     }
   } else {
@@ -462,8 +462,8 @@ void StreamClient::on_data(const DataHeader& header, std::size_t media_len, SimT
     if (config_.scaling.enabled && !report_timer_armed_) {
       report_timer_armed_ = true;
       report_window_max_seq_ = header.seq;
-      host_.loop().schedule_in(config_.scaling.report_interval,
-                               [this] { send_receiver_report(); },
+      host_.loop().post_in(config_.scaling.report_interval,
+                           [this] { send_receiver_report(); },
                                obs::EventCategory::kControl);
     }
   } else if (!current_server_answered_) {
@@ -544,8 +544,8 @@ void StreamClient::on_data(const DataHeader& header, std::size_t media_len, SimT
     pending_app_.push_back(ev);
     if (!batch_timer_armed_) {
       batch_timer_armed_ = true;
-      host_.loop().schedule_in(config_.wm.app_batch_interval,
-                               [this] { release_app_batch(); },
+      host_.loop().post_in(config_.wm.app_batch_interval,
+                           [this] { release_app_batch(); },
                                obs::EventCategory::kTimer);
     }
   } else {
@@ -584,8 +584,8 @@ void StreamClient::send_receiver_report() {
   ++reports_sent_;
 
   if (!eos_received_ && !stream_dead_) {
-    host_.loop().schedule_in(config_.scaling.report_interval,
-                             [this] { send_receiver_report(); },
+    host_.loop().post_in(config_.scaling.report_interval,
+                         [this] { send_receiver_report(); },
                              obs::EventCategory::kControl);
   }
 }
@@ -603,7 +603,7 @@ void StreamClient::release_app_batch() {
     batch_timer_armed_ = false;
     return;
   }
-  host_.loop().schedule_in(config_.wm.app_batch_interval, [this] { release_app_batch(); },
+  host_.loop().post_in(config_.wm.app_batch_interval, [this] { release_app_batch(); },
                            obs::EventCategory::kTimer);
 }
 
@@ -620,7 +620,7 @@ void StreamClient::begin_playout(SimTime when) {
   // availability.
   for (std::size_t i = 0; i < clip_.frames().size(); ++i) {
     const SimTime deadline = when + clip_.frames()[i].pts;
-    host_.loop().schedule_at(deadline, [this, i] { decode_frame(i); },
+    host_.loop().post_at(deadline, [this, i] { decode_frame(i); },
                              obs::EventCategory::kPlayout);
   }
 }
@@ -635,7 +635,7 @@ void StreamClient::schedule_frame(std::size_t index) {
   }
   const SimTime deadline = *playout_start_ + playout_shift_ + clip_.frames()[index].pts;
   current_stall_ = Duration::zero();
-  host_.loop().schedule_at(deadline, [this, index] { decode_frame_rebuffering(index); },
+  host_.loop().post_at(deadline, [this, index] { decode_frame_rebuffering(index); },
                            obs::EventCategory::kPlayout);
 }
 
@@ -685,7 +685,7 @@ void StreamClient::decode_frame_rebuffering(std::size_t index) {
     current_stall_ += poll;
     playout_shift_ += poll;
     total_stall_time_ += poll;
-    host_.loop().schedule_in(poll, [this, index] { decode_frame_rebuffering(index); },
+    host_.loop().post_in(poll, [this, index] { decode_frame_rebuffering(index); },
                              obs::EventCategory::kPlayout);
     return;
   }

@@ -276,7 +276,7 @@ void WmServer::send_next() {
         clip_.info().encoded_rate.scaled(scaling_keep_fraction());
     next = behavior_.send_interval(scaled_rate, sent);
   }
-  host_.loop().schedule_in(next, [this] { send_next(); }, obs::EventCategory::kTimer);
+  host_.loop().post_in(next, [this] { send_next(); }, obs::EventCategory::kTimer);
 }
 
 RmServer::RmServer(Host& host, EncodedClip clip, RmBehavior behavior, std::uint16_t port,
@@ -314,7 +314,7 @@ void RmServer::send_next() {
   // multiplier (mean 1) produces the wide interarrival spread of Figure 8.
   const Duration base = send_rate.transmission_time(sent);
   const double jitter = rng_.lognormal_mean_cv(1.0, behavior_.interarrival_cv);
-  host_.loop().schedule_in(base.scaled(jitter), [this] { send_next(); },
+  host_.loop().post_in(base.scaled(jitter), [this] { send_next(); },
                            obs::EventCategory::kTimer);
 }
 

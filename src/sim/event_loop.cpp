@@ -1,49 +1,155 @@
 #include "sim/event_loop.hpp"
 
+#include <atomic>
 #include <utility>
+#include <vector>
 
 namespace streamlab {
+
+namespace {
+
+// Per-thread EventCtl recycler, mirroring the net::Buffer slab pool: blocks
+// whose refcount hits zero park on a thread-local free list (capped) and the
+// next schedule_at() reuses them, so steady-state scheduling with handles
+// performs no heap allocation. Thread-local (not per-loop) because a handle
+// may outlive its loop; the confinement contract guarantees it dies on the
+// same thread that allocated the block.
+struct CtlPool {
+  static constexpr std::size_t kMaxFree = 4096;
+  std::vector<EventCtl*> free_list;
+  EventCtl::PoolStats stats;
+  ~CtlPool() {
+    for (EventCtl* ctl : free_list) delete ctl;
+  }
+};
+
+CtlPool& ctl_pool() {
+  thread_local CtlPool pool;
+  return pool;
+}
+
+std::atomic<EventLoop::Scheduler> g_default_scheduler{EventLoop::Scheduler::kWheel};
+
+}  // namespace
+
+EventCtl* EventCtl::acquire() {
+  CtlPool& pool = ctl_pool();
+  if (!pool.free_list.empty()) {
+    EventCtl* ctl = pool.free_list.back();
+    pool.free_list.pop_back();
+    ctl->refs = 1;
+    ctl->alive = true;
+    ctl->live = nullptr;
+    ++pool.stats.recycled;
+    return ctl;
+  }
+  ++pool.stats.fresh;
+  return new EventCtl;
+}
+
+void EventCtl::release(EventCtl* ctl) {
+  CtlPool& pool = ctl_pool();
+  if (pool.free_list.size() < CtlPool::kMaxFree) {
+    pool.free_list.push_back(ctl);
+  } else {
+    delete ctl;
+  }
+}
+
+EventCtl::PoolStats EventCtl::pool_stats() { return ctl_pool().stats; }
+
+EventLoop::Scheduler EventLoop::default_scheduler() {
+  return g_default_scheduler.load(std::memory_order_relaxed);
+}
+
+void EventLoop::set_default_scheduler(Scheduler scheduler) {
+  g_default_scheduler.store(scheduler, std::memory_order_relaxed);
+}
+
+EventLoop::EventLoop(Scheduler scheduler) {
+  if (scheduler == Scheduler::kWheel)
+    wheel_ = std::make_unique<detail::TimingWheel<Event>>();
+}
 
 EventLoop::~EventLoop() {
   // Handles may outlive the loop: detach their count pointer so a late
   // cancel() flips the flag without touching freed memory.
-  while (!queue_.empty()) {
-    if (EventCtl* ctl = queue_.top().ctl.get()) ctl->live = nullptr;
-    queue_.pop();
+  if (wheel_ != nullptr) {
+    wheel_->for_each([](Event& ev) {
+      if (EventCtl* ctl = ev.ctl.get()) ctl->live = nullptr;
+    });
+  } else {
+    while (!heap_.empty()) {
+      if (EventCtl* ctl = heap_.top().ctl.get()) ctl->live = nullptr;
+      heap_.pop();
+    }
   }
 }
 
-EventHandle EventLoop::schedule_at(SimTime when, std::function<void()> fn,
-                                   obs::EventCategory category) {
+void EventLoop::enqueue(SimTime when, EventFn fn, obs::EventCategory category,
+                        EventCtlRef ctl) {
   if (when < now_) when = now_;
-  auto* ctl = new EventCtl;
-  ctl->live = &live_count_;
-  EventCtlRef ref(ctl);
-  queue_.push(Event{when,
-                    (next_seq_++ << kCategoryBits) | static_cast<std::uint64_t>(category),
-                    std::move(fn), ref});
+  Event ev{when,
+           (next_seq_++ << kCategoryBits) | static_cast<std::uint64_t>(category),
+           std::move(fn), std::move(ctl)};
+  if (wheel_ != nullptr) {
+    wheel_->push(std::move(ev));
+  } else {
+    heap_.push(std::move(ev));
+  }
   ++live_count_;
+}
+
+EventHandle EventLoop::schedule_at(SimTime when, EventFn fn,
+                                   obs::EventCategory category) {
+  EventCtlRef ref(EventCtl::acquire());
+  ref.get()->live = &live_count_;
+  EventCtlRef queued = ref;
+  enqueue(when, std::move(fn), category, std::move(queued));
   return EventHandle(std::move(ref));
 }
 
-EventHandle EventLoop::schedule_in(Duration delay, std::function<void()> fn,
+EventHandle EventLoop::schedule_in(Duration delay, EventFn fn,
                                    obs::EventCategory category) {
   return schedule_at(now_ + delay, std::move(fn), category);
 }
 
+void EventLoop::post_at(SimTime when, EventFn fn, obs::EventCategory category) {
+  enqueue(when, std::move(fn), category, EventCtlRef());
+}
+
+void EventLoop::post_in(Duration delay, EventFn fn, obs::EventCategory category) {
+  post_at(now_ + delay, std::move(fn), category);
+}
+
+EventLoop::Event* EventLoop::peek_next() {
+  if (wheel_ != nullptr) return wheel_->peek();
+  if (heap_.empty()) return nullptr;
+  // The heap backend mutates the top entry in place when taking it; see
+  // take_next().
+  return const_cast<Event*>(&heap_.top());
+}
+
+EventLoop::Event EventLoop::take_next() {
+  if (wheel_ != nullptr) return wheel_->pop();
+  // Move out before popping: fn may schedule new events and reallocate.
+  Event& top = const_cast<Event&>(heap_.top());
+  Event ev{top.when, top.seq, std::move(top.fn), std::move(top.ctl)};
+  heap_.pop();
+  return ev;
+}
+
 bool EventLoop::fire_next(SimTime deadline) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.when > deadline) return false;
-    if (!top.ctl.get()->alive) {
+  for (;;) {
+    Event* top = peek_next();
+    if (top == nullptr) return false;
+    if (top->when > deadline) return false;
+    if (EventCtl* ctl = top->ctl.get(); ctl != nullptr && !ctl->alive) {
       // Cancelled: the live count was settled at cancel() time.
-      queue_.pop();
+      (void)take_next();
       continue;
     }
-    // Move out before popping: fn may schedule new events and reallocate.
-    Event ev{top.when, top.seq, std::move(const_cast<Event&>(top).fn),
-             std::move(const_cast<Event&>(top).ctl)};
-    queue_.pop();
+    Event ev = take_next();
     if (auditor_ != nullptr) auditor_->on_event_dispatch(ev.when, now_);
     now_ = ev.when;
     // Settle the bookkeeping whether fn returns or throws: the event *did*
@@ -52,9 +158,15 @@ bool EventLoop::fire_next(SimTime deadline) {
     // false if fn cancelled its own handle, in which case cancel() settled
     // the count) and the executed count advances. Without this a throwing
     // callback would leave live_count_ permanently overstating the queue.
+    // Handle-free post_* events have no control block and cannot be
+    // cancelled, so their liveness settles unconditionally here.
     const auto settle = [this, &ev] {
-      if (EventCtl* ctl = ev.ctl.get(); ctl->alive) {
-        ctl->alive = false;
+      if (EventCtl* ctl = ev.ctl.get()) {
+        if (ctl->alive) {
+          ctl->alive = false;
+          --live_count_;
+        }
+      } else {
         --live_count_;
       }
       ++executed_;
@@ -73,7 +185,6 @@ bool EventLoop::fire_next(SimTime deadline) {
     settle();
     return true;
   }
-  return false;
 }
 
 std::uint64_t EventLoop::run(std::uint64_t limit) {

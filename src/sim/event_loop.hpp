@@ -5,16 +5,26 @@
 // instant run in the order they were scheduled. All of streamlab's network
 // behaviour — link serialization, propagation, player send timers, client
 // playout — is expressed as events on one loop.
+//
+// Two interchangeable scheduling backends share that contract:
+//  * kWheel (default): a hierarchical timing wheel (sim/timing_wheel.hpp)
+//    with O(1) insert and cursor-jump bucket drains — the city-scale backend.
+//  * kHeap: the original single `std::priority_queue` — kept as the
+//    reference implementation for differential tests and microbenches.
+// Both fire the exact same order; campaign manifests and digests are
+// byte-identical across backends (tests/sim/test_scheduler_differential.cpp).
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <queue>
 #include <utility>
 #include <vector>
 
 #include "obs/obs.hpp"
 #include "sim/audit.hpp"
+#include "sim/event_fn.hpp"
+#include "sim/timing_wheel.hpp"
 #include "util/time.hpp"
 
 namespace streamlab {
@@ -29,10 +39,27 @@ namespace streamlab {
 /// the loop's live-event count so cancel() can settle it in O(1); the loop's
 /// destructor nulls it out of any still-queued controls so a handle outliving
 /// the loop stays harmless.
+///
+/// Blocks are recycled through a per-thread pool (the net::Buffer slab
+/// pattern): release() returns the block to a thread-local free list instead
+/// of the heap, so steady-state schedule_at() allocates nothing.
 struct EventCtl {
   std::uint32_t refs = 1;
   bool alive = true;
   std::size_t* live = nullptr;
+
+  /// Pops a recycled block from the thread-local pool (or heap-allocates).
+  static EventCtl* acquire();
+  /// Returns a block whose refcount hit zero to the pool (capped; overflow
+  /// is freed). Called by EventCtlRef, not by users.
+  static void release(EventCtl* ctl);
+
+  struct PoolStats {
+    std::uint64_t fresh = 0;     // heap allocations
+    std::uint64_t recycled = 0;  // pool hits
+  };
+  /// Stats for the calling thread's pool (tests assert recycling kicks in).
+  static PoolStats pool_stats();
 };
 
 class EventCtlRef {
@@ -48,7 +75,7 @@ class EventCtlRef {
     return *this;
   }
   ~EventCtlRef() {
-    if (p_ != nullptr && --p_->refs == 0) delete p_;
+    if (p_ != nullptr && --p_->refs == 0) EventCtl::release(p_);
   }
   EventCtl* get() const { return p_; }
 
@@ -81,20 +108,41 @@ class EventHandle {
 
 class EventLoop {
  public:
-  EventLoop() = default;
+  enum class Scheduler : std::uint8_t { kWheel, kHeap };
+
+  explicit EventLoop(Scheduler scheduler = default_scheduler());
   ~EventLoop();
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Process-wide default backend for newly constructed loops (kWheel unless
+  /// overridden). Differential tests and `turbulence_lab --scheduler` flip it
+  /// to run identical scenarios through both queues; stored atomically so a
+  /// main-thread override is visible to campaign worker threads.
+  static Scheduler default_scheduler();
+  static void set_default_scheduler(Scheduler scheduler);
+
+  Scheduler scheduler() const { return wheel_ != nullptr ? Scheduler::kWheel : Scheduler::kHeap; }
 
   SimTime now() const { return now_; }
 
   /// Schedules `fn` at absolute time `when` (clamped to now if in the past).
   /// `category` tags the event for the observer's per-category counts.
-  EventHandle schedule_at(SimTime when, std::function<void()> fn,
+  EventHandle schedule_at(SimTime when, EventFn fn,
                           obs::EventCategory category = obs::EventCategory::kGeneric);
   /// Schedules `fn` after a relative delay.
-  EventHandle schedule_in(Duration delay, std::function<void()> fn,
+  EventHandle schedule_in(Duration delay, EventFn fn,
                           obs::EventCategory category = obs::EventCategory::kGeneric);
+
+  /// Handle-free scheduling: identical semantics to schedule_at/schedule_in
+  /// except no EventHandle is returned, so no EventCtl control block is
+  /// allocated at all. The overwhelmingly common case — fire-and-forget
+  /// deliveries, send timers that never cancel — pays zero allocations when
+  /// the capture fits EventFn's inline buffer.
+  void post_at(SimTime when, EventFn fn,
+               obs::EventCategory category = obs::EventCategory::kGeneric);
+  void post_in(Duration delay, EventFn fn,
+               obs::EventCategory category = obs::EventCategory::kGeneric);
 
   /// Runs until the queue is empty or `limit` events have fired.
   /// Returns the number of events executed.
@@ -134,8 +182,8 @@ class EventLoop {
 
  private:
   // The event's category rides in the low bits of `seq` so the queue entry
-  // stays one cache line wide; ordering is unaffected because the shifted
-  // insertion sequence is still strictly monotone.
+  // stays compact; ordering is unaffected because the shifted insertion
+  // sequence is still strictly monotone.
   static constexpr std::uint64_t kCategoryBits = 3;
   static constexpr std::uint64_t kCategoryMask = (1u << kCategoryBits) - 1;
   static_assert(static_cast<std::uint64_t>(obs::EventCategory::kCount) <=
@@ -144,8 +192,8 @@ class EventLoop {
   struct Event {
     SimTime when;
     std::uint64_t seq;
-    std::function<void()> fn;
-    EventCtlRef ctl;
+    EventFn fn;
+    EventCtlRef ctl;  // null for post_at/post_in events (never cancellable)
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -154,13 +202,20 @@ class EventLoop {
     }
   };
 
+  void enqueue(SimTime when, EventFn fn, obs::EventCategory category, EventCtlRef ctl);
+  Event* peek_next();
+  Event take_next();
   bool fire_next(SimTime deadline);
 
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_count_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Exactly one backend is active per loop: wheel_ when non-null, else heap_.
+  // The wheel is ~70KB of bucket headers, so it lives behind a pointer and
+  // the (rarely used) heap backend stays an empty vector.
+  std::unique_ptr<detail::TimingWheel<Event>> wheel_;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
   obs::Obs* obs_ = nullptr;
   audit::Auditor* auditor_ = nullptr;
 };

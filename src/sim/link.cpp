@@ -80,7 +80,7 @@ void Link::start_transmission(int dir) {
                                 ? *impairment_->bandwidth
                                 : config_.bandwidth;
   const Duration tx = bandwidth.transmission_time(wire_size(d.queue.front()));
-  loop_.schedule_in(tx, [this, dir] { finish_transmission(dir); },
+  loop_.post_in(tx, [this, dir] { finish_transmission(dir); },
                     obs::EventCategory::kLink);
 }
 
@@ -133,7 +133,7 @@ void Link::finish_transmission(int dir) {
     if (deliver_at < d.last_delivery) deliver_at = d.last_delivery;
     d.last_delivery = deliver_at;
     ++d.in_flight;
-    loop_.schedule_at(deliver_at, [this, dir, p = std::move(packet)] { deliver(dir, p); },
+    loop_.post_at(deliver_at, [this, dir, p = std::move(packet)] { deliver(dir, p); },
                       obs::EventCategory::kLink);
   }
   start_transmission(dir);

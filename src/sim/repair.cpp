@@ -35,7 +35,7 @@ void RouteRepair::on_health(std::size_t span_index, bool online) {
     if (span.down_count == 1) {
       // Hello timeout: commit the withdraw only if something in the span is
       // still dark when the detection delay elapses.
-      network_.loop().schedule_in(
+      network_.loop().post_in(
           config_.detection_delay,
           [this, span_index] {
             Span& s = spans_[span_index];
@@ -50,7 +50,7 @@ void RouteRepair::on_health(std::size_t span_index, bool online) {
     // Hold-down: restore only if the whole span is still healthy when the
     // timer fires — a router that flaps back down cancels the restore by
     // failing this check (and its own detection timer re-arms the withdraw).
-    network_.loop().schedule_in(
+    network_.loop().post_in(
         config_.hold_down,
         [this, span_index] {
           Span& s = spans_[span_index];

@@ -51,7 +51,7 @@ PingResult run_ping(Network& net, Ipv4Address target, int count, Duration interv
   });
 
   for (int seq = 0; seq < count; ++seq) {
-    loop.schedule_in(interval * seq, [&, seq] {
+    loop.post_in(interval * seq, [&, seq] {
       sent_at[static_cast<std::uint16_t>(seq)] = loop.now();
       client.send_icmp_echo(target, id, static_cast<std::uint16_t>(seq));
       ++result.sent;

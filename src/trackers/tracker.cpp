@@ -8,7 +8,7 @@ PlayerTracker::PlayerTracker(StreamClient& client, Duration poll_interval)
 void PlayerTracker::start(Duration max_duration) {
   started_at_ = client_.host().loop().now();
   deadline_ = started_at_ + max_duration;
-  client_.host().loop().schedule_in(interval_, [this] { poll(); });
+  client_.host().loop().post_in(interval_, [this] { poll(); });
 }
 
 void PlayerTracker::poll() {
@@ -33,7 +33,7 @@ void PlayerTracker::poll() {
   samples_.push_back(s);
 
   if (client_.playback_finished() || loop.now() >= deadline_) return;
-  loop.schedule_in(interval_, [this] { poll(); });
+  loop.post_in(interval_, [this] { poll(); });
 }
 
 TrackerReport PlayerTracker::report() const {
