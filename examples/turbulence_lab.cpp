@@ -7,7 +7,8 @@
 // the CSV exports.
 //
 // Usage: turbulence_lab [set 1-6] [low|high|very-high] [export-dir]
-//                       [--trace <dir>] [--chaos] [--fec <k>] [--nack]
+//                       [--trace <dir>] [--chaos] [--multipath]
+//                       [--fec <k>] [--nack]
 //                       [--campaign <N>] [--workers <N>] [--verify-determinism]
 //                       [--manifest <path>] [--seed <base>]
 //                       [--progress-every <n>] [--plant-quarantine <index>]
@@ -46,6 +47,17 @@
 // a mirror server (the withdraw produces Destination Unreachable, the
 // client fails over and resumes mid-clip). Combined with --campaign N the
 // campaign trials run the detour-reroute chaos scenario.
+//
+// With --multipath the lab runs the flap-survival scenario: the server
+// stripes each stream 2:1 across the chain and a detour branch
+// (players/multipath.hpp) while the detour's first router flaps down/up
+// three times. The health estimator drains the flapping subflow within a
+// strike window, shifts the full load to the chain, and re-admits the
+// detour after hold-down — the session rides every flap with zero mirror
+// failovers, and the summary reports per-path loss/goodput, path switches,
+// join-buffer reorder depth and suppressed NACKs. Combined with
+// --campaign N the campaign trials run this scenario (taking precedence
+// over --chaos trials).
 //
 // With --fec <k> the servers send one interleaved XOR parity packet per k
 // data packets (stride 4, tuned for the burst-loss regime's mean burst
@@ -118,6 +130,11 @@ RateTier parse_tier(const char* text) {
 /// (including the chaos and campaign variants) through base_config().
 RepairLayerConfig g_repair;
 
+/// --multipath: stripe the stream across the chain and the detour branch
+/// with health-driven weights (players/multipath.hpp). Selects the
+/// flap-survival chaos scenario and, with --campaign, multipath trials.
+bool g_multipath = false;
+
 TurbulenceScenarioConfig base_config() {
   TurbulenceScenarioConfig cfg;
   cfg.path.hop_count = 8;
@@ -167,6 +184,36 @@ TurbulenceScenarioConfig chaos_failover_config() {
   return cfg;
 }
 
+FaultEpisode detour_down_episode(int detour_index, double start_s, double duration_s) {
+  FaultEpisode down = router_down_episode(detour_index, start_s, duration_s);
+  down.detour = true;
+  down.label = "detour-down";
+  return down;
+}
+
+/// --multipath chaos scenario: asymmetric-capacity striping (the chain
+/// carries twice the detour's share) while the detour's first router flaps
+/// — three down/up cycles the health estimator must ride by draining
+/// subflow 1 onto the chain and re-admitting it after each hold-down. The
+/// mirror stays dormant: flap survival means zero failovers.
+TurbulenceScenarioConfig chaos_multipath_config() {
+  TurbulenceScenarioConfig cfg = base_config();
+  cfg.path.detour = DetourConfig{3, 4, 2, 10};
+  cfg.repair = RouteRepairConfig{};
+  cfg.mirror_server = true;
+  cfg.multipath.enabled = true;
+  cfg.multipath.primary_weight = 2;
+  cfg.multipath.detour_weight = 1;
+  // Striping's intended operating point includes NACK repair: media striped
+  // onto the flapping path before each drain is re-requested over the
+  // surviving chain (with the reorder-tolerance window keeping cross-path
+  // skew from spraying spurious NACKs).
+  cfg.repair_layer.nack = true;
+  for (const double start : {25.0, 37.0, 49.0})
+    cfg.episodes.push_back(detour_down_episode(0, start, 6.0));
+  return cfg;
+}
+
 void describe(const char* name, const TurbulenceRunResult& run) {
   std::printf("scenario: %s\n", name);
   for (const auto& rec : run.episodes) {
@@ -200,6 +247,18 @@ void describe(const char* name, const TurbulenceRunResult& run) {
       std::printf("  router-down-stall=%.1fs",
                   m.stall_during_router_down.to_seconds());
     std::printf("\n");
+    if (m.primary_packets + m.detour_packets > 0)
+      std::printf(
+          "        multipath: primary %llu pkts (loss %.1f%%, %.0f kbps) | "
+          "detour %llu pkts (loss %.1f%%, %.0f kbps) | switches %llu | "
+          "reorder-p95 %u | nack-suppressed %llu | stalls %u/%u%s\n",
+          static_cast<unsigned long long>(m.primary_packets),
+          100.0 * m.primary_loss_ratio(), m.primary_goodput_kbps,
+          static_cast<unsigned long long>(m.detour_packets),
+          100.0 * m.detour_loss_ratio(), m.detour_goodput_kbps,
+          static_cast<unsigned long long>(m.path_switches), m.reorder_depth_p95,
+          static_cast<unsigned long long>(m.nack_suppressed), m.primary_stalls,
+          m.detour_stalls, m.multipath_degraded ? " DEGRADED" : "");
     if (m.packets_recovered > 0 || m.parity_packets > 0 || m.nacks_sent > 0)
       std::printf(
           "        repair: recovered=%llu (fec=%llu retx=%llu) ratio=%.1f%% "
@@ -239,7 +298,11 @@ CampaignConfig build_campaign_config(const ClipInfo& clip, std::size_t trials,
   cfg.trials = trials;
   cfg.base_seed = base_seed;
   cfg.verify_determinism = verify_determinism;
-  if (chaos) {
+  if (g_multipath) {
+    // Multipath trials: striped stream surviving a flapping detour router,
+    // audited and replay-verified like any other campaign.
+    cfg.scenario = chaos_multipath_config();
+  } else if (chaos) {
     // Self-healing trials: router failure + detour reroute (mirror armed
     // as backstop), audited and replay-verified like any other campaign.
     cfg.scenario = chaos_reroute_config();
@@ -378,6 +441,10 @@ int run_campaign_mode(const ClipSet& set, RateTier tier, std::size_t trials,
           static_cast<unsigned long long>(agg.nacks_sent),
           static_cast<unsigned long long>(agg.retransmissions_sent),
           static_cast<unsigned long long>(agg.parity_packets));
+    if (g_multipath)
+      std::printf("  multipath: %llu path switches, %llu NACKs suppressed\n",
+                  static_cast<unsigned long long>(agg.path_switches),
+                  static_cast<unsigned long long>(agg.nack_suppressed));
     const std::size_t ran = result.trials.size() - result.resumed;
     if (ran > 0 && wall_seconds > 0.0) {
       std::printf("  throughput: %zu trials in %.2fs wall = %.2f trials/sec (workers=%zu)\n",
@@ -566,6 +633,8 @@ int main(int argc, char** argv) {
       g_repair.fec_stride = 4;
     } else if (std::strcmp(argv[i], "--nack") == 0) {
       g_repair.nack = true;
+    } else if (std::strcmp(argv[i], "--multipath") == 0) {
+      g_multipath = true;
     } else if (std::strcmp(argv[i], "--verify-determinism") == 0) {
       verify_determinism = true;
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
@@ -647,6 +716,7 @@ int main(int argc, char** argv) {
         distrib.worker_argv_base.push_back(std::to_string(g_repair.fec_k));
       }
       if (g_repair.nack) distrib.worker_argv_base.push_back("--nack");
+      if (g_multipath) distrib.worker_argv_base.push_back("--multipath");
       if (plant_quarantine >= 0) {
         distrib.worker_argv_base.push_back("--plant-quarantine");
         distrib.worker_argv_base.push_back(std::to_string(plant_quarantine));
@@ -678,25 +748,40 @@ int main(int argc, char** argv) {
   // Chaos (self-healing) scenarios: a paired run over the detour topology,
   // then per-player mirror-failover runs (the pair harness is
   // single-server, so failover uses the clip form).
-  if (chaos) {
+  if (chaos || g_multipath) {
     const auto clip_pair = *set.pair(tier);
+    // Mirror/multipath scenarios are single-server per session, so they use
+    // the clip form, one run per player.
+    const auto run_clip_scenario = [&](const std::string& name, const ClipInfo& clip,
+                                       TurbulenceScenarioConfig cfg) {
+      std::unique_ptr<obs::Obs> obs;
+      if (!trace_dir.empty()) {
+        obs = std::make_unique<obs::Obs>();
+        cfg.obs = obs.get();
+      }
+      runs.emplace_back(name, run_turbulence_clip(clip, cfg));
+      if (obs) {
+        const std::string dir = trace_dir + "/" + name;
+        const int files = obs::export_trace(*obs, dir);
+        std::printf("trace: wrote %d files to %s\n", files, dir.c_str());
+      }
+    };
     try {
-      run_scenario("router-down-reroute", chaos_reroute_config());
-      for (const ClipInfo* clip : {&clip_pair.first, &clip_pair.second}) {
-        TurbulenceScenarioConfig cfg = chaos_failover_config();
-        std::unique_ptr<obs::Obs> obs;
-        if (!trace_dir.empty()) {
-          obs = std::make_unique<obs::Obs>();
-          cfg.obs = obs.get();
+      if (chaos) {
+        run_scenario("router-down-reroute", chaos_reroute_config());
+        for (const ClipInfo* clip : {&clip_pair.first, &clip_pair.second}) {
+          const std::string name =
+              std::string("router-down-failover-") +
+              (clip->player == PlayerKind::kMediaPlayer ? "media" : "real");
+          run_clip_scenario(name, *clip, chaos_failover_config());
         }
-        const std::string name =
-            std::string("router-down-failover-") +
-            (clip->player == PlayerKind::kMediaPlayer ? "media" : "real");
-        runs.emplace_back(name, run_turbulence_clip(*clip, cfg));
-        if (obs) {
-          const std::string dir = trace_dir + "/" + name;
-          const int files = obs::export_trace(*obs, dir);
-          std::printf("trace: wrote %d files to %s\n", files, dir.c_str());
+      }
+      if (g_multipath) {
+        for (const ClipInfo* clip : {&clip_pair.first, &clip_pair.second}) {
+          const std::string name =
+              std::string("multipath-flap-") +
+              (clip->player == PlayerKind::kMediaPlayer ? "media" : "real");
+          run_clip_scenario(name, *clip, chaos_multipath_config());
         }
       }
     } catch (const std::exception& e) {

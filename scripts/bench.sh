@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Records the benchmark JSON artifacts (BENCH_CAMPAIGN.json, BENCH_OBS.json,
 # BENCH_REPAIR.json, BENCH_TELEMETRY.json, BENCH_DISTRIB.json,
-# BENCH_FLEET.json) from a Release build — and refuses anything else.
+# BENCH_FLEET.json, BENCH_MULTIPATH.json) from a Release build — and refuses
+# anything else.
 # Numbers measured from a debug or sanitized tree are not
 # comparable to the committed baselines, so this script is the only
 # sanctioned way to refresh them.
@@ -55,8 +56,8 @@ if [[ -n "$SANITIZE" ]]; then
 fi
 
 # benchmark binary -> artifact basename; one committed JSON per binary.
-BINARIES=(bench_campaign bench_micro bench_repair bench_telemetry bench_distrib bench_fleet)
-ARTIFACTS=(BENCH_CAMPAIGN.json BENCH_OBS.json BENCH_REPAIR.json BENCH_TELEMETRY.json BENCH_DISTRIB.json BENCH_FLEET.json)
+BINARIES=(bench_campaign bench_micro bench_repair bench_telemetry bench_distrib bench_fleet bench_multipath)
+ARTIFACTS=(BENCH_CAMPAIGN.json BENCH_OBS.json BENCH_REPAIR.json BENCH_TELEMETRY.json BENCH_DISTRIB.json BENCH_FLEET.json BENCH_MULTIPATH.json)
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BINARIES[@]}"
 
@@ -108,7 +109,8 @@ fi
 python3 - <<'EOF'
 import json
 for path in ("BENCH_CAMPAIGN.json", "BENCH_OBS.json", "BENCH_REPAIR.json",
-             "BENCH_TELEMETRY.json", "BENCH_DISTRIB.json", "BENCH_FLEET.json"):
+             "BENCH_TELEMETRY.json", "BENCH_DISTRIB.json", "BENCH_FLEET.json",
+             "BENCH_MULTIPATH.json"):
     with open(path) as f:
         d = json.load(f)
     d["context"]["streamlab_build_type"] = "Release"

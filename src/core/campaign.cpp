@@ -45,6 +45,7 @@ struct Digester {
 void fold_episode(Digester& d, const FaultEpisode& e) {
   d.u64(static_cast<std::uint64_t>(e.kind));
   d.i64(e.router_index);
+  d.u64(e.detour ? 1 : 0);
   d.i64(e.start.ns());
   d.i64(e.duration.ns());
   d.i64(e.bandwidth.bits_per_second());
@@ -166,6 +167,8 @@ std::string manifest_line(const TrialOutcome& t, const std::string& config_hex) 
   num("nacks_sent", t.nacks_sent);
   num("retx_sent", t.retransmissions_sent);
   num("parity_packets", t.parity_packets);
+  num("path_switches", t.path_switches);
+  num("nacks_suppressed", t.nack_suppressed);
   line += "\"router_down_stall_ns\":" + std::to_string(t.router_down_stall.ns()) + ",";
   line += "\"stall_ns\":" + std::to_string(t.stall_time.ns());
   if (t.status == TrialStatus::kQuarantined) {
@@ -233,6 +236,8 @@ TrialOutcome parse_manifest_line(const std::string& line, const std::string& con
   t.nacks_sent = json_u64(line, "nacks_sent");
   t.retransmissions_sent = json_u64(line, "retx_sent");
   t.parity_packets = json_u64(line, "parity_packets");
+  t.path_switches = json_u64(line, "path_switches");
+  t.nack_suppressed = json_u64(line, "nacks_suppressed");
   t.router_down_stall = Duration::nanos(json_i64(line, "router_down_stall_ns"));
   t.stall_time = Duration::nanos(json_i64(line, "stall_ns"));
   if (t.status == TrialStatus::kQuarantined) {
@@ -275,6 +280,8 @@ void fill_salvage(TrialOutcome& t) {
     t.nacks_sent += m->nacks_sent;
     t.retransmissions_sent += m->retransmissions_sent;
     t.parity_packets += m->parity_packets;
+    t.path_switches += m->path_switches;
+    t.nack_suppressed += m->nack_suppressed;
   };
   fold_session(t.result->real);
   fold_session(t.result->media);
@@ -611,6 +618,8 @@ void CampaignAggregate::fold(const TrialOutcome& trial) {
   nacks_sent += trial.nacks_sent;
   retransmissions_sent += trial.retransmissions_sent;
   parity_packets += trial.parity_packets;
+  path_switches += trial.path_switches;
+  nack_suppressed += trial.nack_suppressed;
 }
 
 std::vector<std::uint64_t> CampaignResult::quarantined_seeds() const {
@@ -670,6 +679,23 @@ std::uint64_t campaign_config_digest(const CampaignConfig& config) {
   d.u64(s.repair_layer.retx_buffer_packets);
   d.f64(s.repair_layer.pacer_rate_fraction);
   d.u64(s.repair_layer.pacer_burst_bytes);
+  d.i64(s.repair_layer.nack_reorder_tolerance);
+  // Multipath striping policy: striped and single-path trials produce
+  // different wire traffic, as do different weights or health thresholds.
+  d.u64(s.multipath.enabled ? 1 : 0);
+  if (s.multipath.enabled) {
+    d.i64(s.multipath.primary_weight);
+    d.i64(s.multipath.detour_weight);
+    d.f64(s.multipath.loss_unhealthy);
+    d.f64(s.multipath.loss_healthy);
+    d.f64(s.multipath.ewma_alpha);
+    d.i64(s.multipath.strike_limit);
+    d.i64(s.multipath.report_interval.ns());
+    d.i64(s.multipath.hold_down.ns());
+    d.u64(s.multipath.join_buffer_packets);
+    d.i64(s.multipath.join_hold.ns());
+    d.i64(s.multipath.nack_reorder_tolerance);
+  }
   d.u64(s.recovery.play_retry ? 1 : 0);
   d.i64(s.recovery.play_timeout.ns());
   d.f64(s.recovery.backoff);

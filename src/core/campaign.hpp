@@ -173,6 +173,9 @@ struct TrialOutcome {
   std::uint64_t nacks_sent = 0;         ///< client NACK messages
   std::uint64_t retransmissions_sent = 0;  ///< server retx answered
   std::uint64_t parity_packets = 0;     ///< parity packets received
+  // Multipath salvage (zero when striping is disabled).
+  std::uint64_t path_switches = 0;    ///< healthy<->draining transitions
+  std::uint64_t nack_suppressed = 0;  ///< NACKs deferred by reorder tolerance
 
   // Worker post-mortem evidence (distributed campaigns; see
   // src/campaign/distributed.hpp). Zero/empty for in-process trials, so a
@@ -219,6 +222,8 @@ struct CampaignAggregate {
   std::uint64_t nacks_sent = 0;
   std::uint64_t retransmissions_sent = 0;
   std::uint64_t parity_packets = 0;
+  std::uint64_t path_switches = 0;
+  std::uint64_t nack_suppressed = 0;
 
   void fold(const TrialOutcome& trial);
 };

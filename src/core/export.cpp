@@ -136,7 +136,12 @@ void append_recovery_row(std::ostream& out, const std::string& scenario,
       << m.duplicate_packets << "," << m.packets_recovered << ","
       << fmt_double(m.recovery_ratio(), 4) << ","
       << fmt_double(m.repair_latency_mean_ms, 3) << ","
-      << fmt_double(m.repair_overhead(), 4) << "\n";
+      << fmt_double(m.repair_overhead(), 4) << "," << m.path_switches << ","
+      << fmt_double(m.primary_loss_ratio(), 4) << ","
+      << fmt_double(m.detour_loss_ratio(), 4) << ","
+      << fmt_double(m.primary_goodput_kbps, 1) << ","
+      << fmt_double(m.detour_goodput_kbps, 1) << "," << m.reorder_depth_p95
+      << "," << m.nack_suppressed << "\n";
 }
 
 }  // namespace
@@ -146,7 +151,9 @@ void turbulence_csv(const std::vector<std::pair<std::string, TurbulenceRunResult
   out << "scenario,clip_id,player,established,play_attempts,abandoned,stream_dead,"
          "completed,time_to_recover_s,rebuffer_events,stall_s,frames_rendered,"
          "frames_dropped,dropped_during,dropped_after,packets,lost,duplicates,"
-         "recovered,recovery_ratio,repair_latency_mean_ms,repair_overhead\n";
+         "recovered,recovery_ratio,repair_latency_mean_ms,repair_overhead,"
+         "path_switches,primary_loss,detour_loss,primary_goodput_kbps,"
+         "detour_goodput_kbps,reorder_depth_p95,nack_suppressed\n";
   for (const auto& [scenario, run] : runs) {
     if (run.real) append_recovery_row(out, scenario, *run.real);
     if (run.media) append_recovery_row(out, scenario, *run.media);

@@ -40,7 +40,9 @@ int export_study(const StudyResults& study, const std::string& directory);
 /// stream_dead,completed,time_to_recover_s,rebuffer_events,stall_s,
 /// frames_rendered,frames_dropped,dropped_during,dropped_after,packets,
 /// lost,duplicates,recovered,recovery_ratio,repair_latency_mean_ms,
-/// repair_overhead
+/// repair_overhead,path_switches,primary_loss,detour_loss,
+/// primary_goodput_kbps,detour_goodput_kbps,reorder_depth_p95,
+/// nack_suppressed
 void turbulence_csv(const std::vector<std::pair<std::string, TurbulenceRunResult>>& runs,
                     std::ostream& out);
 std::string turbulence_csv(const std::vector<std::pair<std::string, TurbulenceRunResult>>&

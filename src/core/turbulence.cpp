@@ -51,6 +51,22 @@ FaultedSession make_session(Network& net, Host& server_host, Host* mirror_host,
   cc.max_stall = config.max_stall;
   cc.recovery = config.recovery;
   cc.repair = config.repair_layer;
+  if (config.multipath.enabled && net.detour_hop_count() > 0) {
+    // Striping needs a second path: alias addresses steer subflow 1 down
+    // the detour branch without touching the primary routing. Only the
+    // primary server stripes — a mirror epoch is already degraded, and the
+    // client tears its multipath plane down at failover.
+    const Network::MultipathEndpoints ep = net.enable_multipath(server_host);
+    MultipathConfig mp = config.multipath;
+    mp.client_alias = ep.client_alias;
+    mp.server_alias = ep.server_alias;
+    s.server->enable_multipath(mp);
+    cc.multipath = mp;
+    // Striping jitter would otherwise read as gaps; arm NACKs only after
+    // the reorder-tolerance window proves a hole is real.
+    if (cc.repair.nack && cc.repair.nack_reorder_tolerance == 0)
+      cc.repair.nack_reorder_tolerance = mp.nack_reorder_tolerance;
+  }
   if (mirror_host != nullptr) {
     cc.failover.mirrors.push_back(Endpoint{mirror_host->address(), server_port});
     cc.failover.icmp_unreachable_threshold = config.icmp_unreachable_threshold;
@@ -118,6 +134,30 @@ SessionRecoveryMetrics collect(const ClipInfo& clip, const StreamClient& client,
     m.retransmissions_sent += s->retransmissions_sent();
     m.retx_suppressed_pacer += s->retx_suppressed_pacer();
   }
+
+  if (server != nullptr && server->multipath_enabled()) {
+    m.path_switches = server->path_switches();
+    m.multipath_degraded = server->multipath_degraded();
+    m.primary_packets = client.subflow_packets_received(0);
+    m.detour_packets = client.subflow_packets_received(1);
+    m.primary_lost = client.subflow_packets_lost(0);
+    m.detour_lost = client.subflow_packets_lost(1);
+    m.reorder_depth_p95 = client.reorder_depth_p95();
+    m.primary_stalls = client.subflow_stall_attributions(0);
+    m.detour_stalls = client.subflow_stall_attributions(1);
+    m.join_duplicates = client.join_duplicates_dropped();
+    m.join_forced = client.join_forced_releases();
+    // Per-path goodput over the nominal clip length: comparable across
+    // runs of the same clip regardless of how long the tail dragged on.
+    const double secs = clip.length.to_seconds();
+    if (secs > 0.0) {
+      m.primary_goodput_kbps =
+          static_cast<double>(client.subflow_media_bytes(0)) * 8.0 / secs / 1000.0;
+      m.detour_goodput_kbps =
+          static_cast<double>(client.subflow_media_bytes(1)) * 8.0 / secs / 1000.0;
+    }
+  }
+  m.nack_suppressed = client.nack_suppressed();
 
   // Attribute stall time to router failure: overlap each stall interval
   // with the merged kRouterDown windows.

@@ -14,6 +14,7 @@
 
 #include "core/experiment.hpp"
 #include "obs/obs.hpp"
+#include "players/multipath.hpp"
 #include "players/repair.hpp"
 #include "sim/audit.hpp"
 #include "sim/faults.hpp"
@@ -91,6 +92,15 @@ struct TurbulenceScenarioConfig {
   /// of the scenario. The default leaves repair off, preserving the
   /// unrepaired baseline byte for byte.
   RepairLayerConfig repair_layer;
+
+  // --- Multipath striping (players/multipath.hpp) ---
+  /// When enabled and the path has a detour, the primary server stripes the
+  /// stream across the chain and the detour branch under health-driven
+  /// weights; the client reassembles global order through a bounded join
+  /// buffer. The mirror (if any) stays single-path — a failover epoch is
+  /// already a degraded state. Default off: the single-path baseline is
+  /// byte-identical to previous behaviour.
+  MultipathConfig multipath;
 };
 
 /// How one player session fared through the scripted turbulence.
@@ -142,6 +152,40 @@ struct SessionRecoveryMetrics {
   double repair_latency_p95_ms = 0.0;
   std::uint64_t retransmissions_sent = 0;   ///< server-side retx answered
   std::uint64_t retx_suppressed_pacer = 0;  ///< server retx dropped by pacer
+
+  // Multipath striping behaviour (all zero when multipath is disabled).
+  std::uint64_t path_switches = 0;     ///< healthy<->draining transitions
+  std::uint64_t primary_packets = 0;   ///< subflow-0 datagrams delivered
+  std::uint64_t detour_packets = 0;    ///< subflow-1 datagrams delivered
+  std::uint64_t primary_lost = 0;      ///< subflow-0 sequence holes
+  std::uint64_t detour_lost = 0;       ///< subflow-1 sequence holes
+  double primary_goodput_kbps = 0.0;   ///< subflow-0 media rate over the stream
+  double detour_goodput_kbps = 0.0;    ///< subflow-1 media rate over the stream
+  std::uint32_t reorder_depth_p95 = 0; ///< join-buffer occupancy p95
+  std::uint64_t nack_suppressed = 0;   ///< NACKs deferred by reorder tolerance
+  std::uint32_t primary_stalls = 0;    ///< stalls attributed to subflow 0
+  std::uint32_t detour_stalls = 0;     ///< stalls attributed to subflow 1
+  std::uint64_t join_duplicates = 0;   ///< cross-subflow duplicates dropped
+  std::uint64_t join_forced = 0;       ///< join-buffer hold-expiry releases
+  bool multipath_degraded = false;     ///< every subflow draining at run end
+
+  /// Per-subflow loss ratio: holes / (holes + delivered).
+  double subflow_loss_ratio(std::uint64_t lost, std::uint64_t received) const {
+    const std::uint64_t denom = lost + received;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(lost) / static_cast<double>(denom);
+  }
+  double primary_loss_ratio() const {
+    return subflow_loss_ratio(primary_lost, primary_packets);
+  }
+  double detour_loss_ratio() const {
+    return subflow_loss_ratio(detour_lost, detour_packets);
+  }
+  /// Rebuffering exposure: stall time per nominal clip second.
+  double rebuffer_ratio() const {
+    const double len = clip.length.to_seconds();
+    return len <= 0.0 ? 0.0 : stall_time.to_seconds() / len;
+  }
 
   /// abandoned or declared dead: the session did not survive the turbulence.
   bool session_failed() const { return abandoned || stream_dead; }

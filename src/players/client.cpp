@@ -17,6 +17,8 @@ StreamClient::StreamClient(Host& host, const EncodedClip& clip, Endpoint server,
                                SimTime now) { handle_datagram(payload, from, now); });
 
   if (config_.repair.enabled()) repair_ = std::make_unique<RepairState>(config_.repair);
+  if (config_.multipath.enabled)
+    multipath_ = std::make_unique<MultipathState>(config_.multipath);
 
   // With mirrors configured, Destination Unreachable about the active server
   // is a fast-fail signal: listen for it ahead of the inactivity watchdog.
@@ -45,6 +47,8 @@ StreamClient::StreamClient(Host& host, const EncodedClip& clip, Endpoint server,
       obs_->unreachables = obs->registry().counter(prefix + "icmp_unreachables");
       obs_->recovered = obs->registry().counter(prefix + "packets_recovered");
       obs_->nacks = obs->registry().counter(prefix + "nacks_sent");
+      obs_->nack_suppressed = obs->registry().counter(prefix + "nacks_suppressed");
+      obs_->path_reports = obs->registry().counter(prefix + "path_reports_sent");
       obs_->repair_latency =
           obs->registry().histogram(prefix + "repair_latency_ms", 5.0, 100);
       obs::Tracer& tracer = obs->tracer();
@@ -66,6 +70,7 @@ StreamClient::~StreamClient() {
   play_timer_.cancel();
   watchdog_timer_.cancel();
   if (repair_) repair_->nack_timer.cancel();
+  if (multipath_) multipath_->report_timer.cancel();
   if (icmp_handler_installed_) host_.set_icmp_handler({});
   host_.udp_unbind(port_);
 }
@@ -291,6 +296,27 @@ void StreamClient::failover(SimTime now) {
   report_window_max_seq_ = 0;
   report_window_received_ = packets_.size() + pending_app_.size();
 
+  // Multipath striping ends with the original server: the held join-buffer
+  // packets are delivered (their media bytes may lie below the resume
+  // offset, so dropping them would leave app-coverage holes the mirror
+  // never refills), then the buffer resets and the mirror epoch runs
+  // single-path — mirrors do not stripe.
+  if (multipath_) {
+    for (const JoinPacket& held : multipath_->join.flush()) {
+      PacketEvent ev;
+      ev.network_time = held.arrival;
+      ev.seq = held.seq;
+      ev.media_offset = held.media_offset;
+      ev.media_len = held.media_len;
+      ev.flags = held.flags;
+      deliver_app(ev, now);
+    }
+    multipath_->join.reset();
+    multipath_->report_timer.cancel();
+    multipath_->report_timer_armed = false;
+    multipath_->stopped = true;
+  }
+
   // The mirror's sequence space is fresh: row state, gap registry and
   // pending NACKs from the old epoch are meaningless against it.
   if (repair_) {
@@ -319,7 +345,12 @@ void StreamClient::failover(SimTime now) {
 
 void StreamClient::handle_datagram(std::span<const std::uint8_t> payload, Endpoint from,
                                    SimTime now) {
-  if (from.ip != server_.ip) return;
+  // Multipath subflow 1 arrives from the server's alias address; everything
+  // else must come from the active server.
+  const bool from_alias = multipath_ && !multipath_->stopped &&
+                          from.ip == config_.multipath.server_alias &&
+                          from.port == server_.port;
+  if (from.ip != server_.ip && !from_alias) return;
   if (auto ctrl = ControlMessage::decode(payload)) {
     if (ctrl->type == ControlType::kPlayOk) {
       play_ok_received_ = true;
@@ -408,19 +439,7 @@ void StreamClient::accept_recovered(const RecoveredPacket& packet, SimTime now) 
   ev.media_offset = packet.media_offset;
   ev.media_len = packet.media_len;
   ev.flags = packet.flags;
-  if (config_.kind == PlayerKind::kMediaPlayer) {
-    pending_app_.push_back(ev);
-    if (!batch_timer_armed_) {
-      batch_timer_armed_ = true;
-      host_.loop().post_in(config_.wm.app_batch_interval,
-                           [this] { release_app_batch(); },
-                               obs::EventCategory::kTimer);
-    }
-  } else {
-    ev.app_time = now;
-    packets_.push_back(ev);
-    app_coverage_.insert(ev.media_offset, ev.media_offset + ev.media_len);
-  }
+  route_to_app(ev, now);
 
   if (!playout_start_ && first_data_) {
     const Duration preroll = config_.kind == PlayerKind::kMediaPlayer
@@ -442,6 +461,13 @@ void StreamClient::on_nack_timer() {
   if (stream_dead_ || session_abandoned_) return;
   const SimTime now = host_.loop().now();
   const auto due = repair_->nack.due(now);
+  if (obs_) {
+    const std::uint64_t suppressed = repair_->nack.suppressed();
+    if (suppressed > obs_->nack_suppressed_synced) {
+      obs_->nack_suppressed.add(suppressed - obs_->nack_suppressed_synced);
+      obs_->nack_suppressed_synced = suppressed;
+    }
+  }
   if (!due.empty()) {
     for (const ControlMessage& msg : make_nack_messages(clip_.info().id(), due)) {
       const auto bytes = msg.encode();
@@ -471,8 +497,13 @@ void StreamClient::on_data(const DataHeader& header, std::size_t media_len, SimT
     on_session_established(now);
   }
   last_data_ = now;
-  wire_media_bytes_ += kDataHeaderSize + media_len;
-  if (obs_) obs_goodput(kDataHeaderSize + media_len, now);
+  const std::size_t wire_len =
+      kDataHeaderSize + media_len +
+      ((header.flags & kFlagMultipath) != 0 ? kMultipathExtensionSize : 0);
+  wire_media_bytes_ += wire_len;
+  if (obs_) obs_goodput(wire_len, now);
+  if (multipath_ && (header.flags & kFlagMultipath) != 0)
+    note_subflow_arrival(header, media_len, now);
 
   const bool duplicate = seq_seen_.covers(header.seq, std::uint64_t{header.seq} + 1);
   if (duplicate) {
@@ -511,14 +542,21 @@ void StreamClient::on_data(const DataHeader& header, std::size_t media_len, SimT
         schedule_nack_timer();
       }
       if (repair_->decoder) {
-        // Strip the retransmit bit before the XOR: the server's encoder saw
-        // the original flags.
-        const auto fec_flags =
-            static_cast<std::uint8_t>(header.flags & ~kFlagRetransmit);
+        // Strip the retransmit and multipath bits before the XOR: the
+        // server's encoder was fed the canonical (pre-striping) flags.
+        const auto fec_flags = static_cast<std::uint8_t>(
+            header.flags & ~(kFlagRetransmit | kFlagMultipath));
         if (auto recovered = repair_->decoder->on_data(
                 header.seq, header.media_offset,
                 static_cast<std::uint32_t>(media_len), fec_flags))
           accept_recovered(*recovered, now);
+      }
+    }
+    if (obs_) {
+      const std::uint64_t suppressed = repair_->nack.suppressed();
+      if (suppressed > obs_->nack_suppressed_synced) {
+        obs_->nack_suppressed.add(suppressed - obs_->nack_suppressed_synced);
+        obs_->nack_suppressed_synced = suppressed;
       }
     }
   }
@@ -537,22 +575,9 @@ void StreamClient::on_data(const DataHeader& header, std::size_t media_len, SimT
   ev.media_offset = header.media_offset;
   ev.media_len = media_len;
   ev.flags = header.flags;
-
-  if (config_.kind == PlayerKind::kMediaPlayer) {
-    // Interleaving: the engine releases packets to the application in
-    // batches once per app_batch_interval (Figure 12).
-    pending_app_.push_back(ev);
-    if (!batch_timer_armed_) {
-      batch_timer_armed_ = true;
-      host_.loop().post_in(config_.wm.app_batch_interval,
-                           [this] { release_app_batch(); },
-                               obs::EventCategory::kTimer);
-    }
-  } else {
-    ev.app_time = now;
-    packets_.push_back(ev);
-    app_coverage_.insert(ev.media_offset, ev.media_offset + ev.media_len);
-  }
+  // Duplicates flow to the application too, exactly as before multipath:
+  // the app layer's coverage accounting is idempotent.
+  route_to_app(ev, now);
 
   if (!playout_start_) {
     const Duration preroll = config_.kind == PlayerKind::kMediaPlayer
@@ -588,6 +613,128 @@ void StreamClient::send_receiver_report() {
                          [this] { send_receiver_report(); },
                              obs::EventCategory::kControl);
   }
+}
+
+void StreamClient::deliver_app(PacketEvent ev, SimTime now) {
+  if (config_.kind == PlayerKind::kMediaPlayer) {
+    // Interleaving: the engine releases packets to the application in
+    // batches once per app_batch_interval (Figure 12).
+    pending_app_.push_back(ev);
+    if (!batch_timer_armed_) {
+      batch_timer_armed_ = true;
+      host_.loop().post_in(config_.wm.app_batch_interval,
+                           [this] { release_app_batch(); },
+                           obs::EventCategory::kTimer);
+    }
+  } else {
+    ev.app_time = now;
+    packets_.push_back(ev);
+    app_coverage_.insert(ev.media_offset, ev.media_offset + ev.media_len);
+  }
+}
+
+void StreamClient::route_to_app(const PacketEvent& ev, SimTime now) {
+  if (!multipath_ || multipath_->stopped) {
+    deliver_app(ev, now);
+    return;
+  }
+  // Multipath: the join buffer restores global sequence order across the
+  // interleaved subflow arrivals before anything reaches the application.
+  JoinPacket packet;
+  packet.seq = ev.seq;
+  packet.media_offset = ev.media_offset;
+  packet.media_len = static_cast<std::uint32_t>(ev.media_len);
+  packet.flags = ev.flags;
+  packet.arrival = ev.network_time;
+  auto released = multipath_->join.insert(packet, now);
+  if (eos_received_) {
+    // The stream is over: nothing lower-sequenced is still in flight worth
+    // waiting for, so drain the buffer behind the final packet.
+    for (const JoinPacket& held : multipath_->join.flush()) released.push_back(held);
+  }
+  for (const JoinPacket& out : released) {
+    PacketEvent app_ev;
+    app_ev.network_time = out.arrival;
+    app_ev.seq = out.seq;
+    app_ev.media_offset = out.media_offset;
+    app_ev.media_len = out.media_len;
+    app_ev.flags = out.flags;
+    deliver_app(app_ev, now);
+  }
+}
+
+void StreamClient::note_subflow_arrival(const DataHeader& header, std::size_t media_len,
+                                        SimTime now) {
+  const int id = header.subflow_id < 2 ? header.subflow_id : 1;
+  SubflowRx& rx = multipath_->rx[id];
+  ++rx.packets_received;
+  rx.media_bytes += media_len;
+  if (!rx.any || header.subflow_seq > rx.max_subflow_seq)
+    rx.max_subflow_seq = header.subflow_seq;
+  rx.any = true;
+  rx.last_arrival = now;
+  if (!multipath_->report_timer_armed && !multipath_->stopped) {
+    multipath_->report_timer_armed = true;
+    multipath_->report_timer =
+        host_.loop().schedule_in(config_.multipath.report_interval,
+                                 [this] { send_path_reports(); },
+                                 obs::EventCategory::kControl);
+  }
+}
+
+void StreamClient::send_path_reports() {
+  multipath_->report_timer_armed = false;
+  if (multipath_->stopped || eos_received_ || stream_dead_ || session_abandoned_)
+    return;
+  // One report per subflow that has ever delivered data, each sent over the
+  // path it describes — so a dead path's report dies with it and the
+  // server-side silence strikes do their job.
+  for (int id = 0; id < 2; ++id) {
+    const SubflowRx& rx = multipath_->rx[id];
+    if (!rx.any) continue;
+    ControlMessage report{ControlType::kPathReport, clip_.info().id()};
+    report.value = static_cast<std::uint16_t>(id);
+    report.offset = (std::uint64_t{rx.max_subflow_seq} << 32) |
+                    (rx.packets_received & 0xFFFFFFFFull);
+    const auto bytes = report.encode();
+    if (id == 0)
+      host_.udp_send(port_, server_, bytes);
+    else
+      host_.udp_send_from(config_.multipath.client_alias, port_,
+                          Endpoint{config_.multipath.server_alias, server_.port},
+                          bytes);
+    ++multipath_->reports_sent;
+    if (obs_) obs_->path_reports.add();
+  }
+  multipath_->report_timer_armed = true;
+  multipath_->report_timer =
+      host_.loop().schedule_in(config_.multipath.report_interval,
+                               [this] { send_path_reports(); },
+                               obs::EventCategory::kControl);
+}
+
+void StreamClient::attribute_stall() {
+  if (!multipath_) return;
+  // The responsible path is the stalest one: the subflow whose most recent
+  // delivery is oldest is the one starving the join buffer.
+  int victim = -1;
+  for (int id = 0; id < 2; ++id) {
+    const SubflowRx& rx = multipath_->rx[id];
+    if (!rx.any) continue;
+    if (victim < 0 ||
+        rx.last_arrival < multipath_->rx[static_cast<std::size_t>(victim)].last_arrival)
+      victim = id;
+  }
+  if (victim >= 0)
+    ++multipath_->rx[static_cast<std::size_t>(victim)].stall_attributions;
+}
+
+std::uint64_t StreamClient::subflow_packets_lost(int id) const {
+  if (!multipath_) return 0;
+  const SubflowRx& rx = multipath_->rx[static_cast<std::size_t>(id)];
+  if (!rx.any) return 0;
+  const std::uint64_t expected = std::uint64_t{rx.max_subflow_seq} + 1;
+  return expected > rx.packets_received ? expected - rx.packets_received : 0;
 }
 
 void StreamClient::release_app_batch() {
@@ -672,6 +819,7 @@ void StreamClient::decode_frame_rebuffering(std::size_t index) {
     if (current_stall_ == Duration::zero()) {
       ++rebuffer_events_;
       stall_start_ = host_.loop().now();
+      attribute_stall();
       if (obs_) {
         obs_->rebuffers.add();
         if constexpr (obs::kObsCompiledIn) {

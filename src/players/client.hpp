@@ -14,6 +14,7 @@
 
 #include "media/encoder.hpp"
 #include "players/behavior.hpp"
+#include "players/multipath.hpp"
 #include "players/protocol.hpp"
 #include "players/repair.hpp"
 #include "players/scaling.hpp"
@@ -101,6 +102,9 @@ class StreamClient {
     /// match the server's enable_repair configuration; the default leaves
     /// repair off and the client byte-identical to the unrepaired baseline.
     RepairLayerConfig repair;
+    /// Multipath striping policy; must match the server's enable_multipath
+    /// configuration (alias addresses included). Disabled by default.
+    MultipathConfig multipath;
   };
 
   /// The client needs the clip's frame table (in the real products this
@@ -194,6 +198,44 @@ class StreamClient {
     return repair_ ? repair_->latencies : kEmpty;
   }
 
+  // --- Multipath state (all zero when Config::multipath is disabled) ---
+  /// Distinct packets received on one subflow (multipath-framed only).
+  std::uint64_t subflow_packets_received(int id) const {
+    return multipath_ ? multipath_->rx[static_cast<std::size_t>(id)].packets_received : 0;
+  }
+  /// Per-subflow gap count: sequence numbers the subflow's own space shows
+  /// as never delivered on that path (the per-path loss figure).
+  std::uint64_t subflow_packets_lost(int id) const;
+  /// Media payload bytes delivered by one subflow (per-path goodput basis).
+  std::uint64_t subflow_media_bytes(int id) const {
+    return multipath_ ? multipath_->rx[static_cast<std::size_t>(id)].media_bytes : 0;
+  }
+  /// Rebuffer stalls attributed to one subflow (the stalest path when the
+  /// stall began).
+  std::uint32_t subflow_stall_attributions(int id) const {
+    return multipath_ ? multipath_->rx[static_cast<std::size_t>(id)].stall_attributions
+                      : 0;
+  }
+  /// p95 of the join-buffer occupancy (reorder depth the striping produced).
+  std::uint32_t reorder_depth_p95() const {
+    return multipath_ ? multipath_->join.reorder_depth_p95() : 0;
+  }
+  std::uint64_t join_duplicates_dropped() const {
+    return multipath_ ? multipath_->join.duplicates_dropped() : 0;
+  }
+  std::uint64_t join_forced_releases() const {
+    return multipath_ ? multipath_->join.forced_releases() : 0;
+  }
+  /// NACKs the reorder-tolerance window suppressed (join jitter absorbed
+  /// without a retransmit request).
+  std::uint64_t nack_suppressed() const {
+    return repair_ ? repair_->nack.suppressed() : 0;
+  }
+  /// Path reports sent to the server (across all subflows).
+  std::uint64_t path_reports_sent() const {
+    return multipath_ ? multipath_->reports_sent : 0;
+  }
+
   std::optional<SimTime> first_data_time() const { return first_data_; }
   std::optional<SimTime> last_data_time() const { return last_data_; }
   std::optional<SimTime> playout_start_time() const { return playout_start_; }
@@ -230,6 +272,9 @@ class StreamClient {
     std::uint16_t goodput_name = 0;
     obs::Counter recovered;
     obs::Counter nacks;
+    obs::Counter nack_suppressed;
+    std::uint64_t nack_suppressed_synced = 0;  ///< counter high-water mark
+    obs::Counter path_reports;
     obs::Histogram repair_latency;
     std::uint16_t failover_name = 0;
     std::uint16_t unreachable_name = 0;
@@ -363,6 +408,41 @@ class StreamClient {
     std::vector<Duration> latencies;
   };
   std::unique_ptr<RepairState> repair_;
+
+  /// Per-subflow reception accounting (multipath-framed packets only).
+  struct SubflowRx {
+    std::uint64_t packets_received = 0;
+    std::uint64_t media_bytes = 0;
+    std::uint32_t max_subflow_seq = 0;
+    bool any = false;
+    SimTime last_arrival;
+    std::uint32_t stall_attributions = 0;
+  };
+
+  /// Multipath reception state, allocated only when Config::multipath is
+  /// enabled (single-path sessions pay nothing).
+  struct MultipathState {
+    explicit MultipathState(const MultipathConfig& c)
+        : join(c.join_buffer_packets, c.join_hold) {}
+    ReorderJoinBuffer join;
+    SubflowRx rx[2];
+    EventHandle report_timer;
+    bool report_timer_armed = false;
+    bool stopped = false;  ///< failover: the mirror epoch is single-path
+    std::uint64_t reports_sent = 0;
+  };
+  std::unique_ptr<MultipathState> multipath_;
+
+  /// Hands one packet to the application layer (batched on MediaPlayer,
+  /// immediate on RealPlayer) — the tail every reception path shares.
+  void deliver_app(PacketEvent ev, SimTime now);
+  /// Routes a packet toward the application: straight through single-path,
+  /// via the reordering join buffer under multipath.
+  void route_to_app(const PacketEvent& ev, SimTime now);
+  void send_path_reports();
+  void note_subflow_arrival(const DataHeader& header, std::size_t media_len, SimTime now);
+  /// Charges the stall beginning at `now` to the stalest subflow.
+  void attribute_stall();
 
   std::unique_ptr<ObsState> obs_;
 

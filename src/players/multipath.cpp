@@ -1,0 +1,249 @@
+#include "players/multipath.hpp"
+
+#include <algorithm>
+
+namespace streamlab {
+
+// --- SubflowScheduler ---
+
+namespace {
+/// Send-time ring size per subflow: enough history that the RTT sample for
+/// the report's highest sequence is still present at any plausible rate.
+constexpr std::size_t kSentRingSize = 64;
+}  // namespace
+
+SubflowScheduler::SubflowScheduler(const MultipathConfig& config) : config_(config) {
+  paths_.resize(static_cast<std::size_t>(config.subflow_count()));
+  paths_[0].weight = std::max(config.primary_weight, 1);
+  paths_[1].weight = std::max(config.detour_weight, 1);
+  for (Subflow& path : paths_) path.ring.resize(kSentRingSize);
+}
+
+void SubflowScheduler::set_draining(Subflow& path, bool draining, SimTime now) {
+  if (path.health.draining == draining) {
+    // Re-triggering an active drain extends its hold-down (a path that keeps
+    // misbehaving keeps waiting).
+    if (draining) path.health.drain_until = now + config_.hold_down;
+    return;
+  }
+  path.health.draining = draining;
+  ++path_switches_;
+  if (draining) {
+    path.health.drain_until = now + config_.hold_down;
+  } else {
+    path.health.strikes = 0;
+  }
+}
+
+int SubflowScheduler::pick(SimTime now) {
+  (void)now;
+  if (all_draining()) {
+    // Degradation rung: every path unhealthy. The stream collapses onto the
+    // primary so the single-path watchdog / failover machinery owns it.
+    ++degraded_ticks_;
+    return 0;
+  }
+  // Smooth weighted round-robin (the nginx variant): spreads the weight
+  // ratio evenly instead of bursting each path's full share back to back —
+  // exactly what keeps join-buffer depth bounded.
+  int total = 0;
+  int best = -1;
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    Subflow& path = paths_[i];
+    if (path.health.draining) continue;
+    path.current += path.weight;
+    total += path.weight;
+    if (best < 0 || path.current > paths_[static_cast<std::size_t>(best)].current)
+      best = static_cast<int>(i);
+  }
+  paths_[static_cast<std::size_t>(best)].current -= total;
+  return best;
+}
+
+std::uint32_t SubflowScheduler::stamp(int id, std::size_t media_len, SimTime now) {
+  Subflow& path = paths_[static_cast<std::size_t>(id)];
+  const std::uint32_t seq = path.next_subflow_seq++;
+  path.ring[path.ring_next] = SentSample{seq, now};
+  path.ring_next = (path.ring_next + 1) % path.ring.size();
+  ++path.stats.packets_sent;
+  path.stats.media_bytes_sent += media_len;
+  if (!path.health.any_report && path.stats.packets_sent == 1)
+    path.health.last_report = now;  // silence is measured from first use
+  return seq;
+}
+
+void SubflowScheduler::on_report(int id, std::uint32_t highest_seq,
+                                 std::uint32_t received, SimTime now) {
+  Subflow& path = paths_[static_cast<std::size_t>(id)];
+  ++path.stats.reports_received;
+  path.health.last_report = now;
+  path.health.any_report = true;
+  path.health.strikes = 0;
+
+  // RTT sample: the report echoes the highest subflow sequence it has seen;
+  // if that send is still in the ring, now - send time is a full path round
+  // trip (the report travelled back over the same path).
+  const std::size_t valid =
+      std::min<std::size_t>(static_cast<std::size_t>(path.stats.packets_sent),
+                            path.ring.size());
+  for (std::size_t i = 0; i < valid; ++i) {
+    const SentSample& sample = path.ring[i];
+    if (sample.subflow_seq == highest_seq && sample.sent_at <= now) {
+      const double rtt_ms = (now - sample.sent_at).to_millis();
+      path.health.ewma_rtt_ms = path.health.ewma_rtt_ms == 0.0
+                                    ? rtt_ms
+                                    : path.health.ewma_rtt_ms +
+                                          config_.ewma_alpha *
+                                              (rtt_ms - path.health.ewma_rtt_ms);
+      break;
+    }
+  }
+
+  // Loss over the report window: sequence advance vs packets delivered.
+  const std::uint32_t prev_highest = path.any_report ? path.reported_highest : 0;
+  const std::uint32_t prev_received = path.any_report ? path.reported_received : 0;
+  const std::uint64_t expected =
+      path.any_report ? (highest_seq > prev_highest ? highest_seq - prev_highest : 0)
+                      : std::uint64_t{highest_seq} + 1;
+  const std::uint64_t delivered = received > prev_received ? received - prev_received : 0;
+  path.any_report = true;
+  path.reported_highest = std::max(highest_seq, prev_highest);
+  path.reported_received = std::max(received, prev_received);
+
+  if (expected > 0) {
+    const double window_loss =
+        delivered >= expected
+            ? 0.0
+            : 1.0 - static_cast<double>(delivered) / static_cast<double>(expected);
+    path.health.loss_ewma += config_.ewma_alpha * (window_loss - path.health.loss_ewma);
+  } else {
+    // No new traffic crossed the path this window (it is draining, or the
+    // stripe is idle): decay toward clean so a parked path can rejoin.
+    path.health.loss_ewma *= 1.0 - config_.ewma_alpha;
+  }
+
+  if (!path.health.draining && path.health.loss_ewma > config_.loss_unhealthy) {
+    set_draining(path, true, now);
+  } else if (path.health.draining && now >= path.health.drain_until &&
+             path.health.loss_ewma < config_.loss_healthy) {
+    set_draining(path, false, now);
+  }
+}
+
+void SubflowScheduler::on_strike_tick(SimTime now) {
+  for (Subflow& path : paths_) {
+    if (path.stats.packets_sent == 0) continue;  // never used, nothing owed
+    const Duration silence = now - path.health.last_report;
+    if (silence <= config_.report_interval.scaled(2.0)) continue;
+    if (++path.health.strikes >= config_.strike_limit) {
+      set_draining(path, true, now);
+      // A draining path's strikes stay saturated until a report clears them;
+      // cap so the counter cannot overflow on a long outage.
+      path.health.strikes = config_.strike_limit;
+    }
+  }
+}
+
+void SubflowScheduler::on_unreachable(int id, SimTime now) {
+  set_draining(paths_[static_cast<std::size_t>(id)], true, now);
+}
+
+bool SubflowScheduler::all_draining() const {
+  for (const Subflow& path : paths_)
+    if (!path.health.draining) return false;
+  return true;
+}
+
+// --- ReorderJoinBuffer ---
+
+ReorderJoinBuffer::ReorderJoinBuffer(std::size_t capacity, Duration max_hold)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      max_hold_(max_hold),
+      depth_counts_(capacity_ + 1, 0) {}
+
+void ReorderJoinBuffer::sample_depth() {
+  ++depth_counts_[std::min(held_.size(), capacity_)];
+}
+
+void ReorderJoinBuffer::release_run(std::vector<JoinPacket>& out) {
+  auto it = held_.begin();
+  while (it != held_.end() && it->first == next_release_) {
+    out.push_back(it->second);
+    ++next_release_;
+    it = held_.erase(it);
+  }
+}
+
+void ReorderJoinBuffer::force_release_front(std::vector<JoinPacket>& out) {
+  auto it = held_.begin();
+  out.push_back(it->second);
+  next_release_ = std::uint64_t{it->first} + 1;
+  held_.erase(it);
+  ++forced_releases_;
+  release_run(out);
+}
+
+std::vector<JoinPacket> ReorderJoinBuffer::insert(const JoinPacket& packet,
+                                                  SimTime now) {
+  std::vector<JoinPacket> out;
+  // Expire stale holds first: the lowest-sequenced entry has been blocking
+  // the cursor the longest; once it exceeds the hold budget the gap below it
+  // is treated as lost (repair delivers it later, below the cursor).
+  while (!held_.empty() && now - held_.begin()->second.arrival > max_hold_)
+    force_release_front(out);
+
+  if (packet.seq < next_release_) {
+    // A sequence the buffer already skipped past (eviction or hold expiry):
+    // a late original or a repair. Release immediately — out of global
+    // order, but its media bytes still matter to coverage.
+    out.push_back(packet);
+    sample_depth();
+    return out;
+  }
+  if (held_.contains(packet.seq)) {
+    ++duplicates_;
+    sample_depth();
+    return out;
+  }
+  if (packet.seq == next_release_) {
+    out.push_back(packet);
+    ++next_release_;
+    release_run(out);
+  } else {
+    held_.emplace(packet.seq, packet);
+    while (held_.size() > capacity_) force_release_front(out);
+  }
+  sample_depth();
+  return out;
+}
+
+std::vector<JoinPacket> ReorderJoinBuffer::flush() {
+  std::vector<JoinPacket> out;
+  out.reserve(held_.size());
+  for (auto& [seq, packet] : held_) {
+    out.push_back(packet);
+    next_release_ = std::uint64_t{seq} + 1;
+  }
+  held_.clear();
+  return out;
+}
+
+void ReorderJoinBuffer::reset() {
+  held_.clear();
+  next_release_ = 0;
+}
+
+std::uint32_t ReorderJoinBuffer::reorder_depth_p95() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : depth_counts_) total += count;
+  if (total == 0) return 0;
+  const std::uint64_t target = (total * 95 + 99) / 100;  // ceil(0.95 * total)
+  std::uint64_t seen = 0;
+  for (std::size_t depth = 0; depth < depth_counts_.size(); ++depth) {
+    seen += depth_counts_[depth];
+    if (seen >= target) return static_cast<std::uint32_t>(depth);
+  }
+  return static_cast<std::uint32_t>(capacity_);
+}
+
+}  // namespace streamlab

@@ -1,0 +1,231 @@
+// Multipath striping over the detour topology: instead of keeping the detour
+// as a cold spare behind reactive failover, the server stripes the live
+// stream across the primary chain and the detour path simultaneously, each
+// subflow carrying its own sequence space on top of the stream-wide one.
+//
+// Three cooperating pieces live here, shared by server and client:
+//
+//  * PathHealthEstimator — per-subflow EWMA RTT and loss ratio fed by the
+//    client's periodic path reports, plus consecutive-silence strikes. A
+//    path is *unhealthy* when its loss EWMA crosses the threshold, its
+//    strike count reaches the limit, or an ICMP Destination Unreachable
+//    quotes its subflow addresses.
+//
+//  * SubflowScheduler — smooth weighted round-robin dispatcher over the
+//    healthy subflows. An unhealthy path *drains*: it stops receiving new
+//    packets and its share shifts to the survivors within one scheduling
+//    round. A draining path rejoins only after a hold-down elapses AND a
+//    fresh report shows its loss back under the healthy threshold (flap
+//    damping). When every subflow is draining the scheduler degrades to the
+//    primary path — the stream keeps flowing single-path and the existing
+//    watchdog / ICMP / mirror-failover ladder takes over from there.
+//
+//  * ReorderJoinBuffer — client-side bounded buffer that restores global
+//    playout order from the interleaved subflow arrivals before release to
+//    the application. Duplicates are dropped, a full buffer evicts in
+//    sequence order (oldest run first), entries held past the hold budget
+//    are force-released so a lost packet cannot wedge the stream, and the
+//    occupancy distribution is sampled for the reorder-depth p95 metric.
+//
+// Everything is deterministic: health state advances only on report arrival,
+// timer ticks and ICMP events, all in simulated time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/address.hpp"
+#include "util/time.hpp"
+
+namespace streamlab {
+
+/// Multipath striping policy. Defaults describe a sensible two-path split;
+/// `enabled` stays false so single-path sessions are byte-identical to the
+/// pre-multipath build. The alias addresses are session wiring, filled in by
+/// the harness from Network::enable_multipath().
+struct MultipathConfig {
+  bool enabled = false;
+  /// Dispatch weights: primary chain and detour path shares of the stripe.
+  int primary_weight = 2;
+  int detour_weight = 1;
+  /// Loss-ratio EWMA thresholds: a path drains above `loss_unhealthy` and
+  /// may rejoin only once it has decayed below `loss_healthy` (hysteresis).
+  double loss_unhealthy = 0.35;
+  double loss_healthy = 0.10;
+  /// EWMA smoothing factor for both the loss ratio and the RTT estimate.
+  double ewma_alpha = 0.3;
+  /// Consecutive report-silence strikes that mark a path unhealthy.
+  int strike_limit = 3;
+  /// Client report cadence per subflow; the server's strike timer checks at
+  /// the same cadence and charges a strike after `strike_limit` silent
+  /// intervals worth of silence.
+  Duration report_interval = Duration::millis(250);
+  /// Minimum time a draining path stays out before it may rejoin.
+  Duration hold_down = Duration::millis(1500);
+  /// Client join buffer capacity, in packets.
+  std::size_t join_buffer_packets = 256;
+  /// Longest a packet may wait in the join buffer for a lower sequence
+  /// before being force-released (keeps a lost packet from wedging playout).
+  Duration join_hold = Duration::millis(400);
+  /// Benign-reordering NACK tolerance the harness copies into
+  /// RepairLayerConfig::nack_reorder_tolerance when multipath is on.
+  int nack_reorder_tolerance = 2;
+
+  // --- Session wiring (set by the harness, not policy) ---
+  Ipv4Address client_alias;  ///< client-side address of subflow 1
+  Ipv4Address server_alias;  ///< server-side address of subflow 1
+
+  int subflow_count() const { return 2; }
+};
+
+/// Per-subflow health state: EWMA RTT/loss fed by path reports, silence
+/// strikes, and the draining flag with its hold-down deadline.
+struct PathHealth {
+  double ewma_rtt_ms = 0.0;
+  double loss_ewma = 0.0;
+  int strikes = 0;
+  bool draining = false;
+  SimTime drain_until;      ///< earliest rejoin time while draining
+  SimTime last_report;      ///< when the last path report arrived
+  bool any_report = false;  ///< a report has ever arrived
+};
+
+/// Server-side weighted dispatcher over the subflows, driven by per-path
+/// health. Subflow 0 is the primary chain, subflow 1 the detour path.
+class SubflowScheduler {
+ public:
+  struct SubflowStats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t media_bytes_sent = 0;
+    std::uint64_t reports_received = 0;
+  };
+
+  explicit SubflowScheduler(const MultipathConfig& config);
+
+  /// Picks the subflow for the next data packet: smooth weighted round-robin
+  /// over the non-draining subflows. With every subflow draining, returns 0
+  /// — the degradation rung where the stream collapses onto the primary
+  /// path and the single-path recovery machinery owns survival.
+  int pick(SimTime now);
+
+  /// Stamps one packet onto `id`: returns the per-subflow sequence number
+  /// and records (seq, send time, media bytes) for RTT sampling and stats.
+  std::uint32_t stamp(int id, std::size_t media_len, SimTime now);
+
+  /// Feeds a client path report: `highest_seq` / `received` are the
+  /// cumulative per-subflow figures the client observed. Updates the loss
+  /// EWMA over the report window, takes an RTT sample off the send-time
+  /// ring, clears strikes, and applies the drain / rejoin transitions.
+  void on_report(int id, std::uint32_t highest_seq, std::uint32_t received,
+                 SimTime now);
+
+  /// Strike-timer tick: every subflow silent for longer than a report
+  /// interval (after having ever been used) takes a strike; at the strike
+  /// limit the path drains.
+  void on_strike_tick(SimTime now);
+
+  /// ICMP Destination Unreachable about a subflow's address: immediate
+  /// drain, no strike accumulation needed.
+  void on_unreachable(int id, SimTime now);
+
+  /// True when every subflow is draining (degraded to primary-only).
+  bool all_draining() const;
+  bool draining(int id) const { return paths_[static_cast<std::size_t>(id)].health.draining; }
+  /// Healthy<->draining transitions across all subflows (the load-shift
+  /// count a flap schedule produces).
+  std::uint64_t path_switches() const { return path_switches_; }
+  /// Ticks spent with every subflow draining (degraded-mode exposure).
+  std::uint64_t degraded_ticks() const { return degraded_ticks_; }
+  const SubflowStats& stats(int id) const {
+    return paths_[static_cast<std::size_t>(id)].stats;
+  }
+  const PathHealth& health(int id) const {
+    return paths_[static_cast<std::size_t>(id)].health;
+  }
+  int subflow_count() const { return static_cast<int>(paths_.size()); }
+
+ private:
+  struct SentSample {
+    std::uint32_t subflow_seq = 0;
+    SimTime sent_at;
+  };
+  struct Subflow {
+    int weight = 1;
+    int current = 0;  ///< smooth-WRR accumulator
+    std::uint32_t next_subflow_seq = 0;
+    std::uint32_t reported_highest = 0;   ///< highest_seq of the last report
+    std::uint32_t reported_received = 0;  ///< received count of the last report
+    bool any_report = false;
+    PathHealth health;
+    SubflowStats stats;
+    std::vector<SentSample> ring;  ///< recent sends, for RTT sampling
+    std::size_t ring_next = 0;
+  };
+
+  void set_draining(Subflow& path, bool draining, SimTime now);
+
+  MultipathConfig config_;
+  std::vector<Subflow> paths_;
+  std::uint64_t path_switches_ = 0;
+  std::uint64_t degraded_ticks_ = 0;
+};
+
+/// One packet inside the join buffer, carrying everything the client's
+/// application-release path needs.
+struct JoinPacket {
+  std::uint32_t seq = 0;  ///< stream-wide sequence (release order key)
+  std::uint64_t media_offset = 0;
+  std::uint32_t media_len = 0;
+  std::uint8_t flags = 0;
+  std::uint8_t subflow_id = 0;
+  SimTime arrival;
+};
+
+/// Client-side bounded reordering buffer restoring global playout order
+/// across the interleaved subflow arrivals.
+class ReorderJoinBuffer {
+ public:
+  ReorderJoinBuffer(std::size_t capacity, Duration max_hold);
+
+  /// Inserts one arrival and returns every packet now releasable, in global
+  /// sequence order. A packet below the release cursor (a gap the buffer
+  /// already skipped past) is released immediately — the caller's coverage
+  /// accounting still wants its bytes. Entries held longer than the hold
+  /// budget are force-released first, so a lost sequence cannot wedge the
+  /// stream.
+  std::vector<JoinPacket> insert(const JoinPacket& packet, SimTime now);
+
+  /// Releases everything still held, in sequence order (end of stream,
+  /// failover teardown).
+  std::vector<JoinPacket> flush();
+
+  /// Drops all state and restarts the sequence cursor (mirror failover:
+  /// the new epoch renumbers from 0).
+  void reset();
+
+  std::size_t depth() const { return held_.size(); }
+  std::uint64_t duplicates_dropped() const { return duplicates_; }
+  /// Packets released out of order because the buffer filled (sequence-order
+  /// eviction of the oldest run) or the hold budget expired.
+  std::uint64_t forced_releases() const { return forced_releases_; }
+  /// p95 of the buffer-occupancy samples taken after every insert — the
+  /// reorder depth the striping actually produced.
+  std::uint32_t reorder_depth_p95() const;
+
+ private:
+  void release_run(std::vector<JoinPacket>& out);
+  void force_release_front(std::vector<JoinPacket>& out);
+  void sample_depth();
+
+  std::size_t capacity_;
+  Duration max_hold_;
+  std::uint64_t next_release_ = 0;  ///< next stream-wide seq to release
+  std::map<std::uint32_t, JoinPacket> held_;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t forced_releases_ = 0;
+  /// Occupancy histogram: depth_counts_[min(depth, capacity)] observations.
+  std::vector<std::uint64_t> depth_counts_;
+};
+
+}  // namespace streamlab

@@ -32,13 +32,15 @@ std::optional<ControlMessage> ControlMessage::decode(std::span<const std::uint8_
 
 std::vector<std::uint8_t> DataHeader::make_packet(const DataHeader& header,
                                                   std::size_t media_len) {
-  ByteWriter w(kDataHeaderSize + media_len);
+  const bool multipath = (header.flags & kFlagMultipath) != 0;
+  ByteWriter w(kDataHeaderSize + (multipath ? kMultipathExtensionSize : 0) + media_len);
   w.u16be(kDataMagic);
   w.u8(header.flags);
-  w.u8(0);  // reserved
+  w.u8(multipath ? header.subflow_id : std::uint8_t{0});  // reserved pre-multipath
   w.u32be(header.seq);
   w.u32be(static_cast<std::uint32_t>(header.media_offset >> 32));
   w.u32be(static_cast<std::uint32_t>(header.media_offset));
+  if (multipath) w.u32be(header.subflow_seq);
   // Synthetic media payload: deterministic pattern, compressible but nonzero
   // so captures are visually distinguishable from padding.
   for (std::size_t i = 0; i < media_len; ++i)
@@ -52,10 +54,11 @@ std::optional<DataHeader> DataHeader::decode(std::span<const std::uint8_t> paylo
   if (r.u16be() != kDataMagic) return std::nullopt;
   DataHeader h;
   h.flags = r.u8();
-  r.u8();  // reserved
+  h.subflow_id = r.u8();  // reserved (always 0) without kFlagMultipath
   h.seq = r.u32be();
   const std::uint64_t hi = r.u32be();
   const std::uint64_t lo = r.u32be();
+  if ((h.flags & kFlagMultipath) != 0) h.subflow_seq = r.u32be();
   if (!r.ok()) return std::nullopt;
   h.media_offset = (hi << 32) | lo;
   media_len = r.remaining();

@@ -39,6 +39,11 @@ enum class ControlType : std::uint8_t {
   /// offset = first missing sequence number (PID), value = bitmap of the 16
   /// sequence numbers following PID (BLP; bit j set => PID+1+j also missing).
   kNack = 5,
+  /// Client-to-server multipath path report (MPRTP-style subflow feedback):
+  /// value = subflow id, offset packs (highest subflow_seq received << 32) |
+  /// packets received on that subflow. Sent over the subflow's own path so
+  /// its arrival (or silence) is itself a liveness signal.
+  kPathReport = 6,
 };
 
 struct ControlMessage {
@@ -58,11 +63,24 @@ struct ControlMessage {
 inline constexpr std::uint8_t kFlagBufferingPhase = 0x01;  ///< server in startup burst
 inline constexpr std::uint8_t kFlagEndOfStream = 0x02;     ///< no media after this packet
 inline constexpr std::uint8_t kFlagRetransmit = 0x04;      ///< NACK-triggered resend
+/// Multipath subflow extension present: the reserved header byte carries the
+/// subflow id and a 32-bit per-subflow sequence number follows the fixed
+/// header. Packets without the flag are byte-identical to the pre-multipath
+/// framing, so single-path runs replay unchanged.
+inline constexpr std::uint8_t kFlagMultipath = 0x08;
+
+/// Extra wire bytes a kFlagMultipath packet carries after the fixed header.
+inline constexpr std::size_t kMultipathExtensionSize = 4;
 
 struct DataHeader {
-  std::uint32_t seq = 0;
+  std::uint32_t seq = 0;  ///< stream-wide sequence (FEC/NACK/coverage space)
   std::uint64_t media_offset = 0;
   std::uint8_t flags = 0;
+  /// Multipath subflow fields; meaningful only when flags carries
+  /// kFlagMultipath. `subflow_seq` increments independently per path, which
+  /// is what per-path gap detection and loss accounting key on.
+  std::uint8_t subflow_id = 0;
+  std::uint32_t subflow_seq = 0;
 
   /// Serializes header followed by `media_len` synthetic payload bytes.
   static std::vector<std::uint8_t> make_packet(const DataHeader& header,

@@ -179,15 +179,42 @@ Duration NackTracker::delay() const {
 
 void NackTracker::note_missing(std::uint32_t seq, SimTime now) {
   if (pending_.contains(seq)) return;
-  pending_.emplace(seq, Pending{now + delay(), 0});
+  Pending entry{now + delay(), 0};
+  entry.armed = config_.nack_reorder_tolerance <= 0;
+  pending_.emplace(seq, entry);
 }
 
-void NackTracker::note_arrival(std::uint32_t seq) { pending_.erase(seq); }
+void NackTracker::note_arrival(std::uint32_t seq) {
+  auto it = pending_.find(seq);
+  if (it != pending_.end()) {
+    if (!it->second.armed) ++suppressed_;
+    pending_.erase(it);
+  }
+  if (config_.nack_reorder_tolerance <= 0 || pending_.empty()) return;
+  // A higher-sequenced arrival is evidence the stream moved past every
+  // still-open gap below it: advance their arming windows.
+  const auto end = pending_.lower_bound(seq);
+  for (auto jt = pending_.begin(); jt != end; ++jt) {
+    if (jt->second.armed) continue;
+    if (++jt->second.later_arrivals >= config_.nack_reorder_tolerance)
+      jt->second.armed = true;
+  }
+}
 
 std::vector<std::uint32_t> NackTracker::due(SimTime now) {
   std::vector<std::uint32_t> out;
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->second.deadline > now) {
+      ++it;
+      continue;
+    }
+    if (!it->second.armed) {
+      // The reorder-tolerance window was still open when the timer fired:
+      // hold the NACK one extra delay (the join buffer may fill the gap on
+      // its own), then treat it as a real loss.
+      ++suppressed_;
+      it->second.armed = true;
+      it->second.deadline = now + delay();
       ++it;
       continue;
     }

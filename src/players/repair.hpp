@@ -52,6 +52,14 @@ struct RepairLayerConfig {
   Duration nack_max_delay = Duration::millis(500);
   /// NACKs sent per missing packet before the client gives it up as lost.
   int nack_max_retries = 3;
+  /// Benign-reordering tolerance: a noticed gap *arms* its NACK only after
+  /// this many higher-sequenced packets arrive while it is still open —
+  /// multipath join jitter fills striping gaps within a couple of arrivals,
+  /// so they never turn into spurious retransmit requests. A gap whose
+  /// timer fires before it arms is held one extra delay (counted as a
+  /// suppression), then requested anyway, so real tail losses still repair.
+  /// 0 arms immediately: the single-path behaviour, byte for byte.
+  int nack_reorder_tolerance = 0;
   /// Server-side retransmission ring capacity, in packets.
   std::size_t retx_buffer_packets = 512;
   /// Token-bucket pacer rate as a fraction of the clip's encoded rate.
@@ -202,8 +210,13 @@ class NackTracker {
   Duration delay() const;
 
   /// Registers a gap sequence; the first NACK is due one delay from `now`.
+  /// With nack_reorder_tolerance > 0 the entry starts *unarmed* and only
+  /// arms once enough higher-sequenced arrivals prove the gap is not plain
+  /// reordering (or after the one-delay deadline fallback in due()).
   void note_missing(std::uint32_t seq, SimTime now);
-  /// The sequence arrived (any copy): cancel its pending retries.
+  /// The sequence arrived (any copy): cancel its pending retries. Higher
+  /// sequences also advance the arming window of every still-open gap below
+  /// them.
   void note_arrival(std::uint32_t seq);
 
   /// Sequences whose NACK is due at `now`, in increasing order. Each is
@@ -217,17 +230,23 @@ class NackTracker {
   std::size_t pending() const { return pending_.size(); }
   /// Sequences dropped after exhausting the retry budget (given up).
   std::uint64_t abandoned() const { return abandoned_; }
+  /// NACKs the reorder-tolerance window suppressed: gaps that filled
+  /// naturally before arming, plus timer firings held while unarmed.
+  std::uint64_t suppressed() const { return suppressed_; }
 
  private:
   struct Pending {
     SimTime deadline;
     int retries = 0;
+    int later_arrivals = 0;  ///< higher-seq arrivals since the gap opened
+    bool armed = true;       ///< false while the reorder window is open
   };
 
   RepairLayerConfig config_;
   Duration rtt_ = Duration::millis(100);
   std::map<std::uint32_t, Pending> pending_;
   std::uint64_t abandoned_ = 0;
+  std::uint64_t suppressed_ = 0;
 };
 
 /// Packs missing sequences into RTCP-generic-NACK-style messages: each

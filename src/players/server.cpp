@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <string>
 
+#include "net/headers.hpp"
+#include "util/bytes.hpp"
+
 namespace streamlab {
 
 StreamServer::StreamServer(Host& host, EncodedClip clip, std::uint16_t port)
@@ -28,7 +31,11 @@ StreamServer::StreamServer(Host& host, EncodedClip clip, std::uint16_t port)
   }
 }
 
-StreamServer::~StreamServer() { host_.udp_unbind(port_); }
+StreamServer::~StreamServer() {
+  if (multipath_) multipath_->strike_timer.cancel();
+  if (multipath_icmp_installed_) host_.set_icmp_handler({});
+  host_.udp_unbind(port_);
+}
 
 void StreamServer::enable_scaling(MediaScalingPolicy policy) {
   policy.enabled = true;
@@ -57,6 +64,42 @@ void StreamServer::enable_repair(RepairLayerConfig config) {
                        config.pacer_burst_bytes)});
 }
 
+void StreamServer::enable_multipath(MultipathConfig config) {
+  config.enabled = true;
+  multipath_ = std::make_unique<MultipathState>(config);
+  // Destination Unreachable quoting the detour subflow's addresses is the
+  // fast-fail signal for that path: drain it immediately, ahead of the
+  // report-silence strikes.
+  multipath_icmp_installed_ = true;
+  host_.set_icmp_handler([this](const IcmpHeader& icmp, const Ipv4Header&,
+                                std::span<const std::uint8_t> payload, SimTime now) {
+    if (icmp.type != IcmpType::kDestinationUnreachable || !multipath_) return;
+    ByteReader reader(payload);
+    const auto quoted = Ipv4Header::decode(reader);
+    if (!quoted) return;
+    if (quoted->dst == multipath_->config.client_alias ||
+        quoted->src == multipath_->config.server_alias)
+      multipath_->scheduler.on_unreachable(1, now);
+  });
+}
+
+void StreamServer::on_multipath_tick() {
+  if (finished_ || !started_) return;
+  multipath_->scheduler.on_strike_tick(host_.loop().now());
+  multipath_->strike_timer =
+      host_.loop().schedule_in(multipath_->config.report_interval,
+                               [this] { on_multipath_tick(); },
+                               obs::EventCategory::kControl);
+}
+
+void StreamServer::handle_path_report(const ControlMessage& msg) {
+  const int id = static_cast<int>(msg.value);
+  if (id < 0 || id >= multipath_->scheduler.subflow_count()) return;
+  multipath_->scheduler.on_report(id, static_cast<std::uint32_t>(msg.offset >> 32),
+                                  static_cast<std::uint32_t>(msg.offset),
+                                  host_.loop().now());
+}
+
 void StreamServer::handle_control(std::span<const std::uint8_t> payload, Endpoint from) {
   auto msg = ControlMessage::decode(payload);
   if (!msg) return;
@@ -82,6 +125,7 @@ void StreamServer::handle_control(std::span<const std::uint8_t> payload, Endpoin
       ControlMessage ok{ControlType::kPlayOk, clip_.info().id()};
       const auto ok_bytes = ok.encode();
       host_.udp_send(port_, client_, ok_bytes);
+      if (multipath_) on_multipath_tick();  // arm the report-silence strikes
       on_play();
       break;
     }
@@ -97,6 +141,13 @@ void StreamServer::handle_control(std::span<const std::uint8_t> payload, Endpoin
     case ControlType::kNack:
       if (repair_ && repair_->config.nack && started_ && from == client_)
         handle_nack(*msg);
+      break;
+    case ControlType::kPathReport:
+      // Subflow 1 reports arrive from the client's alias address (they ride
+      // the path they describe), so the source gate admits both identities.
+      if (multipath_ && started_ && from.port == client_.port &&
+          (from.ip == client_.ip || from.ip == multipath_->config.client_alias))
+        handle_path_report(*msg);
       break;
     case ControlType::kTeardown:
       finish_stream();
@@ -155,8 +206,28 @@ void StreamServer::emit(std::uint64_t offset, std::size_t media_len, std::uint8_
   header.seq = next_seq_++;
   header.media_offset = offset;
   header.flags = flags | (buffering_phase ? kFlagBufferingPhase : 0);
-  const auto packet = DataHeader::make_packet(header, media_len);
-  host_.udp_send(port_, client_, packet);
+  if (multipath_) {
+    // Striping: the health-driven scheduler picks the subflow, the wire form
+    // carries the multipath extension, and subflow 1 travels alias-to-alias
+    // so the steering routes pin it to the detour. The repair layer below is
+    // fed the *canonical* header — striping never perturbs the FEC/NACK
+    // sequence spaces, and retransmissions replay canonically on the primary.
+    const SimTime now = host_.loop().now();
+    const int id = multipath_->scheduler.pick(now);
+    DataHeader wire = header;
+    wire.flags |= kFlagMultipath;
+    wire.subflow_id = static_cast<std::uint8_t>(id);
+    wire.subflow_seq = multipath_->scheduler.stamp(id, media_len, now);
+    const auto wire_packet = DataHeader::make_packet(wire, media_len);
+    if (id == 0)
+      host_.udp_send(port_, client_, wire_packet);
+    else
+      host_.udp_send_from(multipath_->config.server_alias, port_,
+                          subflow1_destination(), wire_packet);
+  } else {
+    const auto packet = DataHeader::make_packet(header, media_len);
+    host_.udp_send(port_, client_, packet);
+  }
   send_log_.push_back(
       SendEvent{host_.loop().now(), header.seq, offset, media_len, buffering_phase});
   if (repair_) {

@@ -18,6 +18,7 @@
 
 #include "media/encoder.hpp"
 #include "players/behavior.hpp"
+#include "players/multipath.hpp"
 #include "players/protocol.hpp"
 #include "players/repair.hpp"
 #include "players/scaling.hpp"
@@ -68,6 +69,35 @@ class StreamServer {
   /// retransmission service). Call before the PLAY arrives.
   void enable_repair(RepairLayerConfig config);
   bool repair_enabled() const { return repair_ != nullptr; }
+
+  /// Enables multipath striping: data packets are dispatched across the
+  /// primary path (subflow 0) and the detour subflow (subflow 1, server
+  /// alias -> client alias) by the health-driven weighted scheduler. Call
+  /// before the PLAY arrives; `config` must carry the alias addresses from
+  /// Network::enable_multipath(). Parity and retransmissions stay on the
+  /// primary path in canonical (non-multipath) form, so the repair layer's
+  /// sequence spaces are untouched by striping.
+  void enable_multipath(MultipathConfig config);
+  bool multipath_enabled() const { return multipath_ != nullptr; }
+
+  // --- Multipath statistics (zero when multipath is off) ---
+  /// Healthy<->draining transitions across all subflows.
+  std::uint64_t path_switches() const {
+    return multipath_ ? multipath_->scheduler.path_switches() : 0;
+  }
+  std::uint64_t subflow_packets_sent(int id) const {
+    return multipath_ ? multipath_->scheduler.stats(id).packets_sent : 0;
+  }
+  std::uint64_t subflow_media_bytes_sent(int id) const {
+    return multipath_ ? multipath_->scheduler.stats(id).media_bytes_sent : 0;
+  }
+  /// True while every subflow is draining (degraded to primary-only).
+  bool multipath_degraded() const {
+    return multipath_ != nullptr && multipath_->scheduler.all_draining();
+  }
+  const SubflowScheduler* multipath_scheduler() const {
+    return multipath_ ? &multipath_->scheduler : nullptr;
+  }
 
   // --- Repair-side statistics (zero when repair is off) ---
   std::uint64_t parity_packets_sent() const { return repair_ ? repair_->parity_packets : 0; }
@@ -151,8 +181,24 @@ class StreamServer {
   };
   std::unique_ptr<RepairState> repair_;
 
+  /// Multipath dispatch state, allocated by enable_multipath.
+  struct MultipathState {
+    explicit MultipathState(const MultipathConfig& c) : config(c), scheduler(c) {}
+    MultipathConfig config;
+    SubflowScheduler scheduler;
+    EventHandle strike_timer;
+  };
+  std::unique_ptr<MultipathState> multipath_;
+  bool multipath_icmp_installed_ = false;
+
   void send_parity(const ParityOut& parity);
   void handle_nack(const ControlMessage& msg);
+  void handle_path_report(const ControlMessage& msg);
+  void on_multipath_tick();
+  /// Destination endpoint of the detour subflow (client alias, data port).
+  Endpoint subflow1_destination() const {
+    return Endpoint{multipath_->config.client_alias, client_.port};
+  }
 
   /// Scaling-switch instrumentation, allocated only when an observability
   /// context is attached to the loop (see obs/obs.hpp).

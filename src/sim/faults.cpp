@@ -116,6 +116,18 @@ void FaultScheduler::add_router_down(SimTime start, Duration duration, int route
   add(std::move(e));
 }
 
+void FaultScheduler::add_detour_down(SimTime start, Duration duration, int detour_index,
+                                     std::string label) {
+  FaultEpisode e;
+  e.kind = FaultKind::kRouterDown;
+  e.start = start;
+  e.duration = duration;
+  e.router_index = detour_index;
+  e.detour = true;
+  e.label = std::move(label);
+  add(std::move(e));
+}
+
 void FaultScheduler::arm() {
   if (armed_) return;
   armed_ = true;
@@ -142,8 +154,10 @@ void FaultScheduler::arm() {
 void FaultScheduler::apply_router(std::size_t index) {
   EpisodeRecord& rec = records_[index];
   const FaultEpisode& e = rec.episode;
-  if (network_ == nullptr || e.router_index < 0 ||
-      e.router_index >= network_->hop_count()) {
+  const int bound = network_ == nullptr ? 0
+                    : e.detour           ? network_->detour_hop_count()
+                                         : network_->hop_count();
+  if (network_ == nullptr || e.router_index < 0 || e.router_index >= bound) {
     // No network attached (or a bogus index): the episode is unschedulable.
     // Mark it settled so finish() and reports see no dangling record.
     rec.applied = true;
@@ -153,8 +167,14 @@ void FaultScheduler::apply_router(std::size_t index) {
   RouterDownState state;
   state.baseline = drops_for_kind(FaultKind::kRouterDown);
   rec.applied = true;
-  ++router_down_depth_[e.router_index];
-  network_->router(e.router_index).set_offline(true);
+  // Chain routers key the depth map by index, detour routers by -(index+1):
+  // overlapping episodes on the same branch nest, while chain and detour
+  // episodes sharing an index stay independent.
+  const int depth_key = e.detour ? -(e.router_index + 1) : e.router_index;
+  ++router_down_depth_[depth_key];
+  Router& target = e.detour ? network_->detour_router(e.router_index)
+                            : network_->router(e.router_index);
+  target.set_offline(true);
   if constexpr (obs::kObsCompiledIn) {
     if (obs::Obs* obs = loop_.observer(); obs != nullptr && obs->tracing()) {
       obs::Tracer& tracer = obs->tracer();
@@ -182,8 +202,12 @@ void FaultScheduler::settle_router(std::size_t index, const RouterDownState& sta
   rec.packets_dropped += drops_for_kind(FaultKind::kRouterDown) - state.baseline;
   rec.cleared = true;
   const int router_index = rec.episode.router_index;
-  if (--router_down_depth_[router_index] == 0)
-    network_->router(router_index).set_offline(false);
+  const int depth_key = rec.episode.detour ? -(router_index + 1) : router_index;
+  if (--router_down_depth_[depth_key] == 0) {
+    Router& target = rec.episode.detour ? network_->detour_router(router_index)
+                                        : network_->router(router_index);
+    target.set_offline(false);
+  }
   if constexpr (obs::kObsCompiledIn) {
     if (state.span != 0) {
       if (obs::Obs* obs = loop_.observer(); obs != nullptr)

@@ -83,6 +83,10 @@ struct FaultEpisode {
   double loss_probability = 0.0;      ///< kRandomLoss: Bernoulli override
   GilbertElliottConfig gilbert;       ///< kBurstLoss: chain parameters
   int router_index = -1;              ///< kRouterDown: chain router to down
+  /// kRouterDown: `router_index` names a detour-branch router
+  /// (Network::detour_router) instead of a chain router — what lets one
+  /// scenario script true flap schedules on the bypass path itself.
+  bool detour = false;
   std::string label;                  ///< free-form tag for reports
 
   SimTime end() const { return start + duration; }
@@ -135,6 +139,11 @@ class FaultScheduler {
   /// returns online only when the last one ends.
   void add_router_down(SimTime start, Duration duration, int router_index,
                        std::string label = "router-down");
+  /// Like add_router_down, but `detour_index` names a router on the detour
+  /// branch (Network::detour_router). Overlapping episodes nest the same
+  /// way; chain and detour episodes on the same index are independent.
+  void add_detour_down(SimTime start, Duration duration, int detour_index,
+                       std::string label = "detour-down");
 
   /// Schedules every added episode on the event loop. Call exactly once,
   /// before the experiment runs past the first episode start.
@@ -186,8 +195,10 @@ class FaultScheduler {
   /// Trace span of the active episode (0 when none / tracing off).
   std::uint64_t active_span_ = 0;
   std::map<std::size_t, RouterDownState> open_router_downs_;
-  /// Concurrent router-down episodes per chain router; the router comes back
-  /// online when its depth returns to zero.
+  /// Concurrent router-down episodes per router; the router comes back
+  /// online when its depth returns to zero. Chain routers key by index,
+  /// detour routers by -(index + 1), so episodes on the two branches never
+  /// alias.
   std::map<int, int> router_down_depth_;
 };
 

@@ -1,5 +1,6 @@
 #include "sim/host.hpp"
 
+#include <algorithm>
 #include <vector>
 
 namespace streamlab {
@@ -16,6 +17,17 @@ Host::Host(EventLoop& loop, std::string name, Ipv4Address address, std::size_t m
       mac_(MacAddress::for_nic(address.value())),
       mtu_(mtu) {}
 
+void Host::add_alias(Ipv4Address alias) {
+  if (alias == address_) return;
+  if (std::find(aliases_.begin(), aliases_.end(), alias) != aliases_.end()) return;
+  aliases_.push_back(alias);
+}
+
+bool Host::local_address(Ipv4Address addr) const {
+  if (addr == address_) return true;
+  return std::find(aliases_.begin(), aliases_.end(), addr) != aliases_.end();
+}
+
 void Host::udp_bind(std::uint16_t port, UdpHandler handler) {
   udp_ports_[port] = std::move(handler);
 }
@@ -24,8 +36,13 @@ void Host::udp_unbind(std::uint16_t port) { udp_ports_.erase(port); }
 
 void Host::udp_send(std::uint16_t src_port, Endpoint dst,
                     std::span<const std::uint8_t> payload, std::uint8_t ttl) {
+  udp_send_from(address_, src_port, dst, payload, ttl);
+}
+
+void Host::udp_send_from(Ipv4Address src, std::uint16_t src_port, Endpoint dst,
+                         std::span<const std::uint8_t> payload, std::uint8_t ttl) {
   const Ipv4Packet datagram =
-      make_udp_packet(Endpoint{address_, src_port}, dst, payload, next_ip_id_++, ttl);
+      make_udp_packet(Endpoint{src, src_port}, dst, payload, next_ip_id_++, ttl);
   ++stats_.udp_datagrams_sent;
   for (const auto& fragment : fragment_packet(datagram, mtu_)) transmit(fragment);
 }
@@ -48,7 +65,7 @@ void Host::transmit(const Ipv4Packet& packet) {
 }
 
 void Host::handle_packet(const Ipv4Packet& packet, int /*ingress_iface*/) {
-  if (packet.header.dst != address_) return;  // not promiscuous for foreign traffic
+  if (!local_address(packet.header.dst)) return;  // not promiscuous for foreign traffic
   if (tap_) tap_(packet, TapDirection::kInbound, loop_.now());
   if (probe_ != nullptr)
     probe_->fold(loop_.now(), packet.header.protocol, packet.header.identification,

@@ -10,6 +10,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "net/fragmentation.hpp"
 #include "net/packet.hpp"
@@ -48,6 +49,17 @@ class Host : public Node {
        std::size_t mtu = kDefaultMtu);
 
   Ipv4Address address() const { return address_; }
+
+  /// Adds a secondary local address (a multipath subflow endpoint): packets
+  /// whose destination matches an alias are accepted exactly like the
+  /// primary address, and udp_send_from() can source datagrams from it so
+  /// per-destination routes steer the subflow onto a different path.
+  /// Idempotent per address.
+  void add_alias(Ipv4Address alias);
+  /// True when `addr` is the primary address or a registered alias.
+  bool local_address(Ipv4Address addr) const;
+  const std::vector<Ipv4Address>& aliases() const { return aliases_; }
+
   MacAddress mac() const { return mac_; }
   std::size_t mtu() const { return mtu_; }
   EventLoop& loop() { return loop_; }
@@ -62,6 +74,12 @@ class Host : public Node {
   /// fragmented by this host's IP layer (the MediaPlayer path in the paper).
   void udp_send(std::uint16_t src_port, Endpoint dst, std::span<const std::uint8_t> payload,
                 std::uint8_t ttl = 64);
+
+  /// udp_send with an explicit source address (the primary address or a
+  /// registered alias) — how a multipath subflow pins its return path.
+  /// Shares the IP id sequence with every other send from this host.
+  void udp_send_from(Ipv4Address src, std::uint16_t src_port, Endpoint dst,
+                     std::span<const std::uint8_t> payload, std::uint8_t ttl = 64);
 
   /// Sends an ICMP echo request (for ping / UDP-less traceroute probing).
   void send_icmp_echo(Ipv4Address dst, std::uint16_t identifier, std::uint16_t sequence,
@@ -94,6 +112,7 @@ class Host : public Node {
 
   EventLoop& loop_;
   Ipv4Address address_;
+  std::vector<Ipv4Address> aliases_;
   MacAddress mac_;
   std::size_t mtu_;
   SendFn send_;

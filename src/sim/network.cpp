@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace streamlab {
 namespace {
@@ -166,6 +167,36 @@ void Network::build_detour(const DetourConfig& detour, Duration per_link_propaga
   detour_control_ = std::move(control);
 }
 
+Network::MultipathEndpoints Network::enable_multipath(Host& server) {
+  if (!detour_control_)
+    throw std::logic_error("enable_multipath: the path has no detour segment");
+  Router& edge = *routers_.back();
+  const int server_iface = edge.lookup(server.address());
+  if (server_iface < 0)
+    throw std::logic_error("enable_multipath: server is not attached to the edge router");
+
+  MultipathEndpoints ep;
+  ep.client_alias = Ipv4Address(10, 0, 0, 3);
+  ep.server_alias = Ipv4Address(
+      192, 168, 100,
+      static_cast<std::uint8_t>((server.address().value() & 0xFF) + 100));
+  client_->add_alias(ep.client_alias);
+  server.add_alias(ep.server_alias);
+
+  // Steering: /32s at metric 0 beat the /16 and /24 prefixes the aliases
+  // otherwise ride, so alias traffic forks into the detour at the branch
+  // (toward the server) and at the rejoin (back toward the client), and the
+  // edge router delivers the server alias on the server's own link.
+  detour_control_->branch->add_route(ep.server_alias, 32, kDetourIface);
+  detour_control_->rejoin->add_route(ep.client_alias, 32, kDetourIface);
+  edge.add_route(ep.server_alias, 32, server_iface);
+
+  multipath_aliases_.push_back(ep.client_alias);
+  multipath_aliases_.push_back(ep.server_alias);
+  audit_routing();
+  return ep;
+}
+
 std::vector<std::pair<Router*, Router::RouteId>> Network::span_primaries(int span_first,
                                                                          int span_last) {
   assert(span_first >= 1);
@@ -238,6 +269,7 @@ void Network::audit_routing() {
   std::vector<Ipv4Address> destinations;
   destinations.push_back(client_->address());
   for (const auto& server : servers_) destinations.push_back(server->address());
+  for (const Ipv4Address alias : multipath_aliases_) destinations.push_back(alias);
   for (const auto& router : routers_) destinations.push_back(router->address());
   for (const auto& router : detour_routers_) destinations.push_back(router->address());
 

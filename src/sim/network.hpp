@@ -121,11 +121,31 @@ class Network {
 
   bool has_detour() const { return detour_control_.has_value(); }
   std::vector<const Router*> detour_routers() const;
+  int detour_hop_count() const { return static_cast<int>(detour_routers_.size()); }
   Router& detour_router(int i) { return *detour_routers_[static_cast<std::size_t>(i)]; }
   /// nullptr when the path was built without a detour.
   DetourControl* detour_control() {
     return detour_control_ ? &*detour_control_ : nullptr;
   }
+
+  /// Alias pair pinning one multipath subflow onto the detour segment
+  /// (DESIGN.md §16): data addressed between these two addresses crosses
+  /// the detour in both directions while primary-addressed traffic keeps
+  /// the chain.
+  struct MultipathEndpoints {
+    Ipv4Address client_alias;
+    Ipv4Address server_alias;
+  };
+
+  /// Registers a client alias and a server alias (for `server`, which must
+  /// have been created by add_server()) and installs metric-0 /32 steering
+  /// routes: the branch router sends the server alias into the detour, the
+  /// rejoin router sends the client alias back through it, and the edge
+  /// router delivers the server alias on the server's own interface. The
+  /// aliases ride the existing /16 and /24 prefixes everywhere else, so no
+  /// other table changes. Requires a detour; throws std::logic_error
+  /// without one.
+  MultipathEndpoints enable_multipath(Host& server);
 
   /// The metric-0 primaries that forward across chain span
   /// [span_first, span_last]: everything the boundary routers would send into
@@ -160,6 +180,9 @@ class Network {
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::string> link_labels_;  ///< parallel to links_
   std::optional<DetourControl> detour_control_;
+  /// Alias addresses registered by enable_multipath(), included in the
+  /// routing-loop audit walk's destination set.
+  std::vector<Ipv4Address> multipath_aliases_;
   /// Per-router egress adjacency (iface index -> peer node), for the
   /// routing-loop audit walk.
   std::map<const Router*, std::vector<const Node*>> adjacency_;

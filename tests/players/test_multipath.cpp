@@ -1,0 +1,343 @@
+// Multipath striping units: the smooth-WRR subflow scheduler with its
+// health-driven drain / hold-down / rejoin ladder, the bounded reorder join
+// buffer's edge cases (duplicate delivery across subflows, late originals
+// after repair, buffer-full eviction ordering, hold expiry), and the NACK
+// tracker's benign-reordering tolerance window.
+#include "players/multipath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "players/repair.hpp"
+
+namespace streamlab {
+namespace {
+
+MultipathConfig fast_config() {
+  MultipathConfig cfg;
+  cfg.enabled = true;  // weights 2:1, thresholds 0.35/0.10, alpha 0.3
+  cfg.report_interval = Duration::millis(100);
+  cfg.hold_down = Duration::millis(500);
+  return cfg;
+}
+
+JoinPacket packet(std::uint32_t seq, std::uint8_t subflow = 0) {
+  JoinPacket p;
+  p.seq = seq;
+  p.media_offset = std::uint64_t{seq} * 500;
+  p.media_len = 500;
+  p.subflow_id = subflow;
+  return p;
+}
+
+std::vector<std::uint32_t> seqs(const std::vector<JoinPacket>& packets) {
+  std::vector<std::uint32_t> out;
+  for (const JoinPacket& p : packets) out.push_back(p.seq);
+  return out;
+}
+
+// --- SubflowScheduler: dispatch ---
+
+TEST(SubflowScheduler, SmoothWeightedRoundRobinMatchesWeights) {
+  SubflowScheduler sched(fast_config());
+  const SimTime now;
+  int counts[2] = {0, 0};
+  std::vector<int> order;
+  for (int i = 0; i < 30; ++i) {
+    const int id = sched.pick(now);
+    ++counts[id];
+    order.push_back(id);
+    sched.stamp(id, 500, now);
+  }
+  EXPECT_EQ(counts[0], 20);
+  EXPECT_EQ(counts[1], 10);
+  // Smooth variant: the 2:1 ratio interleaves (0,1,0 repeating) instead of
+  // bursting each path's share back to back — that is what bounds the join
+  // buffer's reorder depth.
+  for (std::size_t i = 0; i + 2 < order.size(); i += 3) {
+    EXPECT_EQ(order[i], 0);
+    EXPECT_EQ(order[i + 1], 1);
+    EXPECT_EQ(order[i + 2], 0);
+  }
+}
+
+TEST(SubflowScheduler, StampAssignsPerSubflowSequences) {
+  SubflowScheduler sched(fast_config());
+  const SimTime now;
+  EXPECT_EQ(sched.stamp(0, 500, now), 0u);
+  EXPECT_EQ(sched.stamp(1, 500, now), 0u);  // each subflow has its own space
+  EXPECT_EQ(sched.stamp(0, 500, now), 1u);
+  EXPECT_EQ(sched.stats(0).packets_sent, 2u);
+  EXPECT_EQ(sched.stats(0).media_bytes_sent, 1000u);
+  EXPECT_EQ(sched.stats(1).packets_sent, 1u);
+}
+
+// --- SubflowScheduler: health-driven drain and rejoin ---
+
+TEST(SubflowScheduler, LossyReportsDrainThePathAndShiftLoad) {
+  SubflowScheduler sched(fast_config());
+  SimTime now;
+  for (int i = 0; i < 10; ++i) sched.stamp(1, 500, now);
+  // Reports showing heavy loss: sequence space advanced 10, 2 delivered.
+  // One window at 80% loss pushes the EWMA (alpha 0.3) to 0.24; the second
+  // crosses the 0.35 drain threshold.
+  now = now + Duration::millis(100);
+  sched.on_report(1, 4, 1, now);
+  EXPECT_FALSE(sched.draining(1));
+  now = now + Duration::millis(100);
+  sched.on_report(1, 9, 2, now);
+  EXPECT_TRUE(sched.draining(1));
+  EXPECT_EQ(sched.path_switches(), 1u);
+  // Every subsequent pick lands on the survivor.
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(sched.pick(now), 0);
+  EXPECT_FALSE(sched.all_draining());
+}
+
+TEST(SubflowScheduler, RejoinNeedsHoldDownAndHealthyLoss) {
+  SubflowScheduler sched(fast_config());
+  SimTime now;
+  for (int i = 0; i < 10; ++i) sched.stamp(1, 500, now);
+  now = now + Duration::millis(100);
+  sched.on_report(1, 9, 0, now);  // 100% loss: EWMA 0.3
+  now = now + Duration::millis(100);
+  sched.on_report(1, 9, 0, now);  // no advance: decay, still > 0.10... drain?
+  // Force the drain with one more lossy window.
+  for (int i = 0; i < 10; ++i) sched.stamp(1, 500, now);
+  now = now + Duration::millis(100);
+  sched.on_report(1, 19, 0, now);
+  ASSERT_TRUE(sched.draining(1));
+  const std::uint64_t switches_at_drain = sched.path_switches();
+
+  // Clean reports *before* the hold-down elapses must not re-admit the path
+  // even once the loss EWMA has decayed (flap damping)...
+  now = now + Duration::millis(100);
+  for (int i = 0; i < 12; ++i) sched.on_report(1, 19, 0, now);
+  EXPECT_LT(sched.health(1).loss_ewma, 0.10);
+  EXPECT_TRUE(sched.draining(1));
+  // ...but after the hold-down a healthy report brings it back.
+  now = now + Duration::millis(600);
+  sched.on_report(1, 19, 0, now);
+  EXPECT_FALSE(sched.draining(1));
+  EXPECT_EQ(sched.path_switches(), switches_at_drain + 1);
+}
+
+TEST(SubflowScheduler, ReportSilenceStrikesOutThePath) {
+  SubflowScheduler sched(fast_config());
+  SimTime now;
+  sched.stamp(1, 500, now);  // first use anchors the silence clock
+  // Three ticks, each past 2x the report interval of silence: strike out.
+  for (int i = 1; i <= 3; ++i) {
+    now = now + Duration::millis(250);
+    sched.on_strike_tick(now);
+  }
+  EXPECT_TRUE(sched.draining(1));
+  // An idle, never-used subflow is owed nothing and must not be struck.
+  EXPECT_FALSE(sched.draining(0));
+  EXPECT_EQ(sched.path_switches(), 1u);
+}
+
+TEST(SubflowScheduler, UnreachableDrainsImmediately) {
+  SubflowScheduler sched(fast_config());
+  const SimTime now;
+  sched.on_unreachable(1, now);
+  EXPECT_TRUE(sched.draining(1));
+  EXPECT_EQ(sched.path_switches(), 1u);
+}
+
+TEST(SubflowScheduler, AllDrainingDegradesToPrimary) {
+  SubflowScheduler sched(fast_config());
+  const SimTime now;
+  sched.on_unreachable(0, now);
+  sched.on_unreachable(1, now);
+  ASSERT_TRUE(sched.all_draining());
+  // The degradation rung: the stream collapses onto the primary path and
+  // the single-path recovery machinery owns survival from here.
+  EXPECT_EQ(sched.pick(now), 0);
+  EXPECT_EQ(sched.pick(now), 0);
+  EXPECT_EQ(sched.degraded_ticks(), 2u);
+}
+
+TEST(SubflowScheduler, ReportTakesRttSampleFromSendRing) {
+  SubflowScheduler sched(fast_config());
+  SimTime now;
+  sched.stamp(0, 500, now);  // subflow seq 0 sent at t=0
+  now = now + Duration::millis(80);
+  sched.on_report(0, 0, 1, now);  // echoes highest seq 0, 80 ms later
+  EXPECT_DOUBLE_EQ(sched.health(0).ewma_rtt_ms, 80.0);
+}
+
+// --- ReorderJoinBuffer ---
+
+TEST(ReorderJoinBuffer, InOrderArrivalsPassStraightThrough) {
+  ReorderJoinBuffer join(16, Duration::millis(400));
+  const SimTime now;
+  for (std::uint32_t seq = 0; seq < 5; ++seq) {
+    const auto released = join.insert(packet(seq), now);
+    ASSERT_EQ(released.size(), 1u);
+    EXPECT_EQ(released[0].seq, seq);
+  }
+  EXPECT_EQ(join.depth(), 0u);
+  EXPECT_EQ(join.reorder_depth_p95(), 0u);
+  EXPECT_EQ(join.forced_releases(), 0u);
+}
+
+TEST(ReorderJoinBuffer, HoldsOutOfOrderUntilTheGapFills) {
+  ReorderJoinBuffer join(16, Duration::millis(400));
+  const SimTime now;
+  EXPECT_TRUE(join.insert(packet(1), now).empty());
+  EXPECT_TRUE(join.insert(packet(2), now).empty());
+  EXPECT_EQ(join.depth(), 2u);
+  // The missing 0 arrives (the other subflow was slower): the whole run
+  // releases in global order.
+  EXPECT_EQ(seqs(join.insert(packet(0), now)),
+            (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(join.depth(), 0u);
+}
+
+TEST(ReorderJoinBuffer, DuplicateDeliveryAcrossSubflowsIsDropped) {
+  ReorderJoinBuffer join(16, Duration::millis(400));
+  const SimTime now;
+  EXPECT_TRUE(join.insert(packet(1, /*subflow=*/0), now).empty());
+  // The same stream sequence arrives again over the other subflow while the
+  // first copy is still held: dropped, not double-released.
+  EXPECT_TRUE(join.insert(packet(1, /*subflow=*/1), now).empty());
+  EXPECT_EQ(join.duplicates_dropped(), 1u);
+  EXPECT_EQ(seqs(join.insert(packet(0), now)),
+            (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(join.duplicates_dropped(), 1u);
+}
+
+TEST(ReorderJoinBuffer, LateOriginalAfterRecoveryReleasesImmediately) {
+  ReorderJoinBuffer join(16, Duration::millis(400));
+  SimTime now;
+  EXPECT_TRUE(join.insert(packet(1), now).empty());
+  // The hold budget expires waiting for 0: the cursor skips past it.
+  now = now + Duration::millis(500);
+  EXPECT_EQ(seqs(join.insert(packet(2), now)),
+            (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(join.forced_releases(), 1u);
+  // Now the late original (or a FEC/retransmit repair) of 0 shows up below
+  // the cursor: it must flow through at once — its media bytes still count
+  // toward coverage — not wedge or vanish.
+  const auto released = join.insert(packet(0), now);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].seq, 0u);
+  // And the cursor stays put: the next in-order sequence releases normally.
+  EXPECT_EQ(seqs(join.insert(packet(3), now)),
+            (std::vector<std::uint32_t>{3}));
+}
+
+TEST(ReorderJoinBuffer, BufferFullEvictsLowestRunInSequenceOrder) {
+  ReorderJoinBuffer join(4, Duration::seconds(10));
+  const SimTime now;
+  // Sequence 0 never arrives; 1..4 fill the buffer to capacity.
+  for (std::uint32_t seq = 1; seq <= 4; ++seq)
+    EXPECT_TRUE(join.insert(packet(seq), now).empty());
+  EXPECT_EQ(join.depth(), 4u);
+  // The overflowing insert evicts from the *lowest* sequence, and the
+  // eviction cascades through the now-contiguous run — everything comes out
+  // in sequence order, never newest-first.
+  EXPECT_EQ(seqs(join.insert(packet(5), now)),
+            (std::vector<std::uint32_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(join.forced_releases(), 1u);
+  EXPECT_EQ(join.depth(), 0u);
+}
+
+TEST(ReorderJoinBuffer, HoldExpiryForceReleasesTheStaleFront) {
+  ReorderJoinBuffer join(16, Duration::millis(400));
+  SimTime now;
+  EXPECT_TRUE(join.insert(packet(2), now).empty());
+  now = now + Duration::millis(250);
+  EXPECT_TRUE(join.insert(packet(3), now).empty());
+  // 450 ms after 2 arrived its hold budget is blown: the next insert first
+  // expires the stale front (2, then the contiguous 3), then processes the
+  // new packet on the advanced cursor.
+  now = now + Duration::millis(200);
+  EXPECT_EQ(seqs(join.insert(packet(4), now)),
+            (std::vector<std::uint32_t>{2, 3, 4}));
+  EXPECT_EQ(join.forced_releases(), 1u);
+}
+
+TEST(ReorderJoinBuffer, FlushReleasesEverythingInOrderAndResetRestarts) {
+  ReorderJoinBuffer join(16, Duration::millis(400));
+  const SimTime now;
+  join.insert(packet(3), now);
+  join.insert(packet(1), now);
+  join.insert(packet(5), now);
+  EXPECT_EQ(seqs(join.flush()), (std::vector<std::uint32_t>{1, 3, 5}));
+  EXPECT_EQ(join.depth(), 0u);
+  // reset(): a failover epoch renumbers from 0.
+  join.reset();
+  const auto released = join.insert(packet(0), now);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].seq, 0u);
+}
+
+TEST(ReorderJoinBuffer, ReorderDepthP95TracksOccupancy) {
+  ReorderJoinBuffer join(16, Duration::seconds(10));
+  const SimTime now;
+  // 19 samples at depth 1 (hold one, fill the pair) and 1 sample at depth 2:
+  // the 95th percentile lands on depth 1... then a heavier tail moves it.
+  for (std::uint32_t base = 0; base < 18; base += 2) {
+    join.insert(packet(base + 1), now);  // depth 1
+    join.insert(packet(base), now);      // released, depth 0 sampled as run
+  }
+  EXPECT_LE(join.reorder_depth_p95(), 1u);
+}
+
+// --- NackTracker reorder tolerance (players/repair.hpp) ---
+
+RepairLayerConfig nack_config(int tolerance) {
+  RepairLayerConfig cfg;
+  cfg.nack = true;
+  cfg.nack_reorder_tolerance = tolerance;
+  return cfg;
+}
+
+TEST(NackReorderTolerance, StripingGapFilledNaturallyIsSuppressed) {
+  NackTracker tracker(nack_config(2));
+  SimTime now;
+  tracker.note_missing(5, now);
+  tracker.note_arrival(6);  // one higher arrival: window still open
+  tracker.note_arrival(5);  // the "gap" was just join jitter
+  EXPECT_EQ(tracker.pending(), 0u);
+  EXPECT_EQ(tracker.suppressed(), 1u);
+  now = now + Duration::seconds(1);
+  EXPECT_TRUE(tracker.due(now).empty());
+}
+
+TEST(NackReorderTolerance, ArmsAfterEnoughHigherArrivals) {
+  NackTracker tracker(nack_config(2));
+  SimTime now;
+  tracker.note_missing(5, now);
+  tracker.note_arrival(6);
+  tracker.note_arrival(7);  // tolerance reached: this is a real hole
+  now = now + tracker.delay();
+  EXPECT_EQ(tracker.due(now), (std::vector<std::uint32_t>{5}));
+  EXPECT_EQ(tracker.suppressed(), 0u);
+}
+
+TEST(NackReorderTolerance, UnarmedTimerFiringDefersOneDelayThenRequests) {
+  NackTracker tracker(nack_config(2));
+  SimTime now;
+  tracker.note_missing(5, now);  // tail loss: no higher arrivals follow
+  now = now + tracker.delay();
+  // First firing while unarmed: held one extra delay, counted suppressed.
+  EXPECT_TRUE(tracker.due(now).empty());
+  EXPECT_EQ(tracker.suppressed(), 1u);
+  now = now + tracker.delay();
+  EXPECT_EQ(tracker.due(now), (std::vector<std::uint32_t>{5}));
+}
+
+TEST(NackReorderTolerance, ZeroToleranceKeepsSinglePathBehaviour) {
+  NackTracker tracker(nack_config(0));
+  SimTime now;
+  tracker.note_missing(5, now);
+  now = now + tracker.delay();
+  EXPECT_EQ(tracker.due(now), (std::vector<std::uint32_t>{5}));
+  EXPECT_EQ(tracker.suppressed(), 0u);
+}
+
+}  // namespace
+}  // namespace streamlab

@@ -460,6 +460,132 @@ TEST(FaultScheduler, FinishSettlesDanglingRouterDown) {
   EXPECT_TRUE(faults.records()[0].cleared);
 }
 
+PathConfig quiet_detour_chain() {
+  PathConfig cfg = quiet_chain();
+  cfg.detour = DetourConfig{3, 4, 2, 10};
+  return cfg;
+}
+
+TEST(FaultScheduler, DetourDownTargetsBranchRouterOnly) {
+  // add_detour_down takes a *detour-branch* router offline; the chain
+  // router with the same index is untouched, so primary-addressed traffic
+  // keeps flowing while the bypass is dark.
+  Network net(quiet_detour_chain());
+  Host& server = net.add_server("srv");
+  FaultScheduler faults(net.loop(), net.bottleneck_link(), net);
+  faults.add_detour_down(SimTime::from_seconds(1.0), Duration::seconds(1), 0);
+  faults.arm();
+
+  int received = 0;
+  server.udp_bind(5000, [&](auto, auto, auto) { ++received; });
+  bool chain_online_mid_episode = false;
+  net.loop().schedule_at(SimTime::from_seconds(1.5), [&] {
+    chain_online_mid_episode =
+        !net.router(0).offline() && net.detour_router(0).offline();
+    net.client().udp_send(6000, Endpoint{server.address(), 5000},
+                          std::vector<std::uint8_t>{1});
+  });
+  net.loop().run();
+
+  EXPECT_TRUE(chain_online_mid_episode);
+  EXPECT_EQ(received, 1);  // chain path unaffected
+  EXPECT_FALSE(net.detour_router(0).offline());
+  ASSERT_EQ(faults.records().size(), 1u);
+  EXPECT_TRUE(faults.records()[0].applied);
+  EXPECT_TRUE(faults.records()[0].cleared);
+}
+
+TEST(FaultScheduler, AlternatingChainAndDetourFlapsStayIndependent) {
+  // A true flap schedule: overlapping/alternating kRouterDown episodes on a
+  // chain router and both detour-branch routers in one scenario. The depth
+  // maps must never alias — chain index 0 and detour index 0 are different
+  // routers — and each router returns online exactly when its own last
+  // episode ends.
+  Network net(quiet_detour_chain());
+  net.add_server("srv");
+  FaultScheduler faults(net.loop(), net.bottleneck_link(), net);
+  // Chain router 0 down [1, 4); detour router 0 down [2, 3) and again
+  // overlapping [2.5, 5); detour router 1 down [3.5, 4.5).
+  faults.add_router_down(SimTime::from_seconds(1.0), Duration::seconds(3), 0);
+  faults.add_detour_down(SimTime::from_seconds(2.0), Duration::seconds(1), 0);
+  faults.add_detour_down(SimTime::from_seconds(2.5), Duration::from_seconds(2.5), 0);
+  faults.add_detour_down(SimTime::from_seconds(3.5), Duration::from_seconds(1.0), 1);
+  faults.arm();
+
+  struct Snapshot {
+    bool chain0, detour0, detour1;
+  };
+  std::vector<Snapshot> snaps;
+  for (const double t : {2.2, 3.2, 4.2, 4.7, 5.2}) {
+    net.loop().schedule_at(SimTime::from_seconds(t), [&] {
+      snaps.push_back({net.router(0).offline(), net.detour_router(0).offline(),
+                       net.detour_router(1).offline()});
+    });
+  }
+  net.loop().run();
+
+  ASSERT_EQ(snaps.size(), 5u);
+  // t=2.2: chain 0 and detour 0 both down, independently.
+  EXPECT_TRUE(snaps[0].chain0);
+  EXPECT_TRUE(snaps[0].detour0);
+  EXPECT_FALSE(snaps[0].detour1);
+  // t=3.2: detour 0's first episode ended but the overlapping one holds it.
+  EXPECT_TRUE(snaps[1].chain0);
+  EXPECT_TRUE(snaps[1].detour0);
+  // t=4.2: chain 0 recovered at 4.0; detour 0 still down, detour 1 down.
+  EXPECT_FALSE(snaps[2].chain0);
+  EXPECT_TRUE(snaps[2].detour0);
+  EXPECT_TRUE(snaps[2].detour1);
+  // t=4.7: detour 1 recovered at 4.5, detour 0 still held until 5.0.
+  EXPECT_TRUE(snaps[3].detour0);
+  EXPECT_FALSE(snaps[3].detour1);
+  // t=5.2: everything back online.
+  EXPECT_FALSE(snaps[4].chain0);
+  EXPECT_FALSE(snaps[4].detour0);
+  EXPECT_FALSE(snaps[4].detour1);
+  for (const auto& rec : faults.records()) {
+    EXPECT_TRUE(rec.applied);
+    EXPECT_TRUE(rec.cleared);
+  }
+}
+
+TEST(FaultScheduler, FinishSettlesDanglingDetourEpisodes) {
+  // Budget truncation mid-flap: finish() must settle detour episodes through
+  // the same open-router path as chain episodes, restoring both branches.
+  Network net(quiet_detour_chain());
+  net.add_server("srv");
+  FaultScheduler faults(net.loop(), net.bottleneck_link(), net);
+  faults.add_router_down(SimTime::from_seconds(1.0), Duration::seconds(100), 3);
+  faults.add_detour_down(SimTime::from_seconds(1.0), Duration::seconds(100), 1);
+  faults.arm();
+  net.loop().run_until(SimTime::from_seconds(2.0));
+
+  EXPECT_TRUE(net.router(3).offline());
+  EXPECT_TRUE(net.detour_router(1).offline());
+  faults.finish();
+  EXPECT_FALSE(net.router(3).offline());
+  EXPECT_FALSE(net.detour_router(1).offline());
+  for (const auto& rec : faults.records()) {
+    EXPECT_TRUE(rec.applied);
+    EXPECT_TRUE(rec.cleared);
+  }
+}
+
+TEST(FaultScheduler, DetourDownOutOfRangeIsSettledNoop) {
+  // detour_hop_count bounds detour episodes; an index past the branch is
+  // unschedulable and settles immediately instead of dangling.
+  Network net(quiet_detour_chain());
+  net.add_server("srv");
+  FaultScheduler faults(net.loop(), net.bottleneck_link(), net);
+  faults.add_detour_down(SimTime::from_seconds(1.0), Duration::seconds(1), 7);
+  faults.arm();
+  net.loop().run();
+  ASSERT_EQ(faults.records().size(), 1u);
+  EXPECT_TRUE(faults.records()[0].applied);
+  EXPECT_TRUE(faults.records()[0].cleared);
+  EXPECT_EQ(faults.records()[0].packets_dropped, 0u);
+}
+
 TEST(FaultScheduler, RouterDownWithoutNetworkIsSettledNoop) {
   // The 2-arg constructor has no network handle: a router-down episode is
   // unschedulable and must settle immediately rather than dangle.
